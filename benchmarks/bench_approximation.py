@@ -1,0 +1,65 @@
+"""Experiment EXT-A — approximation models via or-sets (Section 7).
+
+Claim reproduced: "the intimate connection between or-sets and the Smyth
+powerdomain can help us use or-sets for a suitable representation of those
+approximation models" [22].  The benchmark embeds random sandwiches into
+complex objects ``({L}, <U>)`` and checks that the sandwich order is
+exactly the Section 3 object order, timing both sides of the comparison.
+"""
+
+import random
+
+import pytest
+
+from repro.orders.approx import Sandwich, sandwich_le, sandwich_to_object
+from repro.orders.poset import random_poset
+from repro.orders.semantics import value_le
+
+
+def _workload(seed: int, posets: int = 4, per_poset: int = 8):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(posets):
+        poset = random_poset(5, 0.4, rng)
+        carrier = sorted(poset.carrier, key=repr)
+        sandwiches = []
+        for _ in range(per_poset):
+            lo = rng.sample(carrier, rng.randint(0, 2))
+            up = rng.sample(carrier, rng.randint(0, 2))
+            sandwiches.append(Sandwich(lo, up, poset))
+        out.append((poset, sandwiches))
+    return out
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _workload(23)
+
+
+def test_sandwich_order(benchmark, workload):
+    def run():
+        return [
+            [sandwich_le(a, b) for a in sws for b in sws]
+            for _poset, sws in workload
+        ]
+
+    benchmark(run)
+
+
+def test_object_order_embedding(benchmark, workload):
+    rendered = [
+        ({"d": poset}, [sandwich_to_object(s) for s in sws], sws)
+        for poset, sws in workload
+    ]
+
+    def run():
+        return [
+            [value_le(x, y, orders) for x in objs for y in objs]
+            for orders, objs, _sws in rendered
+        ]
+
+    results = benchmark(run)
+    # Shape claim: the embedding is order-faithful.
+    for (orders, objs, sws), matrix in zip(rendered, results):
+        expected = [sandwich_le(a, b) for a in sws for b in sws]
+        assert matrix == expected

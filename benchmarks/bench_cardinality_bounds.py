@@ -1,0 +1,69 @@
+"""Experiments P6.1 and T6.2 — cardinality of normal forms.
+
+Claims reproduced:
+
+* Proposition 6.1: ``m(x) <= prod_i (m_i + 1)`` over innermost or-sets;
+* Theorem 6.2: ``m(x) <= 3^(n/3)`` with equality on the witness family
+  ``{<b1,b2,b3>, <b4,b5,b6>, ...}``;
+* the Case 3 reduction: alpha's outputs are the maximal cliques of the
+  complete multipartite choice graph (cross-checked with networkx),
+  connecting the bound to Moon–Moser.
+
+Timing: m(x) on random objects and on the exponential witness family.
+"""
+
+import random
+
+import pytest
+
+from repro.core.costs import (
+    alpha_outputs_are_cliques,
+    m_value,
+    moon_moser,
+    prop61_bound,
+    thm62_bound,
+    tight_family,
+)
+from repro.gen import random_orset_value
+from repro.values.measure import has_orset, size
+
+
+def _workload(seed: int, count: int = 40):
+    rng = random.Random(seed)
+    return [
+        random_orset_value(rng, max_depth=3, max_width=3, min_width=1)
+        for _ in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def objects():
+    return _workload(17)
+
+
+def test_m_on_random_objects(benchmark, objects):
+    values = benchmark(lambda: [m_value(v, t) for v, t in objects])
+    for (v, t), m in zip(objects, values):
+        n = size(v)
+        if has_orset(v):
+            assert m <= prop61_bound(v)          # Proposition 6.1
+        if n > 0:
+            assert m <= thm62_bound(n) + 1e-9    # Theorem 6.2
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def test_m_on_tight_family(benchmark, k):
+    x, t = tight_family(k)
+
+    def run():
+        return m_value(x, t)
+
+    m = benchmark(run)
+    n = size(x)
+    # Tightness: m = 3^(n/3) exactly, and it equals Moon–Moser's count.
+    assert m == 3**k == round(thm62_bound(n)) == moon_moser(n)
+
+
+def test_clique_crosscheck(benchmark):
+    x, _ = tight_family(4)
+    assert benchmark(alpha_outputs_are_cliques, x)

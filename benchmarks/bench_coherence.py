@@ -1,0 +1,72 @@
+"""Experiment T4.2 — coherence of normalization (Theorem 4.2).
+
+Claims reproduced: every rewrite strategy yields the same normal form, and
+that normal form equals the independent possible-worlds denotation.
+Timing: innermost vs outermost vs random strategies vs the worlds oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.core.normalize import normalize_with_strategy
+from repro.core.worlds import worlds
+from repro.gen import random_orset_value
+from repro.types.rewrite import (
+    innermost_strategy,
+    outermost_strategy,
+    random_strategy,
+)
+from repro.values.values import OrSetValue
+
+
+def _workload(seed: int, count: int = 30):
+    rng = random.Random(seed)
+    return [
+        random_orset_value(rng, max_depth=3, max_width=3, min_width=1)
+        for _ in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def objects():
+    return _workload(7)
+
+
+def _normalize_all(objects, strategy):
+    return [normalize_with_strategy(v, t, strategy) for v, t in objects]
+
+
+def test_innermost(benchmark, objects):
+    results = benchmark(_normalize_all, objects, innermost_strategy)
+    assert len(results) == len(objects)
+
+
+def test_outermost(benchmark, objects):
+    outer = benchmark(_normalize_all, objects, outermost_strategy)
+    inner = _normalize_all(objects, innermost_strategy)
+    # The coherence claim itself.
+    assert outer == inner
+
+
+def test_random_strategies(benchmark, objects):
+    def run():
+        out = []
+        for seed in range(3):
+            strat = random_strategy(random.Random(seed))
+            out.append(_normalize_all(objects, strat))
+        return out
+
+    runs = benchmark(run)
+    assert runs[0] == runs[1] == runs[2]
+
+
+def test_worlds_oracle(benchmark, objects):
+    """The independent denotation — and the end-to-end agreement claim."""
+    oracle = benchmark(lambda: [worlds(v) for v, _ in objects])
+    normals = _normalize_all(objects, innermost_strategy)
+    for (value, t), norm, denot in zip(objects, normals, oracle):
+        if isinstance(norm, OrSetValue):
+            assert frozenset(norm.elems) == denot
+        else:
+            assert {norm} == set(denot)

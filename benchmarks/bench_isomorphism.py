@@ -1,0 +1,98 @@
+"""Experiment T3.3 — alpha_a : [{<t>}]_a = [<{t}>]_a is an isomorphism.
+
+Claims reproduced: ``beta_a(alpha_a(A)) == A`` on valid antichain families
+over random posets, and monotonicity of ``alpha_a``.  Timing: the
+choice-function enumeration that both maps perform.
+"""
+
+import random
+
+import pytest
+
+from repro.orders.iso import alpha_antichain, beta_antichain
+from repro.orders.powerdomains import hoare_le, smyth_le
+from repro.orders.poset import diamond, random_poset
+from repro.orders.semantics import min_antichain_values, value_le
+from repro.values.values import Atom, OrSetValue, SetValue
+
+
+def _family(poset, rng, n_members=3, width=2):
+    carrier = sorted(poset.carrier, key=repr)
+    members = []
+    for _ in range(n_members):
+        picks = rng.sample(carrier, min(len(carrier), rng.randint(1, width)))
+        atoms = tuple(Atom("d", p) for p in picks)
+        members.append(
+            OrSetValue(min_antichain_values(atoms, {"d": poset}))
+        )
+
+    def le(x, y):
+        return value_le(x, y, {"d": poset})
+
+    kept = [
+        m
+        for m in members
+        if not any(
+            smyth_le(o.elems, m.elems, le) and not smyth_le(m.elems, o.elems, le)
+            for o in members
+        )
+    ]
+    return SetValue(kept)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    rng = random.Random(37)
+    out = []
+    for _ in range(6):
+        poset = random_poset(4, 0.4, rng)
+        out.append((poset, [_family(poset, rng) for _ in range(8)]))
+    out.append((diamond(), [_family(diamond(), rng) for _ in range(8)]))
+    return out
+
+
+def test_alpha_a(benchmark, instances):
+    def run():
+        return [
+            alpha_antichain(fam, {"d": poset})
+            for poset, fams in instances
+            for fam in fams
+        ]
+
+    images = benchmark(run)
+    assert len(images) == sum(len(f) for _, f in instances)
+
+
+def test_round_trip_identity(benchmark, instances):
+    def run():
+        verdicts = []
+        for poset, fams in instances:
+            orders = {"d": poset}
+            for fam in fams:
+                image = alpha_antichain(fam, orders)
+                verdicts.append(beta_antichain(image, orders) == fam)
+        return verdicts
+
+    # The isomorphism claim: every round trip is the identity.
+    assert all(benchmark(run))
+
+
+def test_monotonicity(benchmark, instances):
+    def run():
+        checked = 0
+        for poset, fams in instances:
+            orders = {"d": poset}
+
+            def elem_le(x, y):
+                return value_le(x, y, orders)
+
+            for fam_a in fams:
+                for fam_b in fams:
+                    if hoare_le(fam_a.elems, fam_b.elems, elem_le):
+                        img_a = alpha_antichain(fam_a, orders)
+                        img_b = alpha_antichain(fam_b, orders)
+                        assert smyth_le(img_a.elems, img_b.elems, elem_le)
+                        checked += 1
+        return checked
+
+    assert benchmark(run) > 0

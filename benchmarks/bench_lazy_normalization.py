@@ -1,0 +1,68 @@
+"""Experiment IMPL — lazy stream normalization (Section 7).
+
+Claims reproduced: the conclusion's proposal that existential queries over
+normal forms should be evaluated lazily, "produc[ing] elements of a normal
+form as elements of a stream ... if the test is satisfied, the evaluation
+stops without producing the whole normal form".
+
+Timing: eager existential (materialize then scan) vs lazy existential
+(stream + early exit) on a design space with an early witness, a late
+witness, and no witness at all (where lazy degenerates to eager's work).
+"""
+
+import pytest
+
+from repro.core.costs import tight_family
+from repro.core.existential import exists_query
+from repro.values.values import Atom
+
+
+def _has_small_max(world) -> bool:
+    return max(int(e.value) for e in world.elems) <= 2
+
+
+def _never(world) -> bool:
+    return False
+
+
+@pytest.fixture(scope="module")
+def design_space():
+    # {<0,1,2>, <3,4,5>, ...}: 3^k completed designs.
+    return tight_family(7)
+
+
+def test_eager_early_witness(benchmark, design_space):
+    x, t = design_space
+
+    # The witness {0,3,6,...} (min of each or-set) exists; eager pays for
+    # the full 3^7-element normal form anyway.
+    def pred(world):
+        return all(int(e.value) % 3 == 0 for e in world.elems)
+
+    assert benchmark(lambda: exists_query(pred, x, t, backend="eager"))
+
+
+def test_lazy_early_witness(benchmark, design_space):
+    x, t = design_space
+
+    def pred(world):
+        return all(int(e.value) % 3 == 0 for e in world.elems)
+
+    # Lazy stops at the first consistent choice — the claimed speedup.
+    assert benchmark(lambda: exists_query(pred, x, t, backend="lazy"))
+
+
+def test_lazy_no_witness(benchmark, design_space):
+    """Worst case: lazy must also enumerate everything."""
+    x, t = design_space
+    assert not benchmark(lambda: exists_query(_never, x, t, backend="lazy"))
+
+
+def test_lazy_late_witness(benchmark, design_space):
+    x, t = design_space
+
+    def pred(world):
+        # Only the all-maximal choice {2,5,8,...} qualifies.
+        return all(int(e.value) % 3 == 2 for e in world.elems)
+
+    assert benchmark(lambda: exists_query(pred, x, t, backend="lazy"))

@@ -1,0 +1,133 @@
+"""Experiments T5.1, P5.2 and FIG2 — losslessness and conceptual analogs.
+
+Claims reproduced:
+
+* Theorem 5.1: for the eligible morphism class,
+  ``preserve(f) o normalize o or_eta == normalize o or_eta o f``;
+* Proposition 5.2: for the weaker class, the analog's image is *included*
+  in the normalized output; the paper's two counterexamples hold
+  (``or_union``'s analog is not map-like, ``rho_2``'s is not onto);
+* Figure 2's picture: each conceptual input value is mapped to a subset
+  of the conceptual output values.
+
+Timing: the preserve route (stay on normal forms) vs re-normalizing the
+output — the practical payoff of losslessness is exactly that conceptual
+queries can follow ``f`` without renormalizing.
+"""
+
+import random
+
+import pytest
+
+from repro.core.normalize import normalize, possibilities
+from repro.core.preserve import (
+    analog_is_maplike,
+    analog_is_onto,
+    conceptual_analog,
+    preserve,
+    verify_analog_inclusion,
+    verify_losslessness,
+)
+from repro.gen import random_value
+from repro.lang.morphisms import Compose, PairOf, Proj1, Proj2
+from repro.lang.orset_ops import Alpha, OrMap, OrMu, OrRho2, OrUnion
+from repro.lang.primitives import plus
+from repro.types.kinds import INT, OrSetType, ProdType, SetType
+from repro.types.parse import parse_type
+from repro.values.measure import has_empty_orset
+from repro.values.values import OrSetValue
+
+SUITE = [
+    ("or_mu", OrMu(), OrSetType(OrSetType(INT)), 2),
+    ("ormap(plus)", OrMap(plus()), OrSetType(ProdType(INT, INT)), 3),
+    ("alpha", Alpha(), SetType(OrSetType(INT)), 2),
+    ("or_rho_2", OrRho2(), ProdType(INT, OrSetType(INT)), 3),
+    ("or_union", OrUnion(), ProdType(OrSetType(INT), OrSetType(INT)), 3),
+    ("pi_1", Proj1(), ProdType(OrSetType(INT), INT), 3),
+    (
+        "or_mu o ormap(or_mu)",
+        Compose(OrMu(), OrMap(OrMu())),
+        OrSetType(OrSetType(OrSetType(INT))),
+        2,
+    ),
+]
+
+
+def _inputs(t, width, rng, count=12):
+    out = []
+    while len(out) < count:
+        v = random_value(t, rng, max_width=width, min_width=1)
+        if not has_empty_orset(v):
+            out.append(v)
+    return out
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = random.Random(53)
+    return [
+        (name, f, t, _inputs(t, width, rng))
+        for name, f, t, width in SUITE
+    ]
+
+
+def test_losslessness_square(benchmark, workload):
+    def run():
+        return [
+            verify_losslessness(f, x, t)
+            for name, f, t, inputs in workload
+            for x in inputs
+        ]
+
+    # The theorem: every square commutes.
+    assert all(benchmark(run))
+
+
+def test_preserve_route(benchmark, workload):
+    """Stay on normal forms: normalize once, then apply preserve(f)."""
+
+    def run():
+        out = []
+        for name, f, t, inputs in workload:
+            pf = preserve(f, t)
+            for x in inputs:
+                nx = OrSetValue(possibilities(x, t))
+                out.append(pf.apply(nx))
+        return out
+
+    assert len(benchmark(run)) > 0
+
+
+def test_renormalize_route(benchmark, workload):
+    """The alternative: apply f structurally, then renormalize."""
+
+    def run():
+        out = []
+        for name, f, t, inputs in workload:
+            for x in inputs:
+                out.append(OrSetValue(possibilities(f.apply(x), None)))
+        return out
+
+    assert len(benchmark(run)) > 0
+
+
+def test_counterexamples(benchmark):
+    """Proposition 5.2's two counterexamples, as stated in the paper."""
+
+    def run():
+        from repro.lang.set_ops import SetRho2
+        from repro.values.values import vorset, vpair, vset
+
+        # or_union is not map-like.
+        not_maplike = not analog_is_maplike(OrUnion())
+        # rho_2 has an analog that is included but not onto.
+        s = parse_type("<int> * {int}")
+        x = vpair(vorset(1, 2), vset(3, 4))
+        included = verify_analog_inclusion(SetRho2(), x, s)
+        analog = conceptual_analog(SetRho2(), s)
+        lhs = normalize(analog.apply(OrSetValue(possibilities(x, s))))
+        rhs = possibilities(SetRho2().apply(x), parse_type("{<int> * int}"))
+        not_onto = set(lhs.elems) < set(rhs)
+        return not_maplike and included and not_onto and not analog_is_onto(SetRho2())
+
+    assert benchmark(run)

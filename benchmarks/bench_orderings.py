@@ -1,0 +1,122 @@
+"""Experiments P3.1 and P3.2 — update closures = Hoare/Smyth orderings.
+
+Claims reproduced: on random posets, the reflexive-transitive closure of
+the elementary update steps coincides *exactly* with the declarative
+Hoare (sets) and Smyth (or-sets) orderings — and the same on antichains
+with max/min re-normalization.  Timing: BFS closure vs the direct
+quadratic test (the declarative order is the cheap one; the closure is
+the semantic justification).
+"""
+
+import random
+from itertools import chain as ichain, combinations
+
+import pytest
+
+from repro.orders.poset import random_poset
+from repro.orders.powerdomains import hoare_le, smyth_le
+from repro.orders.updates import (
+    hoare_reachable,
+    hoare_reachable_antichain,
+    smyth_reachable,
+    smyth_reachable_antichain,
+)
+
+
+def _subsets(items, max_size):
+    items = sorted(items)
+    return [
+        frozenset(c)
+        for c in ichain.from_iterable(
+            combinations(items, k) for k in range(max_size + 1)
+        )
+    ]
+
+
+@pytest.fixture(scope="module")
+def instances():
+    rng = random.Random(31)
+    out = []
+    for _ in range(4):
+        poset = random_poset(4, 0.45, rng)
+        starts = _subsets(poset.carrier, 2)[:6]
+        out.append((poset, starts))
+    return out
+
+
+def test_direct_hoare_order(benchmark, instances):
+    def run():
+        verdicts = []
+        for poset, starts in instances:
+            for start in starts:
+                for target in _subsets(poset.carrier, 4):
+                    verdicts.append(hoare_le(start, target, poset.le))
+        return verdicts
+
+    assert any(benchmark(run))
+
+
+def test_hoare_closure_bfs(benchmark, instances):
+    def run():
+        return [
+            hoare_reachable(poset, start)
+            for poset, starts in instances
+            for start in starts
+        ]
+
+    closures = benchmark(run)
+    index = 0
+    for poset, starts in instances:
+        for start in starts:
+            reached = closures[index]
+            index += 1
+            for target in _subsets(poset.carrier, 4):
+                assert (target in reached) == hoare_le(start, target, poset.le)
+
+
+def test_smyth_closure_bfs(benchmark, instances):
+    def run():
+        return [
+            smyth_reachable(poset, start)
+            for poset, starts in instances
+            for start in starts
+            if start
+        ]
+
+    closures = benchmark(run)
+    index = 0
+    for poset, starts in instances:
+        for start in starts:
+            if not start:
+                continue
+            reached = closures[index]
+            index += 1
+            for target in _subsets(poset.carrier, 4):
+                assert (target in reached) == smyth_le(start, target, poset.le)
+
+
+def test_antichain_closures(benchmark, instances):
+    """Proposition 3.2: the max/min-normalized closures on antichains."""
+
+    def run():
+        results = []
+        for poset, starts in instances:
+            antichain_starts = [s for s in starts if poset.is_antichain(s) and s]
+            for start in antichain_starts[:3]:
+                results.append(
+                    (
+                        poset,
+                        start,
+                        hoare_reachable_antichain(poset, start),
+                        smyth_reachable_antichain(poset, start),
+                    )
+                )
+        return results
+
+    for poset, start, hoare_set, smyth_set in benchmark(run):
+        antichains = [
+            s for s in _subsets(poset.carrier, 4) if poset.is_antichain(s)
+        ]
+        for target in antichains:
+            assert (target in hoare_set) == hoare_le(start, target, poset.le)
+            assert (target in smyth_set) == smyth_le(start, target, poset.le)

@@ -1,0 +1,78 @@
+"""Experiment P2.1 — alpha and powerset are interdefinable.
+
+Claims reproduced: the derived ``powerset`` (from ``alpha``) and the
+derived ``alpha`` (from ``powerset``) agree exactly with their primitive
+counterparts.  Timing: primitive vs simulation in both directions — both
+are exponential (they must be: each inter-defines the other), and the
+simulations pay a polynomial overhead on top.
+"""
+
+import random
+
+import pytest
+
+from repro.core.powerset import Powerset, alpha_via_powerset, powerset_from_alpha
+from repro.gen import random_value
+from repro.lang.orset_ops import Alpha
+from repro.types.kinds import INT, OrSetType, SetType
+from repro.values.values import SetValue
+
+
+@pytest.fixture(scope="module")
+def base_sets():
+    rng = random.Random(23)
+    return [
+        random_value(SetType(INT), rng, max_width=6, min_width=3, domain=20)
+        for _ in range(10)
+    ]
+
+
+@pytest.fixture(scope="module")
+def families():
+    rng = random.Random(29)
+    return [
+        random_value(
+            SetType(OrSetType(INT)), rng, max_width=3, min_width=1, domain=12
+        )
+        for _ in range(10)
+    ]
+
+
+def test_powerset_primitive(benchmark, base_sets):
+    ps = Powerset()
+    out = benchmark(lambda: [ps.apply(x) for x in base_sets])
+    assert all(len(o) == 2 ** len(x) for o, x in zip(out, base_sets))
+
+
+def test_powerset_from_alpha(benchmark, base_sets):
+    derived = powerset_from_alpha()
+    out = benchmark(lambda: [derived.apply(x) for x in base_sets])
+    ps = Powerset()
+    # The equivalence claim (direction 1).
+    assert out == [ps.apply(x) for x in base_sets]
+
+
+def test_alpha_primitive(benchmark, families):
+    alpha = Alpha()
+    out = benchmark(lambda: [alpha.apply(x) for x in families])
+    assert len(out) == len(families)
+
+
+def test_alpha_via_powerset(benchmark, families):
+    out = benchmark(lambda: [alpha_via_powerset(x) for x in families])
+    alpha = Alpha()
+    # The equivalence claim (direction 2, corrected construction).
+    assert out == [alpha.apply(x) for x in families]
+
+
+def test_proof_sketch_counterexample(benchmark):
+    """{<1,2>, <3>, <3,4>}: the sketch's criterion admits {1,2,3}; the
+    corrected construction must agree with alpha and exclude it."""
+    from repro.lang.parser import parse_value
+    from repro.values.values import vset
+
+    family = parse_value("{<1, 2>, <3>, <3, 4>}")
+
+    out = benchmark(alpha_via_powerset, family)
+    assert vset(1, 2, 3) not in out.elems
+    assert out == Alpha().apply(family)

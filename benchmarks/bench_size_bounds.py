@@ -1,0 +1,71 @@
+"""Experiments T6.3, T6.5 and C6.4 — size of normal forms.
+
+Claims reproduced:
+
+* Theorem 6.3: ``size(normalize(x)) <= (n/2) 3^(n/3)``;
+* Theorem 6.5: the witness family attains ``(n/3) 3^(n/3)`` exactly;
+* Corollary 6.4: the preimage of a size-n normal form has size between
+  ``Omega(log n)`` and ``n``.
+
+Timing: normalized-size computation on random objects and the witness
+family (where the output is exponentially larger than the input).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.costs import (
+    log_lower_bound_holds,
+    normalized_size,
+    thm63_bound,
+    thm65_bound,
+    tight_family,
+)
+from repro.gen import random_orset_value
+from repro.values.measure import size
+
+
+def _workload(seed: int, count: int = 40):
+    rng = random.Random(seed)
+    return [
+        random_orset_value(rng, max_depth=3, max_width=3, min_width=1)
+        for _ in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def objects():
+    return _workload(19)
+
+
+def test_size_on_random_objects(benchmark, objects):
+    sizes = benchmark(lambda: [normalized_size(v, t) for v, t in objects])
+    for (v, t), out in zip(objects, sizes):
+        n = size(v)
+        if n > 1:
+            assert out <= thm63_bound(n) + 1e-9      # Theorem 6.3
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def test_size_on_tight_family(benchmark, k):
+    x, t = tight_family(k)
+
+    def run():
+        return normalized_size(x, t)
+
+    out = benchmark(run)
+    n = size(x)
+    # Theorem 6.5's exact equality, inside the Theorem 6.3 envelope.
+    assert out == round(thm65_bound(n))
+    assert out <= thm63_bound(n)
+
+
+def test_corollary_64_envelope(benchmark, objects):
+    verdicts = benchmark(lambda: [log_lower_bound_holds(v, t) for v, t in objects])
+    assert all(verdicts)
+    # And the log lower bound is attained (up to constants) by the witness:
+    x, t = tight_family(4)
+    out = normalized_size(x, t)
+    assert size(x) <= 3 * math.log(out, 3) + 3

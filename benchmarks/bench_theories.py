@@ -1,0 +1,93 @@
+"""Experiment P3.4 — modal theories characterize the information order.
+
+Claims reproduced: ``x <= y iff Th(x) ⊇ Th(y)`` over bounded formula
+universes on random small objects.  Timing: the direct recursive order
+test vs the theory-containment test (the logical characterization is
+exponentially more expensive — it quantifies over formulas — which is
+exactly why it is a *semantic* result, not an algorithm).
+"""
+
+import random
+
+import pytest
+
+from repro.orders.poset import chain, diamond
+from repro.orders.semantics import value_le
+from repro.orders.theories import formulas_for, theory_superset
+from repro.types.kinds import BaseType, OrSetType, ProdType, SetType
+from repro.values.values import Atom, OrSetValue, Pair, SetValue
+
+D = BaseType("d")
+CASES = [
+    ("chain-sets", SetType(D), {"d": chain(3)}),
+    ("diamond-orsets", OrSetType(D), {"d": diamond()}),
+    ("chain-pairs", ProdType(D, D), {"d": chain(3)}),
+]
+
+
+def _values(t, orders, rng, count=6):
+    carrier = sorted(orders["d"].carrier, key=repr)
+
+    def value(s):
+        if isinstance(s, BaseType):
+            return Atom("d", rng.choice(carrier))
+        if isinstance(s, ProdType):
+            return Pair(value(s.left), value(s.right))
+        if isinstance(s, SetType):
+            return SetValue(value(s.elem) for _ in range(rng.randint(0, 2)))
+        return OrSetValue(value(s.elem) for _ in range(rng.randint(1, 2)))
+
+    return [value(t) for _ in range(count)]
+
+
+@pytest.fixture(scope="module")
+def instances():
+    rng = random.Random(43)
+    return [
+        (name, t, orders, _values(t, orders, rng))
+        for name, t, orders in CASES
+    ]
+
+
+def test_direct_order(benchmark, instances):
+    def run():
+        return [
+            value_le(x, y, orders)
+            for _, _, orders, values in instances
+            for x in values
+            for y in values
+        ]
+
+    verdicts = benchmark(run)
+    assert len(verdicts) > 0
+
+
+def test_theory_containment(benchmark, instances):
+    def run():
+        return [
+            theory_superset(x, y, t, orders, disj_width=3)
+            for _, t, orders, values in instances
+            for x in values
+            for y in values
+        ]
+
+    logical = benchmark(run)
+    direct = [
+        value_le(x, y, orders)
+        for _, _, orders, values in instances
+        for x in values
+        for y in values
+    ]
+    # Proposition 3.4: the two characterizations coincide.
+    assert logical == direct
+
+
+def test_formula_universe_sizes(benchmark):
+    def run():
+        return {
+            name: len(formulas_for(t, orders, disj_width=2))
+            for name, t, orders in CASES
+        }
+
+    sizes = benchmark(run)
+    assert all(v > 0 for v in sizes.values())

@@ -1,0 +1,77 @@
+"""Experiment P4.1 — the type rewrite system (Proposition 4.1).
+
+Claims reproduced: termination (via the measure), confluence (every
+strategy reaches the same normal form), and the closed form
+``nf(t) = <strip(t)>``.  Timing: closed form vs full rewriting.
+"""
+
+import random
+
+import pytest
+
+from repro.gen import random_type
+from repro.types.kinds import OrSetType, contains_orset, strip_orsets
+from repro.types.rewrite import (
+    all_normal_forms,
+    innermost_strategy,
+    is_normal_type,
+    nf_type,
+    normalize_type,
+    outermost_strategy,
+)
+
+
+def _workload(seed: int, count: int = 80, depth: int = 4):
+    rng = random.Random(seed)
+    return [random_type(rng, max_depth=depth) for _ in range(count)]
+
+
+@pytest.fixture(scope="module")
+def types():
+    return _workload(41)
+
+
+def bench_closed_form(types):
+    return [nf_type(t) for t in types]
+
+
+def bench_rewriting(types, strategy):
+    return [normalize_type(t, strategy)[0] for t in types]
+
+
+def test_closed_form(benchmark, types):
+    forms = benchmark(bench_closed_form, types)
+    # Proposition 4.1's closed form: types without or-sets are their own
+    # normal form; types with or-sets normalize to <strip(t)>.  (A type may
+    # equal its normal form *and* contain or-sets — e.g. <int> — so the
+    # claim is per-case, not an iff on f == t.)
+    for f, t in zip(forms, types):
+        if contains_orset(t):
+            assert isinstance(f, OrSetType) and not contains_orset(f.elem)
+            assert f == OrSetType(strip_orsets(t))
+        else:
+            assert f == t
+        assert is_normal_type(f)
+
+
+def test_innermost_rewriting(benchmark, types):
+    forms = benchmark(bench_rewriting, types, innermost_strategy)
+    # Shape claim: rewriting agrees with the closed form on every type.
+    assert forms == [nf_type(t) for t in types]
+
+
+def test_outermost_rewriting(benchmark, types):
+    forms = benchmark(bench_rewriting, types, outermost_strategy)
+    assert forms == [nf_type(t) for t in types]
+
+
+def test_exhaustive_confluence(benchmark):
+    """Church–Rosser on the full rewrite graph of small types."""
+    small = _workload(43, count=12, depth=3)
+
+    def run():
+        return [all_normal_forms(t, max_nodes=3000) for t in small]
+
+    results = benchmark(run)
+    for t, forms in zip(small, results):
+        assert forms == {nf_type(t)}

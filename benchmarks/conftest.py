@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one experiment from DESIGN.md's index
+(one per paper result).  Timing is taken by pytest-benchmark; the *shape*
+claims (who wins, bound satisfaction, exact tightness) are asserted inside
+the benchmarks themselves, so ``pytest benchmarks/ --benchmark-only`` is a
+self-checking reproduction run.  ``python benchmarks/report.py`` prints
+the paper-vs-measured tables recorded in EXPERIMENTS.md.
+"""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG so benchmark workloads are reproducible."""
+    return random.Random(2024)

@@ -1,0 +1,88 @@
+"""Approximate answers via sandwiches and or-sets (Sections 3 and 7).
+
+Run:  python examples/approximate_answers.py
+
+A flight-booking database knows some confirmed passengers (certain, from
+below) and a list of candidate manifests (possible, from above).  That is
+a *sandwich* in the sense of Buneman–Davidson–Watters [6]: the real
+manifest S satisfies
+
+    confirmed  ⊑♭  S        (Hoare: everything certain is aboard)
+    candidates ⊑♯  S        (Smyth: S refines one of the possibilities)
+
+The example builds sandwiches over a flat domain of passengers, checks
+consistency, refines them as knowledge improves, and then uses the paper's
+Section 7 observation — or-sets are the Smyth powerdomain — to render each
+sandwich as a complex object ``({confirmed}, <candidates>)`` whose
+Section 3 order *is* the sandwich order.  Finally a variant type models
+the two possible outcomes of the booking process.
+"""
+
+from repro.orders.approx import (
+    Mix,
+    Sandwich,
+    sandwich_le,
+    sandwich_to_object,
+)
+from repro.orders.poset import flat_domain
+from repro.orders.semantics import value_le
+from repro.types.parse import parse_type
+from repro.core.normalize import normalize
+from repro.values.values import format_value, vinl, vinr, vorset
+
+PASSENGERS = flat_domain(["ada", "bob", "cyd", "dan"])
+ORDERS = {"d": PASSENGERS}
+
+
+def show(tag: str, s: Sandwich) -> None:
+    print(
+        f"  {tag}: certain={sorted(s.lower)} possible={sorted(s.upper)}"
+        f"  consistent={s.is_consistent()}  mix={s.is_mix()}"
+    )
+
+
+def main() -> None:
+    print("sandwich refinement as knowledge improves:")
+    # Early: nothing confirmed, anyone could be the passenger of record.
+    early = Sandwich(["_bot"], ["ada", "bob", "cyd"], PASSENGERS)
+    # Later: the null is resolved; fewer candidates remain.
+    later = Sandwich(["ada"], ["ada", "bob"], PASSENGERS)
+    # Final: fully resolved — a mix (the certain part is itself possible).
+    final = Mix(["ada"], ["ada"], PASSENGERS)
+    show("early", early)
+    show("later", later)
+    show("final", final)
+    print("  early <= later <= final:",
+          sandwich_le(early, later) and sandwich_le(later, final))
+
+    # An inconsistent report: 'dan' is confirmed but not possible, and the
+    # flat domain offers nothing above both.
+    broken = Sandwich(["dan"], ["ada"], PASSENGERS)
+    show("broken", broken)
+
+    print("\nor-set representation (Libkin [22]):")
+    objs = {name: sandwich_to_object(s) for name, s in
+            [("early", early), ("later", later), ("final", final)]}
+    for name, obj in objs.items():
+        print(f"  {name}: {format_value(obj)}")
+    print("  object order matches sandwich order:",
+          all(
+              value_le(objs[a], objs[b], ORDERS) == sandwich_le(sa, sb)
+              for a, sa in [("early", early), ("later", later), ("final", final)]
+              for b, sb in [("early", early), ("later", later), ("final", final)]
+          ))
+
+    print("\nbooking outcome as a variant type (Section 7 extension):")
+    # The process ends either with a seat assignment (left) or a rebooking
+    # voucher amount (right); the seat is still disjunctive.
+    outcome_type = parse_type("<string> + int")
+    seat = vinl(vorset("12A", "12B"))
+    voucher = vinr(250)
+    print("  seat outcome   :", format_value(seat), "~>",
+          format_value(normalize(seat, outcome_type)))
+    print("  voucher outcome:", format_value(voucher), "~>",
+          format_value(normalize(voucher, outcome_type)))
+
+
+if __name__ == "__main__":
+    main()

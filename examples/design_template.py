@@ -1,0 +1,99 @@
+"""The paper's motivating scenario: querying an engineering design template.
+
+Run:  python examples/design_template.py
+
+"The template may indicate that component A can be built by either module
+B or module C. ... A designer employing such a template should be allowed
+to query the structure of the template ... On the other hand, the designer
+should also be allowed to query about possible completed designs, for
+example, by asking if there is a low-cost completed design."  (Section 1)
+
+A template is a set of components; each component is a pair of a component
+name and an or-set of candidate (module, cost) implementations:
+
+    template : {component * <module * int>}
+
+Structural queries inspect the or-sets; the conceptual query normalizes the
+template into the or-set of *completed designs* (one module per component)
+and searches it — both eagerly and with the lazy stream.
+"""
+
+from repro import format_value, normalize, parse_type, vorset, vpair, vset
+from repro.core import exists_query, witness
+from repro.core.costs import m_value
+from repro.lang.comprehension import compile_comprehension, gen, setcomp, var
+from repro.lang.morphisms import PairOf, Proj1, Proj2
+from repro.lang.orset_ops import OrToSet
+from repro.lang.set_ops import SetMap
+from repro.values.values import Atom, SetValue, Value
+
+
+def module(name: str, cost: int) -> Value:
+    """A candidate implementation: (module name, cost)."""
+    return vpair(Atom("module", name), cost)
+
+
+def component(name: str, *candidates: Value) -> Value:
+    """A template row: (component name, <candidate, ...>)."""
+    return vpair(Atom("component", name), vorset(*candidates))
+
+
+TEMPLATE = vset(
+    component("cpu", module("m1", 120), module("m2", 95)),
+    component("memory", module("dimm8", 40), module("dimm16", 70)),
+    component("storage", module("ssd", 80), module("hdd", 35), module("nvme", 140)),
+)
+TEMPLATE_TYPE = parse_type("{component * <module * int>}")
+
+
+def design_cost(design: Value) -> int:
+    """Total cost of a completed design (a set of (component, (module, cost)))."""
+    assert isinstance(design, SetValue)
+    return sum(row.snd.snd.value for row in design)
+
+
+def main() -> None:
+    print("template:")
+    for row in TEMPLATE:
+        print("  ", format_value(row))
+
+    # ---------------------------------------------------------- structural
+    # "What are the choices for each component?" — a comprehension compiled
+    # to pure or-NRA: {row | row <- template}, post-processed with
+    # map((pi_1, ortoset o pi_2)) to expose each candidate or-set as a set.
+    choices_query = compile_comprehension(
+        setcomp(var("row"), [gen("row", var("template"))]),
+        "template",
+    )
+    structure = choices_query(TEMPLATE)
+    expose = SetMap(PairOf(Proj1(), OrToSet() @ Proj2()))
+    print("\nstructural view (component, candidate set):")
+    for row in expose(structure):
+        print("  ", format_value(row))
+
+    # ---------------------------------------------------------- conceptual
+    print("\ncompleted designs:", m_value(TEMPLATE, TEMPLATE_TYPE), "(= 2*2*3)")
+    completed = normalize(TEMPLATE, TEMPLATE_TYPE)
+    print("three of them:")
+    for design in completed.elems[:3]:
+        print("  cost", design_cost(design), ":", format_value(design))
+
+    # "Is there a low-cost completed design?" — the existential query,
+    # answered without materializing the whole normal form.
+    budget = 180
+    print(f"\nexists design under {budget}:",
+          exists_query(lambda d: design_cost(d) <= budget, TEMPLATE, TEMPLATE_TYPE))
+    best = min(completed.elems, key=design_cost)
+    print("cheapest design:", design_cost(best), format_value(best))
+    cheap = witness(lambda d: design_cost(d) <= budget, TEMPLATE, TEMPLATE_TYPE)
+    print("lazy witness   :", design_cost(cheap), format_value(cheap))
+
+    # An inconsistent template (a component with no candidates) has no
+    # completed designs at all:
+    broken = vset(component("cpu"), *TEMPLATE.elems)
+    print("\nbroken template normalizes to:",
+          format_value(normalize(broken, TEMPLATE_TYPE)))
+
+
+if __name__ == "__main__":
+    main()

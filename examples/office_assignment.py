@@ -1,0 +1,101 @@
+"""Section 3's partial-information story: nulls, refinement, theories.
+
+Run:  python examples/office_assignment.py
+
+The paper's example: a database of (name, office) records where names may
+be unknown (a null in a flat domain).  Knowledge improves by
+
+* *refining* a record — replacing [Name => null, Office => '515'] by
+  [Name => 'Joe', Office => '515'] and [Name => 'Mary', Office => '515'];
+* *adding* a record — [Name => 'Bill', Office => '212'].
+
+This demo shows: the Hoare order capturing these updates (Proposition 3.1),
+or-sets under the Smyth order (narrowing alternatives = more information),
+antichain re-normalization, and the modal theories of Proposition 3.4.
+"""
+
+from repro.orders.poset import flat_domain
+from repro.orders.semantics import antichain_normal, value_le
+from repro.orders.theories import (
+    Box,
+    PairForm,
+    PropAtom,
+    TruthConst,
+    formulas_for,
+    satisfies,
+)
+from repro.orders.updates import hoare_reachable, smyth_reachable
+from repro.types.kinds import BaseType, ProdType
+from repro.values.values import Atom, format_value, vorset, vpair, vset
+
+NAMES = flat_domain(["joe", "mary", "bill"])
+ORDERS = {"name": NAMES}
+NULL = Atom("name", "_bot")
+
+
+def name(n: str) -> Atom:
+    return Atom("name", n)
+
+
+def record(who: Atom, office: str) -> "vpair":
+    return vpair(who, Atom("office", office))
+
+
+def main() -> None:
+    # ------------------------------------------------------------ updates
+    before = vset(record(NULL, "515"))
+    after = vset(record(name("joe"), "515"), record(name("mary"), "515"),
+                 record(name("bill"), "212"))
+    print("before:", format_value(before))
+    print("after :", format_value(after))
+    print("refinement is an information gain (Hoare):",
+          value_le(before, after, ORDERS))
+    print("and not the other way around:",
+          value_le(after, before, ORDERS))
+
+    # Proposition 3.1 concretely: the updated database is reachable from
+    # the original by elementary update steps.
+    start = frozenset({"_bot"})
+    reachable = hoare_reachable(NAMES, start)
+    print("\n{joe, mary, bill} reachable from {null}:",
+          frozenset({"joe", "mary", "bill"}) in reachable)
+
+    # ------------------------------------------------------------ or-sets
+    # "The new hire sits in 515 or 212, we are not sure which."
+    uncertainty = vorset(Atom("office", "515"), Atom("office", "212"))
+    narrowed = vorset(Atom("office", "515"))
+    print("\nnarrowing alternatives is a gain (Smyth):",
+          value_le(uncertainty, narrowed, {}))
+    print("or-set update closure agrees:",
+          frozenset({"515"}) in smyth_reachable(
+              flat_domain(["515", "212"]), {"515", "212"}))
+
+    # The empty or-set is inconsistency — comparable with nothing:
+    print("<> comparable with <515>:",
+          value_le(vorset(), narrowed, {}) or value_le(narrowed, vorset(), {}))
+
+    # --------------------------------------------------- antichain shape
+    # Keeping both a record and its refinement is redundant: the antichain
+    # semantics keeps the maximal (most informative) records only.
+    redundant = vset(record(NULL, "515"), record(name("joe"), "515"))
+    print("\nredundant :", format_value(redundant))
+    print("antichain :", format_value(antichain_normal(redundant, ORDERS)))
+
+    # ------------------------------------------------------------ theories
+    # Proposition 3.4: the order is exactly theory containment.  'Some
+    # record names joe' is a diamond/box fact:
+    rec_type = ProdType(BaseType("name"), BaseType("office"))
+    # "every record's name could be joe" — a box over a pair formula.
+    phi = Box(PairForm(PropAtom("name", "joe"), TruthConst()))
+    db = vset(record(NULL, "515"))
+    print("\nTh(db) contains 'every name could be joe':",
+          satisfies(phi, db, ORDERS))
+    refined = vset(record(name("mary"), "515"))
+    print("after refinement to mary it does not:",
+          satisfies(phi, refined, ORDERS))
+    print("formula universe size for the record type:",
+          len(formulas_for(rec_type, ORDERS, disj_width=1)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""The paper's primary contribution: normalization, conceptual queries,
+losslessness, costs (Sections 4–6)."""
+
+from repro.core.costs import (
+    alpha_outputs_are_cliques,
+    choice_graph_edges,
+    log_lower_bound_holds,
+    m_value,
+    moon_moser,
+    normalized_size,
+    prop61_bound,
+    thm62_bound,
+    thm63_bound,
+    thm65_bound,
+    tight_family,
+)
+from repro.core.existential import (
+    as_predicate,
+    exists_query,
+    forall_query,
+    witness,
+)
+from repro.core.lazy import (
+    exists_lazy,
+    find_first,
+    forall_lazy,
+    iter_possibilities,
+    take_possibilities,
+)
+from repro.core.normalize import (
+    Normalize,
+    apply_at,
+    coherence_witness,
+    conceptual_eq,
+    normalize,
+    normalize_morphism,
+    normalize_with_strategy,
+    normalize_with_trace,
+    possibilities,
+    rule_transformer,
+)
+from repro.core.powerset import (
+    Powerset,
+    alpha_via_powerset,
+    powerset,
+    powerset_from_alpha,
+)
+from repro.core.preserve import (
+    analog_is_maplike,
+    analog_is_onto,
+    check_analog_eligible,
+    check_lossless_eligible,
+    conceptual_analog,
+    is_pure_or_type,
+    preserve,
+    preserve_type,
+    preserve_value,
+    verify_analog_inclusion,
+    verify_losslessness,
+)
+from repro.core.refine import (
+    GroundTruthOracle,
+    RefinementReport,
+    orset_paths,
+    plan_questions,
+    predicted_possibilities,
+    refine_to_budget,
+    resolve,
+)
+from repro.core.tagged import normalize_via_tagging, tag_value, untag_value
+from repro.core.worlds import iter_worlds, world_count, worlds
+
+__all__ = [
+    "normalize", "normalize_with_strategy", "normalize_with_trace",
+    "possibilities", "conceptual_eq", "coherence_witness",
+    "Normalize", "normalize_morphism", "apply_at", "rule_transformer",
+    "worlds", "iter_worlds", "world_count",
+    "iter_possibilities", "exists_lazy", "forall_lazy", "find_first",
+    "take_possibilities",
+    "Powerset", "powerset", "powerset_from_alpha", "alpha_via_powerset",
+    "preserve", "conceptual_analog", "check_lossless_eligible",
+    "check_analog_eligible", "analog_is_maplike", "analog_is_onto",
+    "verify_losslessness", "verify_analog_inclusion",
+    "preserve_type", "preserve_value", "is_pure_or_type",
+    "normalize_via_tagging", "tag_value", "untag_value",
+    "m_value", "normalized_size", "prop61_bound", "thm62_bound",
+    "thm63_bound", "thm65_bound", "moon_moser", "tight_family",
+    "choice_graph_edges", "alpha_outputs_are_cliques",
+    "log_lower_bound_holds",
+    "exists_query", "forall_query", "witness", "as_predicate",
+    # complexity-tailored refinement (Section 7, [16])
+    "GroundTruthOracle", "RefinementReport", "orset_paths",
+    "plan_questions", "predicted_possibilities", "refine_to_budget",
+    "resolve",
+]

@@ -1,0 +1,191 @@
+"""Costs of normalization (Section 6).
+
+Implements the measured quantities and the paper's bounds:
+
+* ``m(x)`` — the number of conceptual possibilities,
+  ``m(x) = |normalize(<x>)|`` (Proposition 6.1 / Theorem 6.2);
+* ``size(normalize(x))`` (Theorems 6.3 and 6.5);
+* the bound functions ``prod_i (m_i + 1)``, ``3^(n/3)``,
+  ``(n/2) 3^(n/3)`` and ``(n/3) 3^(n/3)``;
+* the *tight witness family* ``{<b_1,b_2,b_3>, <b_4,b_5,b_6>, ...}`` whose
+  normal form attains ``m = 3^(n/3)`` and ``size = (n/3) 3^(n/3)``;
+* the *choice graph* of Theorem 6.2's Case 3 — the complete multipartite
+  graph whose maximal cliques are exactly the elements of ``alpha``;
+  :func:`alpha_outputs_are_cliques` cross-checks against networkx's clique
+  enumeration, connecting the bound to Moon–Moser's ``3^(n/3)`` theorem.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import OrNRAValueError
+from repro.types.kinds import INT, OrSetType, SetType, Type
+from repro.values.measure import innermost_orset_arities, size
+from repro.values.values import Atom, OrSetValue, SetValue, Value
+
+from repro.core.normalize import possibilities
+
+__all__ = [
+    "m_value",
+    "normalized_size",
+    "prop61_bound",
+    "thm62_bound",
+    "thm63_bound",
+    "thm65_bound",
+    "moon_moser",
+    "tight_family",
+    "choice_graph_edges",
+    "alpha_outputs_are_cliques",
+    "log_lower_bound_holds",
+]
+
+
+def m_value(x: Value, x_type: Type | None = None) -> int:
+    """The paper's ``m(x)``: the cardinality of ``normalize(<x>)``."""
+    return len(possibilities(x, x_type))
+
+
+def normalized_size(x: Value, x_type: Type | None = None) -> int:
+    """``size(normalize(x))`` computed via the conceptual possibilities.
+
+    The normal form of ``<x>`` is the or-set of possibilities, whose size
+    is the sum of the element sizes.
+    """
+    return sum(size(p) for p in possibilities(x, x_type))
+
+
+def prop61_bound(x: Value) -> int:
+    """Proposition 6.1's bound ``prod_i (m_i + 1)`` over innermost or-sets.
+
+    Only defined when *x* contains at least one or-set (``k != 0``).
+    """
+    arities = innermost_orset_arities(x)
+    if not arities:
+        raise OrNRAValueError("prop61_bound needs an object with or-sets")
+    product = 1
+    for m_i in arities:
+        product *= m_i + 1
+    return product
+
+
+def thm62_bound(n: int) -> float:
+    """Theorem 6.2's bound ``3^(n/3)`` on ``m(x)`` for ``size(x) = n``."""
+    return 3.0 ** (n / 3.0)
+
+
+def thm63_bound(n: int) -> float:
+    """Theorem 6.3's bound ``(n/2) 3^(n/3)`` on ``size(normalize(x))``."""
+    return (n / 2.0) * 3.0 ** (n / 3.0)
+
+
+def thm65_bound(n: int) -> float:
+    """Theorem 6.5's tight bound ``(n/3) 3^(n/3)`` for its object class."""
+    return (n / 3.0) * 3.0 ** (n / 3.0)
+
+
+def moon_moser(n: int) -> int:
+    """Moon–Moser: the maximum number of maximal cliques in an ``n``-vertex
+    graph — ``3^(n/3)`` adjusted for the remainder."""
+    if n <= 0:
+        return 1 if n == 0 else 0
+    q, r = divmod(n, 3)
+    if r == 0:
+        return 3**q
+    if r == 1:
+        return 4 * 3 ** (q - 1) if q >= 1 else 1
+    return 2 * 3**q
+
+
+def tight_family(k: int) -> tuple[Value, Type]:
+    """The witness ``x = {<b_1,b_2,b_3>, ..., <b_{3k-2},b_{3k-1},b_{3k}>}``.
+
+    ``size(x) = 3k`` and ``normalize(x) = alpha(x)`` has exactly ``3^k``
+    elements of ``k`` atoms each — attaining Theorems 6.2 and 6.5.
+    """
+    if k <= 0:
+        raise OrNRAValueError("tight_family needs k >= 1")
+    members = [
+        OrSetValue(Atom("int", 3 * i + j) for j in range(3)) for i in range(k)
+    ]
+    return SetValue(members), SetType(OrSetType(INT))
+
+
+def choice_graph_edges(x: SetValue) -> tuple[list[tuple[int, int]], list[list[int]]]:
+    """The graph ``G = (X, E)`` of Theorem 6.2's Case 3.
+
+    Vertices are numbered leaf occurrences (assumed distinct atoms);
+    an edge joins elements from *different* member or-sets.  Returns
+    ``(edges, groups)`` where ``groups[i]`` lists the vertex ids of member
+    ``i`` — a complete multipartite graph.
+    """
+    if not isinstance(x, SetValue):
+        raise OrNRAValueError(f"choice_graph expects a set of or-sets, got {x!r}")
+    groups: list[list[int]] = []
+    counter = 0
+    for member in x.elems:
+        if not isinstance(member, OrSetValue):
+            raise OrNRAValueError(f"expected or-set member, got {member!r}")
+        group = []
+        for _ in member.elems:
+            group.append(counter)
+            counter += 1
+        groups.append(group)
+    edges = [
+        (u, v)
+        for i, gi in enumerate(groups)
+        for j in range(i + 1, len(groups))
+        for u in gi
+        for v in groups[j]
+    ]
+    return edges, groups
+
+
+def alpha_outputs_are_cliques(x: SetValue) -> bool:
+    """Cross-check Theorem 6.2 Case 3: the elements of ``alpha(x)`` are
+    exactly the maximal cliques of the choice graph (networkx).
+
+    Requires all leaf atoms of *x* distinct (as in the theorem's reduction).
+    """
+    import networkx as nx
+
+    from repro.lang.orset_ops import Alpha
+
+    edges, groups = choice_graph_edges(x)
+    vertex_value: dict[int, Value] = {}
+    index = 0
+    for member in x.elems:
+        assert isinstance(member, OrSetValue)
+        for e in member.elems:
+            vertex_value[index] = e
+            index += 1
+    graph = nx.Graph()
+    graph.add_nodes_from(range(index))
+    graph.add_edges_from(edges)
+    cliques = {
+        SetValue(vertex_value[v] for v in clique)
+        for clique in nx.find_cliques(graph)
+    }
+    alpha_out = Alpha().apply(x)
+    assert isinstance(alpha_out, OrSetValue)
+    return set(alpha_out.elems) == cliques
+
+
+def log_lower_bound_holds(x: Value, x_type: Type | None = None) -> bool:
+    """Corollary 6.4's envelope: for ``y = normalize(x)`` with
+    ``size(y) = n``, the preimage satisfies ``Ω(log n) <= size(x) <= n``
+    ... i.e. ``size(x) >= log_3(n) / C`` for the constant implied by
+    Theorem 6.3 and ``size(x) <= n`` whenever ``n >= size(x)``.
+
+    Returns True when both inequalities hold for this instance; the upper
+    inequality ``size(x) <= n`` can genuinely fail when normalization
+    *shrinks* an object (e.g. duplicate collapse), which the corollary's
+    ``<= n`` direction tolerates only for ``n >= 1``; we check the paper's
+    statement ``O(log n) <= size(x)``, plus ``size(normalize(x)) <=
+    (size(x)/2) 3^(size(x)/3)`` which is its contrapositive source.
+    """
+    n_in = size(x)
+    n_out = sum(size(p) for p in possibilities(x, x_type)) or 1
+    upper = n_out <= thm63_bound(max(n_in, 2))
+    lower = n_in >= math.log(max(n_out, 1), 3) * 0.5
+    return upper and lower

@@ -1,0 +1,97 @@
+"""Existential queries over normal forms (Section 6, last result).
+
+If ``nf(s) = <t>`` and ``p : t -> bool`` is a predicate, then
+``exists(p) : <t> -> bool`` holds of an or-set when some element satisfies
+``p``; the conceptual query is ``exists(p) o normalize``.  The paper shows
+these queries cannot in general be answered in time polynomial in the
+*input* (the normal form can be exponential, and SAT reduces to an
+existential query over a functional-dependency test — see
+:mod:`repro.sat`).
+
+Three backends are provided; they must agree (tests check this):
+
+* ``eager``  — materialize the normal form, then scan (the paper's
+  baseline semantics);
+* ``lazy``   — stream conceptual values, short-circuit (Section 7's
+  future-work optimization, ref [23]);
+* ``worlds`` — the independent possible-worlds oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import Type
+from repro.values.values import Atom, Value
+
+from repro.core.lazy import exists_lazy, find_first
+from repro.core.normalize import possibilities
+from repro.core.worlds import iter_worlds
+from repro.lang.morphisms import Morphism
+
+__all__ = ["as_predicate", "exists_query", "forall_query", "witness"]
+
+PredicateLike = Morphism | Callable[[Value], bool]
+
+
+def as_predicate(p: PredicateLike) -> Callable[[Value], bool]:
+    """Coerce a morphism returning ``bool`` (or a Python function) into a
+    plain predicate on values."""
+    if isinstance(p, Morphism):
+
+        def run(v: Value) -> bool:
+            result = p.apply(v)
+            if not (isinstance(result, Atom) and result.base == "bool"):
+                raise OrNRATypeError(
+                    f"existential predicate returned non-boolean {result!r}"
+                )
+            return bool(result.value)
+
+        return run
+    return p
+
+
+def exists_query(
+    p: PredicateLike,
+    x: Value,
+    x_type: Type | None = None,
+    backend: str = "lazy",
+) -> bool:
+    """``exists(p)(normalize(<x>))`` — does some possibility satisfy *p*?"""
+    pred = as_predicate(p)
+    if backend == "eager":
+        return any(pred(v) for v in possibilities(x, x_type))
+    if backend == "lazy":
+        return exists_lazy(pred, x)
+    if backend == "worlds":
+        seen = set()
+        for world in iter_worlds(x):
+            if world in seen:
+                continue
+            seen.add(world)
+            if pred(world):
+                return True
+        return False
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def forall_query(
+    p: PredicateLike,
+    x: Value,
+    x_type: Type | None = None,
+    backend: str = "lazy",
+) -> bool:
+    """Does every possibility satisfy *p*?  (Vacuously true when
+    inconsistent.)"""
+    pred = as_predicate(p)
+    if backend == "eager":
+        return all(pred(v) for v in possibilities(x, x_type))
+    return not exists_query(lambda v: not pred(v), x, x_type, backend)
+
+
+def witness(
+    p: PredicateLike, x: Value, x_type: Type | None = None
+) -> Value | None:
+    """A possibility satisfying *p*, or ``None`` (lazy search)."""
+    return find_first(as_predicate(p), x)

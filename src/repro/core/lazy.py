@@ -1,0 +1,79 @@
+"""Lazy (stream) normalization — the Section 7 optimization.
+
+The conclusion sketches evaluating existential queries without producing
+the whole normal form: "elements of a normal form are produced as elements
+of a stream ... if the test is satisfied, the evaluation stops".  This
+module implements that design on top of the possible-worlds recursion:
+
+* :func:`iter_possibilities` streams the conceptual values of an object,
+  deduplicated on the fly, in the same canonical order-free fashion as
+  ``normalize`` (the *set* of yielded values equals the normal form's
+  elements);
+* :func:`exists_lazy` / :func:`find_first` short-circuit on the first
+  witness — the benchmark ``bench_lazy_normalization`` measures the
+  speedup over eager normalization on satisfiable existential queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.values.values import Value
+
+from repro.core.worlds import iter_worlds
+
+__all__ = [
+    "iter_possibilities",
+    "exists_lazy",
+    "forall_lazy",
+    "find_first",
+    "take_possibilities",
+]
+
+
+def iter_possibilities(value: Value) -> Iterator[Value]:
+    """Stream the conceptual values of *value* without duplicates.
+
+    Equivalent to iterating over ``possibilities(value)`` but produces
+    each element as soon as it is discovered.
+    """
+    seen: set[Value] = set()
+    for world in iter_worlds(value):
+        if world not in seen:
+            seen.add(world)
+            yield world
+
+
+def exists_lazy(pred: Callable[[Value], bool], value: Value) -> bool:
+    """Does some conceptual value of *value* satisfy *pred*?
+
+    Short-circuits on the first witness; this is the lazy evaluation of
+    the existential queries of Section 6.
+    """
+    return any(pred(world) for world in iter_worlds(value))
+
+
+def forall_lazy(pred: Callable[[Value], bool], value: Value) -> bool:
+    """Do all conceptual values of *value* satisfy *pred*?
+
+    Vacuously true for inconsistent objects (no conceptual values).
+    """
+    return all(pred(world) for world in iter_worlds(value))
+
+
+def find_first(pred: Callable[[Value], bool], value: Value) -> Value | None:
+    """The first conceptual value satisfying *pred*, or ``None``."""
+    for world in iter_worlds(value):
+        if pred(world):
+            return world
+    return None
+
+
+def take_possibilities(value: Value, k: int) -> list[Value]:
+    """At most *k* distinct conceptual values (cheap peek at a normal form)."""
+    out: list[Value] = []
+    for world in iter_possibilities(value):
+        out.append(world)
+        if len(out) >= k:
+            break
+    return out

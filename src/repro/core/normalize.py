@@ -1,0 +1,293 @@
+"""Normalization of complex objects (Section 4) and the ``normalize``
+primitive of or-NRA+.
+
+The engine follows the paper exactly:
+
+1. translate the object ``x : t`` into the multiset world
+   (``x^d : t^d``) so duplicate or-sets are not collapsed prematurely;
+2. repeatedly pick a redex of the *type* ``t^d`` (any strategy) and apply
+   the associated value transformation at the same position via ``dapp`` —
+   ``or_rho_2`` / ``or_rho_1`` / ``or_mu`` / ``alpha_d``;
+3. when the type is in normal form, translate back (``(.)^s``), removing
+   duplicates.
+
+Theorem 4.2 (Coherence) guarantees the result is independent of the
+strategy; :func:`normalize_with_strategy` and :func:`coherence_witness`
+let tests and benchmarks check this directly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.errors import NormalizationError, OrNRATypeError
+from repro.types.kinds import (
+    BagType,
+    OrSetType,
+    ProdType,
+    SetType,
+    Type,
+    VariantType,
+    sets_to_bags,
+)
+from repro.types.rewrite import (
+    OR_FLATTEN,
+    PAIR_LEFT,
+    PAIR_RIGHT,
+    Position,
+    Redex,
+    SET_ALPHA,
+    VARIANT_LEFT,
+    VARIANT_RIGHT,
+    apply_rewrite,
+    innermost_strategy,
+    nf_type,
+    outermost_strategy,
+    random_strategy,
+    redexes,
+)
+from repro.types.unify import FreshVars
+from repro.values.convert import to_bags, to_sets
+from repro.values.values import (
+    BagValue,
+    OrSetValue,
+    Pair,
+    SetValue,
+    Value,
+    Variant,
+    infer_type,
+)
+
+from repro.lang.bag_ops import AlphaD
+from repro.lang.morphisms import Morphism
+from repro.lang.orset_ops import Alpha, OrMu, OrRho2, or_rho1
+from repro.lang.variant_ops import OrKappa1, OrKappa2
+
+__all__ = [
+    "rule_transformer",
+    "apply_at",
+    "normalize",
+    "normalize_with_strategy",
+    "normalize_with_trace",
+    "possibilities",
+    "conceptual_eq",
+    "coherence_witness",
+    "Normalize",
+    "normalize_morphism",
+]
+
+_OR_RHO1 = or_rho1()
+_OR_RHO2 = OrRho2()
+_OR_MU = OrMu()
+_ALPHA_D = AlphaD()
+_ALPHA = Alpha()
+_OR_KAPPA1 = OrKappa1()
+_OR_KAPPA2 = OrKappa2()
+
+Transformer = Callable[[Value], Value]
+
+
+def rule_transformer(rule: str, redex_type: Type) -> Transformer:
+    """The value transformation associated with a type-rewrite rule.
+
+    ``pair_right -> or_rho_2``, ``pair_left -> or_rho_1``,
+    ``or_flatten -> or_mu``, ``variant_left/right -> or_kappa_1/2``
+    (the Section 7 variant extension) and ``set_alpha -> alpha_d``
+    (or ``alpha`` when the redex is a genuine set rather than an
+    internal bag).
+    """
+    if rule == PAIR_RIGHT:
+        return _OR_RHO2.apply
+    if rule == PAIR_LEFT:
+        return _OR_RHO1.apply
+    if rule == OR_FLATTEN:
+        return _OR_MU.apply
+    if rule == VARIANT_LEFT:
+        return _OR_KAPPA1.apply
+    if rule == VARIANT_RIGHT:
+        return _OR_KAPPA2.apply
+    if rule == SET_ALPHA:
+        if isinstance(redex_type, BagType):
+            return _ALPHA_D.apply
+        if isinstance(redex_type, SetType):
+            return _ALPHA.apply
+        raise NormalizationError(f"set_alpha redex at non-collection {redex_type!r}")
+    raise NormalizationError(f"unknown rule {rule!r}")
+
+
+def apply_at(value: Value, at_type: Type, pos: Position, fn: Transformer) -> Value:
+    """The paper's ``dapp``: apply *fn* at position *pos* of ``value : at_type``.
+
+    Pairs descend into the named component; bags use ``dmap``; or-sets use
+    ``ormap`` (ordinary sets use ``map``, though during normalization all
+    sets have been turned into bags).
+    """
+    if not pos:
+        return fn(value)
+    head, rest = pos[0], pos[1:]
+    if isinstance(at_type, ProdType):
+        if not isinstance(value, Pair):
+            raise OrNRATypeError(f"expected pair at {at_type!r}, got {value!r}")
+        if head == 0:
+            return Pair(apply_at(value.fst, at_type.left, rest, fn), value.snd)
+        return Pair(value.fst, apply_at(value.snd, at_type.right, rest, fn))
+    if isinstance(at_type, VariantType):
+        if not isinstance(value, Variant):
+            raise OrNRATypeError(f"expected variant at {at_type!r}, got {value!r}")
+        if head != value.side:
+            # The position lies in the side this injection does not carry;
+            # the value has no subobject there, so nothing to transform.
+            return value
+        side_type = at_type.left if head == 0 else at_type.right
+        return Variant(value.side, apply_at(value.payload, side_type, rest, fn))
+    if isinstance(at_type, BagType):
+        if not isinstance(value, BagValue):
+            raise OrNRATypeError(f"expected bag at {at_type!r}, got {value!r}")
+        return BagValue(apply_at(e, at_type.elem, rest, fn) for e in value)
+    if isinstance(at_type, SetType):
+        if not isinstance(value, SetValue):
+            raise OrNRATypeError(f"expected set at {at_type!r}, got {value!r}")
+        return SetValue(apply_at(e, at_type.elem, rest, fn) for e in value)
+    if isinstance(at_type, OrSetType):
+        if not isinstance(value, OrSetValue):
+            raise OrNRATypeError(f"expected or-set at {at_type!r}, got {value!r}")
+        return OrSetValue(apply_at(e, at_type.elem, rest, fn) for e in value)
+    raise OrNRATypeError(f"cannot descend position {pos} into {at_type!r}")
+
+
+Strategy = Callable[[Sequence[Redex]], Redex]
+
+
+def normalize_with_trace(
+    value: Value, value_type: Type | None = None, strategy: Strategy = innermost_strategy
+) -> tuple[Value, list[Redex]]:
+    """Normalize, also returning the (position, rule) trace that was used."""
+    if value_type is None:
+        value_type = infer_type(value)
+    current_type = sets_to_bags(value_type)
+    current = to_bags(value)
+    trace: list[Redex] = []
+    while True:
+        options = redexes(current_type)
+        if not options:
+            return to_sets(current), trace
+        pos, rule = strategy(options)
+        trace.append((pos, rule))
+        redex_type = _subtype(current_type, pos)
+        current = apply_at(current, current_type, pos, rule_transformer(rule, redex_type))
+        current_type = apply_rewrite(current_type, pos, rule)
+
+
+def _subtype(t: Type, pos: Position) -> Type:
+    from repro.types.rewrite import subtype_at
+
+    return subtype_at(t, pos)
+
+
+def normalize(value: Value, value_type: Type | None = None) -> Value:
+    """``normalize_t : t -> nf(t)`` with the default (innermost) strategy."""
+    result, _ = normalize_with_trace(value, value_type)
+    return result
+
+
+def normalize_with_strategy(
+    value: Value, value_type: Type | None, strategy: Strategy
+) -> Value:
+    """Normalize under an explicit rewrite strategy (for coherence checks)."""
+    result, _ = normalize_with_trace(value, value_type, strategy)
+    return result
+
+
+def possibilities(value: Value, value_type: Type | None = None) -> tuple[Value, ...]:
+    """The conceptual values of *value*: elements of ``normalize(<value>)``.
+
+    Wrapping in a singleton or-set first (the paper's ``or_eta`` trick from
+    Section 5) guarantees the normal form is an or-set even when *value*
+    contains no or-sets.  An object containing ``< >`` has no possibilities.
+    """
+    if value_type is None:
+        value_type = infer_type(value)
+    wrapped = OrSetValue((value,))
+    result = normalize(wrapped, OrSetType(value_type))
+    if not isinstance(result, OrSetValue):
+        raise NormalizationError(f"normal form is not an or-set: {result!r}")
+    return result.elems
+
+
+def conceptual_eq(
+    x: Value, y: Value, x_type: Type | None = None, y_type: Type | None = None
+) -> bool:
+    """Are *x* and *y* conceptually equivalent (same normal form)?
+
+    Section 4 defines conceptual meaning *as* the normal form, so this is
+    normal-form equality after the ``or_eta`` embedding.
+    """
+    return possibilities(x, x_type) == possibilities(y, y_type)
+
+
+def coherence_witness(
+    value: Value,
+    value_type: Type | None = None,
+    samples: int = 10,
+    seed: int = 0,
+) -> set[Value]:
+    """Normalize under several strategies; Theorem 4.2 says the returned
+    set has exactly one element.
+
+    Includes the deterministic innermost and outermost strategies plus
+    *samples* random ones.
+    """
+    if value_type is None:
+        value_type = infer_type(value)
+    results = {
+        normalize_with_strategy(value, value_type, innermost_strategy),
+        normalize_with_strategy(value, value_type, outermost_strategy),
+    }
+    for i in range(samples):
+        rng = random.Random(seed + i)
+        results.add(
+            normalize_with_strategy(value, value_type, random_strategy(rng))
+        )
+    return results
+
+
+class Normalize(Morphism):
+    """The or-NRA+ primitive ``normalize_t : t -> nf(t)``.
+
+    Not polymorphic: its output type depends on the full shape of the input
+    type (Corollary 4.3 notes it "cannot be defined in a polymorphic way"),
+    so its ``signature`` requires a declared input type; without one it can
+    still be *applied* (the input's type is inferred dynamically).
+    """
+
+    def __init__(self, input_type: Type | None = None) -> None:
+        self.input_type = input_type
+
+    def apply(self, value: Value) -> Value:
+        declared = self.input_type
+        return normalize(value, declared)
+
+    def signature(self, fresh: FreshVars):
+        from repro.types.kinds import FuncType
+
+        if self.input_type is None:
+            raise OrNRATypeError(
+                "normalize has no polymorphic type; construct it as "
+                "Normalize(input_type) to typecheck"
+            )
+        return FuncType(self.input_type, nf_type(self.input_type))
+
+    def describe(self) -> str:
+        return "normalize"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Normalize) and self.input_type == other.input_type
+
+    def __hash__(self) -> int:
+        return hash(("Normalize", self.input_type))
+
+
+def normalize_morphism(input_type: Type | None = None) -> Normalize:
+    """The ``normalize`` primitive, optionally with a declared input type."""
+    return Normalize(input_type)

@@ -1,0 +1,431 @@
+"""Losslessness of normalization (Theorem 5.1) and conceptual analogs
+(Proposition 5.2, Figure 2).
+
+Normalization erases structural differences; Theorem 5.1 shows that for a
+syntactic class of morphisms ``f : s -> t`` nothing essential is lost:
+there is ``preserve(f) : nf(<s>) -> nf(<t>)`` with
+
+    preserve(f) o normalize o or_eta  =  normalize o or_eta o f
+
+on inputs without empty or-sets.  ``preserve`` is built by structural
+induction on ``f`` (this module follows the proof's case table verbatim);
+the excluded constructs are exactly the ones that can collapse or-sets or
+observe their structure:
+
+* ``K<>`` anywhere;
+* primitives ``p`` whose declared type mentions or-sets (including ``=_t``
+  at or-set types — equality is structural);
+* ``rho_2``, ``mu``, ``U`` at element types with or-sets;
+* ``map(g) : {u} -> {v}`` with or-sets in ``u`` or ``v``;
+* pair formation ``(g, h) : r -> u * v`` with or-sets in ``r``, ``u`` or
+  ``v``.
+
+Proposition 5.2 weakens the requirement to *conceptual analogs* —
+``preserve(f)`` whose image is only *included* in the normalization of the
+output — for pure or-types, re-admitting ``K<>``, pair formation and
+``rho_2``.  The analog is map-like, and onto unless ``K<>``, pair
+formation or ``rho_2`` occur; the paper's two counterexamples
+(``or_union`` is not map-like, ``rho_2`` is not onto) are reproduced in
+the tests and the losslessness benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EligibilityError, OrNRATypeError
+from repro.types.kinds import (
+    BaseType,
+    OrSetType,
+    ProdType,
+    SetType,
+    Type,
+    UnitType,
+    contains_orset,
+)
+from repro.values.measure import has_empty_orset
+from repro.values.values import Atom, OrSetValue, Pair, SetValue, UnitValue, Value
+
+from repro.core.normalize import normalize, possibilities
+from repro.lang.morphisms import (
+    Bang,
+    Compose,
+    Cond,
+    Const,
+    Eq,
+    Id,
+    Morphism,
+    PairOf,
+    Primitive,
+    Proj1,
+    Proj2,
+)
+from repro.lang.orset_ops import (
+    Alpha,
+    KEmptyOrSet,
+    OrEta,
+    OrMap,
+    OrMu,
+    OrRho2,
+    OrToSet,
+    OrUnion,
+    SetToOr,
+    or_cartesian,
+)
+from repro.lang.set_ops import (
+    KEmptySet,
+    SetEta,
+    SetMap,
+    SetMu,
+    SetRho2,
+    SetUnion,
+)
+
+__all__ = [
+    "check_lossless_eligible",
+    "check_analog_eligible",
+    "preserve",
+    "conceptual_analog",
+    "analog_is_maplike",
+    "analog_is_onto",
+    "verify_losslessness",
+    "verify_analog_inclusion",
+    "preserve_type",
+    "preserve_value",
+    "is_pure_or_type",
+]
+
+
+# ---------------------------------------------------------------------------
+# Eligibility (the theorem's syntactic class)
+# ---------------------------------------------------------------------------
+
+_SIMPLE_LIFTED = (
+    Proj1,
+    Proj2,
+    Bang,
+    Const,
+    SetEta,
+    KEmptySet,
+)
+
+
+def _out_type(f: Morphism, s: Type) -> Type:
+    try:
+        return f.output_type(s)
+    except OrNRATypeError as exc:
+        raise EligibilityError(f"{f.describe()} cannot accept {s!r}: {exc}") from exc
+
+
+def check_lossless_eligible(f: Morphism, s: Type) -> Type:
+    """Verify *f* at input type *s* is in Theorem 5.1's class.
+
+    Returns the output type; raises :class:`EligibilityError` otherwise.
+    """
+    if isinstance(f, Id):
+        return s
+    if isinstance(f, Compose):
+        mid = check_lossless_eligible(f.before, s)
+        return check_lossless_eligible(f.after, mid)
+    if isinstance(f, PairOf):
+        u = check_lossless_eligible(f.left, s)
+        v = check_lossless_eligible(f.right, s)
+        if contains_orset(s) or contains_orset(u) or contains_orset(v):
+            raise EligibilityError(
+                "pair formation at or-set-bearing types is excluded from "
+                f"Theorem 5.1 (r={s!r}, u={u!r}, v={v!r})"
+            )
+        return ProdType(u, v)
+    if isinstance(f, KEmptyOrSet):
+        raise EligibilityError("K<> is excluded from Theorem 5.1")
+    if isinstance(f, Eq):
+        if contains_orset(s):
+            raise EligibilityError(
+                f"equality at or-set type {s!r} is structural, hence excluded"
+            )
+        return _out_type(f, s)
+    if isinstance(f, Primitive):
+        if contains_orset(f.dom) or contains_orset(f.cod):
+            raise EligibilityError(
+                f"primitive {f.name} has or-sets in Type(p): "
+                f"{f.dom!r} -> {f.cod!r}"
+            )
+        return _out_type(f, s)
+    if isinstance(f, SetRho2):
+        if contains_orset(s):
+            raise EligibilityError(f"rho_2 at or-set-bearing type {s!r}")
+        return _out_type(f, s)
+    if isinstance(f, SetMu):
+        if contains_orset(s):
+            raise EligibilityError(f"mu at or-set-bearing type {s!r}")
+        return _out_type(f, s)
+    if isinstance(f, SetUnion):
+        if contains_orset(s):
+            raise EligibilityError(f"union at or-set-bearing type {s!r}")
+        return _out_type(f, s)
+    if isinstance(f, SetMap):
+        if not isinstance(s, SetType):
+            raise EligibilityError(f"map applied to non-set {s!r}")
+        v = check_lossless_eligible(f.body, s.elem)
+        if contains_orset(s.elem) or contains_orset(v):
+            raise EligibilityError(
+                f"map(g) : {s!r} -> {{{v!r}}} with or-sets is excluded"
+            )
+        return SetType(v)
+    if isinstance(f, OrMap):
+        if not isinstance(s, OrSetType):
+            raise EligibilityError(f"ormap applied to non-or-set {s!r}")
+        return OrSetType(check_lossless_eligible(f.body, s.elem))
+    if isinstance(f, _SIMPLE_LIFTED) or isinstance(
+        f, (Alpha, OrEta, OrMu, OrRho2, OrUnion)
+    ):
+        return _out_type(f, s)
+    if isinstance(f, (Cond, OrToSet, SetToOr)):
+        raise EligibilityError(
+            f"{f.describe()} is outside the or-NRA fragment of Theorem 5.1"
+        )
+    raise EligibilityError(f"no Theorem 5.1 case for {f.describe()}")
+
+
+def check_analog_eligible(f: Morphism, s: Type) -> Type:
+    """Proposition 5.2's weaker class: ``K<>``, pair formation and
+    ``rho_2`` are re-admitted; other exclusions stand."""
+    if isinstance(f, KEmptyOrSet):
+        return _out_type(f, s)
+    if isinstance(f, PairOf):
+        u = check_analog_eligible(f.left, s)
+        v = check_analog_eligible(f.right, s)
+        return ProdType(u, v)
+    if isinstance(f, SetRho2):
+        return _out_type(f, s)
+    if isinstance(f, Compose):
+        mid = check_analog_eligible(f.before, s)
+        return check_analog_eligible(f.after, mid)
+    if isinstance(f, SetMap):
+        if not isinstance(s, SetType):
+            raise EligibilityError(f"map applied to non-set {s!r}")
+        v = check_analog_eligible(f.body, s.elem)
+        if contains_orset(s.elem) or contains_orset(v):
+            raise EligibilityError(
+                f"map(g) : {s!r} -> {{{v!r}}} with or-sets is excluded"
+            )
+        return SetType(v)
+    if isinstance(f, OrMap):
+        if not isinstance(s, OrSetType):
+            raise EligibilityError(f"ormap applied to non-or-set {s!r}")
+        return OrSetType(check_analog_eligible(f.body, s.elem))
+    return check_lossless_eligible(f, s)
+
+
+# ---------------------------------------------------------------------------
+# The preserve(f) construction (proof of Theorem 5.1)
+# ---------------------------------------------------------------------------
+
+
+def _orcp() -> Morphism:
+    """``or_mu o ormap(or_rho_1) o or_rho_2`` — the pairing combinator."""
+    return or_cartesian()
+
+
+def _build(f: Morphism, s: Type, analog: bool) -> tuple[Morphism, Type]:
+    """Return ``(preserve(f), t)`` for ``f : s -> t``."""
+    if isinstance(f, Id):
+        return Id(), s
+    if isinstance(f, Compose):
+        pf_before, mid = _build(f.before, s, analog)
+        pf_after, out = _build(f.after, mid, analog)
+        return Compose(pf_after, pf_before), out
+    if isinstance(f, PairOf):
+        pg, u = _build(f.left, s, analog)
+        ph, v = _build(f.right, s, analog)
+        return Compose(_orcp(), PairOf(pg, ph)), ProdType(u, v)
+    if isinstance(f, SetMap):
+        assert isinstance(s, SetType)
+        pg, v = _build(f.body, s.elem, analog)
+        built = Compose(
+            OrMu(),
+            Compose(
+                OrMap(Alpha()),
+                OrMap(SetMap(Compose(pg, OrEta()))),
+            ),
+        )
+        return built, SetType(v)
+    if isinstance(f, OrMap):
+        # The paper writes preserve(ormap(g)) = preserve(g), using the
+        # induction hypothesis that preserve(g) is map-like.  When g uses
+        # pair formation (admitted by Prop 5.2) its analog is *not*
+        # map-like, so we use the robust equivalent
+        # or_mu o ormap(preserve(g) o or_eta), which coincides with
+        # preserve(g) exactly when the latter is map-like.
+        assert isinstance(s, OrSetType)
+        pg, v = _build(f.body, s.elem, analog)
+        robust = Compose(OrMu(), OrMap(Compose(pg, OrEta())))
+        return robust, OrSetType(v)
+    if isinstance(f, (Alpha, OrEta, OrRho2, OrMu)):
+        return Id(), _out_type(f, s)
+    if isinstance(f, OrUnion):
+        lifted = Compose(
+            OrMu(),
+            OrMap(
+                Compose(
+                    OrUnion(),
+                    PairOf(Compose(OrEta(), Proj1()), Compose(OrEta(), Proj2())),
+                )
+            ),
+        )
+        return lifted, _out_type(f, s)
+    if isinstance(f, KEmptyOrSet):
+        if not analog:
+            raise EligibilityError("K<> only has a conceptual analog (Prop 5.2)")
+        return (
+            Compose(OrMu(), OrMap(Compose(KEmptyOrSet(), Bang()))),
+            _out_type(f, s),
+        )
+    if isinstance(
+        f,
+        (
+            Proj1,
+            Proj2,
+            Bang,
+            Const,
+            Eq,
+            SetEta,
+            SetMu,
+            SetRho2,
+            SetUnion,
+            KEmptySet,
+            Primitive,
+        ),
+    ):
+        return OrMap(f), _out_type(f, s)
+    raise EligibilityError(f"no preserve case for {f.describe()}")
+
+
+def preserve(f: Morphism, s: Type) -> Morphism:
+    """``preserve(f) : nf(<s>) -> nf(<t>)`` per Theorem 5.1.
+
+    Checks eligibility first; raises :class:`EligibilityError` when *f* is
+    outside the theorem's class.
+    """
+    check_lossless_eligible(f, s)
+    built, _ = _build(f, s, analog=False)
+    return built
+
+
+def conceptual_analog(f: Morphism, s: Type) -> Morphism:
+    """A conceptual analog of *f* per Proposition 5.2 (inclusion only)."""
+    check_analog_eligible(f, s)
+    built, _ = _build(f, s, analog=True)
+    return built
+
+
+@dataclass(frozen=True)
+class _UsageFlags:
+    uses_k_empty_orset: bool
+    uses_or_union: bool
+    uses_pairing: bool
+    uses_rho2: bool
+
+
+def _usage(f: Morphism) -> _UsageFlags:
+    k = isinstance(f, KEmptyOrSet)
+    u = isinstance(f, OrUnion)
+    p = isinstance(f, PairOf)
+    r = isinstance(f, SetRho2)
+    for child in f.children():
+        sub = _usage(child)
+        k = k or sub.uses_k_empty_orset
+        u = u or sub.uses_or_union
+        p = p or sub.uses_pairing
+        r = r or sub.uses_rho2
+    return _UsageFlags(k, u, p, r)
+
+
+def analog_is_maplike(f: Morphism) -> bool:
+    """Proposition 5.2: the analog has the form ``ormap(.)`` unless *f*
+    uses ``K<>``, ``or_union`` or pair formation."""
+    flags = _usage(f)
+    return not (flags.uses_k_empty_orset or flags.uses_or_union or flags.uses_pairing)
+
+
+def analog_is_onto(f: Morphism) -> bool:
+    """Proposition 5.2: the analog is onto (accounts for every conceptual
+    output) unless *f* uses ``K<>``, pair formation or ``rho_2``."""
+    flags = _usage(f)
+    return not (flags.uses_k_empty_orset or flags.uses_pairing or flags.uses_rho2)
+
+
+# ---------------------------------------------------------------------------
+# Verification helpers (used by tests and the losslessness benchmark)
+# ---------------------------------------------------------------------------
+
+
+def verify_losslessness(f: Morphism, x: Value, s: Type) -> bool:
+    """Check ``preserve(f)(normalize <x>) == normalize <f x>`` for *x*
+    without empty or-sets (the theorem's commuting square)."""
+    if has_empty_orset(x):
+        raise OrNRATypeError("losslessness inputs must not contain < >")
+    pf = preserve(f, s)
+    lhs = pf.apply(OrSetValue(possibilities(x, s)))
+    t = check_lossless_eligible(f, s)
+    rhs = OrSetValue(possibilities(f.apply(x), t))
+    return normalize(lhs) == rhs
+
+
+def verify_analog_inclusion(f: Morphism, x: Value, s: Type) -> bool:
+    """Check the Proposition 5.2 inclusion
+    ``analog(f)(normalize <x>) ⊆ normalize <f x>``."""
+    analog = conceptual_analog(f, s)
+    lhs = normalize(analog.apply(OrSetValue(possibilities(x, s))))
+    t = check_analog_eligible(f, s)
+    rhs = OrSetValue(possibilities(f.apply(x), t))
+    if not isinstance(lhs, OrSetValue):
+        lhs = OrSetValue((lhs,))
+    return set(lhs.elems) <= set(rhs.elems)
+
+
+# ---------------------------------------------------------------------------
+# Pure or-types (the simplified setting of Section 5's second half)
+# ---------------------------------------------------------------------------
+
+
+def preserve_type(t: Type) -> Type:
+    """The translation ``t -> preserve t``: every base type ``b`` becomes
+    ``<b>`` (pure or-types: ``t ::= <b> | t*t | {t} | <t>``)."""
+    if isinstance(t, (BaseType, UnitType)):
+        return OrSetType(t)
+    if isinstance(t, ProdType):
+        return ProdType(preserve_type(t.left), preserve_type(t.right))
+    if isinstance(t, SetType):
+        return SetType(preserve_type(t.elem))
+    if isinstance(t, OrSetType):
+        return OrSetType(preserve_type(t.elem))
+    raise OrNRATypeError(f"preserve_type: not an object type {t!r}")
+
+
+def preserve_value(x: Value) -> Value:
+    """``preserve_t(x)``: wrap every base-type atom in a singleton or-set
+    (conceptually equivalent to *x* whenever *x* has or-sets)."""
+    if isinstance(x, (Atom, UnitValue)):
+        return OrSetValue((x,))
+    if isinstance(x, Pair):
+        return Pair(preserve_value(x.fst), preserve_value(x.snd))
+    if isinstance(x, SetValue):
+        return SetValue(preserve_value(e) for e in x.elems)
+    if isinstance(x, OrSetValue):
+        return OrSetValue(preserve_value(e) for e in x.elems)
+    raise OrNRATypeError(f"preserve_value: unsupported value {x!r}")
+
+
+def is_pure_or_type(t: Type) -> bool:
+    """Is *t* generated by ``t ::= <b> | t*t | {t} | <t>``?"""
+    if isinstance(t, OrSetType):
+        inner = t.elem
+        if isinstance(inner, (BaseType, UnitType)):
+            return True
+        return is_pure_or_type(inner)
+    if isinstance(t, ProdType):
+        return is_pure_or_type(t.left) and is_pure_or_type(t.right)
+    if isinstance(t, SetType):
+        return is_pure_or_type(t.elem)
+    return False

@@ -1,0 +1,253 @@
+"""Complexity-tailored refinement of or-set data (Section 7; ref [16]).
+
+The conclusion points at Imielinski, van der Meyden and Vadaparty's
+complexity-tailored design, "when queries are forced to run in polynomial
+time by, for instance, obtaining additional information about some of the
+or-sets, thus reducing the size of the normal form".  This module makes
+that idea executable for or-NRA:
+
+* or-set occurrences inside an object are addressed by *paths*
+  (:func:`orset_paths`, :func:`subvalue_at`);
+* an *oracle* answers "which alternative is the real one?" for a chosen
+  or-set; :func:`resolve` applies the answer by shrinking the or-set to
+  the chosen singleton (the type is unchanged, the possibility count
+  drops by the or-set's arity);
+* :func:`plan_questions` chooses which or-sets to ask about — greedily by
+  arity, the factor each question removes from the Proposition 6.1 bound
+  ``m(x) <= prod_i (m_i + 1)`` — until the predicted number of
+  possibilities fits a budget;
+* :func:`refine_to_budget` runs the plan against an oracle and returns
+  the refined object, whose normal form is then small enough to query
+  eagerly in polynomial time.
+
+:class:`GroundTruthOracle` simulates a domain expert: it fixes one
+possible world of the object up front and answers every question
+consistently with it, so refinement provably never loses the real world
+(``tests/core/test_refine.py`` checks exactly that).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import OrNRAValueError
+from repro.values.values import (
+    Atom,
+    BagValue,
+    OrSetValue,
+    Pair,
+    SetValue,
+    UnitValue,
+    Value,
+    Variant,
+)
+
+__all__ = [
+    "Path",
+    "orset_paths",
+    "subvalue_at",
+    "replace_subvalue",
+    "resolve",
+    "predicted_possibilities",
+    "plan_questions",
+    "refine_to_budget",
+    "GroundTruthOracle",
+    "RefinementReport",
+]
+
+# A path step is ("pair", 0|1), ("variant",), or ("elem", i) into the
+# canonical element tuple of a collection.
+Step = tuple
+Path = tuple[Step, ...]
+
+
+def _steps(v: Value) -> Iterator[tuple[Step, Value]]:
+    if isinstance(v, Pair):
+        yield ("pair", 0), v.fst
+        yield ("pair", 1), v.snd
+    elif isinstance(v, Variant):
+        yield ("variant",), v.payload
+    elif isinstance(v, (SetValue, OrSetValue, BagValue)):
+        for i, e in enumerate(v.elems):
+            yield ("elem", i), e
+
+
+def orset_paths(v: Value, _prefix: Path = ()) -> list[Path]:
+    """Paths of every or-set node in *v*, outermost first (pre-order)."""
+    found: list[Path] = []
+    if isinstance(v, OrSetValue):
+        found.append(_prefix)
+    for step, child in _steps(v):
+        found.extend(orset_paths(child, _prefix + (step,)))
+    return found
+
+
+def subvalue_at(v: Value, path: Path) -> Value:
+    """The subobject of *v* at *path*."""
+    for step in path:
+        if step[0] == "pair" and isinstance(v, Pair):
+            v = v.fst if step[1] == 0 else v.snd
+        elif step[0] == "variant" and isinstance(v, Variant):
+            v = v.payload
+        elif step[0] == "elem" and isinstance(v, (SetValue, OrSetValue, BagValue)):
+            index = step[1]
+            if index >= len(v.elems):
+                raise OrNRAValueError(f"path step {step!r} out of range in {v!r}")
+            v = v.elems[index]
+        else:
+            raise OrNRAValueError(f"path step {step!r} does not match {v!r}")
+    return v
+
+
+def replace_subvalue(v: Value, path: Path, new: Value) -> Value:
+    """*v* with the subobject at *path* replaced by *new*.
+
+    Note collections re-canonicalize, so element indices in *other* paths
+    may shift; resolve one question at a time and recompute paths.
+    """
+    if not path:
+        return new
+    step, rest = path[0], path[1:]
+    if step[0] == "pair" and isinstance(v, Pair):
+        if step[1] == 0:
+            return Pair(replace_subvalue(v.fst, rest, new), v.snd)
+        return Pair(v.fst, replace_subvalue(v.snd, rest, new))
+    if step[0] == "variant" and isinstance(v, Variant):
+        return Variant(v.side, replace_subvalue(v.payload, rest, new))
+    if step[0] == "elem" and isinstance(v, (SetValue, OrSetValue, BagValue)):
+        index = step[1]
+        elems = list(v.elems)
+        if index >= len(elems):
+            raise OrNRAValueError(f"path step {step!r} out of range in {v!r}")
+        elems[index] = replace_subvalue(elems[index], rest, new)
+        return type(v)(elems)
+    raise OrNRAValueError(f"path step {step!r} does not match {v!r}")
+
+
+def resolve(v: Value, path: Path, choice: Value) -> Value:
+    """Apply an oracle answer: the or-set at *path* becomes ``<choice>``.
+
+    Raises :class:`OrNRAValueError` when *choice* is not one of the
+    alternatives — an oracle cannot invent information.
+    """
+    target = subvalue_at(v, path)
+    if not isinstance(target, OrSetValue):
+        raise OrNRAValueError(f"no or-set at {path!r}: {target!r}")
+    if choice not in target.elems:
+        raise OrNRAValueError(
+            f"{choice!r} is not among the alternatives of {target!r}"
+        )
+    return replace_subvalue(v, path, OrSetValue((choice,)))
+
+
+def predicted_possibilities(v: Value) -> int:
+    """The Proposition 6.1 product bound ``prod_i (arity of or-set v_i)``
+    over *innermost* or-sets — the planner's effort estimate.
+
+    (The paper's bound has ``m_i + 1`` to account for or-sets of
+    non-atomic objects; for planning, the bare product is the sharper
+    heuristic and exact for independent choices.)
+    """
+    if isinstance(v, OrSetValue):
+        inner = [predicted_possibilities(e) for e in v.elems]
+        return sum(inner) if inner else 0
+    total = 1
+    for _step, child in _steps(v):
+        total *= predicted_possibilities(child)
+    return total
+
+
+def plan_questions(v: Value, budget: int) -> list[Path]:
+    """Greedy question plan: resolve widest or-sets first until the
+    predicted possibility count fits *budget*.
+
+    Returns the chosen paths in ask-order.  Asking about an or-set of
+    arity ``k`` divides the predicted count by ``k`` — the largest
+    available factor is the locally optimal question, which for a product
+    of independent factors is also globally optimal (sorting factors).
+    """
+    if budget < 1:
+        raise OrNRAValueError("budget must be at least 1")
+    candidates = [
+        (len(subvalue_at(v, p).elems), p)
+        for p in orset_paths(v)
+        if len(subvalue_at(v, p).elems) > 1
+    ]
+    # Only independent (non-nested) or-sets divide the product cleanly;
+    # prefer outermost on ties so nested duplicates are skipped naturally.
+    candidates.sort(key=lambda item: (-item[0], len(item[1])))
+    plan: list[Path] = []
+    predicted = predicted_possibilities(v)
+    for arity, path in candidates:
+        if predicted <= budget:
+            break
+        if any(path[: len(p)] == p or p[: len(path)] == path for p in plan):
+            continue  # nested under an already-planned question
+        plan.append(path)
+        predicted = max(1, predicted // arity)
+    return plan
+
+
+Oracle = Callable[[Path, OrSetValue], Value]
+
+
+@dataclass
+class GroundTruthOracle:
+    """An oracle that answers consistently with one fixed possible world.
+
+    The ground truth is sampled up front by making one choice inside
+    every or-set (using *rng*); every subsequent question about any
+    or-set is answered with the alternative consistent with those
+    choices.
+    """
+
+    rng: random.Random
+    _memo: dict = field(default_factory=dict)
+
+    def __call__(self, path: Path, orset: OrSetValue) -> Value:
+        if not orset.elems:
+            raise OrNRAValueError("cannot resolve the empty or-set (inconsistent)")
+        key = (path, orset)
+        if key not in self._memo:
+            self._memo[key] = orset.elems[self.rng.randrange(len(orset.elems))]
+        return self._memo[key]
+
+
+@dataclass(frozen=True)
+class RefinementReport:
+    """What :func:`refine_to_budget` did: the questions asked, and the
+    possibility counts before/after."""
+
+    refined: Value
+    questions: tuple[Path, ...]
+    predicted_before: int
+    predicted_after: int
+
+
+def refine_to_budget(v: Value, budget: int, oracle: Oracle) -> RefinementReport:
+    """Ask the planned questions against *oracle* until the predicted
+    possibility count fits *budget*; return the refined object.
+
+    Paths are recomputed after every answer (resolving an or-set inside a
+    set can merge elements and shift indices), so the plan is replanned
+    greedily one question at a time.
+    """
+    before = predicted_possibilities(v)
+    asked: list[Path] = []
+    while predicted_possibilities(v) > budget:
+        plan = plan_questions(v, budget)
+        if not plan:
+            break
+        path = plan[0]
+        target = subvalue_at(v, path)
+        assert isinstance(target, OrSetValue)
+        v = resolve(v, path, oracle(path, target))
+        asked.append(path)
+    return RefinementReport(
+        refined=v,
+        questions=tuple(asked),
+        predicted_before=before,
+        predicted_after=predicted_possibilities(v),
+    )

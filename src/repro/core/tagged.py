@@ -1,0 +1,205 @@
+"""Corollary 4.3: ``normalize`` expressed inside or-NRA via tagging.
+
+The coherence proof works with multisets; Corollary 4.3 shows multisets can
+be *simulated* in or-NRA by tagging set elements with unique identifiers —
+the paper takes the tag of an element to be the element itself
+(``[x_1, ..., x_n]' = [(x_1', x_1), ..., (x_n', x_n)]``), which is unique
+within a set by set semantics.  Rewriting then uses
+
+* ``alpha' = alpha o map(or_rho_1) : [<s'> * u] -> <[s' * u]>`` in place of
+  ``alpha_d`` (the tags keep duplicate or-sets apart, so plain ``alpha``
+  loses nothing), and
+* ``map(g)' = map((g o pi_1, pi_2))`` in place of ``dmap(g)``;
+
+at the end all tags are projected away.  Every step below is the
+application of one of these or-NRA morphisms at a type position (the
+``dapp`` discipline), so the function realizes the corollary's claim that
+``normalize_t`` is or-NRA-expressible for each fixed ``t``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import (
+    OrSetType,
+    ProdType,
+    SetType,
+    Type,
+    VariantType,
+)
+from repro.types.rewrite import (
+    OR_FLATTEN,
+    PAIR_LEFT,
+    PAIR_RIGHT,
+    Position,
+    Redex,
+    SET_ALPHA,
+    VARIANT_LEFT,
+    VARIANT_RIGHT,
+    apply_rewrite,
+    innermost_strategy,
+    redexes,
+    subtype_at,
+)
+from repro.values.values import (
+    Atom,
+    OrSetValue,
+    Pair,
+    SetValue,
+    UnitValue,
+    Value,
+    Variant,
+    infer_type,
+)
+
+from repro.lang.morphisms import Morphism
+from repro.lang.orset_ops import Alpha, OrMu, OrRho2, or_rho1
+from repro.lang.set_ops import SetMap
+from repro.lang.variant_ops import OrKappa1, OrKappa2
+
+__all__ = ["tag_value", "untag_value", "normalize_via_tagging"]
+
+_OR_RHO1: Morphism = or_rho1()
+_OR_RHO2 = OrRho2()
+_OR_MU = OrMu()
+_ALPHA = Alpha()
+_MAP_OR_RHO1 = SetMap(_OR_RHO1)
+_OR_KAPPA1 = OrKappa1()
+_OR_KAPPA2 = OrKappa2()
+
+
+def tag_value(x: Value) -> Value:
+    """The translation ``o -> o'``: each set element becomes ``(e', e)``.
+
+    The tag (second component) is the original, untranslated element — the
+    or-NRA-definable choice from the proof of Corollary 4.3.
+    """
+    if isinstance(x, (Atom, UnitValue)):
+        return x
+    if isinstance(x, Pair):
+        return Pair(tag_value(x.fst), tag_value(x.snd))
+    if isinstance(x, OrSetValue):
+        return OrSetValue(tag_value(e) for e in x.elems)
+    if isinstance(x, Variant):
+        return Variant(x.side, tag_value(x.payload))
+    if isinstance(x, SetValue):
+        return SetValue(Pair(tag_value(e), e) for e in x.elems)
+    raise OrNRATypeError(f"tag_value: unsupported value {x!r}")
+
+
+def untag_value(v: Value, t: Type) -> Value:
+    """Project all tags away, guided by the *untagged* type *t*."""
+    if isinstance(t, (ProdType,)):
+        if not isinstance(v, Pair):
+            raise OrNRATypeError(f"untag: expected pair at {t!r}, got {v!r}")
+        return Pair(untag_value(v.fst, t.left), untag_value(v.snd, t.right))
+    if isinstance(t, OrSetType):
+        if not isinstance(v, OrSetValue):
+            raise OrNRATypeError(f"untag: expected or-set at {t!r}, got {v!r}")
+        return OrSetValue(untag_value(e, t.elem) for e in v.elems)
+    if isinstance(t, VariantType):
+        if not isinstance(v, Variant):
+            raise OrNRATypeError(f"untag: expected variant at {t!r}, got {v!r}")
+        side_type = t.left if v.side == 0 else t.right
+        return Variant(v.side, untag_value(v.payload, side_type))
+    if isinstance(t, SetType):
+        if not isinstance(v, SetValue):
+            raise OrNRATypeError(f"untag: expected set at {t!r}, got {v!r}")
+        payloads = []
+        for e in v.elems:
+            if not isinstance(e, Pair):
+                raise OrNRATypeError(f"untag: expected tagged pair, got {e!r}")
+            payloads.append(untag_value(e.fst, t.elem))
+        return SetValue(payloads)
+    return v
+
+
+def _transform_tagged(v: Value, rule: str, redex_type: Type) -> Value:
+    """Apply the primed morphism for *rule* at a redex of *redex_type*."""
+    if rule == PAIR_RIGHT:
+        return _OR_RHO2.apply(v)
+    if rule == PAIR_LEFT:
+        return _OR_RHO1.apply(v)
+    if rule == OR_FLATTEN:
+        return _OR_MU.apply(v)
+    if rule == VARIANT_LEFT:
+        return _OR_KAPPA1.apply(v)
+    if rule == VARIANT_RIGHT:
+        return _OR_KAPPA2.apply(v)
+    if rule == SET_ALPHA:
+        # alpha' = alpha o map(or_rho_1): push each tag inside its or-set,
+        # then combine; tags keep equal or-sets distinct.
+        return _ALPHA.apply(_MAP_OR_RHO1.apply(v))
+    raise OrNRATypeError(f"unknown rule {rule!r}")
+
+
+def _apply_tagged_at(v: Value, t: Type, pos: Position, rule: str) -> Value:
+    """``dapp`` for tagged values: positions refer to the untagged type;
+    set layers carry ``(payload, tag)`` pairs and map on the payload."""
+    if not pos:
+        return _transform_tagged(v, rule, t)
+    head, rest = pos[0], pos[1:]
+    if isinstance(t, ProdType):
+        if not isinstance(v, Pair):
+            raise OrNRATypeError(f"expected pair at {t!r}, got {v!r}")
+        if head == 0:
+            return Pair(_apply_tagged_at(v.fst, t.left, rest, rule), v.snd)
+        return Pair(v.fst, _apply_tagged_at(v.snd, t.right, rest, rule))
+    if isinstance(t, OrSetType):
+        if not isinstance(v, OrSetValue):
+            raise OrNRATypeError(f"expected or-set at {t!r}, got {v!r}")
+        return OrSetValue(
+            _apply_tagged_at(e, t.elem, rest, rule) for e in v.elems
+        )
+    if isinstance(t, VariantType):
+        if not isinstance(v, Variant):
+            raise OrNRATypeError(f"expected variant at {t!r}, got {v!r}")
+        if head != v.side:
+            return v
+        side_type = t.left if head == 0 else t.right
+        return Variant(v.side, _apply_tagged_at(v.payload, side_type, rest, rule))
+    if isinstance(t, SetType):
+        if not isinstance(v, SetValue):
+            raise OrNRATypeError(f"expected set at {t!r}, got {v!r}")
+        out = []
+        for e in v.elems:
+            if not isinstance(e, Pair):
+                raise OrNRATypeError(f"expected tagged pair, got {e!r}")
+            out.append(
+                Pair(_apply_tagged_at(e.fst, t.elem, rest, rule), e.snd)
+            )
+        # map((g o pi_1, pi_2)) — tags make the results distinct, so no
+        # information is lost to set collapse.
+        return SetValue(out)
+    raise OrNRATypeError(f"cannot descend {pos} into {t!r}")
+
+
+def normalize_via_tagging(
+    x: Value,
+    x_type: Type | None = None,
+    strategy=innermost_strategy,
+) -> Value:
+    """Normalize *x* using the Corollary 4.3 tagging simulation.
+
+    Must agree with :func:`repro.core.normalize.normalize` on every input
+    (the tests check this on random objects, including ones engineered to
+    create duplicate or-sets mid-rewrite).
+    """
+    if x_type is None:
+        x_type = infer_type(x)
+    current_type = x_type
+    current = tag_value(x)
+    while True:
+        options: Sequence[Redex] = redexes(current_type)
+        if not options:
+            return untag_value(current, current_type)
+        pos, rule = strategy(options)
+        redex_type = subtype_at(current_type, pos)
+        if rule == SET_ALPHA and not isinstance(redex_type, SetType):
+            raise OrNRATypeError(
+                f"tagged normalization: set_alpha at non-set {redex_type!r}"
+            )
+        current = _apply_tagged_at(current, current_type, pos, rule)
+        current_type = apply_rewrite(current_type, pos, rule)

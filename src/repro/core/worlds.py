@@ -1,0 +1,83 @@
+"""Possible-worlds semantics: an independent oracle for normalization.
+
+An object containing or-sets conceptually denotes a collection of ordinary
+(or-set-free) objects — the paper's ``x_1, ..., x_n`` such that
+``normalize(x) = <x_1, ..., x_n>``.  This module computes that denotation
+*directly* by structural recursion, without the rewrite machinery:
+
+* an atom denotes itself;
+* a pair denotes all pairs of denotations;
+* an or-set denotes the union of its members' denotations (so ``< >``
+  denotes nothing — inconsistency);
+* a set denotes all sets formed by choosing a denotation of every member
+  (duplicates collapsing by set semantics).
+
+Tests and benchmarks compare ``worlds(x)`` with ``possibilities(x)``; their
+agreement is a strong end-to-end check of the normalization engine
+(Theorem 4.2's coherent normal form really is the conceptual meaning).
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Iterator
+
+from repro.errors import OrNRAValueError
+from repro.values.values import (
+    Atom,
+    BagValue,
+    OrSetValue,
+    Pair,
+    SetValue,
+    UnitValue,
+    Value,
+    Variant,
+)
+
+__all__ = ["iter_worlds", "worlds", "world_count"]
+
+
+def iter_worlds(v: Value) -> Iterator[Value]:
+    """Yield the or-set-free objects denoted by *v* (may repeat)."""
+    if isinstance(v, (Atom, UnitValue)):
+        yield v
+        return
+    if isinstance(v, Pair):
+        for fst in iter_worlds(v.fst):
+            for snd in iter_worlds(v.snd):
+                yield Pair(fst, snd)
+        return
+    if isinstance(v, OrSetValue):
+        for member in v.elems:
+            yield from iter_worlds(member)
+        return
+    if isinstance(v, Variant):
+        for payload in iter_worlds(v.payload):
+            yield Variant(v.side, payload)
+        return
+    if isinstance(v, SetValue):
+        # A choice per member; the result is a set, so choices collapse.
+        member_worlds = [tuple(iter_worlds(m)) for m in v.elems]
+        for choice in iter_product(*member_worlds):
+            yield SetValue(choice)
+        return
+    if isinstance(v, BagValue):
+        member_worlds = [tuple(iter_worlds(m)) for m in v.elems]
+        for choice in iter_product(*member_worlds):
+            yield BagValue(choice)
+        return
+    raise OrNRAValueError(f"not a value: {v!r}")
+
+
+def worlds(v: Value) -> frozenset[Value]:
+    """The set of or-set-free objects denoted by *v*.
+
+    Empty iff *v* is conceptually inconsistent (contains ``< >`` in a
+    position with no alternative).
+    """
+    return frozenset(iter_worlds(v))
+
+
+def world_count(v: Value) -> int:
+    """``|worlds(v)|`` — the paper's ``m(x)`` when *v* has or-sets."""
+    return len(worlds(v))

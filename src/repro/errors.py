@@ -1,0 +1,48 @@
+"""Exception hierarchy for the or-NRA reproduction.
+
+Every error raised by the library derives from :class:`OrNRAError`, so
+callers can catch a single type.  The subclasses separate the phases in
+which things can go wrong:
+
+* :class:`OrNRATypeError` — a morphism was applied to a value of the wrong
+  type, two types failed to unify, or a type expression was malformed.
+* :class:`OrNRAValueError` — a value literal is malformed (e.g. a set whose
+  elements have different types).
+* :class:`OrNRAParseError` — the surface-syntax parser rejected its input.
+* :class:`NormalizationError` — the normalization engine was driven into an
+  inconsistent state (a rewrite applied at a position that is not a redex).
+* :class:`EligibilityError` — ``preserve(f)`` was requested for a morphism
+  outside the syntactic class of Theorem 5.1 / Proposition 5.2.
+"""
+
+from __future__ import annotations
+
+
+class OrNRAError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class OrNRATypeError(OrNRAError, TypeError):
+    """A type mismatch in a morphism application or type operation."""
+
+
+class OrNRAValueError(OrNRAError, ValueError):
+    """A malformed complex-object value."""
+
+
+class OrNRAParseError(OrNRAError, ValueError):
+    """The surface-syntax parser rejected its input."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class NormalizationError(OrNRAError, RuntimeError):
+    """The normalization engine reached an inconsistent state."""
+
+
+class EligibilityError(OrNRAError, ValueError):
+    """A morphism is outside the class covered by the losslessness theorem."""

@@ -1,0 +1,192 @@
+"""Random workload generators for experiments and tests.
+
+The paper has no datasets; its results quantify over all complex objects,
+types and morphisms.  Benchmarks therefore sample:
+
+* random object *types* (with or without or-sets, bounded depth);
+* random *values* of a given type (bounded width);
+* random or-set-bearing objects with a bounded leaf count (``size``), the
+  quantity the Section 6 bounds are stated in.
+
+Generators take an explicit :class:`random.Random` so every experiment is
+reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import OrNRAValueError
+from repro.types.kinds import (
+    BOOL,
+    INT,
+    BaseType,
+    OrSetType,
+    ProdType,
+    SetType,
+    Type,
+    UnitType,
+    VariantType,
+)
+from repro.values.values import (
+    Atom,
+    OrSetValue,
+    Pair,
+    SetValue,
+    UnitValue,
+    Value,
+    Variant,
+    boolean,
+)
+
+__all__ = [
+    "random_type",
+    "random_value",
+    "random_orset_value",
+    "random_variant_value",
+    "random_atom",
+]
+
+_DEFAULT_BASES: tuple[Type, ...] = (INT, BOOL)
+
+
+def random_type(
+    rng: random.Random,
+    max_depth: int = 3,
+    bases: Sequence[Type] = _DEFAULT_BASES,
+    allow_orset: bool = True,
+    allow_set: bool = True,
+    allow_variant: bool = False,
+) -> Type:
+    """A random object type of derivation depth at most *max_depth*.
+
+    Variant types (the Section 7 extension) are only generated when
+    *allow_variant* is set, so the core experiments keep their
+    paper-faithful workloads.
+    """
+    if max_depth <= 1:
+        return rng.choice(list(bases))
+    choices = ["base", "prod"]
+    if allow_set:
+        choices.append("set")
+    if allow_orset:
+        choices.append("orset")
+    if allow_variant:
+        choices.append("variant")
+    kind = rng.choice(choices)
+    if kind == "base":
+        return rng.choice(list(bases))
+    if kind == "prod":
+        return ProdType(
+            random_type(rng, max_depth - 1, bases, allow_orset, allow_set, allow_variant),
+            random_type(rng, max_depth - 1, bases, allow_orset, allow_set, allow_variant),
+        )
+    if kind == "variant":
+        return VariantType(
+            random_type(rng, max_depth - 1, bases, allow_orset, allow_set, allow_variant),
+            random_type(rng, max_depth - 1, bases, allow_orset, allow_set, allow_variant),
+        )
+    if kind == "set":
+        return SetType(
+            random_type(rng, max_depth - 1, bases, allow_orset, allow_set, allow_variant)
+        )
+    return OrSetType(
+        random_type(rng, max_depth - 1, bases, allow_orset, allow_set, allow_variant)
+    )
+
+
+def random_atom(base: Type, rng: random.Random, domain: int = 6) -> Value:
+    """A random atom of the given base type (small domains so collisions —
+    and hence duplicate-collapse effects — actually occur)."""
+    if isinstance(base, UnitType):
+        return UnitValue()
+    if base == BOOL:
+        return boolean(rng.random() < 0.5)
+    if base == INT:
+        return Atom("int", rng.randrange(domain))
+    if isinstance(base, BaseType):
+        if base.name == "string":
+            return Atom("string", chr(ord("a") + rng.randrange(domain)))
+        return Atom(base.name, rng.randrange(domain))
+    raise OrNRAValueError(f"random_atom: not a base type {base!r}")
+
+
+def random_value(
+    t: Type,
+    rng: random.Random,
+    max_width: int = 3,
+    min_width: int = 0,
+    domain: int = 6,
+) -> Value:
+    """A random value of type *t* with collections of width
+    ``min_width..max_width``."""
+    if isinstance(t, (BaseType, UnitType)):
+        return random_atom(t, rng, domain)
+    if isinstance(t, ProdType):
+        return Pair(
+            random_value(t.left, rng, max_width, min_width, domain),
+            random_value(t.right, rng, max_width, min_width, domain),
+        )
+    if isinstance(t, SetType):
+        width = rng.randint(min_width, max_width)
+        return SetValue(
+            random_value(t.elem, rng, max_width, min_width, domain)
+            for _ in range(width)
+        )
+    if isinstance(t, OrSetType):
+        width = rng.randint(min_width, max_width)
+        return OrSetValue(
+            random_value(t.elem, rng, max_width, min_width, domain)
+            for _ in range(width)
+        )
+    if isinstance(t, VariantType):
+        side = rng.randrange(2)
+        payload_type = t.left if side == 0 else t.right
+        return Variant(
+            side, random_value(payload_type, rng, max_width, min_width, domain)
+        )
+    raise OrNRAValueError(f"random_value: unsupported type {t!r}")
+
+
+def random_orset_value(
+    rng: random.Random,
+    max_depth: int = 3,
+    max_width: int = 3,
+    min_width: int = 1,
+    domain: int = 6,
+) -> tuple[Value, Type]:
+    """A random ``(value, type)`` guaranteed to contain an or-set type
+    constructor and no empty collections (``min_width >= 1`` keeps the
+    Section 5/6 experiments in the consistent fragment by default)."""
+    while True:
+        t = random_type(rng, max_depth)
+        if isinstance(t, (BaseType, UnitType)):
+            continue
+        from repro.types.kinds import contains_orset
+
+        if not contains_orset(t):
+            continue
+        value = random_value(t, rng, max_width, min_width, domain)
+        return value, t
+
+
+def random_variant_value(
+    rng: random.Random,
+    max_depth: int = 3,
+    max_width: int = 3,
+    min_width: int = 1,
+    domain: int = 6,
+) -> tuple[Value, Type]:
+    """A random ``(value, type)`` containing both a variant and an or-set
+    constructor — the workload for the Section 7 extension experiments."""
+    from repro.types.kinds import contains_orset, contains_variant
+
+    while True:
+        t = random_type(rng, max_depth, allow_variant=True)
+        if isinstance(t, (BaseType, UnitType)):
+            continue
+        if not contains_orset(t) or not contains_variant(t):
+            continue
+        value = random_value(t, rng, max_width, min_width, domain)
+        return value, t

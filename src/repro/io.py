@@ -1,0 +1,120 @@
+"""Input/output facilities (Section 7's OR-SML package features).
+
+Values and types round-trip through two formats:
+
+* the paper's *text* notation via :mod:`repro.lang.parser` and
+  :func:`repro.values.format_value`;
+* a plain-JSON structure for interchange with other tooling.
+
+JSON encoding: atoms become ``{"atom": base, "value": v}``; pairs
+``{"pair": [a, b]}``; sets ``{"set": [...]}``; or-sets ``{"orset": [...]}``;
+bags ``{"bag": [...]}``; unit ``{"unit": true}``; variant injections
+``{"inl": ...}`` / ``{"inr": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import OrNRAValueError
+from repro.types.kinds import Type
+from repro.types.parse import format_type, parse_type
+from repro.values.values import (
+    UNIT_VALUE,
+    Atom,
+    BagValue,
+    OrSetValue,
+    Pair,
+    SetValue,
+    UnitValue,
+    Value,
+    Variant,
+    format_value,
+)
+
+__all__ = [
+    "value_to_json",
+    "value_from_json",
+    "dumps_value",
+    "loads_value",
+    "dumps_type",
+    "loads_type",
+    "value_to_text",
+    "value_from_text",
+]
+
+
+def value_to_json(v: Value) -> object:
+    """Encode *v* as plain JSON-serializable data."""
+    if isinstance(v, UnitValue):
+        return {"unit": True}
+    if isinstance(v, Atom):
+        return {"atom": v.base, "value": v.value}
+    if isinstance(v, Pair):
+        return {"pair": [value_to_json(v.fst), value_to_json(v.snd)]}
+    if isinstance(v, SetValue):
+        return {"set": [value_to_json(e) for e in v.elems]}
+    if isinstance(v, OrSetValue):
+        return {"orset": [value_to_json(e) for e in v.elems]}
+    if isinstance(v, BagValue):
+        return {"bag": [value_to_json(e) for e in v.elems]}
+    if isinstance(v, Variant):
+        key = "inl" if v.side == 0 else "inr"
+        return {key: value_to_json(v.payload)}
+    raise OrNRAValueError(f"not a value: {v!r}")
+
+
+def value_from_json(data: object) -> Value:
+    """Decode the JSON structure produced by :func:`value_to_json`."""
+    if not isinstance(data, dict):
+        raise OrNRAValueError(f"malformed value JSON: {data!r}")
+    if "unit" in data:
+        return UNIT_VALUE
+    if "atom" in data:
+        return Atom(str(data["atom"]), data["value"])
+    if "pair" in data:
+        left, right = data["pair"]
+        return Pair(value_from_json(left), value_from_json(right))
+    if "set" in data:
+        return SetValue(value_from_json(e) for e in data["set"])
+    if "orset" in data:
+        return OrSetValue(value_from_json(e) for e in data["orset"])
+    if "bag" in data:
+        return BagValue(value_from_json(e) for e in data["bag"])
+    if "inl" in data:
+        return Variant(0, value_from_json(data["inl"]))
+    if "inr" in data:
+        return Variant(1, value_from_json(data["inr"]))
+    raise OrNRAValueError(f"malformed value JSON: {data!r}")
+
+
+def dumps_value(v: Value) -> str:
+    """Serialize *v* to a JSON string."""
+    return json.dumps(value_to_json(v), sort_keys=True)
+
+
+def loads_value(text: str) -> Value:
+    """Deserialize a value from :func:`dumps_value` output."""
+    return value_from_json(json.loads(text))
+
+
+def dumps_type(t: Type) -> str:
+    """Serialize a type in the concrete syntax."""
+    return format_type(t)
+
+
+def loads_type(text: str) -> Type:
+    """Parse a type from its concrete syntax."""
+    return parse_type(text)
+
+
+def value_to_text(v: Value) -> str:
+    """The paper-notation rendering of *v* (parsable back)."""
+    return format_value(v)
+
+
+def value_from_text(text: str) -> Value:
+    """Parse a value from the paper notation."""
+    from repro.lang.parser import parse_value
+
+    return parse_value(text)

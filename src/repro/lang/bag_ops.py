@@ -1,0 +1,523 @@
+"""Multiset (bag) operators: the Section 4 internals plus the full nested
+bag language of the Section 7 future work.
+
+Normalization must not collapse duplicate or-sets prematurely: the paper's
+example is that normalizing ``{<a,b>, <a,b>}`` as a *set* loses the choice
+``{a, b}``.  The fix is to translate sets to bags, normalize there, and
+collapse duplicates only at the very end.  Two bag operators are needed
+for that engine:
+
+* ``dmap(f) : [|s|] -> [|t|]`` — like ``map`` but cardinality-preserving;
+* ``alpha_d : [|<s>|] -> <[|s|]>`` — like ``alpha`` but keeping duplicate
+  choices, e.g. ``alpha_d [|<1,2>, <1,2>|] = <[|1,1|], [|1,2|], [|2,2|]>``.
+
+The conclusion then proposes "combining the or-set component of or-NRA
+and the standard nested bag language such as the one in [25]" (Libkin &
+Wong, *Some properties of query languages for bags*).  The remaining
+operators here are that standard bag language:
+
+====================  ===========================  ============================
+BQL operator          here                         type
+====================  ===========================  ============================
+``b_eta``             :class:`BagEta`              ``s -> [|s|]``
+``b_mu``              :class:`BagMu`               ``[|[|s|]|] -> [|s|]``
+``b_map(f)``          :class:`DMap`                ``[|s|] -> [|t|]``
+``b_rho_2``           :class:`BagRho2`             ``s * [|t|] -> [|s * t|]``
+``⊎`` (additive)      :class:`BagUnion`            ``[|s|] * [|s|] -> [|s|]``
+``monus``             :class:`BagMonus`            ``[|s|] * [|s|] -> [|s|]``
+``max``               :class:`BagMaxUnion`         ``[|s|] * [|s|] -> [|s|]``
+``min``               :class:`BagMinIntersect`     ``[|s|] * [|s|] -> [|s|]``
+``unique``            :class:`BagUnique`           ``[|s|] -> [|s|]``
+``K[||]``             :class:`KEmptyBag`           ``unit -> [|s|]``
+``count``             :class:`BagCount`            ``[|s|] -> int``
+``mult``              :class:`BagMultiplicity`     ``s * [|s|] -> int``
+``bagtoset``          :class:`BagToSet`            ``[|s|] -> {s}``
+``settobag``          :class:`SetToBag`            ``{s} -> [|s|]``
+====================  ===========================  ============================
+
+``monus``/``max``/``min`` act on multiplicities (truncated subtraction,
+pointwise maximum, pointwise minimum); with ``⊎`` and ``unique`` they
+generate the usual BQL relational fragment.  ``alpha_d`` connects bags to
+or-sets exactly as ``alpha`` connects sets to or-sets, so the combined
+language manipulates disjunctive multiset data directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import INT, BagType, FuncType, OrSetType, ProdType, SetType, UnitType
+from repro.types.unify import FreshVars
+from repro.values.values import Atom, BagValue, Pair, SetValue, Value
+
+from repro.lang.morphisms import Morphism
+
+__all__ = [
+    "DMap",
+    "AlphaD",
+    "BagRho2",
+    "BagEta",
+    "BagMu",
+    "BagUnion",
+    "BagMonus",
+    "BagMaxUnion",
+    "BagMinIntersect",
+    "BagUnique",
+    "KEmptyBag",
+    "BagCount",
+    "BagMultiplicity",
+    "BagToSet",
+    "SetToBag",
+    "dmap",
+    "alpha_d",
+    "bag_rho2",
+    "bag_eta",
+    "bag_mu",
+    "bag_union",
+    "bag_monus",
+    "bag_max_union",
+    "bag_min_intersect",
+    "bag_unique",
+    "empty_bag",
+    "bag_count",
+    "bag_multiplicity",
+    "bagtoset",
+    "settobag",
+    "bag_flatmap",
+    "bag_cartesian",
+]
+
+
+class DMap(Morphism):
+    """``dmap(f) : [|s|] -> [|t|]`` — map preserving multiplicities."""
+
+    def __init__(self, body: Morphism) -> None:
+        self.body = body
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, BagValue):
+            raise OrNRATypeError(f"dmap expects a bag, got {value!r}")
+        return BagValue(self.body.apply(e) for e in value)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        sig = self.body.signature(fresh)
+        return FuncType(BagType(sig.dom), BagType(sig.cod))
+
+    def describe(self) -> str:
+        return f"dmap({self.body.describe()})"
+
+    def children(self) -> tuple[Morphism, ...]:
+        return (self.body,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DMap) and self.body == other.body
+
+    def __hash__(self) -> int:
+        return hash(("DMap", self.body))
+
+
+class AlphaD(Morphism):
+    """``alpha_d : [|<s>|] -> <[|s|]>`` — duplicate-keeping choices."""
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, BagValue):
+            raise OrNRATypeError(f"alpha_d expects a bag of or-sets, got {value!r}")
+        from repro.lang.orset_ops import alpha_value
+
+        return alpha_value(value.elems, dedup=False)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(BagType(OrSetType(a)), OrSetType(BagType(a)))
+
+    def describe(self) -> str:
+        return "alpha_d"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AlphaD)
+
+    def __hash__(self) -> int:
+        return hash("AlphaD")
+
+
+class BagRho2(Morphism):
+    """``bag_rho_2 : s * [|t|] -> [|s * t|]`` (completeness companion)."""
+
+    def apply(self, value: Value) -> Value:
+        if not (isinstance(value, Pair) and isinstance(value.snd, BagValue)):
+            raise OrNRATypeError(f"bag_rho_2 expects (s, [|t|]), got {value!r}")
+        return BagValue(Pair(value.fst, e) for e in value.snd)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a, b = fresh.fresh(), fresh.fresh()
+        return FuncType(ProdType(a, BagType(b)), BagType(ProdType(a, b)))
+
+    def describe(self) -> str:
+        return "bag_rho_2"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BagRho2)
+
+    def __hash__(self) -> int:
+        return hash("BagRho2")
+
+
+class BagEta(Morphism):
+    """Singleton bag formation ``b_eta(x) = [|x|]``."""
+
+    def apply(self, value: Value) -> Value:
+        return BagValue((value,))
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(a, BagType(a))
+
+    def describe(self) -> str:
+        return "b_eta"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BagEta)
+
+    def __hash__(self) -> int:
+        return hash("BagEta")
+
+
+class BagMu(Morphism):
+    """Additive bag flattening ``b_mu : [|[|s|]|] -> [|s|]``.
+
+    Multiplicities add up: flattening ``[|[|1|], [|1|]|]`` gives ``[|1, 1|]``.
+    """
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, BagValue):
+            raise OrNRATypeError(f"b_mu expects a bag of bags, got {value!r}")
+        out: list[Value] = []
+        for inner in value:
+            if not isinstance(inner, BagValue):
+                raise OrNRATypeError(
+                    f"b_mu expects a bag of bags, got element {inner!r}"
+                )
+            out.extend(inner.elems)
+        return BagValue(out)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(BagType(BagType(a)), BagType(a))
+
+    def describe(self) -> str:
+        return "b_mu"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BagMu)
+
+    def __hash__(self) -> int:
+        return hash("BagMu")
+
+
+def _expect_bag_pair(op: str, value: Value) -> tuple[BagValue, BagValue]:
+    if not (
+        isinstance(value, Pair)
+        and isinstance(value.fst, BagValue)
+        and isinstance(value.snd, BagValue)
+    ):
+        raise OrNRATypeError(f"{op} expects ([|s|], [|s|]), got {value!r}")
+    return value.fst, value.snd
+
+
+class _BagBinop(Morphism):
+    """Shared shell of the binary multiplicity operators."""
+
+    _NAME = "?"
+
+    def _combine(self, left: Counter, right: Counter) -> Counter:
+        raise NotImplementedError
+
+    def apply(self, value: Value) -> Value:
+        left, right = _expect_bag_pair(self._NAME, value)
+        merged = self._combine(Counter(left.elems), Counter(right.elems))
+        out: list[Value] = []
+        for elem, mult in merged.items():
+            out.extend([elem] * mult)
+        return BagValue(out)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(ProdType(BagType(a), BagType(a)), BagType(a))
+
+    def describe(self) -> str:
+        return self._NAME
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self)
+
+    def __hash__(self) -> int:
+        return hash(type(self).__name__)
+
+
+class BagUnion(_BagBinop):
+    """Additive union ``⊎``: multiplicities add."""
+
+    _NAME = "b_union"
+
+    def _combine(self, left: Counter, right: Counter) -> Counter:
+        return left + right
+
+
+class BagMonus(_BagBinop):
+    """Bag difference ``monus``: truncated multiplicity subtraction."""
+
+    _NAME = "monus"
+
+    def _combine(self, left: Counter, right: Counter) -> Counter:
+        return left - right  # Counter subtraction is already truncated.
+
+
+class BagMaxUnion(_BagBinop):
+    """Maximum union: pointwise max of multiplicities."""
+
+    _NAME = "b_max"
+
+    def _combine(self, left: Counter, right: Counter) -> Counter:
+        return left | right
+
+
+class BagMinIntersect(_BagBinop):
+    """Intersection: pointwise min of multiplicities."""
+
+    _NAME = "b_min"
+
+    def _combine(self, left: Counter, right: Counter) -> Counter:
+        return left & right
+
+
+class BagUnique(Morphism):
+    """Duplicate elimination ``unique : [|s|] -> [|s|]``.
+
+    BQL's ``unique`` drops every multiplicity to one; it is what separates
+    the bag algebra from the relational algebra in expressive power.
+    """
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, BagValue):
+            raise OrNRATypeError(f"unique expects a bag, got {value!r}")
+        seen: list[Value] = []
+        for e in value:
+            if e not in seen:
+                seen.append(e)
+        return BagValue(seen)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(BagType(a), BagType(a))
+
+    def describe(self) -> str:
+        return "unique"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BagUnique)
+
+    def __hash__(self) -> int:
+        return hash("BagUnique")
+
+
+class KEmptyBag(Morphism):
+    """``K[||] : unit -> [|s|]`` produces the empty bag."""
+
+    def apply(self, value: Value) -> Value:
+        return BagValue(())
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        return FuncType(UnitType(), BagType(fresh.fresh()))
+
+    def describe(self) -> str:
+        return "K[||]"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, KEmptyBag)
+
+    def __hash__(self) -> int:
+        return hash("KEmptyBag")
+
+
+class BagCount(Morphism):
+    """``count : [|s|] -> int`` — the bag's total multiplicity."""
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, BagValue):
+            raise OrNRATypeError(f"count expects a bag, got {value!r}")
+        return Atom("int", len(value.elems))
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        return FuncType(BagType(fresh.fresh()), INT)
+
+    def describe(self) -> str:
+        return "count"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BagCount)
+
+    def __hash__(self) -> int:
+        return hash("BagCount")
+
+
+class BagMultiplicity(Morphism):
+    """``mult : s * [|s|] -> int`` — how many times the element occurs."""
+
+    def apply(self, value: Value) -> Value:
+        if not (isinstance(value, Pair) and isinstance(value.snd, BagValue)):
+            raise OrNRATypeError(f"mult expects (s, [|s|]), got {value!r}")
+        return Atom("int", sum(1 for e in value.snd if e == value.fst))
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(ProdType(a, BagType(a)), INT)
+
+    def describe(self) -> str:
+        return "mult"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BagMultiplicity)
+
+    def __hash__(self) -> int:
+        return hash("BagMultiplicity")
+
+
+class BagToSet(Morphism):
+    """``bagtoset : [|s|] -> {s}`` — forget multiplicities."""
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, BagValue):
+            raise OrNRATypeError(f"bagtoset expects a bag, got {value!r}")
+        return SetValue(value.elems)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(BagType(a), SetType(a))
+
+    def describe(self) -> str:
+        return "bagtoset"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BagToSet)
+
+    def __hash__(self) -> int:
+        return hash("BagToSet")
+
+
+class SetToBag(Morphism):
+    """``settobag : {s} -> [|s|]`` — single multiplicities."""
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, SetValue):
+            raise OrNRATypeError(f"settobag expects a set, got {value!r}")
+        return BagValue(value.elems)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(SetType(a), BagType(a))
+
+    def describe(self) -> str:
+        return "settobag"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetToBag)
+
+    def __hash__(self) -> int:
+        return hash("SetToBag")
+
+
+def dmap(body: Morphism) -> DMap:
+    """``dmap(body)``."""
+    return DMap(body)
+
+
+def alpha_d() -> AlphaD:
+    """``alpha_d``."""
+    return AlphaD()
+
+
+def bag_rho2() -> BagRho2:
+    """``bag_rho_2``."""
+    return BagRho2()
+
+
+def bag_eta() -> BagEta:
+    """Singleton bag formation."""
+    return BagEta()
+
+
+def bag_mu() -> BagMu:
+    """Additive bag flattening."""
+    return BagMu()
+
+
+def bag_union() -> BagUnion:
+    """Additive union ``⊎``."""
+    return BagUnion()
+
+
+def bag_monus() -> BagMonus:
+    """Truncated bag difference."""
+    return BagMonus()
+
+
+def bag_max_union() -> BagMaxUnion:
+    """Pointwise-max union."""
+    return BagMaxUnion()
+
+
+def bag_min_intersect() -> BagMinIntersect:
+    """Pointwise-min intersection."""
+    return BagMinIntersect()
+
+
+def bag_unique() -> BagUnique:
+    """Duplicate elimination."""
+    return BagUnique()
+
+
+def empty_bag() -> KEmptyBag:
+    """``K[||]``."""
+    return KEmptyBag()
+
+
+def bag_count() -> BagCount:
+    """Total multiplicity."""
+    return BagCount()
+
+
+def bag_multiplicity() -> BagMultiplicity:
+    """Occurrence count of an element."""
+    return BagMultiplicity()
+
+
+def bagtoset() -> BagToSet:
+    """``bagtoset``."""
+    return BagToSet()
+
+
+def settobag() -> SetToBag:
+    """``settobag``."""
+    return SetToBag()
+
+
+def bag_flatmap(body: Morphism) -> Morphism:
+    """``b_ext(f) = b_mu o dmap(f) : [|s|] -> [|t|]``."""
+    from repro.lang.morphisms import Compose
+
+    return Compose(BagMu(), DMap(body))
+
+
+def bag_cartesian() -> Morphism:
+    """``[|s|] * [|t|] -> [|s * t|]`` — multiplicities multiply.
+
+    The bag analog of the ``orcp`` composition from the proof of
+    Theorem 5.1: ``b_mu o dmap(bag_rho_1) o bag_rho_2`` with the swap-based
+    ``bag_rho_1``.
+    """
+    from repro.lang.morphisms import Compose, PairOf, Proj1, Proj2
+
+    swap = PairOf(Proj2(), Proj1())
+    bag_rho1 = Compose(DMap(swap), Compose(BagRho2(), swap))
+    return Compose(BagMu(), Compose(DMap(bag_rho1), BagRho2()))

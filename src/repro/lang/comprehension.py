@@ -1,0 +1,297 @@
+"""Monad comprehensions over sets and or-sets, translated to the algebra.
+
+The paper opens with the comprehension-style query
+``(x | x <- normalize(DB), ischeap(x))`` and notes (after [5, 33]) that the
+same syntax works for any collection monad.  This module implements that
+front end: a tiny calculus with variables, compiled to pure or-NRA
+morphisms by the standard environment-passing translation —
+
+* the environment is a left-nested tuple of the bound variables;
+* a generator ``x <- X`` becomes ``mu o map(...) o rho_2 o (id, [[X]])``
+  (or the ``or_`` versions for or-set comprehensions);
+* a guard becomes ``cond([[p]], ..., K{} o !)``.
+
+Example — the paper's query::
+
+    q = orcomp(var("x"),
+               [gen("x", capply(Normalize(), var("db"))),
+                guard(capply(ischeap, var("x")))])
+    morphism = compile_comprehension(q, "db")   # an or-NRA+ morphism
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.errors import OrNRAParseError, OrNRATypeError
+from repro.values.values import Value, ensure_value
+
+from repro.lang.morphisms import (
+    Bang,
+    Compose,
+    Cond,
+    Const,
+    Eq,
+    Id,
+    Morphism,
+    PairOf,
+    Proj1,
+    Proj2,
+)
+from repro.lang.orset_ops import KEmptyOrSet, OrEta, OrMap, OrMu, OrRho2
+from repro.lang.set_ops import KEmptySet, SetEta, SetMap, SetMu, SetRho2
+
+__all__ = [
+    "CompExpr",
+    "Var",
+    "Lit",
+    "PairExpr",
+    "Fst",
+    "Snd",
+    "Apply",
+    "EqExpr",
+    "Comprehension",
+    "Generator",
+    "Guard",
+    "var",
+    "lit",
+    "cpair",
+    "fst",
+    "snd",
+    "capply",
+    "ceq",
+    "gen",
+    "guard",
+    "setcomp",
+    "orcomp",
+    "compile_comprehension",
+]
+
+
+class CompExpr:
+    """Abstract base class of comprehension-calculus expressions."""
+
+    def to_morphism(self, scope: Sequence[str]) -> Morphism:
+        """Compile against a scope (innermost variable last)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(CompExpr):
+    """A variable reference."""
+
+    name: str
+
+    def to_morphism(self, scope: Sequence[str]) -> Morphism:
+        names = list(scope)
+        if self.name not in names:
+            raise OrNRAParseError(f"unbound variable {self.name!r}")
+        # Environment shape for scope [v0, ..., v_{n-1}] (v0 outermost):
+        # n == 1 -> just v0; otherwise ((..(v0, v1).., v_{n-2}), v_{n-1}).
+        n = len(names)
+        # Innermost binding wins under shadowing: use the last occurrence.
+        i = n - 1 - names[::-1].index(self.name)
+        if n == 1:
+            return Id()
+        if i == 0:
+            access: Morphism = Proj1()
+            for _ in range(n - 2):
+                access = Compose(access, Proj1())
+            return access
+        access = Proj2()
+        for _ in range(n - 1 - i):
+            access = Compose(access, Proj1())
+        return access
+
+
+@dataclass(frozen=True)
+class Lit(CompExpr):
+    """A constant value."""
+
+    value: Value
+
+    def to_morphism(self, scope: Sequence[str]) -> Morphism:
+        return Compose(Const(self.value), Bang())
+
+
+@dataclass(frozen=True)
+class PairExpr(CompExpr):
+    """Pair formation ``(e1, e2)``."""
+
+    left: CompExpr
+    right: CompExpr
+
+    def to_morphism(self, scope: Sequence[str]) -> Morphism:
+        return PairOf(self.left.to_morphism(scope), self.right.to_morphism(scope))
+
+
+@dataclass(frozen=True)
+class Fst(CompExpr):
+    """First projection of an expression."""
+
+    body: CompExpr
+
+    def to_morphism(self, scope: Sequence[str]) -> Morphism:
+        return Compose(Proj1(), self.body.to_morphism(scope))
+
+
+@dataclass(frozen=True)
+class Snd(CompExpr):
+    """Second projection of an expression."""
+
+    body: CompExpr
+
+    def to_morphism(self, scope: Sequence[str]) -> Morphism:
+        return Compose(Proj2(), self.body.to_morphism(scope))
+
+
+@dataclass(frozen=True)
+class Apply(CompExpr):
+    """Application of a raw or-NRA morphism to an expression."""
+
+    morphism: Morphism
+    body: CompExpr
+
+    def to_morphism(self, scope: Sequence[str]) -> Morphism:
+        return Compose(self.morphism, self.body.to_morphism(scope))
+
+
+@dataclass(frozen=True)
+class EqExpr(CompExpr):
+    """Equality of two expressions."""
+
+    left: CompExpr
+    right: CompExpr
+
+    def to_morphism(self, scope: Sequence[str]) -> Morphism:
+        return Compose(
+            Eq(), PairOf(self.left.to_morphism(scope), self.right.to_morphism(scope))
+        )
+
+
+@dataclass(frozen=True)
+class Generator:
+    """A qualifier ``name <- source``."""
+
+    name: str
+    source: CompExpr
+
+
+@dataclass(frozen=True)
+class Guard:
+    """A boolean qualifier."""
+
+    pred: CompExpr
+
+
+Qualifier = Union[Generator, Guard]
+
+
+@dataclass(frozen=True)
+class Comprehension(CompExpr):
+    """``{head | q1, ..., qn}`` (kind "set") or ``<head | ...>`` ("orset")."""
+
+    head: CompExpr
+    qualifiers: tuple[Qualifier, ...]
+    kind: str = "set"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("set", "orset"):
+            raise OrNRATypeError(f"comprehension kind {self.kind!r}")
+
+    def to_morphism(self, scope: Sequence[str]) -> Morphism:
+        if self.kind == "set":
+            eta, mu, mapper, rho2, kempty = SetEta, SetMu, SetMap, SetRho2, KEmptySet
+        else:
+            eta, mu, mapper, rho2, kempty = OrEta, OrMu, OrMap, OrRho2, KEmptyOrSet
+
+        def translate(quals: tuple[Qualifier, ...], scope_now: list[str]) -> Morphism:
+            if not quals:
+                return Compose(eta(), self.head.to_morphism(scope_now))
+            first, rest = quals[0], quals[1:]
+            if isinstance(first, Guard):
+                body = translate(rest, scope_now)
+                return Cond(
+                    first.pred.to_morphism(scope_now),
+                    body,
+                    Compose(kempty(), Bang()),
+                )
+            source = first.source.to_morphism(scope_now)
+            inner_scope = scope_now + [first.name]
+            inner = translate(rest, inner_scope)
+            return Compose(
+                mu(),
+                Compose(
+                    mapper(inner),
+                    Compose(rho2(), PairOf(Id(), source)),
+                ),
+            )
+
+        return translate(self.qualifiers, list(scope))
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+# ---------------------------------------------------------------------------
+
+
+def var(name: str) -> Var:
+    """A variable reference."""
+    return Var(name)
+
+
+def lit(value: object) -> Lit:
+    """A constant."""
+    return Lit(ensure_value(value))
+
+
+def cpair(left: CompExpr, right: CompExpr) -> PairExpr:
+    """Pair two expressions."""
+    return PairExpr(left, right)
+
+
+def fst(body: CompExpr) -> Fst:
+    """First projection."""
+    return Fst(body)
+
+
+def snd(body: CompExpr) -> Snd:
+    """Second projection."""
+    return Snd(body)
+
+
+def capply(morphism: Morphism, body: CompExpr) -> Apply:
+    """Apply an or-NRA morphism inside the calculus."""
+    return Apply(morphism, body)
+
+
+def ceq(left: CompExpr, right: CompExpr) -> EqExpr:
+    """Equality test."""
+    return EqExpr(left, right)
+
+
+def gen(name: str, source: CompExpr) -> Generator:
+    """The qualifier ``name <- source``."""
+    return Generator(name, source)
+
+
+def guard(pred: CompExpr) -> Guard:
+    """A filter qualifier."""
+    return Guard(pred)
+
+
+def setcomp(head: CompExpr, qualifiers: Sequence[Qualifier]) -> Comprehension:
+    """A set comprehension ``{head | qualifiers}``."""
+    return Comprehension(head, tuple(qualifiers), "set")
+
+
+def orcomp(head: CompExpr, qualifiers: Sequence[Qualifier]) -> Comprehension:
+    """An or-set comprehension ``<head | qualifiers>`` — the paper's
+    ``( x | x <- ..., p(x) )`` notation."""
+    return Comprehension(head, tuple(qualifiers), "orset")
+
+
+def compile_comprehension(expr: CompExpr, input_var: str) -> Morphism:
+    """Compile *expr* to a morphism whose input is bound to *input_var*."""
+    return expr.to_morphism([input_var])

@@ -1,0 +1,377 @@
+"""The or-set fragment NRA_or plus the interaction operator ``alpha``
+(Figure 1, right column and Section 2).
+
+====================  ===========================  ============================
+paper                 here                         type
+====================  ===========================  ============================
+``or_eta``            :class:`OrEta`               ``s -> <s>``
+``or_mu``             :class:`OrMu`                ``<<s>> -> <s>``
+``ormap(f)``          :class:`OrMap`               ``<s> -> <t>``
+``or_rho_2``          :class:`OrRho2`              ``s * <t> -> <s * t>``
+``or_U``              :class:`OrUnion`             ``<s> * <s> -> <s>``
+``K<>``               :class:`KEmptyOrSet`         ``unit -> <s>``
+``alpha``             :class:`Alpha`               ``{<s>} -> <{s}>``
+``ortoset``           :class:`OrToSet`             ``<s> -> {s}``
+``settoor``           :class:`SetToOr`             ``{s} -> <s>``
+====================  ===========================  ============================
+
+``or_rho_1`` is *not* a primitive: the paper notes it is definable as
+``ormap((pi_2, pi_1)) o or_rho_2 o (pi_2, pi_1)``; :func:`or_rho1` builds
+exactly that composition.
+
+``alpha`` combines an ordinary set of or-sets into an or-set of sets by
+choosing one element from each member in all possible ways; if any member
+is the empty or-set the result is the empty or-set (conceptual
+inconsistency).  It is the engine of normalization and, by Proposition 2.1,
+carries the expressive power of ``powerset``.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import FuncType, OrSetType, ProdType, SetType, UnitType
+from repro.types.unify import FreshVars
+from repro.values.values import OrSetValue, Pair, SetValue, Value
+
+from repro.lang.morphisms import Compose, Morphism, PairOf, Proj1, Proj2
+
+__all__ = [
+    "OrEta",
+    "OrMu",
+    "OrMap",
+    "OrRho2",
+    "OrUnion",
+    "KEmptyOrSet",
+    "Alpha",
+    "OrToSet",
+    "SetToOr",
+    "or_eta",
+    "or_mu",
+    "ormap",
+    "or_rho2",
+    "or_rho1",
+    "or_union",
+    "empty_orset",
+    "alpha",
+    "ortoset",
+    "settoor",
+    "or_flatmap",
+    "or_cartesian",
+    "alpha_value",
+]
+
+
+class OrEta(Morphism):
+    """Singleton or-set formation ``or_eta(x) = <x>``."""
+
+    def apply(self, value: Value) -> Value:
+        return OrSetValue((value,))
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(a, OrSetType(a))
+
+    def describe(self) -> str:
+        return "or_eta"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OrEta)
+
+    def __hash__(self) -> int:
+        return hash("OrEta")
+
+
+class OrMu(Morphism):
+    """Or-set flattening ``or_mu : <<s>> -> <s>``.
+
+    Preserves conceptual meaning: an or-set of or-sets denotes one element
+    of one of its members.
+    """
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, OrSetValue):
+            raise OrNRATypeError(f"or_mu expects an or-set of or-sets, got {value!r}")
+        out: list[Value] = []
+        for inner in value:
+            if not isinstance(inner, OrSetValue):
+                raise OrNRATypeError(
+                    f"or_mu expects an or-set of or-sets, got element {inner!r}"
+                )
+            out.extend(inner.elems)
+        return OrSetValue(out)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(OrSetType(OrSetType(a)), OrSetType(a))
+
+    def describe(self) -> str:
+        return "or_mu"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OrMu)
+
+    def __hash__(self) -> int:
+        return hash("OrMu")
+
+
+class OrMap(Morphism):
+    """``ormap(f) : <s> -> <t>`` applies *f* to every element."""
+
+    def __init__(self, body: Morphism) -> None:
+        self.body = body
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, OrSetValue):
+            raise OrNRATypeError(f"ormap expects an or-set, got {value!r}")
+        return OrSetValue(self.body.apply(e) for e in value)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        sig = self.body.signature(fresh)
+        return FuncType(OrSetType(sig.dom), OrSetType(sig.cod))
+
+    def describe(self) -> str:
+        return f"ormap({self.body.describe()})"
+
+    def children(self) -> tuple[Morphism, ...]:
+        return (self.body,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OrMap) and self.body == other.body
+
+    def __hash__(self) -> int:
+        return hash(("OrMap", self.body))
+
+
+class OrRho2(Morphism):
+    """``or_rho_2 : s * <t> -> <s * t>``.
+
+    ``or_rho_2 (1, <2, 3>) = <(1, 2), (1, 3)>`` — the input is conceptually
+    a pair whose second component is either 2 or 3, which is exactly what
+    the output denotes.
+    """
+
+    def apply(self, value: Value) -> Value:
+        if not (isinstance(value, Pair) and isinstance(value.snd, OrSetValue)):
+            raise OrNRATypeError(f"or_rho_2 expects (s, <t>), got {value!r}")
+        return OrSetValue(Pair(value.fst, e) for e in value.snd)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a, b = fresh.fresh(), fresh.fresh()
+        return FuncType(ProdType(a, OrSetType(b)), OrSetType(ProdType(a, b)))
+
+    def describe(self) -> str:
+        return "or_rho_2"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OrRho2)
+
+    def __hash__(self) -> int:
+        return hash("OrRho2")
+
+
+class OrUnion(Morphism):
+    """Binary or-set union ``<s> * <s> -> <s>`` (more alternatives)."""
+
+    def apply(self, value: Value) -> Value:
+        if not (
+            isinstance(value, Pair)
+            and isinstance(value.fst, OrSetValue)
+            and isinstance(value.snd, OrSetValue)
+        ):
+            raise OrNRATypeError(f"or_union expects (<s>, <s>), got {value!r}")
+        return OrSetValue(value.fst.elems + value.snd.elems)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(ProdType(OrSetType(a), OrSetType(a)), OrSetType(a))
+
+    def describe(self) -> str:
+        return "or_union"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OrUnion)
+
+    def __hash__(self) -> int:
+        return hash("OrUnion")
+
+
+class KEmptyOrSet(Morphism):
+    """``K<> : unit -> <s>`` produces the empty or-set (inconsistency)."""
+
+    def apply(self, value: Value) -> Value:
+        return OrSetValue(())
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        return FuncType(UnitType(), OrSetType(fresh.fresh()))
+
+    def describe(self) -> str:
+        return "K<>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, KEmptyOrSet)
+
+    def __hash__(self) -> int:
+        return hash("KEmptyOrSet")
+
+
+def alpha_value(elems: tuple[Value, ...], dedup: bool) -> OrSetValue:
+    """The combinatorial core of ``alpha``/``alpha_d``.
+
+    Takes the member or-sets of the input collection and returns the or-set
+    of all componentwise choices; *dedup* selects set (True) versus bag
+    (False) output elements.  An empty member or-set forces the empty
+    result, and the empty input collection yields ``< {} >`` (one choice:
+    the empty set), matching the paper's semantics.
+    """
+    from repro.values.values import BagValue
+
+    for member in elems:
+        if not isinstance(member, OrSetValue):
+            raise OrNRATypeError(f"alpha expects or-set members, got {member!r}")
+        if not member.elems:
+            return OrSetValue(())
+    wrapper = SetValue if dedup else BagValue
+    choices = iter_product(*(member.elems for member in elems))
+    return OrSetValue(wrapper(choice) for choice in choices)
+
+
+class Alpha(Morphism):
+    """``alpha : {<s>} -> <{s}>`` — all componentwise choices.
+
+    Example (Section 1): ``alpha {<2,3>, <4,5,3>}`` is
+    ``<{2,4}, {2,5}, {2,3}, {3,4}, {3,5}, {3}>``; note ``{3}`` arises when
+    both members choose 3, and an empty member yields ``< >``.
+    """
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, SetValue):
+            raise OrNRATypeError(f"alpha expects a set of or-sets, got {value!r}")
+        return alpha_value(value.elems, dedup=True)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(SetType(OrSetType(a)), OrSetType(SetType(a)))
+
+    def describe(self) -> str:
+        return "alpha"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Alpha)
+
+    def __hash__(self) -> int:
+        return hash("Alpha")
+
+
+class OrToSet(Morphism):
+    """``ortoset : <s> -> {s}`` — forget the disjunctive reading.
+
+    Introduced "for technical purposes only" to state Proposition 2.1.
+    """
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, OrSetValue):
+            raise OrNRATypeError(f"ortoset expects an or-set, got {value!r}")
+        return SetValue(value.elems)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(OrSetType(a), SetType(a))
+
+    def describe(self) -> str:
+        return "ortoset"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OrToSet)
+
+    def __hash__(self) -> int:
+        return hash("OrToSet")
+
+
+class SetToOr(Morphism):
+    """``settoor : {s} -> <s>`` — impose the disjunctive reading."""
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, SetValue):
+            raise OrNRATypeError(f"settoor expects a set, got {value!r}")
+        return OrSetValue(value.elems)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(SetType(a), OrSetType(a))
+
+    def describe(self) -> str:
+        return "settoor"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetToOr)
+
+    def __hash__(self) -> int:
+        return hash("SetToOr")
+
+
+def or_eta() -> OrEta:
+    """Singleton or-set formation."""
+    return OrEta()
+
+
+def or_mu() -> OrMu:
+    """Or-set flattening."""
+    return OrMu()
+
+
+def ormap(body: Morphism) -> OrMap:
+    """``ormap(body)``."""
+    return OrMap(body)
+
+
+def or_rho2() -> OrRho2:
+    """``or_rho_2``."""
+    return OrRho2()
+
+
+def or_rho1() -> Morphism:
+    """``or_rho_1 : <s> * t -> <s * t>``, the paper's derived definition:
+    ``ormap((pi_2, pi_1)) o or_rho_2 o (pi_2, pi_1)``."""
+    swap = PairOf(Proj2(), Proj1())
+    return Compose(OrMap(swap), Compose(OrRho2(), swap))
+
+
+def or_union() -> OrUnion:
+    """Binary or-set union."""
+    return OrUnion()
+
+
+def empty_orset() -> KEmptyOrSet:
+    """``K<>``."""
+    return KEmptyOrSet()
+
+
+def alpha() -> Alpha:
+    """The set/or-set interaction operator."""
+    return Alpha()
+
+
+def ortoset() -> OrToSet:
+    """``ortoset``."""
+    return OrToSet()
+
+
+def settoor() -> SetToOr:
+    """``settoor``."""
+    return SetToOr()
+
+
+def or_flatmap(body: Morphism) -> Morphism:
+    """``or_ext(f) = or_mu o ormap(f) : <s> -> <t>``."""
+    return Compose(OrMu(), OrMap(body))
+
+
+def or_cartesian() -> Morphism:
+    """``or_cp : <s> * <t> -> <s * t>`` — pair every choice with every choice.
+
+    This is the ``orcp = or_mu o ormap(or_rho_1) o or_rho_2`` composition
+    used in the proof of Theorem 5.1.
+    """
+    return Compose(OrMu(), Compose(OrMap(or_rho1()), OrRho2()))

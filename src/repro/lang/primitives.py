@@ -1,0 +1,147 @@
+"""The primitive signature ``Sigma`` — arithmetic, comparisons, booleans.
+
+or-NRA is parameterized by a collection of primitives ``p`` with declared
+types ``Type(p)`` (Section 2).  This module provides the standard ones for
+the built-in base types plus factories for user primitives (the intro's
+``ischeap`` would be ``predicate("ischeap", fn, dom)``).
+
+Primitives whose declared type mentions or-sets are legal in or-NRA but are
+excluded from the losslessness theorem's syntactic class; the factories
+here record the declared type so :mod:`repro.core.preserve` can check it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import BOOL, INT, ProdType, Type
+from repro.values.values import Atom, Pair, Value, boolean, ensure_value
+
+from repro.lang.morphisms import Primitive
+
+__all__ = [
+    "int_binop",
+    "plus",
+    "minus",
+    "times",
+    "int_le",
+    "int_lt",
+    "bool_and",
+    "bool_or",
+    "bool_not",
+    "predicate",
+    "unary_primitive",
+]
+
+
+def _unwrap_int(v: Value, op: str) -> int:
+    if not (isinstance(v, Atom) and v.base == "int"):
+        raise OrNRATypeError(f"{op} expects int atoms, got {v!r}")
+    return int(v.value)  # type: ignore[arg-type]
+
+
+def _unwrap_bool(v: Value, op: str) -> bool:
+    if not (isinstance(v, Atom) and v.base == "bool"):
+        raise OrNRATypeError(f"{op} expects bool atoms, got {v!r}")
+    return bool(v.value)
+
+
+def _binop_value(v: Value, op: str) -> tuple[Value, Value]:
+    if not isinstance(v, Pair):
+        raise OrNRATypeError(f"{op} expects a pair, got {v!r}")
+    return v.fst, v.snd
+
+
+def int_binop(name: str, fn: Callable[[int, int], int]) -> Primitive:
+    """An integer operator ``int * int -> int``."""
+
+    def run(v: Value) -> Value:
+        a, b = _binop_value(v, name)
+        return Atom("int", fn(_unwrap_int(a, name), _unwrap_int(b, name)))
+
+    return Primitive(name, run, ProdType(INT, INT), INT)
+
+
+def plus() -> Primitive:
+    """Integer addition."""
+    return int_binop("plus", lambda a, b: a + b)
+
+
+def minus() -> Primitive:
+    """Integer subtraction."""
+    return int_binop("minus", lambda a, b: a - b)
+
+
+def times() -> Primitive:
+    """Integer multiplication."""
+    return int_binop("times", lambda a, b: a * b)
+
+
+def int_le() -> Primitive:
+    """Integer ``<=`` test: ``int * int -> bool``."""
+
+    def run(v: Value) -> Value:
+        a, b = _binop_value(v, "leq")
+        return boolean(_unwrap_int(a, "leq") <= _unwrap_int(b, "leq"))
+
+    return Primitive("leq", run, ProdType(INT, INT), BOOL)
+
+
+def int_lt() -> Primitive:
+    """Integer ``<`` test: ``int * int -> bool``."""
+
+    def run(v: Value) -> Value:
+        a, b = _binop_value(v, "lt")
+        return boolean(_unwrap_int(a, "lt") < _unwrap_int(b, "lt"))
+
+    return Primitive("lt", run, ProdType(INT, INT), BOOL)
+
+
+def bool_and() -> Primitive:
+    """Boolean conjunction ``bool * bool -> bool``."""
+
+    def run(v: Value) -> Value:
+        a, b = _binop_value(v, "and")
+        return boolean(_unwrap_bool(a, "and") and _unwrap_bool(b, "and"))
+
+    return Primitive("and", run, ProdType(BOOL, BOOL), BOOL)
+
+
+def bool_or() -> Primitive:
+    """Boolean disjunction ``bool * bool -> bool``."""
+
+    def run(v: Value) -> Value:
+        a, b = _binop_value(v, "or")
+        return boolean(_unwrap_bool(a, "or") or _unwrap_bool(b, "or"))
+
+    return Primitive("or", run, ProdType(BOOL, BOOL), BOOL)
+
+
+def bool_not() -> Primitive:
+    """Boolean negation ``bool -> bool``."""
+
+    def run(v: Value) -> Value:
+        return boolean(not _unwrap_bool(v, "not"))
+
+    return Primitive("not", run, BOOL, BOOL)
+
+
+def predicate(name: str, fn: Callable[[Value], bool], dom: Type) -> Primitive:
+    """A user predicate ``dom -> bool`` from a plain Python function."""
+
+    def run(v: Value) -> Value:
+        return boolean(bool(fn(v)))
+
+    return Primitive(name, run, dom, BOOL)
+
+
+def unary_primitive(
+    name: str, fn: Callable[[Value], object], dom: Type, cod: Type
+) -> Primitive:
+    """A user primitive ``dom -> cod``; the result is coerced to a value."""
+
+    def run(v: Value) -> Value:
+        return ensure_value(fn(v))
+
+    return Primitive(name, run, dom, cod)

@@ -1,0 +1,245 @@
+"""Structural recursion on sets, or-sets and bags (Section 7).
+
+The OR-SML package "includes ... structural recursion on sets and or-sets"
+— the insert-presentation recursion of Breazu-Tannen, Buneman & Naqvi
+[3, 4]::
+
+    sr(e, i) {}           = e
+    sr(e, i) ({x} U X)    = i(x, sr(e, i) X)
+
+For the result to be well defined on *sets* the combinator ``i`` must not
+care about insertion order (left-commutativity) or repeated insertions of
+the same element (idempotence)::
+
+    i(x, i(y, a)) = i(y, i(x, a))        (left-commutativity)
+    i(x, i(x, a)) = i(x, a)              (idempotence)
+
+On *or-sets* the same presentation applies (or-sets are duplicate-free
+collections structurally), and on *bags* only left-commutativity is
+required.  These preconditions are undecidable in general, so — like
+OR-SML — the library offers both an unchecked fold and a *checked* variant
+that dynamically verifies the two laws on the elements actually being
+folded (a sound runtime approximation: a violated law on the input proves
+ill-definedness; see [4]).
+
+Morphism wrappers (:class:`SetSR`, :class:`OrSetSR`, :class:`BagSR`) make
+structural recursion available inside or-NRA queries, with the combinator
+given as a morphism ``i : s * t -> t`` and the seed as a value ``e : t``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import EligibilityError, OrNRATypeError
+from repro.types.kinds import BagType, FuncType, OrSetType, ProdType, SetType
+from repro.types.unify import FreshVars, apply_subst, unify
+from repro.values.values import (
+    BagValue,
+    OrSetValue,
+    Pair,
+    SetValue,
+    Value,
+    ensure_value,
+    infer_type,
+)
+
+from repro.lang.morphisms import Morphism
+
+__all__ = [
+    "fold_set",
+    "fold_orset",
+    "fold_bag",
+    "check_left_commutative",
+    "check_idempotent",
+    "SetSR",
+    "OrSetSR",
+    "BagSR",
+    "sr_set",
+    "sr_orset",
+    "sr_bag",
+]
+
+Insert = Callable[[Value, Value], Value]
+
+
+def check_left_commutative(insert: Insert, elems: Iterable[Value], seed: Value) -> bool:
+    """Does ``i(x, i(y, a)) = i(y, i(x, a))`` hold on the given elements?
+
+    Checks every ordered pair of (distinct-position) elements against the
+    accumulators reachable from *seed*; a failure proves the recursion is
+    ill-defined on this input.
+    """
+    elems = list(elems)
+    accs = [seed]
+    for e in elems:
+        accs.append(insert(e, accs[-1]))
+    for a in accs:
+        for x in elems:
+            for y in elems:
+                if insert(x, insert(y, a)) != insert(y, insert(x, a)):
+                    return False
+    return True
+
+
+def check_idempotent(insert: Insert, elems: Iterable[Value], seed: Value) -> bool:
+    """Does ``i(x, i(x, a)) = i(x, a)`` hold on the given elements?"""
+    elems = list(elems)
+    accs = [seed]
+    for e in elems:
+        accs.append(insert(e, accs[-1]))
+    for a in accs:
+        for x in elems:
+            if insert(x, insert(x, a)) != insert(x, a):
+                return False
+    return True
+
+
+def _fold(elems: tuple[Value, ...], seed: Value, insert: Insert) -> Value:
+    acc = seed
+    for e in reversed(elems):
+        acc = insert(e, acc)
+    return acc
+
+
+def fold_set(
+    value: Value, seed: object, insert: Insert, checked: bool = False
+) -> Value:
+    """Structural recursion over a set.
+
+    With ``checked=True`` the left-commutativity and idempotence laws are
+    verified on the input's elements first; :class:`EligibilityError` is
+    raised on a violation (the fold would depend on the set's arbitrary
+    internal order).
+    """
+    if not isinstance(value, SetValue):
+        raise OrNRATypeError(f"fold_set expects a set, got {value!r}")
+    seed = ensure_value(seed)
+    if checked:
+        if not check_left_commutative(insert, value.elems, seed):
+            raise EligibilityError(
+                "insert combinator is not left-commutative on this input"
+            )
+        if not check_idempotent(insert, value.elems, seed):
+            raise EligibilityError(
+                "insert combinator is not idempotent on this input"
+            )
+    return _fold(value.elems, seed, insert)
+
+
+def fold_orset(
+    value: Value, seed: object, insert: Insert, checked: bool = False
+) -> Value:
+    """Structural recursion over an or-set (same laws as for sets)."""
+    if not isinstance(value, OrSetValue):
+        raise OrNRATypeError(f"fold_orset expects an or-set, got {value!r}")
+    seed = ensure_value(seed)
+    if checked:
+        if not check_left_commutative(insert, value.elems, seed):
+            raise EligibilityError(
+                "insert combinator is not left-commutative on this input"
+            )
+        if not check_idempotent(insert, value.elems, seed):
+            raise EligibilityError(
+                "insert combinator is not idempotent on this input"
+            )
+    return _fold(value.elems, seed, insert)
+
+
+def fold_bag(
+    value: Value, seed: object, insert: Insert, checked: bool = False
+) -> Value:
+    """Structural recursion over a bag (left-commutativity only)."""
+    if not isinstance(value, BagValue):
+        raise OrNRATypeError(f"fold_bag expects a bag, got {value!r}")
+    seed = ensure_value(seed)
+    if checked and not check_left_commutative(insert, value.elems, seed):
+        raise EligibilityError(
+            "insert combinator is not left-commutative on this input"
+        )
+    return _fold(value.elems, seed, insert)
+
+
+class _SRBase(Morphism):
+    """Shared shell of the three structural-recursion morphisms."""
+
+    _NAME = "sr"
+    _FOLD = staticmethod(fold_set)
+    _WRAPPER: type = SetType
+
+    def __init__(self, seed: object, insert: Morphism, checked: bool = False) -> None:
+        self.seed = ensure_value(seed)
+        self.insert = insert
+        self.checked = checked
+
+    def apply(self, value: Value) -> Value:
+        def step(x: Value, acc: Value) -> Value:
+            return self.insert.apply(Pair(x, acc))
+
+        return type(self)._FOLD(value, self.seed, step, self.checked)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        sig_i = self.insert.signature(fresh)
+        seed_t = infer_type(self.seed)
+        a, t = fresh.fresh(), fresh.fresh()
+        subst = unify(sig_i.dom, ProdType(a, t))
+        subst = unify(apply_subst(subst, sig_i.cod), apply_subst(subst, t), subst)
+        subst = unify(apply_subst(subst, t), seed_t, subst)
+        elem = apply_subst(subst, a)
+        return FuncType(self._WRAPPER(elem), apply_subst(subst, t))
+
+    def describe(self) -> str:
+        return f"{self._NAME}({self.seed}, {self.insert.describe()})"
+
+    def children(self) -> tuple[Morphism, ...]:
+        return (self.insert,)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and self.seed == other.seed
+            and self.insert == other.insert
+            and self.checked == other.checked
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.seed, self.insert, self.checked))
+
+
+class SetSR(_SRBase):
+    """``sr_set(e, i) : {s} -> t`` — structural recursion inside or-NRA."""
+
+    _NAME = "sr_set"
+    _FOLD = staticmethod(fold_set)
+    _WRAPPER = SetType
+
+
+class OrSetSR(_SRBase):
+    """``sr_orset(e, i) : <s> -> t``."""
+
+    _NAME = "sr_orset"
+    _FOLD = staticmethod(fold_orset)
+    _WRAPPER = OrSetType
+
+
+class BagSR(_SRBase):
+    """``sr_bag(e, i) : [|s|] -> t``."""
+
+    _NAME = "sr_bag"
+    _FOLD = staticmethod(fold_bag)
+    _WRAPPER = BagType
+
+
+def sr_set(seed: object, insert: Morphism, checked: bool = False) -> SetSR:
+    """Structural recursion over sets as an or-NRA morphism."""
+    return SetSR(seed, insert, checked)
+
+
+def sr_orset(seed: object, insert: Morphism, checked: bool = False) -> OrSetSR:
+    """Structural recursion over or-sets as an or-NRA morphism."""
+    return OrSetSR(seed, insert, checked)
+
+
+def sr_bag(seed: object, insert: Morphism, checked: bool = False) -> BagSR:
+    """Structural recursion over bags as an or-NRA morphism."""
+    return BagSR(seed, insert, checked)

@@ -1,0 +1,98 @@
+"""The relational derived layer: nest, unnest, join, semijoin.
+
+Continues the OR-SML library of Section 7 with the nested-relational
+classics, each a pure composition of Figure 1 primitives (no Python-level
+cheating), demonstrating the definability results of [5] the paper builds
+on:
+
+====================  =====================================  ===============
+function              type                                   idea
+====================  =====================================  ===============
+``unnest``            ``{s * {t}} -> {s * t}``               ``mu o map(rho_2)``
+``nest``              ``{s * t} -> {s * {t}}``               group by first
+``join``              ``{s * t} * {t * u} -> {s * (t * u)}`` filter cartesian
+``semijoin``          ``{s * t} * {t} -> {s * t}``           rows with match
+``or_unnest``         ``<s * <t>> -> <s * t>``               or-set analog
+====================  =====================================  ===============
+
+``nest`` is the interesting one: grouping needs each row to see the whole
+relation, which is exactly what ``rho_1 o (id, id)`` provides —
+``R |-> {(r, R) | r in R}`` — after which the group of a row is a
+``select`` over its copy of ``R``.  Duplicate groups collapse by set
+semantics, so the result is the usual nesting.
+"""
+
+from __future__ import annotations
+
+from repro.lang.morphisms import Compose, Eq, Id, Morphism, PairOf, Proj1, Proj2, compose
+from repro.lang.orset_ops import OrMap, OrMu, OrRho2
+from repro.lang.set_ops import SetMap, SetMu, SetRho2, set_cartesian, set_rho1
+from repro.lang.stdlib import member, select
+
+__all__ = ["unnest", "nest", "join", "semijoin", "or_unnest"]
+
+
+def unnest() -> Morphism:
+    """``{s * {t}} -> {s * t}`` — flatten one level of nesting:
+    ``mu o map(rho_2)``."""
+    return Compose(SetMu(), SetMap(SetRho2()))
+
+
+def nest() -> Morphism:
+    """``{s * t} -> {s * {t}}`` — group second components by first.
+
+    ``nest {(1,a), (1,b), (2,c)} = {(1, {a,b}), (2, {c})}``.
+    """
+    # (a, R) -> {b' | (a', b') in R, a' = a}:
+    # rho_2 pairs a with every row, select keeps matching rows, and the
+    # final map projects the grouped payloads.
+    key_matches = Compose(Eq(), PairOf(Proj1(), Compose(Proj1(), Proj2())))
+    group_of_key = compose(
+        SetMap(Compose(Proj2(), Proj2())),
+        select(key_matches),
+        SetRho2(),
+    )
+    row_key = Compose(Proj1(), Proj1())
+    build_group = Compose(group_of_key, PairOf(row_key, Proj2()))
+    per_row = PairOf(row_key, build_group)
+    return compose(SetMap(per_row), set_rho1(), PairOf(Id(), Id()))
+
+
+def join() -> Morphism:
+    """``{s * t} * {t * u} -> {s * (t * u)}`` — natural join on the shared
+    middle component: filter the cartesian product, then reassociate."""
+    middles_equal = Compose(
+        Eq(), PairOf(Compose(Proj2(), Proj1()), Compose(Proj1(), Proj2()))
+    )
+    reassociate = PairOf(Compose(Proj1(), Proj1()), Proj2())
+    return compose(SetMap(reassociate), select(middles_equal), set_cartesian())
+
+
+def semijoin() -> Morphism:
+    """``{s * t} * {t} -> {s * t}`` — rows whose second component occurs in
+    the filter set."""
+    # rho_1 gives {((s, t), {t})}; keep rows with a membership hit.
+    has_match = Compose(member(), PairOf(Compose(Proj2(), Proj1()), Proj2()))
+    keep_row = Compose(
+        SetMu(),
+        SetMap(
+            _cond_keep(has_match)
+        ),
+    )
+    return Compose(keep_row, set_rho1())
+
+
+def _cond_keep(pred: Morphism) -> Morphism:
+    from repro.lang.morphisms import Bang, Cond
+    from repro.lang.set_ops import KEmptySet, SetEta
+
+    return Cond(
+        pred,
+        Compose(SetEta(), Proj1()),
+        Compose(KEmptySet(), Bang()),
+    )
+
+
+def or_unnest() -> Morphism:
+    """``<s * <t>> -> <s * t>`` — the or-set analog of :func:`unnest`."""
+    return Compose(OrMu(), OrMap(OrRho2()))

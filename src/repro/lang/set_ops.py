@@ -1,0 +1,242 @@
+"""The set fragment NRA (Figure 1, left column).
+
+====================  ===========================  ============================
+paper                 here                         type
+====================  ===========================  ============================
+``eta``               :class:`SetEta`              ``s -> {s}``
+``mu``                :class:`SetMu`               ``{{s}} -> {s}``
+``map(f)``            :class:`SetMap`              ``{s} -> {t}``
+``rho_2``             :class:`SetRho2`             ``s * {t} -> {s * t}``
+``U``                 :class:`SetUnion`            ``{s} * {s} -> {s}``
+``K{}``               :class:`KEmptySet`           ``unit -> {s}``
+====================  ===========================  ============================
+
+Derived forms: :func:`set_rho1`, :func:`flatmap` (the monad extension
+``ext f = mu o map f``), :func:`set_cartesian`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import FuncType, ProdType, SetType, UnitType
+from repro.types.unify import FreshVars
+from repro.values.values import Pair, SetValue, Value
+
+from repro.lang.morphisms import Compose, Morphism, PairOf, Proj1, Proj2
+
+__all__ = [
+    "SetEta",
+    "SetMu",
+    "SetMap",
+    "SetRho2",
+    "SetUnion",
+    "KEmptySet",
+    "set_eta",
+    "set_mu",
+    "set_map",
+    "set_rho2",
+    "set_rho1",
+    "set_union",
+    "empty_set",
+    "flatmap",
+    "set_cartesian",
+]
+
+
+class SetEta(Morphism):
+    """Singleton formation ``eta(x) = {x}``."""
+
+    def apply(self, value: Value) -> Value:
+        return SetValue((value,))
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(a, SetType(a))
+
+    def describe(self) -> str:
+        return "eta"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetEta)
+
+    def __hash__(self) -> int:
+        return hash("SetEta")
+
+
+class SetMu(Morphism):
+    """Flattening ``mu : {{s}} -> {s}``."""
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, SetValue):
+            raise OrNRATypeError(f"mu expects a set of sets, got {value!r}")
+        out: list[Value] = []
+        for inner in value:
+            if not isinstance(inner, SetValue):
+                raise OrNRATypeError(f"mu expects a set of sets, got {inner!r}")
+            out.extend(inner.elems)
+        return SetValue(out)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(SetType(SetType(a)), SetType(a))
+
+    def describe(self) -> str:
+        return "mu"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetMu)
+
+    def __hash__(self) -> int:
+        return hash("SetMu")
+
+
+class SetMap(Morphism):
+    """``map(f) : {s} -> {t}`` applies *f* to every element."""
+
+    def __init__(self, body: Morphism) -> None:
+        self.body = body
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, SetValue):
+            raise OrNRATypeError(f"map expects a set, got {value!r}")
+        return SetValue(self.body.apply(e) for e in value)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        sig = self.body.signature(fresh)
+        return FuncType(SetType(sig.dom), SetType(sig.cod))
+
+    def describe(self) -> str:
+        return f"map({self.body.describe()})"
+
+    def children(self) -> tuple[Morphism, ...]:
+        return (self.body,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetMap) and self.body == other.body
+
+    def __hash__(self) -> int:
+        return hash(("SetMap", self.body))
+
+
+class SetRho2(Morphism):
+    """``rho_2 : s * {t} -> {s * t}`` pairs the first component with each
+    element of the second."""
+
+    def apply(self, value: Value) -> Value:
+        if not (isinstance(value, Pair) and isinstance(value.snd, SetValue)):
+            raise OrNRATypeError(f"rho_2 expects (s, {{t}}), got {value!r}")
+        return SetValue(Pair(value.fst, e) for e in value.snd)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a, b = fresh.fresh(), fresh.fresh()
+        return FuncType(ProdType(a, SetType(b)), SetType(ProdType(a, b)))
+
+    def describe(self) -> str:
+        return "rho_2"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetRho2)
+
+    def __hash__(self) -> int:
+        return hash("SetRho2")
+
+
+class SetUnion(Morphism):
+    """Binary union ``U : {s} * {s} -> {s}``."""
+
+    def apply(self, value: Value) -> Value:
+        if not (
+            isinstance(value, Pair)
+            and isinstance(value.fst, SetValue)
+            and isinstance(value.snd, SetValue)
+        ):
+            raise OrNRATypeError(f"union expects ({{s}}, {{s}}), got {value!r}")
+        return SetValue(value.fst.elems + value.snd.elems)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a = fresh.fresh()
+        return FuncType(ProdType(SetType(a), SetType(a)), SetType(a))
+
+    def describe(self) -> str:
+        return "union"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetUnion)
+
+    def __hash__(self) -> int:
+        return hash("SetUnion")
+
+
+class KEmptySet(Morphism):
+    """``K{} : unit -> {s}`` produces the empty set."""
+
+    def apply(self, value: Value) -> Value:
+        return SetValue(())
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        return FuncType(UnitType(), SetType(fresh.fresh()))
+
+    def describe(self) -> str:
+        return "K{}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, KEmptySet)
+
+    def __hash__(self) -> int:
+        return hash("KEmptySet")
+
+
+def set_eta() -> SetEta:
+    """Singleton formation."""
+    return SetEta()
+
+
+def set_mu() -> SetMu:
+    """Set flattening."""
+    return SetMu()
+
+
+def set_map(body: Morphism) -> SetMap:
+    """``map(body)``."""
+    return SetMap(body)
+
+
+def set_rho2() -> SetRho2:
+    """``rho_2``."""
+    return SetRho2()
+
+
+def set_rho1() -> Morphism:
+    """``rho_1 : {s} * t -> {s * t}``, derived by swapping around ``rho_2``.
+
+    The paper defines the or-set analog this way; the set version is
+    symmetric: ``map((pi_2, pi_1)) o rho_2 o (pi_2, pi_1)``.
+    """
+    swap = PairOf(Proj2(), Proj1())
+    return Compose(SetMap(swap), Compose(SetRho2(), swap))
+
+
+def set_union() -> SetUnion:
+    """Binary set union."""
+    return SetUnion()
+
+
+def empty_set() -> KEmptySet:
+    """``K{}``."""
+    return KEmptySet()
+
+
+def flatmap(body: Morphism) -> Morphism:
+    """The monad extension ``ext(f) = mu o map(f) : {s} -> {t}``."""
+    return Compose(SetMu(), SetMap(body))
+
+
+def set_cartesian() -> Morphism:
+    """Cartesian product ``{s} * {t} -> {s * t}``.
+
+    ``cartprod = mu o map(rho_2 o (pi_1 o pi_1, pi_2)) o rho_1``-style
+    composition, expressed here as ``flatmap`` over ``rho_1`` then ``rho_2``.
+    """
+    # rho_1 : {s} * t' -> {s * t'} with t' = {t}; each pair (x, T) then goes
+    # through rho_2 to become {(x, y) | y in T}.
+    return Compose(SetMu(), Compose(SetMap(SetRho2()), set_rho1()))

@@ -1,0 +1,227 @@
+"""The OR-SML-style derived library (Section 7).
+
+The paper's implementation ships "several libraries of derived functions
+... membership test, set difference, inclusion test, cartesian product,
+etc., and their analogs for or-sets which ... are definable in or-NRA+".
+This module rebuilds that library as *compositions of the Figure 1
+primitives* — no Python-level cheating — demonstrating the definability
+results of [5] that the paper relies on:
+
+====================  ================================  ======================
+function              type                              built from
+====================  ================================  ======================
+``nonempty``          ``{s} -> bool``                   ``= o (map !, eta o !)``
+``is_empty``          ``{s} -> bool``                   ``not o nonempty``
+``select(p)``         ``{s} -> {s}``                    ``mu o map(cond(p, eta, K{} o !))``
+``set_exists(p)``     ``{s} -> bool``                   ``nonempty o select(p)``
+``set_forall(p)``     ``{s} -> bool``                   ``is_empty o select(not o p)``
+``member``            ``s * {s} -> bool``               via ``rho_2`` + ``=``
+``subset``            ``{s} * {s} -> bool``             via ``rho_1`` + ``member``
+``set_intersect``     ``{s} * {s} -> {s}``              select by membership
+``set_difference``    ``{s} * {s} -> {s}``              select by non-membership
+``set_eq``            ``{s} * {s} -> bool``             mutual inclusion
+====================  ================================  ======================
+
+plus the or-set analogs (``or_nonempty``, ``or_select``, ...) obtained by
+swapping the collection operators, exactly as Wadler's observation about
+collection monads promises.  The or-set selection semantics is the intro's
+example: keep the alternatives satisfying ``p``.
+"""
+
+from __future__ import annotations
+
+from repro.lang.bag_ops import DMap
+from repro.lang.morphisms import (
+    Bang,
+    Compose,
+    Cond,
+    Eq,
+    Id,
+    Morphism,
+    PairOf,
+    Proj1,
+    Proj2,
+    compose,
+)
+from repro.lang.orset_ops import (
+    KEmptyOrSet,
+    OrEta,
+    OrMap,
+    OrMu,
+    OrRho2,
+    or_rho1 as _or_rho1,
+)
+from repro.lang.primitives import bool_not
+from repro.lang.set_ops import (
+    KEmptySet,
+    SetEta,
+    SetMap,
+    SetMu,
+    SetRho2,
+    set_rho1 as _set_rho1,
+)
+
+__all__ = [
+    "nonempty",
+    "is_empty",
+    "select",
+    "set_exists",
+    "set_forall",
+    "member",
+    "subset",
+    "set_eq_morphism",
+    "set_intersect",
+    "set_difference",
+    "or_nonempty",
+    "or_is_empty",
+    "or_select",
+    "or_exists",
+    "or_forall",
+    "or_member",
+    "or_subset",
+    "or_intersect",
+    "or_difference",
+    "bag_size_preserving_id",
+]
+
+
+def nonempty() -> Morphism:
+    """``{s} -> bool``: ``= o (map(!), eta o !)``.
+
+    ``map(!)`` sends a non-empty set to ``{()}`` and the empty set to
+    ``{}``; comparing with the singleton ``{()}`` decides emptiness.
+    """
+    return Compose(Eq(), PairOf(SetMap(Bang()), Compose(SetEta(), Bang())))
+
+
+def is_empty() -> Morphism:
+    """``{s} -> bool`` — negation of :func:`nonempty`."""
+    return Compose(bool_not(), nonempty())
+
+
+def select(p: Morphism) -> Morphism:
+    """``select(p) : {s} -> {s}`` — the intro's filtering idiom
+    ``mu o map(cond(p, eta, K{} o !))``."""
+    return Compose(SetMu(), SetMap(Cond(p, SetEta(), Compose(KEmptySet(), Bang()))))
+
+
+def set_exists(p: Morphism) -> Morphism:
+    """``{s} -> bool``: some element satisfies *p*."""
+    return Compose(nonempty(), select(p))
+
+
+def set_forall(p: Morphism) -> Morphism:
+    """``{s} -> bool``: every element satisfies *p*."""
+    return Compose(is_empty(), select(Compose(bool_not(), p)))
+
+
+def member() -> Morphism:
+    """``s * {s} -> bool``: pair the candidate with every element
+    (``rho_2``), test equality, ask whether any test succeeded."""
+    return compose(set_exists(Id()), SetMap(Eq()), SetRho2())
+
+
+def subset() -> Morphism:
+    """``{s} * {s} -> bool``: every element of the first is a member of the
+    second; ``rho_1`` turns ``(X, Y)`` into ``{(x, Y) | x in X}``."""
+    return compose(set_forall(Id()), SetMap(member()), _set_rho1())
+
+
+def set_eq_morphism() -> Morphism:
+    """``{s} * {s} -> bool`` — extensional equality via mutual inclusion.
+
+    (Values are canonical, so the primitive ``=`` agrees; this derived form
+    demonstrates definability.)
+    """
+    from repro.lang.primitives import bool_and
+
+    swap = PairOf(Proj2(), Proj1())
+    return Compose(bool_and(), PairOf(subset(), Compose(subset(), swap)))
+
+
+def set_intersect() -> Morphism:
+    """``{s} * {s} -> {s}``: keep elements of the first that belong to the
+    second."""
+    keep = Cond(member(), Compose(SetEta(), Proj1()), Compose(KEmptySet(), Bang()))
+    return compose(SetMu(), SetMap(keep), _set_rho1())
+
+
+def set_difference() -> Morphism:
+    """``{s} * {s} -> {s}``: keep elements of the first *not* in the
+    second."""
+    keep = Cond(
+        Compose(bool_not(), member()),
+        Compose(SetEta(), Proj1()),
+        Compose(KEmptySet(), Bang()),
+    )
+    return compose(SetMu(), SetMap(keep), _set_rho1())
+
+
+# ---------------------------------------------------------------------------
+# Or-set analogs (swap the collection monad, as in Section 2's observation)
+# ---------------------------------------------------------------------------
+
+
+def or_nonempty() -> Morphism:
+    """``<s> -> bool`` — consistency test (non-empty or-set)."""
+    return Compose(Eq(), PairOf(OrMap(Bang()), Compose(OrEta(), Bang())))
+
+
+def or_is_empty() -> Morphism:
+    """``<s> -> bool`` — the inconsistency test."""
+    return Compose(bool_not(), or_nonempty())
+
+
+def or_select(p: Morphism) -> Morphism:
+    """``<s> -> <s>``: keep the alternatives satisfying *p* — exactly the
+    intro's ``or_mu o ormap(cond(p, or_eta, K<> o !))``."""
+    return Compose(
+        OrMu(), OrMap(Cond(p, OrEta(), Compose(KEmptyOrSet(), Bang())))
+    )
+
+
+def or_exists(p: Morphism) -> Morphism:
+    """``<s> -> bool``: some alternative satisfies *p*."""
+    return Compose(or_nonempty(), or_select(p))
+
+
+def or_forall(p: Morphism) -> Morphism:
+    """``<s> -> bool``: every alternative satisfies *p*."""
+    return Compose(or_is_empty(), or_select(Compose(bool_not(), p)))
+
+
+def or_member() -> Morphism:
+    """``s * <s> -> bool``: is the candidate among the alternatives?"""
+    return compose(or_exists(Id()), OrMap(Eq()), OrRho2())
+
+
+def or_subset() -> Morphism:
+    """``<s> * <s> -> bool``: alternatives of the first all occur in the
+    second."""
+    return compose(or_forall(Id()), OrMap(or_member()), _or_rho1())
+
+
+def or_intersect() -> Morphism:
+    """``<s> * <s> -> <s>``: alternatives common to both."""
+    keep = Cond(
+        or_member(), Compose(OrEta(), Proj1()), Compose(KEmptyOrSet(), Bang())
+    )
+    return compose(OrMu(), OrMap(keep), _or_rho1())
+
+
+def or_difference() -> Morphism:
+    """``<s> * <s> -> <s>``: alternatives of the first absent from the
+    second (ruling alternatives out — an information *gain* under the
+    Smyth reading)."""
+    keep = Cond(
+        Compose(bool_not(), or_member()),
+        Compose(OrEta(), Proj1()),
+        Compose(KEmptyOrSet(), Bang()),
+    )
+    return compose(OrMu(), OrMap(keep), _or_rho1())
+
+
+def bag_size_preserving_id() -> Morphism:
+    """``dmap(id)`` — a bag identity witnessing cardinality preservation
+    (used by coherence tests)."""
+    return DMap(Id())

@@ -1,0 +1,76 @@
+"""Morphism typing utilities (the inference Section 2 alludes to).
+
+Every :class:`~repro.lang.morphisms.Morphism` can produce its most general
+type via unification; this module wraps that into the operations callers
+actually want: inference, applicability checks and concrete result types —
+plus :func:`elaborate`, which threads a concrete input type through an
+expression and reports the type at every composition step (used by error
+messages and by the losslessness machinery's explanations).
+"""
+
+from __future__ import annotations
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import FuncType, Type
+from repro.types.unify import FreshVars
+from repro.values.values import Value, check_type
+
+from repro.lang.morphisms import Compose, Morphism
+
+__all__ = [
+    "most_general_type",
+    "can_apply",
+    "result_type",
+    "elaborate",
+    "check_value_against",
+]
+
+
+def most_general_type(m: Morphism) -> FuncType:
+    """The principal ``dom -> cod`` type of *m* (may contain variables)."""
+    return m.signature(FreshVars())
+
+
+def can_apply(m: Morphism, t: Type) -> bool:
+    """Does *m* accept an input of type *t*?"""
+    try:
+        m.output_type(t)
+    except OrNRATypeError:
+        return False
+    return True
+
+
+def result_type(m: Morphism, t: Type) -> Type:
+    """The output type of *m* on inputs of type *t* (raises on mismatch)."""
+    return m.output_type(t)
+
+
+def elaborate(m: Morphism, t: Type) -> list[tuple[str, Type, Type]]:
+    """The typed pipeline of a composition chain on input type *t*.
+
+    Returns ``[(description, input_type, output_type)]`` for each stage in
+    application order; non-composite morphisms yield a single entry.
+    """
+    stages: list[Morphism] = []
+
+    def flatten(node: Morphism) -> None:
+        if isinstance(node, Compose):
+            flatten(node.before)
+            flatten(node.after)
+        else:
+            stages.append(node)
+
+    flatten(m)
+    out: list[tuple[str, Type, Type]] = []
+    current = t
+    for stage in stages:
+        produced = stage.output_type(current)
+        out.append((stage.describe(), current, produced))
+        current = produced
+    return out
+
+
+def check_value_against(value: Value, t: Type) -> None:
+    """Raise :class:`OrNRATypeError` when *value* does not inhabit *t*."""
+    if not check_type(value, t):
+        raise OrNRATypeError(f"value {value!r} does not inhabit {t!r}")

@@ -1,0 +1,248 @@
+"""Variant (sum) types for or-NRA — the Section 7 extension.
+
+The paper's conclusion reports: "Our languages have been extended to
+include variant types.  It is known that the coherence result still holds
+in the extended languages."  This module provides that extension:
+
+====================  ===========================  ============================
+paper (standard)      here                         type
+====================  ===========================  ============================
+``inl``               :class:`InjectLeft`          ``s -> s + t``
+``inr``               :class:`InjectRight`         ``t -> s + t``
+``case(f, g)``        :class:`Case`                ``s + t -> r``
+``or_kappa_1``        :class:`OrKappa1`            ``<s> + t -> <s + t>``
+``or_kappa_2``        :class:`OrKappa2`            ``s + <t> -> <s + t>``
+====================  ===========================  ============================
+
+``or_kappa_1`` and ``or_kappa_2`` are the value transformations associated
+with the two new type-rewrite rules (``variant_left`` / ``variant_right``):
+an injected or-set ``inl <x_1, ..., x_n>`` conceptually denotes one of
+``inl x_1, ..., inl x_n``, so it rewrites to ``<inl x_1, ..., inl x_n>``;
+an injection from the *other* side carries no or-set at this position and
+becomes the singleton ``<inr y>``.  Both preserve conceptual meaning, which
+is what keeps Theorem 4.2 (coherence) true for the extended language.
+
+Derived forms: :func:`variant_map` maps a function over whichever side is
+present, and :func:`is_left` / :func:`is_right` are boolean discriminators.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import FuncType, OrSetType, VariantType
+from repro.types.unify import FreshVars, apply_subst, unify
+from repro.values.values import OrSetValue, Value, Variant
+
+from repro.lang.morphisms import Compose, Morphism
+
+__all__ = [
+    "InjectLeft",
+    "InjectRight",
+    "Case",
+    "OrKappa1",
+    "OrKappa2",
+    "inl",
+    "inr",
+    "case",
+    "or_kappa1",
+    "or_kappa2",
+    "variant_map",
+    "is_left",
+    "is_right",
+]
+
+
+class InjectLeft(Morphism):
+    """The left injection ``inl : s -> s + t``."""
+
+    def apply(self, value: Value) -> Value:
+        return Variant(0, value)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a, b = fresh.fresh(), fresh.fresh()
+        return FuncType(a, VariantType(a, b))
+
+    def describe(self) -> str:
+        return "inl"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, InjectLeft)
+
+    def __hash__(self) -> int:
+        return hash("InjectLeft")
+
+
+class InjectRight(Morphism):
+    """The right injection ``inr : t -> s + t``."""
+
+    def apply(self, value: Value) -> Value:
+        return Variant(1, value)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a, b = fresh.fresh(), fresh.fresh()
+        return FuncType(b, VariantType(a, b))
+
+    def describe(self) -> str:
+        return "inr"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, InjectRight)
+
+    def __hash__(self) -> int:
+        return hash("InjectRight")
+
+
+class Case(Morphism):
+    """Case analysis ``case(f, g) : s + t -> r``.
+
+    Applies *on_left* to the payload of a left injection and *on_right*
+    to the payload of a right injection; both branches must produce the
+    same result type.
+    """
+
+    def __init__(self, on_left: Morphism, on_right: Morphism) -> None:
+        self.on_left = on_left
+        self.on_right = on_right
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, Variant):
+            raise OrNRATypeError(f"case expects a variant, got {value!r}")
+        branch = self.on_left if value.side == 0 else self.on_right
+        return branch.apply(value.payload)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        sig_l = self.on_left.signature(fresh)
+        sig_r = self.on_right.signature(fresh)
+        subst = unify(sig_l.cod, sig_r.cod)
+        return FuncType(
+            VariantType(apply_subst(subst, sig_l.dom), apply_subst(subst, sig_r.dom)),
+            apply_subst(subst, sig_l.cod),
+        )
+
+    def describe(self) -> str:
+        return f"case({self.on_left.describe()}, {self.on_right.describe()})"
+
+    def children(self) -> tuple[Morphism, ...]:
+        return (self.on_left, self.on_right)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Case)
+            and self.on_left == other.on_left
+            and self.on_right == other.on_right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Case", self.on_left, self.on_right))
+
+
+class OrKappa1(Morphism):
+    """``or_kappa_1 : <s> + t -> <s + t>`` — pull an or-set out of ``inl``.
+
+    ``inl <x_1, ..., x_n>`` becomes ``<inl x_1, ..., inl x_n>``; an ``inr``
+    input becomes the singleton or-set of itself.  Conceptual meaning is
+    preserved in both cases.
+    """
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, Variant):
+            raise OrNRATypeError(f"or_kappa_1 expects a variant, got {value!r}")
+        if value.side == 1:
+            return OrSetValue((value,))
+        if not isinstance(value.payload, OrSetValue):
+            raise OrNRATypeError(
+                f"or_kappa_1 expects inl of an or-set, got {value.payload!r}"
+            )
+        return OrSetValue(Variant(0, e) for e in value.payload)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a, b = fresh.fresh(), fresh.fresh()
+        return FuncType(
+            VariantType(OrSetType(a), b), OrSetType(VariantType(a, b))
+        )
+
+    def describe(self) -> str:
+        return "or_kappa_1"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OrKappa1)
+
+    def __hash__(self) -> int:
+        return hash("OrKappa1")
+
+
+class OrKappa2(Morphism):
+    """``or_kappa_2 : s + <t> -> <s + t>`` — pull an or-set out of ``inr``."""
+
+    def apply(self, value: Value) -> Value:
+        if not isinstance(value, Variant):
+            raise OrNRATypeError(f"or_kappa_2 expects a variant, got {value!r}")
+        if value.side == 0:
+            return OrSetValue((value,))
+        if not isinstance(value.payload, OrSetValue):
+            raise OrNRATypeError(
+                f"or_kappa_2 expects inr of an or-set, got {value.payload!r}"
+            )
+        return OrSetValue(Variant(1, e) for e in value.payload)
+
+    def signature(self, fresh: FreshVars) -> FuncType:
+        a, b = fresh.fresh(), fresh.fresh()
+        return FuncType(
+            VariantType(a, OrSetType(b)), OrSetType(VariantType(a, b))
+        )
+
+    def describe(self) -> str:
+        return "or_kappa_2"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OrKappa2)
+
+    def __hash__(self) -> int:
+        return hash("OrKappa2")
+
+
+def inl() -> InjectLeft:
+    """The left injection."""
+    return InjectLeft()
+
+
+def inr() -> InjectRight:
+    """The right injection."""
+    return InjectRight()
+
+
+def case(on_left: Morphism, on_right: Morphism) -> Case:
+    """Case analysis over a variant."""
+    return Case(on_left, on_right)
+
+
+def or_kappa1() -> OrKappa1:
+    """``or_kappa_1 : <s> + t -> <s + t>``."""
+    return OrKappa1()
+
+
+def or_kappa2() -> OrKappa2:
+    """``or_kappa_2 : s + <t> -> <s + t>``."""
+    return OrKappa2()
+
+
+def variant_map(on_left: Morphism, on_right: Morphism) -> Morphism:
+    """``f + g : s + t -> s' + t'`` — map each side, keeping the tag.
+
+    The standard derived form ``case(inl o f, inr o g)``.
+    """
+    return Case(Compose(InjectLeft(), on_left), Compose(InjectRight(), on_right))
+
+
+def is_left() -> Morphism:
+    """``s + t -> bool`` — true of left injections."""
+    from repro.lang.morphisms import always
+
+    return Case(always(True), always(False))
+
+
+def is_right() -> Morphism:
+    """``s + t -> bool`` — true of right injections."""
+    from repro.lang.morphisms import always
+
+    return Case(always(False), always(True))

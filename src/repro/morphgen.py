@@ -1,0 +1,123 @@
+"""Random generation of Theorem 5.1-eligible morphisms.
+
+The losslessness theorem quantifies over a *syntactic class* of
+morphisms; the benchmark suite exercises a hand-picked sample, and this
+module widens the net: :func:`random_lossless_morphism` draws a random
+well-typed morphism from the eligible class at a given input type, so
+property tests can check ``preserve(f) ∘ normalize ∘ or_eta ==
+normalize ∘ or_eta ∘ f`` on arbitrarily composed programs rather than a
+fixed suite.
+
+Construction is type-directed: at each step the generator collects every
+combinator whose eligibility precondition holds at the current type
+(`repro.core.preserve.check_lossless_eligible` is the ground truth and is
+re-checked by the tests), picks one at random, and recurses with the new
+output type.  ``Id`` is always available, so generation cannot get stuck.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.lang.morphisms import Bang, Compose, Id, Morphism, Proj1, Proj2
+from repro.lang.orset_ops import (
+    Alpha,
+    OrEta,
+    OrMap,
+    OrMu,
+    OrRho2,
+    OrUnion,
+)
+from repro.lang.set_ops import SetEta, SetMap, SetMu, SetUnion
+from repro.types.kinds import (
+    OrSetType,
+    ProdType,
+    SetType,
+    Type,
+    contains_orset,
+)
+
+__all__ = ["random_lossless_morphism", "random_lossless_pipeline"]
+
+
+def _step_choices(s: Type, rng: random.Random, or_free_depth: int) -> list[Morphism]:
+    """Every single eligible combinator applicable at input type *s*."""
+    out: list[Morphism] = [Id(), OrEta()]
+    if isinstance(s, ProdType):
+        out.append(Proj1())
+        out.append(Proj2())
+        if isinstance(s.right, OrSetType):
+            out.append(OrRho2())
+        if (
+            isinstance(s.left, OrSetType)
+            and isinstance(s.right, OrSetType)
+            and s.left == s.right
+        ):
+            out.append(OrUnion())
+        if (
+            isinstance(s.left, SetType)
+            and s.left == s.right
+            and not contains_orset(s)
+        ):
+            out.append(SetUnion())
+    if isinstance(s, OrSetType):
+        if isinstance(s.elem, OrSetType):
+            out.append(OrMu())
+        body = random_lossless_morphism(s.elem, rng, or_free_depth)[0]
+        out.append(OrMap(body))
+    if isinstance(s, SetType):
+        if isinstance(s.elem, OrSetType):
+            out.append(Alpha())
+        if isinstance(s.elem, SetType) and not contains_orset(s):
+            out.append(SetMu())
+        if not contains_orset(s.elem):
+            inner, inner_out = random_lossless_morphism(
+                s.elem, rng, or_free_depth, allow_orsets=False
+            )
+            if not contains_orset(inner_out):
+                out.append(SetMap(inner))
+    if not contains_orset(s):
+        out.append(SetEta())
+    out.append(Bang())
+    return out
+
+
+def random_lossless_morphism(
+    s: Type,
+    rng: random.Random,
+    depth: int = 3,
+    allow_orsets: bool = True,
+) -> tuple[Morphism, Type]:
+    """A random morphism from Theorem 5.1's class at input type *s*.
+
+    Returns ``(morphism, output_type)``.  With ``allow_orsets=False`` the
+    generated morphism also never *introduces* or-sets (needed for bodies
+    of ``map``).
+    """
+    current: Morphism = Id()
+    current_type = s
+    for _ in range(rng.randint(0, depth)):
+        options = _step_choices(current_type, rng, max(0, depth - 2))
+        if not allow_orsets:
+            options = [
+                m
+                for m in options
+                if not isinstance(m, (OrEta, OrMap, OrMu, OrRho2, OrUnion, Alpha))
+            ]
+        step = options[rng.randrange(len(options))]
+        try:
+            next_type = step.output_type(current_type)
+        except Exception:
+            continue
+        # Keep workloads small: alpha on wide families explodes; the
+        # callers bound widths, we bound repeated interaction operators.
+        current = step if isinstance(current, Id) else Compose(step, current)
+        current_type = next_type
+    return current, current_type
+
+
+def random_lossless_pipeline(
+    s: Type, rng: random.Random, steps: int = 3
+) -> tuple[Morphism, Type]:
+    """Alias with a pipeline-flavoured name (used by benchmarks)."""
+    return random_lossless_morphism(s, rng, steps)

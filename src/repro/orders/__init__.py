@@ -1,0 +1,78 @@
+"""Partial information: posets, powerdomains, update closures, the
+antichain isomorphism, and modal theories (Section 3)."""
+
+from repro.orders.approx import (
+    Mix,
+    Sandwich,
+    Snack,
+    consistent_witness,
+    mix_le,
+    object_to_sandwich,
+    sandwich_le,
+    sandwich_to_object,
+    snack_le,
+)
+from repro.orders.iso import alpha_antichain, beta_antichain, choice_functions
+from repro.orders.poset import (
+    Poset,
+    chain,
+    diamond,
+    discrete,
+    flat_domain,
+    random_poset,
+)
+from repro.orders.powerdomains import (
+    hoare_equivalent,
+    hoare_le,
+    plotkin_le,
+    smyth_equivalent,
+    smyth_le,
+)
+from repro.orders.semantics import (
+    BaseOrders,
+    antichain_normal,
+    is_antichain_value,
+    max_antichain_values,
+    min_antichain_values,
+    value_le,
+    value_lt,
+)
+from repro.orders.theories import (
+    Box,
+    Diamond,
+    Disj,
+    Formula,
+    PairForm,
+    PropAtom,
+    TruthConst,
+    formulas_for,
+    satisfies,
+    theory_superset,
+)
+from repro.orders.updates import (
+    hoare_reachable,
+    hoare_reachable_antichain,
+    hoare_steps,
+    hoare_steps_antichain,
+    reachable,
+    smyth_reachable,
+    smyth_reachable_antichain,
+    smyth_steps,
+    smyth_steps_antichain,
+)
+
+__all__ = [
+    "Poset", "flat_domain", "chain", "discrete", "diamond", "random_poset",
+    "hoare_le", "smyth_le", "plotkin_le", "hoare_equivalent", "smyth_equivalent",
+    "BaseOrders", "value_le", "value_lt", "antichain_normal",
+    "is_antichain_value", "max_antichain_values", "min_antichain_values",
+    "alpha_antichain", "beta_antichain", "choice_functions",
+    "Formula", "PropAtom", "TruthConst", "PairForm", "Disj", "Box", "Diamond",
+    "satisfies", "formulas_for", "theory_superset",
+    "hoare_steps", "smyth_steps", "hoare_steps_antichain",
+    "smyth_steps_antichain", "reachable", "hoare_reachable", "smyth_reachable",
+    "hoare_reachable_antichain", "smyth_reachable_antichain",
+    # approximation models (Section 7)
+    "Sandwich", "Mix", "Snack", "sandwich_le", "mix_le", "snack_le",
+    "sandwich_to_object", "object_to_sandwich", "consistent_witness",
+]

@@ -1,0 +1,222 @@
+"""Order-theoretic approximation models: sandwiches, mixes, snacks
+(Section 7; refs [6] Buneman–Davidson–Watters, [10] Gunter, [31] Puhlmann,
+[22] Libkin).
+
+These structures arise "when a real world situation can be approximated
+from below and above by information in a database".  A *sandwich* over a
+poset ``(X, <=)`` is a pair ``(L, U)`` of finite antichains approximating
+an unknown finite set ``S`` of objects:
+
+* ``L`` approximates from below — ``L ⊑♭ S`` (Hoare): everything certain
+  is confirmed by ``S``;
+* ``U`` approximates from above — ``U ⊑♯ S`` (Smyth): every member of
+  ``S`` refines one of the listed possibilities.
+
+``(L, U)`` is *consistent* when such an ``S`` exists; over a finite poset
+this has the closed form "every certain element has an upper bound in the
+up-set of ``U``" (take ``S`` to be that set of upper bounds), which
+:meth:`Sandwich.is_consistent` implements and the tests cross-check
+against a brute-force witness search.
+
+A *mix* (Gunter's mixed powerdomain) is a sandwich satisfying the stronger
+support condition that every certain element already refines a listed
+possibility: ``forall l in L exists u in U: u <= l``.  A *snack*
+(Puhlmann) generalizes a sandwich to a finite set of consistent pairs,
+ordered here by the Hoare lift of the sandwich order.  (The exact
+formulation of snacks varies across [31, 30, 22]; this reconstruction
+keeps the property that single-pair snacks order exactly like sandwiches.)
+
+The paper's Section 7 says the "intimate connection between or-sets and
+the Smyth powerdomain can help us use or-sets for a suitable
+representation of those approximation models".  That claim is made
+executable by :func:`sandwich_to_object`, which renders a sandwich as the
+complex object ``({L}, <U>) : {b} * <b>`` — the sandwich order then *is*
+the Section 3 object order (Hoare on the set component, Smyth on the
+or-set component), verified by ``tests/orders/test_approx.py`` and
+``benchmarks/bench_approximation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain, combinations
+from typing import Iterable
+
+from repro.errors import OrNRAValueError
+from repro.orders.poset import Item, Poset
+from repro.orders.powerdomains import hoare_le, smyth_le
+from repro.values.values import Atom, OrSetValue, Pair, SetValue, Value
+
+__all__ = [
+    "Sandwich",
+    "Mix",
+    "Snack",
+    "sandwich_le",
+    "mix_le",
+    "snack_le",
+    "sandwich_to_object",
+    "object_to_sandwich",
+    "consistent_witness",
+]
+
+
+@dataclass(frozen=True)
+class Sandwich:
+    """A sandwich ``(L, U)`` over *poset*: lower/upper approximations.
+
+    Both components are normalized to antichains (``max`` of the lower
+    part, ``min`` of the upper part — the informative representatives, as
+    in Section 3's antichain semantics).
+    """
+
+    lower: frozenset
+    upper: frozenset
+    poset: Poset
+
+    def __init__(self, lower: Iterable[Item], upper: Iterable[Item], poset: Poset) -> None:
+        lo = frozenset(lower)
+        up = frozenset(upper)
+        for x in lo | up:
+            if x not in poset.carrier:
+                raise OrNRAValueError(f"sandwich element {x!r} outside carrier")
+        object.__setattr__(self, "lower", frozenset(poset.maximal(lo)))
+        object.__setattr__(self, "upper", frozenset(poset.minimal(up)))
+        object.__setattr__(self, "poset", poset)
+
+    def is_consistent(self) -> bool:
+        """Does some finite set ``S`` satisfy ``L ⊑♭ S`` and ``U ⊑♯ S``?
+
+        Closed form: every ``l`` in the lower part must have an upper bound
+        lying above some member of the upper part.  (The up-set of ``U`` is
+        the largest candidate for ``S``.)
+        """
+        if not self.lower:
+            return True
+        up_of_upper = {
+            x
+            for x in self.poset.carrier
+            if any(self.poset.le(u, x) for u in self.upper)
+        }
+        if not up_of_upper:
+            return False
+        return all(
+            any(self.poset.le(l, x) for x in up_of_upper) for l in self.lower
+        )
+
+    def is_mix(self) -> bool:
+        """Gunter's support condition: each certain element refines a
+        listed possibility."""
+        return all(
+            any(self.poset.le(u, l) for u in self.upper) for l in self.lower
+        )
+
+    def __le__(self, other: "Sandwich") -> bool:
+        return sandwich_le(self, other)
+
+
+class Mix(Sandwich):
+    """A mix: a sandwich satisfying the support condition ``U ⊑♯-below L``.
+
+    Construction raises :class:`OrNRAValueError` when the condition fails,
+    so every :class:`Mix` instance is a valid element of the mixed
+    powerdomain.
+    """
+
+    def __init__(self, lower: Iterable[Item], upper: Iterable[Item], poset: Poset) -> None:
+        super().__init__(lower, upper, poset)
+        if not self.is_mix():
+            raise OrNRAValueError(
+                f"not a mix: lower part {set(self.lower)!r} not supported by "
+                f"upper part {set(self.upper)!r}"
+            )
+
+
+def sandwich_le(a: Sandwich, b: Sandwich) -> bool:
+    """The sandwich order: Hoare on lower parts, Smyth on upper parts.
+
+    ``a <= b`` means *b* is a better approximation: it is certain about
+    more (Hoare) and allows fewer possibilities (Smyth).
+    """
+    le = a.poset.le
+    return hoare_le(a.lower, b.lower, le) and smyth_le(a.upper, b.upper, le)
+
+
+def mix_le(a: Mix, b: Mix) -> bool:
+    """The mix order (the sandwich order restricted to mixes)."""
+    return sandwich_le(a, b)
+
+
+@dataclass(frozen=True)
+class Snack:
+    """A snack: a finite set of consistent sandwiches over one poset."""
+
+    pairs: frozenset
+    poset: Poset
+
+    def __init__(self, pairs: Iterable[Sandwich], poset: Poset) -> None:
+        frozen = frozenset(pairs)
+        for p in frozen:
+            if p.poset is not poset:
+                raise OrNRAValueError("snack members must share the poset")
+        object.__setattr__(self, "pairs", frozen)
+        object.__setattr__(self, "poset", poset)
+
+    def __le__(self, other: "Snack") -> bool:
+        return snack_le(self, other)
+
+
+def snack_le(a: Snack, b: Snack) -> bool:
+    """Hoare lift of the sandwich order: every pair of *a* is improved by
+    some pair of *b*."""
+    return all(any(sandwich_le(p, q) for q in b.pairs) for p in a.pairs)
+
+
+def consistent_witness(s: Sandwich, max_size: int = 3) -> frozenset | None:
+    """Brute-force search for a witness set ``S`` (tests cross-check the
+    closed form of :meth:`Sandwich.is_consistent` against this)."""
+    carrier = sorted(s.poset.carrier, key=repr)
+    le = s.poset.le
+    for k in range(0, max_size + 1):
+        for combo in combinations(carrier, k):
+            candidate = frozenset(combo)
+            if hoare_le(s.lower, candidate, le) and smyth_le(
+                s.upper, candidate, le
+            ):
+                return candidate
+    return None
+
+
+def sandwich_to_object(s: Sandwich, base: str = "d") -> Value:
+    """The or-set representation of a sandwich (Libkin [22]):
+    ``({l_1, ...}, <u_1, ...>) : {b} * <b>``.
+
+    Under the Section 3 semantics with *base* ordered by ``s.poset``, the
+    object order on these representations coincides with
+    :func:`sandwich_le` — the executable form of "or-sets ... a suitable
+    representation of those approximation models".
+    """
+    return Pair(
+        SetValue(Atom(base, l) for l in sorted(s.lower, key=repr)),
+        OrSetValue(Atom(base, u) for u in sorted(s.upper, key=repr)),
+    )
+
+
+def object_to_sandwich(v: Value, poset: Poset) -> Sandwich:
+    """Inverse of :func:`sandwich_to_object`."""
+    if not (
+        isinstance(v, Pair)
+        and isinstance(v.fst, SetValue)
+        and isinstance(v.snd, OrSetValue)
+    ):
+        raise OrNRAValueError(f"not a sandwich object: {v!r}")
+    lower = []
+    upper = []
+    for e in v.fst:
+        if not isinstance(e, Atom):
+            raise OrNRAValueError(f"sandwich object must hold atoms, got {e!r}")
+        lower.append(e.value)
+    for e in v.snd:
+        if not isinstance(e, Atom):
+            raise OrNRAValueError(f"sandwich object must hold atoms, got {e!r}")
+        upper.append(e.value)
+    return Sandwich(lower, upper, poset)

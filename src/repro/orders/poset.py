@@ -1,0 +1,175 @@
+"""Finite partially ordered sets (Section 3 substrate).
+
+Partial information is modeled by a partial order on database objects:
+``x <= y`` means *y is more informative than x*.  Base types carry posets
+(a database without partial information has totally unordered base values);
+Codd-style nulls are captured by *flat domains* — an unordered carrier plus
+a bottom element below everything.
+
+:class:`Poset` is a small, explicit finite poset over hashable items with
+the operations the rest of Section 3 needs: up/down sets, maximal/minimal
+elements of subsets, antichain tests, and generators for the standard
+shapes (flat, chain, antichain, diamond, random).
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import Hashable, Iterable
+
+from repro.errors import OrNRAValueError
+
+__all__ = ["Poset", "flat_domain", "chain", "discrete", "diamond", "random_poset"]
+
+Item = Hashable
+
+
+class Poset:
+    """A finite poset given by its carrier and order pairs.
+
+    The constructor takes the carrier and a collection of ``(lo, hi)``
+    pairs; the reflexive-transitive closure is computed and antisymmetry is
+    verified.
+    """
+
+    def __init__(self, carrier: Iterable[Item], pairs: Iterable[tuple[Item, Item]]) -> None:
+        self._carrier: frozenset[Item] = frozenset(carrier)
+        up: dict[Item, set[Item]] = {x: {x} for x in self._carrier}
+        edges = list(pairs)
+        for lo, hi in edges:
+            if lo not in self._carrier or hi not in self._carrier:
+                raise OrNRAValueError(f"order pair {(lo, hi)!r} outside carrier")
+            up[lo].add(hi)
+        # Transitive closure (Floyd–Warshall style on the small carrier).
+        changed = True
+        while changed:
+            changed = False
+            for x in self._carrier:
+                grown = set(up[x])
+                for y in up[x]:
+                    grown |= up[y]
+                if grown != up[x]:
+                    up[x] = grown
+                    changed = True
+        for x in self._carrier:
+            for y in up[x]:
+                if x != y and x in up[y]:
+                    raise OrNRAValueError(f"not antisymmetric: {x!r} ~ {y!r}")
+        self._up = {x: frozenset(s) for x, s in up.items()}
+
+    # ----- basic queries ---------------------------------------------------
+
+    @property
+    def carrier(self) -> frozenset[Item]:
+        """The underlying set of elements."""
+        return self._carrier
+
+    def le(self, a: Item, b: Item) -> bool:
+        """Is ``a <= b``?"""
+        if a not in self._carrier or b not in self._carrier:
+            raise OrNRAValueError(f"{a!r} or {b!r} not in carrier")
+        return b in self._up[a]
+
+    def lt(self, a: Item, b: Item) -> bool:
+        """Is ``a < b``?"""
+        return a != b and self.le(a, b)
+
+    def up_set(self, a: Item) -> frozenset[Item]:
+        """All elements above *a* (inclusive)."""
+        if a not in self._carrier:
+            raise OrNRAValueError(f"{a!r} not in carrier")
+        return self._up[a]
+
+    def down_set(self, a: Item) -> frozenset[Item]:
+        """All elements below *a* (inclusive)."""
+        return frozenset(x for x in self._carrier if self.le(x, a))
+
+    def comparable(self, a: Item, b: Item) -> bool:
+        """Are *a* and *b* comparable?"""
+        return self.le(a, b) or self.le(b, a)
+
+    # ----- antichain machinery --------------------------------------------
+
+    def maximal(self, subset: Iterable[Item]) -> frozenset[Item]:
+        """``max A`` — the maximal elements of *subset*."""
+        items = list(subset)
+        return frozenset(
+            a for a in items if not any(self.lt(a, b) for b in items)
+        )
+
+    def minimal(self, subset: Iterable[Item]) -> frozenset[Item]:
+        """``min A`` — the minimal elements of *subset*."""
+        items = list(subset)
+        return frozenset(
+            a for a in items if not any(self.lt(b, a) for b in items)
+        )
+
+    def is_antichain(self, subset: Iterable[Item]) -> bool:
+        """No two distinct elements of *subset* are comparable."""
+        items = list(subset)
+        return all(
+            not self.comparable(a, b)
+            for a, b in combinations(items, 2)
+        )
+
+    def antichains(self, max_size: int | None = None) -> list[frozenset[Item]]:
+        """All antichains of the poset (small carriers only)."""
+        found: list[frozenset[Item]] = []
+        items = sorted(self._carrier, key=repr)
+        limit = len(items) if max_size is None else max_size
+        for k in range(limit + 1):
+            for combo in combinations(items, k):
+                if self.is_antichain(combo):
+                    found.append(frozenset(combo))
+        return found
+
+    def __repr__(self) -> str:
+        relations = sorted(
+            f"{a!r}<{b!r}"
+            for a in self._carrier
+            for b in self._up[a]
+            if a != b
+        )
+        return f"Poset({sorted(map(repr, self._carrier))}, [{', '.join(relations)}])"
+
+
+def flat_domain(values: Iterable[Item], bottom: Item = "_bot") -> Poset:
+    """A flat domain: unordered *values* plus a bottom (null) below all.
+
+    This captures Codd tables: the bottom is the unknown null.
+    """
+    carrier = list(values)
+    if bottom in carrier:
+        raise OrNRAValueError(f"bottom {bottom!r} clashes with a carrier value")
+    return Poset(carrier + [bottom], [(bottom, v) for v in carrier])
+
+
+def chain(n: int) -> Poset:
+    """The linear order ``0 < 1 < ... < n-1``."""
+    return Poset(range(n), [(i, i + 1) for i in range(n - 1)])
+
+
+def discrete(values: Iterable[Item]) -> Poset:
+    """A totally unordered carrier (no partial information)."""
+    return Poset(values, [])
+
+
+def diamond() -> Poset:
+    """The four-element diamond ``bot < a, b < top``."""
+    return Poset(
+        ["bot", "a", "b", "top"],
+        [("bot", "a"), ("bot", "b"), ("a", "top"), ("b", "top")],
+    )
+
+
+def random_poset(n: int, edge_prob: float, rng: random.Random) -> Poset:
+    """A random poset on ``0..n-1``: edges only from lower to higher labels,
+    so acyclicity (hence antisymmetry after closure) is guaranteed."""
+    pairs = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < edge_prob
+    ]
+    return Poset(range(n), pairs)

@@ -1,0 +1,61 @@
+"""The Hoare, Smyth and Plotkin orderings on subsets of a poset (Section 3).
+
+For a poset ``(X, <=)`` and ``A, B ⊆ X``::
+
+    A ⊑♭ B  (Hoare)   iff  ∀a ∈ A ∃b ∈ B : a <= b
+    A ⊑♯ B  (Smyth)   iff  (∀b ∈ B ∃a ∈ A : a <= b)  and  (B = ∅ ⇒ A = ∅)
+    A ⊑♮ B  (Plotkin) iff  A ⊑♭ B and A ⊑♯ B
+
+The paper keeps the usually-omitted ``B = ∅ ⇒ A = ∅`` clause so the empty
+or-set is comparable only with itself — matching its reading as
+*inconsistency*.  On a totally unordered ``X``, Hoare is the subset order
+and Smyth the superset order on non-empty sets.
+
+The functions are generic in the element order: pass any ``le(a, b)``
+predicate (a :class:`~repro.orders.poset.Poset` method, or the recursive
+value order of :mod:`repro.orders.semantics`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Collection, Hashable, TypeVar
+
+__all__ = [
+    "hoare_le",
+    "smyth_le",
+    "plotkin_le",
+    "hoare_equivalent",
+    "smyth_equivalent",
+]
+
+T = TypeVar("T", bound=Hashable)
+LePredicate = Callable[[T, T], bool]
+
+
+def hoare_le(a: Collection[T], b: Collection[T], le: LePredicate) -> bool:
+    """The Hoare ordering ``A ⊑♭ B`` (used for ordinary set types)."""
+    return all(any(le(x, y) for y in b) for x in a)
+
+
+def smyth_le(a: Collection[T], b: Collection[T], le: LePredicate) -> bool:
+    """The Smyth ordering ``A ⊑♯ B`` with the paper's empty-set clause
+    (used for or-set types; ``<>`` is comparable only with itself)."""
+    if len(b) == 0 and len(a) != 0:
+        return False
+    return all(any(le(x, y) for x in a) for y in b)
+
+
+def plotkin_le(a: Collection[T], b: Collection[T], le: LePredicate) -> bool:
+    """The Plotkin (Egli–Milner) ordering ``A ⊑♮ B`` used in the proofs of
+    Proposition 3.2 and Theorem 3.3."""
+    return hoare_le(a, b, le) and smyth_le(a, b, le)
+
+
+def hoare_equivalent(a: Collection[T], b: Collection[T], le: LePredicate) -> bool:
+    """Hoare-equivalence (both directions) — sets with equal ``max``."""
+    return hoare_le(a, b, le) and hoare_le(b, a, le)
+
+
+def smyth_equivalent(a: Collection[T], b: Collection[T], le: LePredicate) -> bool:
+    """Smyth-equivalence (both directions) — sets with equal ``min``."""
+    return smyth_le(a, b, le) and smyth_le(b, a, le)

@@ -1,0 +1,153 @@
+"""The semantics of types as ordered sets (Section 3).
+
+Given posets on base values, the order lifts to complex objects::
+
+    pairs        componentwise
+    sets   {t}   Hoare ordering  ⊑♭
+    or-sets <t>  Smyth ordering  ⊑♯   (empty or-set comparable only to itself)
+
+Two semantics are defined: the *plain* one (all finite subsets) and the
+*antichain* one ``[.]_a`` where set values are kept as ``max``-antichains
+and or-set values as ``min``-antichains.  :func:`antichain_normal`
+re-normalizes a value into the antichain semantics, and
+:func:`value_le` decides the order in either semantics (the paper notes
+``X ⊑♭ Y iff max X ⊑♭ max Y`` and dually, so one comparison function
+serves both).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import OrNRAValueError
+from repro.orders.poset import Poset
+from repro.orders.powerdomains import hoare_le, smyth_le
+from repro.values.values import (
+    Atom,
+    BagValue,
+    OrSetValue,
+    Pair,
+    SetValue,
+    UnitValue,
+    Value,
+    Variant,
+)
+
+__all__ = [
+    "BaseOrders",
+    "value_le",
+    "value_lt",
+    "antichain_normal",
+    "is_antichain_value",
+    "max_antichain_values",
+    "min_antichain_values",
+]
+
+BaseOrders = Mapping[str, Poset]
+
+
+def value_le(x: Value, y: Value, base_orders: BaseOrders | None = None) -> bool:
+    """Is ``x <= y`` in the Section 3 order on complex objects?
+
+    *base_orders* maps base-type names to posets over the raw atom values;
+    base types without an entry are totally unordered (equality only).
+    """
+    base_orders = base_orders or {}
+    if isinstance(x, UnitValue) and isinstance(y, UnitValue):
+        return True
+    if isinstance(x, Atom) and isinstance(y, Atom):
+        if x.base != y.base:
+            raise OrNRAValueError(f"comparing atoms of bases {x.base}/{y.base}")
+        poset = base_orders.get(x.base)
+        if poset is None:
+            return x.value == y.value
+        return poset.le(x.value, y.value)
+    if isinstance(x, Pair) and isinstance(y, Pair):
+        return value_le(x.fst, y.fst, base_orders) and value_le(
+            x.snd, y.snd, base_orders
+        )
+    if isinstance(x, Variant) and isinstance(y, Variant):
+        # Injections of different sides are incomparable; same side compares
+        # payloads (the coalesced-sum order of the variant extension).
+        if x.side != y.side:
+            return False
+        return value_le(x.payload, y.payload, base_orders)
+    if isinstance(x, SetValue) and isinstance(y, SetValue):
+        return hoare_le(
+            x.elems, y.elems, lambda a, b: value_le(a, b, base_orders)
+        )
+    if isinstance(x, OrSetValue) and isinstance(y, OrSetValue):
+        return smyth_le(
+            x.elems, y.elems, lambda a, b: value_le(a, b, base_orders)
+        )
+    if isinstance(x, BagValue) and isinstance(y, BagValue):
+        # Bags are internal; order them as their set collapses (Hoare).
+        return hoare_le(
+            x.elems, y.elems, lambda a, b: value_le(a, b, base_orders)
+        )
+    raise OrNRAValueError(f"values of different kinds: {x!r} vs {y!r}")
+
+
+def value_lt(x: Value, y: Value, base_orders: BaseOrders | None = None) -> bool:
+    """Strict order: ``x <= y`` and not ``y <= x``.
+
+    Note Hoare/Smyth are preorders on arbitrary sets, so ``x != y`` does
+    not imply strictness; this uses the order-theoretic definition.
+    """
+    return value_le(x, y, base_orders) and not value_le(y, x, base_orders)
+
+
+def max_antichain_values(
+    elems: tuple[Value, ...], base_orders: BaseOrders | None
+) -> tuple[Value, ...]:
+    """The ``max`` antichain of *elems* under the value order."""
+    return tuple(
+        e
+        for e in elems
+        if not any(
+            value_le(e, other, base_orders) and not value_le(other, e, base_orders)
+            for other in elems
+        )
+    )
+
+
+def min_antichain_values(
+    elems: tuple[Value, ...], base_orders: BaseOrders | None
+) -> tuple[Value, ...]:
+    """The ``min`` antichain of *elems* under the value order."""
+    return tuple(
+        e
+        for e in elems
+        if not any(
+            value_le(other, e, base_orders) and not value_le(e, other, base_orders)
+            for other in elems
+        )
+    )
+
+
+def antichain_normal(v: Value, base_orders: BaseOrders | None = None) -> Value:
+    """Re-normalize *v* into the antichain semantics ``[.]_a``:
+    sets keep their maximal elements, or-sets their minimal elements."""
+    if isinstance(v, (Atom, UnitValue)):
+        return v
+    if isinstance(v, Pair):
+        return Pair(
+            antichain_normal(v.fst, base_orders),
+            antichain_normal(v.snd, base_orders),
+        )
+    if isinstance(v, Variant):
+        return Variant(v.side, antichain_normal(v.payload, base_orders))
+    if isinstance(v, SetValue):
+        elems = tuple(antichain_normal(e, base_orders) for e in v.elems)
+        return SetValue(max_antichain_values(elems, base_orders))
+    if isinstance(v, OrSetValue):
+        elems = tuple(antichain_normal(e, base_orders) for e in v.elems)
+        return OrSetValue(min_antichain_values(elems, base_orders))
+    if isinstance(v, BagValue):
+        return BagValue(antichain_normal(e, base_orders) for e in v.elems)
+    raise OrNRAValueError(f"not a value: {v!r}")
+
+
+def is_antichain_value(v: Value, base_orders: BaseOrders | None = None) -> bool:
+    """Is *v* already in the antichain semantics (hereditarily)?"""
+    return antichain_normal(v, base_orders) == v

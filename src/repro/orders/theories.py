@@ -1,0 +1,304 @@
+"""Modal-logic theories of complex objects (Proposition 3.4).
+
+Following Winskel [34] and Rounds [32], each object gets a *theory* — the
+set of formulas it satisfies — built from:
+
+* primitive propositions ``P_e`` for base elements ``e``, with
+  ``P_e ∈ Th(x)  iff  x <= e`` (so the theory of a more partial element is
+  *larger*: bottom implies everything);
+* pairing: ``(phi_1, phi_2) ∈ Th((x_1, x_2)) iff phi_i ∈ Th(x_i)``;
+* disjunction-weakening: ``phi ∨ psi ∈ Th(x)`` whenever ``phi ∈ Th(x)`` or
+  ``psi ∈ Th(x)`` (the minimal closure of the paper's condition);
+* ``□ phi`` — true of a set when every member satisfies ``phi``;
+* ``◇ phi`` — true of an or-set when some member satisfies ``phi``.
+
+Proposition 3.4: ``x <= y  iff  Th(x) ⊇ Th(y)``.
+
+Theories are infinite (closed under ∨-weakening), so containment is tested
+against a *bounded enumeration* of formulas shaped by the compared type:
+:func:`formulas_for` generates all structural formulas over the finite
+carriers plus bounded disjunctions, and :func:`theory_superset` checks the
+containment over that universe.  For objects whose depth fits the bound,
+this is exactly the proposition's criterion (the proof only ever needs
+disjunctions of theories of the sibling elements, which the bounded
+universe covers for small instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator
+
+from repro.errors import OrNRAValueError
+from repro.orders.poset import Poset
+from repro.orders.semantics import BaseOrders
+from repro.types.kinds import (
+    BaseType,
+    OrSetType,
+    ProdType,
+    SetType,
+    Type,
+    UnitType,
+    VariantType,
+)
+from repro.values.values import (
+    Atom,
+    OrSetValue,
+    Pair,
+    SetValue,
+    UnitValue,
+    Value,
+    Variant,
+)
+
+__all__ = [
+    "Formula",
+    "PropAtom",
+    "TruthConst",
+    "Falsum",
+    "PairForm",
+    "InlForm",
+    "InrForm",
+    "Disj",
+    "Box",
+    "Diamond",
+    "satisfies",
+    "formulas_for",
+    "theory_superset",
+]
+
+
+class Formula:
+    """Abstract base class of modal formulas."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class PropAtom(Formula):
+    """The primitive proposition ``P_e`` for base element *e* of base *base*."""
+
+    base: str
+    elem: object
+
+    def __repr__(self) -> str:
+        return f"P[{self.base}:{self.elem!r}]"
+
+
+@dataclass(frozen=True, slots=True)
+class TruthConst(Formula):
+    """The trivially true proposition (theory of the unit element)."""
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True, slots=True)
+class Falsum(Formula):
+    """An unsatisfiable base proposition.
+
+    The paper's unspecified language ``L`` must contain one: without it,
+    ``Th({bottom})`` and ``Th({})`` coincide (every box holds of both),
+    contradicting Proposition 3.4 — ``box falsum`` is the formula that
+    holds of the empty set only.
+    """
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True, slots=True)
+class PairForm(Formula):
+    """The pairing connective: a pair of statements about the components."""
+
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Disj(Formula):
+    """Disjunction ``left ∨ right``."""
+
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} v {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class InlForm(Formula):
+    """``inl phi`` — the object is a left injection whose payload
+    satisfies *phi* (Section 7 variant extension)."""
+
+    body: Formula
+
+    def __repr__(self) -> str:
+        return f"inl.{self.body!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class InrForm(Formula):
+    """``inr phi`` — the object is a right injection whose payload
+    satisfies *phi*."""
+
+    body: Formula
+
+    def __repr__(self) -> str:
+        return f"inr.{self.body!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class Box(Formula):
+    """``□ phi`` — every member of the set satisfies *phi*."""
+
+    body: Formula
+
+    def __repr__(self) -> str:
+        return f"[]{self.body!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class Diamond(Formula):
+    """``◇ phi`` — some member of the or-set satisfies *phi*."""
+
+    body: Formula
+
+    def __repr__(self) -> str:
+        return f"<>{self.body!r}"
+
+
+def satisfies(
+    phi: Formula, x: Value, base_orders: BaseOrders | None = None
+) -> bool:
+    """Decide ``phi ∈ Th(x)``.
+
+    Raises :class:`OrNRAValueError` when the formula's shape does not match
+    the object's kind (e.g. ``□`` against a pair).
+    """
+    base_orders = base_orders or {}
+    if isinstance(phi, TruthConst):
+        return True
+    if isinstance(phi, Falsum):
+        return False
+    if isinstance(phi, Disj):
+        return satisfies(phi.left, x, base_orders) or satisfies(
+            phi.right, x, base_orders
+        )
+    if isinstance(phi, PropAtom):
+        if not isinstance(x, Atom):
+            raise OrNRAValueError(f"P_e against non-atom {x!r}")
+        if x.base != phi.base:
+            raise OrNRAValueError(
+                f"P_e of base {phi.base} against atom of base {x.base}"
+            )
+        poset = base_orders.get(x.base)
+        if poset is None:
+            return x.value == phi.elem
+        return poset.le(x.value, phi.elem)
+    if isinstance(phi, PairForm):
+        if not isinstance(x, Pair):
+            raise OrNRAValueError(f"pair formula against non-pair {x!r}")
+        return satisfies(phi.left, x.fst, base_orders) and satisfies(
+            phi.right, x.snd, base_orders
+        )
+    if isinstance(phi, (InlForm, InrForm)):
+        if not isinstance(x, Variant):
+            raise OrNRAValueError(f"injection formula against non-variant {x!r}")
+        wanted = 0 if isinstance(phi, InlForm) else 1
+        if x.side != wanted:
+            return False
+        return satisfies(phi.body, x.payload, base_orders)
+    if isinstance(phi, Box):
+        if not isinstance(x, SetValue):
+            raise OrNRAValueError(f"box formula against non-set {x!r}")
+        return all(satisfies(phi.body, e, base_orders) for e in x.elems)
+    if isinstance(phi, Diamond):
+        if not isinstance(x, OrSetValue):
+            raise OrNRAValueError(f"diamond formula against non-or-set {x!r}")
+        return any(satisfies(phi.body, e, base_orders) for e in x.elems)
+    raise OrNRAValueError(f"not a formula: {phi!r}")
+
+
+def _with_disjunctions(base: list[Formula], width: int) -> Iterator[Formula]:
+    """The base formulas plus all disjunctions of up to *width* of them."""
+    yield from base
+    for k in range(2, width + 1):
+        for combo in combinations(base, k):
+            phi = combo[0]
+            for psi in combo[1:]:
+                phi = Disj(phi, psi)
+            yield phi
+
+
+def formulas_for(
+    t: Type,
+    base_orders: BaseOrders | None = None,
+    disj_width: int = 2,
+) -> list[Formula]:
+    """A bounded universe of formulas for objects of type *t*.
+
+    Base types contribute ``P_e`` for every carrier element plus ``false``
+    (a base type with no registered poset contributes only ``false`` — its
+    elements are totally unordered and the carrier is unknown, so no ``P_e``
+    can be enumerated).  Disjunctions of up to *disj_width* formulas are
+    added directly under every ``□`` and at the root, which is exactly
+    where the proposition's proof needs them.
+    """
+    base_orders = base_orders or {}
+
+    def build(s: Type) -> list[Formula]:
+        if isinstance(s, UnitType):
+            return [TruthConst()]
+        if isinstance(s, BaseType):
+            poset: Poset | None = base_orders.get(s.name)
+            if poset is None:
+                return [Falsum()]
+            return [Falsum()] + [
+                PropAtom(s.name, e) for e in sorted(poset.carrier, key=repr)
+            ]
+        if isinstance(s, ProdType):
+            lefts = build(s.left)
+            rights = build(s.right)
+            return [PairForm(a, b) for a in lefts for b in rights]
+        if isinstance(s, SetType):
+            # Disjunctions are taken *here* and nowhere else inside the
+            # universe: the proof of Proposition 3.4 discriminates sets with
+            # formulas box(phi_1 v ... v phi_m), while a disjunction at any
+            # other position is witnessed by one of its disjuncts already
+            # (diamond, pairing and the root all distribute over v).  Taking
+            # the closure at every level instead makes the universe grow as
+            # an iterated binomial and is infeasible for nested types.
+            inner = list(_with_disjunctions(build(s.elem), disj_width))
+            return [Box(phi) for phi in inner]
+        if isinstance(s, OrSetType):
+            return [Diamond(phi) for phi in build(s.elem)]
+        if isinstance(s, VariantType):
+            return [InlForm(phi) for phi in build(s.left)] + [
+                InrForm(phi) for phi in build(s.right)
+            ]
+        raise OrNRAValueError(f"formulas_for: unsupported type {s!r}")
+
+    return list(_with_disjunctions(build(t), disj_width))
+
+
+def theory_superset(
+    x: Value,
+    y: Value,
+    t: Type,
+    base_orders: BaseOrders | None = None,
+    disj_width: int = 2,
+) -> bool:
+    """Bounded check of ``Th(x) ⊇ Th(y)``.
+
+    Proposition 3.4 says this holds iff ``x <= y``; tests compare the two
+    sides on random small objects.
+    """
+    for phi in formulas_for(t, base_orders, disj_width):
+        if satisfies(phi, y, base_orders) and not satisfies(phi, x, base_orders):
+            return False
+    return True

@@ -1,0 +1,138 @@
+"""Update transformations and their closures (Propositions 3.1 and 3.2).
+
+Section 3 justifies the Hoare/Smyth orderings operationally.  Knowledge in
+a *set* improves by
+
+* replacing an element ``a`` by a non-empty set ``A'`` of elements above it
+  (refinement), or
+* adding a new element (more facts);
+
+knowledge in an *or-set* improves by
+
+* replacing an element by a non-empty set of elements above it, or
+* removing an element (fewer alternatives), as long as the or-set stays
+  non-empty.
+
+Proposition 3.1: the reflexive-transitive closures of these step relations
+are exactly ``⊑♭`` and ``⊑♯``.  Proposition 3.2: the same holds on
+antichains when every step re-normalizes with ``max`` (sets) or ``min``
+(or-sets).
+
+The closures are computed by breadth-first search over the (finite) family
+of subsets of the carrier — exponential, but these functions exist to
+*verify* the propositions on small posets, not to be fast.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Iterable, Iterator
+
+from repro.orders.poset import Poset
+
+__all__ = [
+    "hoare_steps",
+    "smyth_steps",
+    "hoare_steps_antichain",
+    "smyth_steps_antichain",
+    "reachable",
+    "hoare_reachable",
+    "smyth_reachable",
+    "hoare_reachable_antichain",
+    "smyth_reachable_antichain",
+]
+
+Item = Hashable
+State = frozenset
+
+
+def _nonempty_up_subsets(poset: Poset, a: Item) -> Iterator[frozenset[Item]]:
+    ups = sorted(poset.up_set(a), key=repr)
+    for k in range(1, len(ups) + 1):
+        for combo in combinations(ups, k):
+            yield frozenset(combo)
+
+
+def hoare_steps(poset: Poset, state: State) -> Iterator[State]:
+    """One-step successors of *state* under the set update relation ``⇝``."""
+    # Replace a by a non-empty A' with a <= a' for all a' in A'.
+    for a in state:
+        rest = state - {a}
+        for subset in _nonempty_up_subsets(poset, a):
+            yield rest | subset
+    # Add any element.
+    for x in poset.carrier:
+        if x not in state:
+            yield state | {x}
+
+
+def smyth_steps(poset: Poset, state: State) -> Iterator[State]:
+    """One-step successors of *state* under the or-set relation ``↪``."""
+    for a in state:
+        rest = state - {a}
+        for subset in _nonempty_up_subsets(poset, a):
+            yield rest | subset
+    # Remove any element, provided the result is non-empty.
+    if len(state) > 1:
+        for a in state:
+            yield state - {a}
+
+
+def hoare_steps_antichain(poset: Poset, state: State) -> Iterator[State]:
+    """The antichain variant ``⇝_a``: every step followed by ``max``."""
+    for successor in hoare_steps(poset, state):
+        yield frozenset(poset.maximal(successor))
+
+
+def smyth_steps_antichain(poset: Poset, state: State) -> Iterator[State]:
+    """The antichain variant ``↪_a``: every step followed by ``min``.
+
+    Removal is allowed whenever the *normalized* result stays non-empty;
+    since ``min`` never empties a non-empty set, the guard is unchanged.
+    """
+    for successor in smyth_steps(poset, state):
+        yield frozenset(poset.minimal(successor))
+
+
+def reachable(
+    start: Iterable[Item],
+    step: "callable[[State], Iterator[State]]",
+    max_states: int | None = None,
+) -> set[State]:
+    """Reflexive-transitive closure of a step relation from *start* (BFS)."""
+    origin = frozenset(start)
+    seen: set[State] = {origin}
+    frontier = [origin]
+    while frontier:
+        state = frontier.pop()
+        for nxt in step(state):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+                if max_states is not None and len(seen) > max_states:
+                    raise RuntimeError("reachable: state budget exceeded")
+    return seen
+
+
+def hoare_reachable(poset: Poset, start: Iterable[Item]) -> set[State]:
+    """All sets reachable from *start* via ``⇝*`` (Proposition 3.1 says:
+    exactly the Hoare-upper sets of *start*)."""
+    return reachable(start, lambda s: hoare_steps(poset, s))
+
+
+def smyth_reachable(poset: Poset, start: Iterable[Item]) -> set[State]:
+    """All sets reachable from *start* via ``↪*`` (exactly the Smyth-upper
+    sets, by Proposition 3.1)."""
+    return reachable(start, lambda s: smyth_steps(poset, s))
+
+
+def hoare_reachable_antichain(poset: Poset, start: Iterable[Item]) -> set[State]:
+    """All antichains reachable via ``⇝_a*`` (Proposition 3.2)."""
+    origin = frozenset(poset.maximal(start))
+    return reachable(origin, lambda s: hoare_steps_antichain(poset, s))
+
+
+def smyth_reachable_antichain(poset: Poset, start: Iterable[Item]) -> set[State]:
+    """All antichains reachable via ``↪_a*`` (Proposition 3.2)."""
+    origin = frozenset(poset.minimal(start))
+    return reachable(origin, lambda s: smyth_steps_antichain(poset, s))

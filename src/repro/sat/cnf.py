@@ -1,0 +1,177 @@
+"""CNF formulas and the paper's or-set encoding (Section 6, last result).
+
+The reduction: literals are elements of a base type ``b``; a positive
+literal ``u`` is the pair ``(u, true) : b * bool`` and a negative literal
+``not u`` is ``(u, false)``; a clause (disjunction) becomes the *or-set*
+of its literal encodings, and the conjunction of clauses becomes the *set*
+of clause encodings.  A formula ``psi`` is thus an object
+``x : {<b * bool>}``, and ``psi`` is satisfiable iff some element of
+``normalize(x)`` — a set of ``(variable, polarity)`` pairs, i.e. one
+chosen literal per clause — satisfies the functional dependency
+``var -> polarity`` (no variable chosen with both polarities).
+
+This module represents CNF, generates random instances, performs the
+encoding/decoding, and supplies the FD predicate both as a plain function
+and as an or-NRA morphism.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import OrNRAValueError
+from repro.types.kinds import BOOL, BaseType, OrSetType, ProdType, SetType, Type
+from repro.values.values import Atom, OrSetValue, Pair, SetValue, Value, boolean
+
+from repro.lang.morphisms import Morphism
+from repro.lang.primitives import predicate
+
+__all__ = [
+    "CNF",
+    "random_cnf",
+    "VAR_BASE",
+    "encode_cnf",
+    "encoded_type",
+    "decode_choice",
+    "satisfies_fd",
+    "fd_predicate",
+    "assignment_satisfies",
+]
+
+VAR_BASE = "var"
+
+Literal = int  # +v / -v for variable v >= 1
+Clause = frozenset[Literal]
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A CNF formula: a tuple of clauses over variables ``1..n_vars``."""
+
+    n_vars: int
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            for lit in clause:
+                if lit == 0 or abs(lit) > self.n_vars:
+                    raise OrNRAValueError(f"literal {lit} out of range")
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def is_satisfied_by(self, assignment: dict[int, bool]) -> bool:
+        """Does a total/partial assignment satisfy every clause?"""
+        return all(
+            any(
+                (lit > 0) == assignment.get(abs(lit), None)
+                for lit in clause
+                if abs(lit) in assignment
+            )
+            for clause in self.clauses
+        )
+
+
+def random_cnf(
+    n_vars: int, n_clauses: int, k: int, rng: random.Random
+) -> CNF:
+    """A random *k*-CNF: each clause draws *k* distinct variables with
+    random polarities (tautological clauses excluded by construction)."""
+    if k > n_vars:
+        raise OrNRAValueError(f"clause width {k} exceeds {n_vars} variables")
+    clauses = []
+    for _ in range(n_clauses):
+        variables = rng.sample(range(1, n_vars + 1), k)
+        clause = frozenset(
+            v if rng.random() < 0.5 else -v for v in variables
+        )
+        clauses.append(clause)
+    return CNF(n_vars, tuple(clauses))
+
+
+def encoded_type() -> Type:
+    """The encoding's type ``{<var * bool>}``."""
+    return SetType(OrSetType(ProdType(BaseType(VAR_BASE), BOOL)))
+
+
+def _literal_value(lit: Literal) -> Value:
+    return Pair(Atom(VAR_BASE, abs(lit)), boolean(lit > 0))
+
+
+def encode_cnf(cnf: CNF) -> Value:
+    """Encode *cnf* as an object of type ``{<var * bool>}``.
+
+    Note the set/or-set semantics already collapse duplicate clauses and
+    duplicate literals, which preserves satisfiability.
+    """
+    return SetValue(
+        OrSetValue(_literal_value(lit) for lit in clause)
+        for clause in cnf.clauses
+    )
+
+
+def decode_choice(choice: Value) -> dict[int, bool]:
+    """Decode a conceptual value (a set of ``(var, bool)`` pairs, one chosen
+    literal per clause) into a partial assignment.
+
+    Raises when the choice violates the functional dependency.
+    """
+    if not isinstance(choice, SetValue):
+        raise OrNRAValueError(f"expected a set of pairs, got {choice!r}")
+    assignment: dict[int, bool] = {}
+    for pair in choice.elems:
+        if not (
+            isinstance(pair, Pair)
+            and isinstance(pair.fst, Atom)
+            and isinstance(pair.snd, Atom)
+        ):
+            raise OrNRAValueError(f"malformed literal {pair!r}")
+        var = int(pair.fst.value)  # type: ignore[arg-type]
+        polarity = bool(pair.snd.value)
+        if var in assignment and assignment[var] != polarity:
+            raise OrNRAValueError(f"choice violates FD on variable {var}")
+        assignment[var] = polarity
+    return assignment
+
+
+def satisfies_fd(choice: Value) -> bool:
+    """The paper's predicate ``p``: does the relation satisfy the functional
+    dependency ``#1 -> #2``?  (Implementable in relational algebra.)"""
+    if not isinstance(choice, SetValue):
+        raise OrNRAValueError(f"expected a set of pairs, got {choice!r}")
+    seen: dict[Value, Value] = {}
+    for pair in choice.elems:
+        if not isinstance(pair, Pair):
+            raise OrNRAValueError(f"malformed pair {pair!r}")
+        if pair.fst in seen and seen[pair.fst] != pair.snd:
+            return False
+        seen[pair.fst] = pair.snd
+    return True
+
+
+def fd_predicate() -> Morphism:
+    """``p : {var * bool} -> bool`` as an or-NRA primitive."""
+    return predicate(
+        "fd_check", satisfies_fd, SetType(ProdType(BaseType(VAR_BASE), BOOL))
+    )
+
+
+def assignment_satisfies(cnf: CNF, assignment: dict[int, bool]) -> bool:
+    """Independent check that *assignment* (possibly partial, free variables
+    chosen arbitrarily False) satisfies *cnf*."""
+    total = {v: assignment.get(v, False) for v in range(1, cnf.n_vars + 1)}
+    return all(
+        any((lit > 0) == total[abs(lit)] for lit in clause)
+        for clause in cnf.clauses
+    )
+
+
+def all_assignments(n_vars: int) -> Iterable[dict[int, bool]]:
+    """Every total assignment (for brute-force cross-checks on tiny n)."""
+    for mask in range(1 << n_vars):
+        yield {v: bool((mask >> (v - 1)) & 1) for v in range(1, n_vars + 1)}

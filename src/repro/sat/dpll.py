@@ -1,0 +1,82 @@
+"""A baseline DPLL SAT solver — the independent comparator for the
+normalization-based satisfiability backends.
+
+Classic Davis–Putnam–Logemann–Loveland with unit propagation and pure
+literal elimination.  Used by tests (agreement with normalization SAT) and
+by the hardness benchmark (Section 6's claim is that existential queries
+over normal forms *cannot avoid* exponential behaviour in the worst case;
+DPLL provides the conventional-solver scaling for comparison).
+"""
+
+from __future__ import annotations
+
+from repro.sat.cnf import CNF, Clause
+
+__all__ = ["dpll_sat", "dpll_solve"]
+
+
+def _simplify(clauses: list[Clause], lit: int) -> list[Clause] | None:
+    """Assign *lit* true: drop satisfied clauses, strip falsified literals.
+    Returns ``None`` when an empty clause (conflict) appears."""
+    out: list[Clause] = []
+    for clause in clauses:
+        if lit in clause:
+            continue
+        if -lit in clause:
+            reduced = clause - {-lit}
+            if not reduced:
+                return None
+            out.append(reduced)
+        else:
+            out.append(clause)
+    return out
+
+
+def _solve(clauses: list[Clause], assignment: dict[int, bool]) -> dict[int, bool] | None:
+    while True:
+        if not clauses:
+            return assignment
+        # Unit propagation.
+        unit = next((next(iter(c)) for c in clauses if len(c) == 1), None)
+        if unit is not None:
+            assignment = {**assignment, abs(unit): unit > 0}
+            simplified = _simplify(clauses, unit)
+            if simplified is None:
+                return None
+            clauses = simplified
+            continue
+        # Pure literal elimination.
+        polarity: dict[int, int] = {}
+        for clause in clauses:
+            for lit in clause:
+                var = abs(lit)
+                sign = 1 if lit > 0 else -1
+                polarity[var] = sign if polarity.get(var, sign) == sign else 0
+        pure = next((v * s for v, s in polarity.items() if s != 0), None)
+        if pure is not None:
+            assignment = {**assignment, abs(pure): pure > 0}
+            simplified = _simplify(clauses, pure)
+            if simplified is None:
+                return None
+            clauses = simplified
+            continue
+        break
+    # Branch on the first literal of the first clause.
+    lit = next(iter(clauses[0]))
+    for choice in (lit, -lit):
+        simplified = _simplify(clauses, choice)
+        if simplified is not None:
+            result = _solve(simplified, {**assignment, abs(choice): choice > 0})
+            if result is not None:
+                return result
+    return None
+
+
+def dpll_solve(cnf: CNF) -> dict[int, bool] | None:
+    """A satisfying (partial) assignment, or ``None`` if unsatisfiable."""
+    return _solve(list(cnf.clauses), {})
+
+
+def dpll_sat(cnf: CNF) -> bool:
+    """Is *cnf* satisfiable?"""
+    return dpll_solve(cnf) is not None

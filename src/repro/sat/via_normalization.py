@@ -1,0 +1,53 @@
+"""Satisfiability as an existential query over normal forms (Section 6).
+
+``psi`` is satisfiable iff
+``exists(fd_check)(normalize(encode(psi)))`` is true: normalization
+enumerates one-literal-per-clause choices, and the functional dependency
+``var -> polarity`` holds exactly of the consistent ones.
+
+Backends:
+
+* :func:`sat_eager` — materialize the full normal form first (worst-case
+  exponential space, the paper's baseline reading);
+* :func:`sat_lazy` — stream the choices with early exit (Section 7);
+* :func:`sat_witness` — also decode a satisfying assignment.
+
+All must agree with :func:`repro.sat.dpll.dpll_sat`.
+"""
+
+from __future__ import annotations
+
+from repro.core.existential import exists_query
+from repro.core.lazy import find_first
+from repro.sat.cnf import (
+    CNF,
+    decode_choice,
+    encode_cnf,
+    encoded_type,
+    satisfies_fd,
+)
+
+__all__ = ["sat_eager", "sat_lazy", "sat_witness"]
+
+
+def sat_eager(cnf: CNF) -> bool:
+    """Satisfiability via the fully materialized normal form."""
+    return exists_query(
+        satisfies_fd, encode_cnf(cnf), encoded_type(), backend="eager"
+    )
+
+
+def sat_lazy(cnf: CNF) -> bool:
+    """Satisfiability via lazy (stream) normalization with early exit."""
+    return exists_query(
+        satisfies_fd, encode_cnf(cnf), encoded_type(), backend="lazy"
+    )
+
+
+def sat_witness(cnf: CNF) -> dict[int, bool] | None:
+    """A satisfying partial assignment extracted from the first consistent
+    choice, or ``None`` when unsatisfiable."""
+    choice = find_first(satisfies_fd, encode_cnf(cnf))
+    if choice is None:
+        return None
+    return decode_choice(choice)

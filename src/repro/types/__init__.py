@@ -1,0 +1,93 @@
+"""Types of or-NRA: kinds, parsing, the normalization rewrite system.
+
+See the paper's Section 2 (type grammar) and Section 4 (rewrite system).
+"""
+
+from repro.types.kinds import (
+    BOOL,
+    INT,
+    STRING,
+    UNIT,
+    BagType,
+    BaseType,
+    FuncType,
+    OrSetType,
+    ProdType,
+    SetType,
+    Type,
+    TypeVar,
+    UnitType,
+    VariantType,
+    bag_of,
+    bags_to_sets,
+    contains_bag,
+    contains_orset,
+    contains_set,
+    contains_variant,
+    func,
+    is_object_type,
+    orset_of,
+    prod,
+    set_of,
+    variant,
+    sets_to_bags,
+    strip_orsets,
+    subtypes,
+    type_height,
+)
+from repro.types.parse import format_type, parse_type
+from repro.types.rewrite import (
+    OR_FLATTEN,
+    PAIR_LEFT,
+    PAIR_RIGHT,
+    RULES,
+    SET_ALPHA,
+    VARIANT_LEFT,
+    VARIANT_RIGHT,
+    all_normal_forms,
+    apply_rewrite,
+    innermost_strategy,
+    is_normal_type,
+    nf_type,
+    normalize_type,
+    outermost_strategy,
+    phi,
+    random_strategy,
+    redexes,
+    replace_at,
+    rewrite_graph,
+    subtype_at,
+)
+from repro.types.unify import (
+    FreshVars,
+    Substitution,
+    apply_subst,
+    compose_subst,
+    free_type_vars,
+    rename_apart,
+    unify,
+    unify_many,
+)
+
+__all__ = [
+    # kinds
+    "Type", "BaseType", "UnitType", "ProdType", "SetType", "OrSetType",
+    "BagType", "VariantType", "FuncType", "TypeVar",
+    "BOOL", "INT", "STRING", "UNIT",
+    "prod", "set_of", "orset_of", "bag_of", "variant", "func",
+    "contains_orset", "contains_bag", "contains_set", "contains_variant",
+    "strip_orsets", "sets_to_bags", "bags_to_sets",
+    "subtypes", "type_height", "is_object_type",
+    # parse
+    "parse_type", "format_type",
+    # rewrite
+    "PAIR_RIGHT", "PAIR_LEFT", "OR_FLATTEN", "SET_ALPHA",
+    "VARIANT_LEFT", "VARIANT_RIGHT", "RULES",
+    "subtype_at", "replace_at", "redexes", "apply_rewrite", "phi",
+    "nf_type", "is_normal_type", "normalize_type",
+    "innermost_strategy", "outermost_strategy", "random_strategy",
+    "rewrite_graph", "all_normal_forms",
+    # unify
+    "Substitution", "apply_subst", "compose_subst", "unify", "unify_many",
+    "free_type_vars", "FreshVars", "rename_apart",
+]

@@ -1,0 +1,339 @@
+"""Object and function types of or-NRA.
+
+The grammar of object types (Section 2 of the paper) is::
+
+    t ::= b | unit | t * t | {t} | <t>
+
+where ``b`` ranges over base types (``bool``, ``int``, ``string``), ``{t}``
+is the ordinary finite-set type and ``<t>`` is the or-set type.  For the
+normalization machinery of Section 4 the paper additionally uses an internal
+multiset ("bag") type written ``[|t|]``; it never appears in user-facing
+types but the rewrite engine manipulates it, so it is a first-class citizen
+here.
+
+Types are immutable and hashable; they compare structurally.  A small
+:class:`TypeVar` kind is provided for the unification-based inference of
+``repro.types.unify`` (the paper relies on ML-style inference to omit type
+superscripts on morphisms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import OrNRATypeError
+
+__all__ = [
+    "Type",
+    "BaseType",
+    "UnitType",
+    "ProdType",
+    "SetType",
+    "OrSetType",
+    "BagType",
+    "VariantType",
+    "FuncType",
+    "TypeVar",
+    "BOOL",
+    "INT",
+    "STRING",
+    "UNIT",
+    "prod",
+    "set_of",
+    "orset_of",
+    "bag_of",
+    "variant",
+    "func",
+    "contains_orset",
+    "contains_bag",
+    "contains_set",
+    "contains_variant",
+    "strip_orsets",
+    "sets_to_bags",
+    "bags_to_sets",
+    "subtypes",
+    "type_height",
+    "is_object_type",
+]
+
+
+class Type:
+    """Abstract base class of all or-NRA types."""
+
+    __slots__ = ()
+
+    def __mul__(self, other: "Type") -> "ProdType":
+        """``s * t`` builds the product type, mirroring the paper's syntax."""
+        return ProdType(self, other)
+
+    # Subclasses are frozen dataclasses; identity-based equality would be
+    # wrong, so each subclass defines eq/hash via dataclass machinery.
+
+    def children(self) -> tuple["Type", ...]:
+        """The immediate component types (empty for leaves)."""
+        return ()
+
+
+@dataclass(frozen=True, slots=True)
+class BaseType(Type):
+    """A base type such as ``int`` or ``bool``.
+
+    The special one-element base type ``unit`` is represented by the
+    distinct :class:`UnitType` class so that pattern matching on kinds is
+    unambiguous.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class UnitType(Type):
+    """The base type ``unit`` containing precisely one element."""
+
+    def __repr__(self) -> str:
+        return "unit"
+
+
+@dataclass(frozen=True, slots=True)
+class ProdType(Type):
+    """The product type ``s * t``."""
+
+    left: Type
+    right: Type
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} * {self.right!r})"
+
+    def children(self) -> tuple[Type, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, slots=True)
+class SetType(Type):
+    """The finite-set type ``{t}``."""
+
+    elem: Type
+
+    def __repr__(self) -> str:
+        return f"{{{self.elem!r}}}"
+
+    def children(self) -> tuple[Type, ...]:
+        return (self.elem,)
+
+
+@dataclass(frozen=True, slots=True)
+class OrSetType(Type):
+    """The or-set type ``<t>`` of Imielinski–Naqvi–Vadaparty."""
+
+    elem: Type
+
+    def __repr__(self) -> str:
+        return f"<{self.elem!r}>"
+
+    def children(self) -> tuple[Type, ...]:
+        return (self.elem,)
+
+
+@dataclass(frozen=True, slots=True)
+class BagType(Type):
+    """The internal multiset type ``[|t|]`` used during normalization.
+
+    Section 4: "Multiset types will only be used internally for the
+    normalization process and should not be considered as a part of the
+    language."
+    """
+
+    elem: Type
+
+    def __repr__(self) -> str:
+        return f"[|{self.elem!r}|]"
+
+    def children(self) -> tuple[Type, ...]:
+        return (self.elem,)
+
+
+@dataclass(frozen=True, slots=True)
+class VariantType(Type):
+    """The variant (sum) type ``s + t`` of the Section 7 extension.
+
+    The paper's conclusion notes the languages "have been extended to
+    include variant types" and that coherence still holds; this
+    reproduction implements that extension (values are :class:`Variant`
+    injections, the rewrite system gains the two rules
+    ``<s> + t -> <s + t>`` and ``s + <t> -> <s + t>``).
+    """
+
+    left: Type
+    right: Type
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} + {self.right!r})"
+
+    def children(self) -> tuple[Type, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, slots=True)
+class FuncType(Type):
+    """A function type ``s -> t`` between object types."""
+
+    dom: Type
+    cod: Type
+
+    def __repr__(self) -> str:
+        return f"({self.dom!r} -> {self.cod!r})"
+
+    def children(self) -> tuple[Type, ...]:
+        return (self.dom, self.cod)
+
+
+@dataclass(frozen=True, slots=True)
+class TypeVar(Type):
+    """A type variable for unification-based inference."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"'{self.name}"
+
+
+# Canonical shared instances of the built-in base types.
+BOOL = BaseType("bool")
+INT = BaseType("int")
+STRING = BaseType("string")
+UNIT = UnitType()
+
+
+def prod(left: Type, right: Type) -> ProdType:
+    """Build the product type ``left * right``."""
+    return ProdType(left, right)
+
+
+def set_of(elem: Type) -> SetType:
+    """Build the set type ``{elem}``."""
+    return SetType(elem)
+
+
+def orset_of(elem: Type) -> OrSetType:
+    """Build the or-set type ``<elem>``."""
+    return OrSetType(elem)
+
+
+def bag_of(elem: Type) -> BagType:
+    """Build the internal bag type ``[|elem|]``."""
+    return BagType(elem)
+
+
+def variant(left: Type, right: Type) -> VariantType:
+    """Build the variant type ``left + right``."""
+    return VariantType(left, right)
+
+
+def func(dom: Type, cod: Type) -> FuncType:
+    """Build the function type ``dom -> cod``."""
+    return FuncType(dom, cod)
+
+
+def is_object_type(t: Type) -> bool:
+    """True when *t* is an object type (no function types, no variables)."""
+    if isinstance(t, (FuncType, TypeVar)):
+        return False
+    return all(is_object_type(c) for c in t.children())
+
+
+def subtypes(t: Type) -> Iterator[Type]:
+    """Yield every subterm of *t*, including *t* itself (pre-order)."""
+    yield t
+    for child in t.children():
+        yield from subtypes(child)
+
+
+def type_height(t: Type) -> int:
+    """Height of the type's derivation tree (leaves have height 1)."""
+    kids = t.children()
+    if not kids:
+        return 1
+    return 1 + max(type_height(c) for c in kids)
+
+
+def contains_orset(t: Type) -> bool:
+    """True when the or-set constructor ``< >`` occurs anywhere in *t*."""
+    return any(isinstance(s, OrSetType) for s in subtypes(t))
+
+
+def contains_set(t: Type) -> bool:
+    """True when the set constructor ``{ }`` occurs anywhere in *t*."""
+    return any(isinstance(s, SetType) for s in subtypes(t))
+
+
+def contains_bag(t: Type) -> bool:
+    """True when the bag constructor ``[| |]`` occurs anywhere in *t*."""
+    return any(isinstance(s, BagType) for s in subtypes(t))
+
+
+def contains_variant(t: Type) -> bool:
+    """True when the variant constructor ``+`` occurs anywhere in *t*."""
+    return any(isinstance(s, VariantType) for s in subtypes(t))
+
+
+def strip_orsets(t: Type) -> Type:
+    """Remove every or-set constructor from *t* ("remove all angle brackets").
+
+    This is the operation used by Proposition 4.1 to describe normal forms:
+    if ``t`` mentions or-sets then ``nf(t) = <strip_orsets(t)>``.
+    """
+    if isinstance(t, OrSetType):
+        return strip_orsets(t.elem)
+    if isinstance(t, ProdType):
+        return ProdType(strip_orsets(t.left), strip_orsets(t.right))
+    if isinstance(t, VariantType):
+        return VariantType(strip_orsets(t.left), strip_orsets(t.right))
+    if isinstance(t, SetType):
+        return SetType(strip_orsets(t.elem))
+    if isinstance(t, BagType):
+        return BagType(strip_orsets(t.elem))
+    if isinstance(t, (BaseType, UnitType, TypeVar)):
+        return t
+    raise OrNRATypeError(f"strip_orsets: not an object type: {t!r}")
+
+
+def sets_to_bags(t: Type) -> Type:
+    """The translation ``t -> t^d`` replacing every ``{ }`` with ``[| |]``.
+
+    Section 4 uses it to move normalization into the multiset world where
+    duplicates are not collapsed prematurely.
+    """
+    if isinstance(t, SetType):
+        return BagType(sets_to_bags(t.elem))
+    if isinstance(t, BagType):
+        return BagType(sets_to_bags(t.elem))
+    if isinstance(t, OrSetType):
+        return OrSetType(sets_to_bags(t.elem))
+    if isinstance(t, ProdType):
+        return ProdType(sets_to_bags(t.left), sets_to_bags(t.right))
+    if isinstance(t, VariantType):
+        return VariantType(sets_to_bags(t.left), sets_to_bags(t.right))
+    if isinstance(t, (BaseType, UnitType, TypeVar)):
+        return t
+    raise OrNRATypeError(f"sets_to_bags: not an object type: {t!r}")
+
+
+def bags_to_sets(t: Type) -> Type:
+    """The translation ``t -> t^s`` replacing every ``[| |]`` with ``{ }``."""
+    if isinstance(t, BagType):
+        return SetType(bags_to_sets(t.elem))
+    if isinstance(t, SetType):
+        return SetType(bags_to_sets(t.elem))
+    if isinstance(t, OrSetType):
+        return OrSetType(bags_to_sets(t.elem))
+    if isinstance(t, ProdType):
+        return ProdType(bags_to_sets(t.left), bags_to_sets(t.right))
+    if isinstance(t, VariantType):
+        return VariantType(bags_to_sets(t.left), bags_to_sets(t.right))
+    if isinstance(t, (BaseType, UnitType, TypeVar)):
+        return t
+    raise OrNRATypeError(f"bags_to_sets: not an object type: {t!r}")

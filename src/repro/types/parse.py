@@ -1,0 +1,200 @@
+"""Parsing and pretty-printing of type expressions.
+
+The concrete syntax mirrors the paper's notation as closely as ASCII
+allows::
+
+    bool | int | string | unit      base types
+    s * t                           product (right-associative)
+    s + t                           variant (right-associative, binds looser)
+    {t}                             set
+    <t>                             or-set
+    [|t|]                           internal bag
+    s -> t                          function type (only at top level)
+    'a                              type variable
+
+Examples::
+
+    parse_type("{<int * bool>}")
+    parse_type("<int> * string -> <int * string>")
+"""
+
+from __future__ import annotations
+
+from repro.errors import OrNRAParseError
+from repro.types.kinds import (
+    BOOL,
+    INT,
+    STRING,
+    UNIT,
+    BagType,
+    BaseType,
+    FuncType,
+    OrSetType,
+    ProdType,
+    SetType,
+    Type,
+    TypeVar,
+    UnitType,
+    VariantType,
+)
+
+__all__ = ["parse_type", "format_type"]
+
+_BASE_NAMES = {"bool": BOOL, "int": INT, "string": STRING, "unit": UNIT}
+
+
+class _TypeParser:
+    """A hand-written recursive-descent parser for type expressions."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> Type:
+        t = self._function()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise OrNRAParseError(
+                f"unexpected trailing input in type: {self.text[self.pos:]!r}",
+                self.pos,
+            )
+        return t
+
+    # ----- grammar levels -------------------------------------------------
+
+    def _function(self) -> Type:
+        left = self._sum()
+        self._skip_ws()
+        if self._try_consume("->"):
+            right = self._function()
+            return FuncType(left, right)
+        return left
+
+    def _sum(self) -> Type:
+        left = self._product()
+        self._skip_ws()
+        if self._try_consume("+"):
+            right = self._sum()
+            return VariantType(left, right)
+        return left
+
+    def _product(self) -> Type:
+        left = self._atom()
+        self._skip_ws()
+        if self._try_consume("*"):
+            right = self._product()
+            return ProdType(left, right)
+        return left
+
+    def _atom(self) -> Type:
+        self._skip_ws()
+        if self.pos >= len(self.text):
+            raise OrNRAParseError("unexpected end of type expression", self.pos)
+        ch = self.text[self.pos]
+        if ch == "(":
+            self.pos += 1
+            inner = self._function()
+            self._expect(")")
+            return inner
+        if ch == "{":
+            self.pos += 1
+            inner = self._function()
+            self._expect("}")
+            return SetType(inner)
+        if ch == "<":
+            self.pos += 1
+            inner = self._function()
+            self._expect(">")
+            return OrSetType(inner)
+        if self.text.startswith("[|", self.pos):
+            self.pos += 2
+            inner = self._function()
+            self._expect("|]")
+            return BagType(inner)
+        if ch == "'":
+            self.pos += 1
+            name = self._identifier()
+            return TypeVar(name)
+        name = self._identifier()
+        if name in _BASE_NAMES:
+            return _BASE_NAMES[name]
+        # Unknown names become user-defined base types, so examples can say
+        # e.g. "module" or "part" without registering anything.
+        return BaseType(name)
+
+    # ----- lexing helpers -------------------------------------------------
+
+    def _identifier(self) -> str:
+        self._skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise OrNRAParseError(
+                f"expected identifier in type at {self.text[self.pos:]!r}", self.pos
+            )
+        return self.text[start : self.pos]
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _try_consume(self, token: str) -> bool:
+        self._skip_ws()
+        if self.text.startswith(token, self.pos):
+            # Guard: "*" must not swallow the "*" inside "*)" etc.; tokens
+            # here are unambiguous so a prefix check suffices.
+            self.pos += len(token)
+            return True
+        return False
+
+    def _expect(self, token: str) -> None:
+        if not self._try_consume(token):
+            raise OrNRAParseError(
+                f"expected {token!r} at {self.text[self.pos:]!r}", self.pos
+            )
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type expression such as ``"{<int * bool>}"``."""
+    return _TypeParser(text).parse()
+
+
+def format_type(t: Type) -> str:
+    """Render *t* in the concrete syntax accepted by :func:`parse_type`."""
+    if isinstance(t, UnitType):
+        return "unit"
+    if isinstance(t, BaseType):
+        return t.name
+    if isinstance(t, TypeVar):
+        return f"'{t.name}"
+    if isinstance(t, ProdType):
+        left = format_type(t.left)
+        if isinstance(t.left, (ProdType, VariantType, FuncType)):
+            left = f"({left})"
+        right = format_type(t.right)
+        if isinstance(t.right, (VariantType, FuncType)):
+            right = f"({right})"
+        return f"{left} * {right}"
+    if isinstance(t, VariantType):
+        left = format_type(t.left)
+        if isinstance(t.left, (VariantType, FuncType)):
+            left = f"({left})"
+        right = format_type(t.right)
+        if isinstance(t.right, FuncType):
+            right = f"({right})"
+        return f"{left} + {right}"
+    if isinstance(t, SetType):
+        return f"{{{format_type(t.elem)}}}"
+    if isinstance(t, OrSetType):
+        return f"<{format_type(t.elem)}>"
+    if isinstance(t, BagType):
+        return f"[|{format_type(t.elem)}|]"
+    if isinstance(t, FuncType):
+        dom = format_type(t.dom)
+        if isinstance(t.dom, FuncType):
+            dom = f"({dom})"
+        return f"{dom} -> {format_type(t.cod)}"
+    raise TypeError(f"not a type: {t!r}")

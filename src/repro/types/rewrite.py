@@ -1,0 +1,287 @@
+"""The type rewrite system of Section 4 (Proposition 4.1).
+
+The four rules are::
+
+    pair_right :  t * <s>    ->  <t * s>
+    pair_left  :  <t> * s    ->  <t * s>
+    or_flatten :  <<t>>      ->  <t>
+    set_alpha  :  {<t>}      ->  <{t}>     (and   [|<t>|] -> <[|t|]>)
+
+plus, for the Section 7 variant-type extension::
+
+    variant_left  :  <s> + t  ->  <s + t>
+    variant_right :  s + <t>  ->  <s + t>
+
+Positions in a type's derivation tree are tuples of child indices: for a
+product, ``0`` is the left and ``1`` the right component; the unary
+constructors have a single child ``0``.  A *redex* is a pair
+``(position, rule)`` where the rule is applicable to the subterm at that
+position.
+
+Proposition 4.1 states the system is terminating and Church–Rosser with
+normal forms ``nf(t) = t`` when ``t`` has no or-sets, and
+``nf(t) = <strip(t)>`` otherwise.  :func:`phi` implements a termination
+measure (a variant of the paper's level-weighted count of ``< >``
+occurrences) that strictly decreases under every rule, and
+:func:`rewrite_graph` explores every rewriting path so tests can verify
+confluence exhaustively on small types.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import NormalizationError, OrNRATypeError
+from repro.types.kinds import (
+    BagType,
+    BaseType,
+    OrSetType,
+    ProdType,
+    SetType,
+    Type,
+    UnitType,
+    VariantType,
+    contains_orset,
+    strip_orsets,
+)
+
+__all__ = [
+    "PAIR_RIGHT",
+    "PAIR_LEFT",
+    "OR_FLATTEN",
+    "SET_ALPHA",
+    "VARIANT_LEFT",
+    "VARIANT_RIGHT",
+    "RULES",
+    "Position",
+    "Redex",
+    "subtype_at",
+    "replace_at",
+    "rule_applicable",
+    "redexes",
+    "apply_rewrite",
+    "phi",
+    "nf_type",
+    "is_normal_type",
+    "normalize_type",
+    "innermost_strategy",
+    "outermost_strategy",
+    "random_strategy",
+    "rewrite_graph",
+    "all_normal_forms",
+]
+
+PAIR_RIGHT = "pair_right"
+PAIR_LEFT = "pair_left"
+OR_FLATTEN = "or_flatten"
+SET_ALPHA = "set_alpha"
+# Section 7 variant extension: or-sets commute past either injection.
+VARIANT_LEFT = "variant_left"    # <s> + t  ->  <s + t>
+VARIANT_RIGHT = "variant_right"  # s + <t>  ->  <s + t>
+RULES = (PAIR_RIGHT, PAIR_LEFT, OR_FLATTEN, SET_ALPHA, VARIANT_LEFT, VARIANT_RIGHT)
+
+Position = tuple[int, ...]
+Redex = tuple[Position, str]
+
+
+def subtype_at(t: Type, pos: Position) -> Type:
+    """The subterm of *t* at *pos*."""
+    for index in pos:
+        kids = t.children()
+        if index >= len(kids):
+            raise OrNRATypeError(f"position {pos} not valid in {t!r}")
+        t = kids[index]
+    return t
+
+
+def replace_at(t: Type, pos: Position, new: Type) -> Type:
+    """*t* with the subterm at *pos* replaced by *new*."""
+    if not pos:
+        return new
+    head, rest = pos[0], pos[1:]
+    if isinstance(t, ProdType):
+        if head == 0:
+            return ProdType(replace_at(t.left, rest, new), t.right)
+        if head == 1:
+            return ProdType(t.left, replace_at(t.right, rest, new))
+    elif isinstance(t, VariantType):
+        if head == 0:
+            return VariantType(replace_at(t.left, rest, new), t.right)
+        if head == 1:
+            return VariantType(t.left, replace_at(t.right, rest, new))
+    elif isinstance(t, SetType) and head == 0:
+        return SetType(replace_at(t.elem, rest, new))
+    elif isinstance(t, OrSetType) and head == 0:
+        return OrSetType(replace_at(t.elem, rest, new))
+    elif isinstance(t, BagType) and head == 0:
+        return BagType(replace_at(t.elem, rest, new))
+    raise OrNRATypeError(f"position {pos} not valid in {t!r}")
+
+
+def rule_applicable(t: Type, rule: str) -> bool:
+    """Does *rule* apply to the term *t* at its root?"""
+    if rule == PAIR_RIGHT:
+        return isinstance(t, ProdType) and isinstance(t.right, OrSetType)
+    if rule == PAIR_LEFT:
+        return isinstance(t, ProdType) and isinstance(t.left, OrSetType)
+    if rule == OR_FLATTEN:
+        return isinstance(t, OrSetType) and isinstance(t.elem, OrSetType)
+    if rule == SET_ALPHA:
+        return isinstance(t, (SetType, BagType)) and isinstance(t.elem, OrSetType)
+    if rule == VARIANT_LEFT:
+        return isinstance(t, VariantType) and isinstance(t.left, OrSetType)
+    if rule == VARIANT_RIGHT:
+        return isinstance(t, VariantType) and isinstance(t.right, OrSetType)
+    raise OrNRATypeError(f"unknown rewrite rule {rule!r}")
+
+
+def _rewrite_root(t: Type, rule: str) -> Type:
+    if not rule_applicable(t, rule):
+        raise NormalizationError(f"rule {rule!r} does not apply to {t!r}")
+    if rule == PAIR_RIGHT:
+        assert isinstance(t, ProdType) and isinstance(t.right, OrSetType)
+        return OrSetType(ProdType(t.left, t.right.elem))
+    if rule == PAIR_LEFT:
+        assert isinstance(t, ProdType) and isinstance(t.left, OrSetType)
+        return OrSetType(ProdType(t.left.elem, t.right))
+    if rule == OR_FLATTEN:
+        assert isinstance(t, OrSetType) and isinstance(t.elem, OrSetType)
+        return OrSetType(t.elem.elem)
+    if rule == VARIANT_LEFT:
+        assert isinstance(t, VariantType) and isinstance(t.left, OrSetType)
+        return OrSetType(VariantType(t.left.elem, t.right))
+    if rule == VARIANT_RIGHT:
+        assert isinstance(t, VariantType) and isinstance(t.right, OrSetType)
+        return OrSetType(VariantType(t.left, t.right.elem))
+    assert isinstance(t, (SetType, BagType)) and isinstance(t.elem, OrSetType)
+    inner = t.elem.elem
+    wrapper = SetType if isinstance(t, SetType) else BagType
+    return OrSetType(wrapper(inner))
+
+
+def redexes(t: Type, _prefix: Position = ()) -> list[Redex]:
+    """All redexes of *t*, in pre-order (outermost first)."""
+    found: list[Redex] = []
+    for rule in RULES:
+        if rule_applicable(t, rule):
+            found.append((_prefix, rule))
+    for index, child in enumerate(t.children()):
+        found.extend(redexes(child, _prefix + (index,)))
+    return found
+
+
+def apply_rewrite(t: Type, pos: Position, rule: str) -> Type:
+    """Apply *rule* at *pos* in *t* and return the rewritten type."""
+    target = subtype_at(t, pos)
+    return replace_at(t, pos, _rewrite_root(target, rule))
+
+
+def phi(t: Type, _non_or_ancestors: int = 0) -> int:
+    """A termination measure that strictly decreases under every rule.
+
+    Each occurrence of ``< >`` contributes ``1 + (number of proper ancestors
+    that are not or-set constructors)``.  The pair and set rules move one
+    or-set past one non-or-set constructor (``-1``); ``or_flatten`` deletes
+    one occurrence (``-1`` at least).  This is a simplification of the
+    paper's level-indexed sum that enjoys the same strict-decrease property.
+    """
+    total = 0
+    if isinstance(t, OrSetType):
+        total += 1 + _non_or_ancestors
+        total += phi(t.elem, _non_or_ancestors)
+        return total
+    for child in t.children():
+        total += phi(child, _non_or_ancestors + 1)
+    return total
+
+
+def nf_type(t: Type) -> Type:
+    """The normal form of *t*, by the closed form of Proposition 4.1.
+
+    ``nf(t) = t`` if *t* has no or-sets; otherwise ``nf(t) = <t'>`` where
+    ``t'`` is *t* with all angle brackets removed.
+    """
+    if not contains_orset(t):
+        return t
+    return OrSetType(strip_orsets(t))
+
+
+def is_normal_type(t: Type) -> bool:
+    """True when no rewrite rule applies anywhere in *t*."""
+    return not redexes(t)
+
+
+Strategy = Callable[[Sequence[Redex]], Redex]
+
+
+def innermost_strategy(options: Sequence[Redex]) -> Redex:
+    """Pick a redex of maximal depth (leftmost-innermost)."""
+    return max(options, key=lambda r: (len(r[0]), r[0]))
+
+
+def outermost_strategy(options: Sequence[Redex]) -> Redex:
+    """Pick a redex of minimal depth (leftmost-outermost)."""
+    return min(options, key=lambda r: (len(r[0]), r[0]))
+
+
+def random_strategy(rng: random.Random) -> Strategy:
+    """A strategy choosing a uniformly random redex using *rng*."""
+
+    def choose(options: Sequence[Redex]) -> Redex:
+        return options[rng.randrange(len(options))]
+
+    return choose
+
+
+def normalize_type(
+    t: Type, strategy: Strategy = innermost_strategy
+) -> tuple[Type, list[Redex]]:
+    """Rewrite *t* to its normal form, returning ``(nf, trace)``.
+
+    The trace lists the ``(position, rule)`` choices in order; the object
+    normalizer replays such traces on values.
+    """
+    trace: list[Redex] = []
+    current = t
+    while True:
+        options = redexes(current)
+        if not options:
+            return current, trace
+        pos, rule = strategy(options)
+        trace.append((pos, rule))
+        current = apply_rewrite(current, pos, rule)
+
+
+def rewrite_graph(t: Type, max_nodes: int = 10_000) -> dict[Type, list[Type]]:
+    """The full one-step rewrite graph reachable from *t*.
+
+    Used by tests to verify confluence exhaustively: every path must end in
+    the same normal form.  Raises :class:`NormalizationError` if the graph
+    exceeds *max_nodes* (it cannot diverge by termination, but it can be
+    large).
+    """
+    graph: dict[Type, list[Type]] = {}
+    frontier = [t]
+    while frontier:
+        current = frontier.pop()
+        if current in graph:
+            continue
+        successors = [
+            apply_rewrite(current, pos, rule) for pos, rule in redexes(current)
+        ]
+        graph[current] = successors
+        if len(graph) > max_nodes:
+            raise NormalizationError("rewrite graph exceeded max_nodes")
+        frontier.extend(s for s in successors if s not in graph)
+    return graph
+
+
+def all_normal_forms(t: Type, max_nodes: int = 10_000) -> set[Type]:
+    """Every normal form reachable from *t* (singleton iff confluent)."""
+    graph = rewrite_graph(t, max_nodes)
+    return {node for node, succ in graph.items() if not succ}
+
+
+def _is_base(t: Type) -> bool:
+    return isinstance(t, (BaseType, UnitType))

@@ -1,0 +1,163 @@
+"""Unification over or-NRA types.
+
+The paper (Section 2) omits type superscripts on morphisms because "the most
+general type of any given morphism can be inferred", citing ML-style
+inference.  This module provides the standard machinery: substitutions,
+occurs-check unification, and fresh-variable renaming.  The morphism
+typechecker in :mod:`repro.lang.typecheck` builds on it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import (
+    BagType,
+    BaseType,
+    FuncType,
+    OrSetType,
+    ProdType,
+    SetType,
+    Type,
+    TypeVar,
+    UnitType,
+    VariantType,
+)
+
+__all__ = [
+    "Substitution",
+    "apply_subst",
+    "compose_subst",
+    "unify",
+    "unify_many",
+    "free_type_vars",
+    "FreshVars",
+    "rename_apart",
+]
+
+Substitution = dict[TypeVar, Type]
+
+
+def free_type_vars(t: Type) -> set[TypeVar]:
+    """All type variables occurring in *t*."""
+    if isinstance(t, TypeVar):
+        return {t}
+    out: set[TypeVar] = set()
+    for child in t.children():
+        out |= free_type_vars(child)
+    return out
+
+
+def apply_subst(subst: Substitution, t: Type) -> Type:
+    """Apply *subst* to *t* (idempotent substitutions assumed)."""
+    if isinstance(t, TypeVar):
+        replacement = subst.get(t)
+        if replacement is None:
+            return t
+        return apply_subst(subst, replacement)
+    if isinstance(t, (BaseType, UnitType)):
+        return t
+    if isinstance(t, ProdType):
+        return ProdType(apply_subst(subst, t.left), apply_subst(subst, t.right))
+    if isinstance(t, VariantType):
+        return VariantType(apply_subst(subst, t.left), apply_subst(subst, t.right))
+    if isinstance(t, SetType):
+        return SetType(apply_subst(subst, t.elem))
+    if isinstance(t, OrSetType):
+        return OrSetType(apply_subst(subst, t.elem))
+    if isinstance(t, BagType):
+        return BagType(apply_subst(subst, t.elem))
+    if isinstance(t, FuncType):
+        return FuncType(apply_subst(subst, t.dom), apply_subst(subst, t.cod))
+    raise OrNRATypeError(f"apply_subst: not a type: {t!r}")
+
+
+def compose_subst(outer: Substitution, inner: Substitution) -> Substitution:
+    """The substitution equivalent to applying *inner* then *outer*."""
+    combined: Substitution = {
+        var: apply_subst(outer, t) for var, t in inner.items()
+    }
+    for var, t in outer.items():
+        combined.setdefault(var, t)
+    return combined
+
+
+def _occurs(var: TypeVar, t: Type) -> bool:
+    return var in free_type_vars(t)
+
+
+def unify(a: Type, b: Type, subst: Substitution | None = None) -> Substitution:
+    """Most general unifier of *a* and *b*, extending *subst*.
+
+    Raises :class:`OrNRATypeError` when the types clash or the occurs check
+    fails.
+    """
+    subst = dict(subst) if subst else {}
+    stack: list[tuple[Type, Type]] = [(a, b)]
+    while stack:
+        left, right = stack.pop()
+        left = apply_subst(subst, left)
+        right = apply_subst(subst, right)
+        if left == right:
+            continue
+        if isinstance(left, TypeVar):
+            if _occurs(left, right):
+                raise OrNRATypeError(f"occurs check: {left!r} in {right!r}")
+            subst[left] = right
+            continue
+        if isinstance(right, TypeVar):
+            if _occurs(right, left):
+                raise OrNRATypeError(f"occurs check: {right!r} in {left!r}")
+            subst[right] = left
+            continue
+        if isinstance(left, ProdType) and isinstance(right, ProdType):
+            stack.append((left.left, right.left))
+            stack.append((left.right, right.right))
+            continue
+        if isinstance(left, VariantType) and isinstance(right, VariantType):
+            stack.append((left.left, right.left))
+            stack.append((left.right, right.right))
+            continue
+        if isinstance(left, SetType) and isinstance(right, SetType):
+            stack.append((left.elem, right.elem))
+            continue
+        if isinstance(left, OrSetType) and isinstance(right, OrSetType):
+            stack.append((left.elem, right.elem))
+            continue
+        if isinstance(left, BagType) and isinstance(right, BagType):
+            stack.append((left.elem, right.elem))
+            continue
+        if isinstance(left, FuncType) and isinstance(right, FuncType):
+            stack.append((left.dom, right.dom))
+            stack.append((left.cod, right.cod))
+            continue
+        raise OrNRATypeError(f"cannot unify {left!r} with {right!r}")
+    return subst
+
+
+def unify_many(pairs: Iterable[tuple[Type, Type]]) -> Substitution:
+    """Unify every pair in *pairs* under a single substitution."""
+    subst: Substitution = {}
+    for a, b in pairs:
+        subst = unify(a, b, subst)
+    return subst
+
+
+class FreshVars:
+    """A supply of fresh type variables (``'t0``, ``'t1``, ...)."""
+
+    def __init__(self, prefix: str = "t") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def fresh(self) -> TypeVar:
+        """A type variable never produced before by this supply."""
+        return TypeVar(f"{self._prefix}{next(self._counter)}")
+
+
+def rename_apart(t: Type, fresh: FreshVars) -> Type:
+    """*t* with every type variable consistently replaced by a fresh one."""
+    mapping: Substitution = {var: fresh.fresh() for var in free_type_vars(t)}
+    return apply_subst(mapping, t)

@@ -1,0 +1,58 @@
+"""Value-level set/bag conversions used by normalization (Section 4).
+
+``to_bags`` is the object translation ``o -> o^d``: every set becomes a
+multiset with single multiplicities.  ``to_sets`` is ``o -> o^s``: every
+multiset collapses to a set, removing duplicates.  Normalization converts
+to bags, rewrites, then converts back — exactly the paper's
+``app(t, r)(x) = [dapp(t^d, r^d)(x^d)]^s``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OrNRAValueError
+from repro.values.values import (
+    Atom,
+    BagValue,
+    OrSetValue,
+    Pair,
+    SetValue,
+    UnitValue,
+    Value,
+    Variant,
+)
+
+__all__ = ["to_bags", "to_sets"]
+
+
+def to_bags(v: Value) -> Value:
+    """The translation ``o -> o^d`` (sets become single-multiplicity bags)."""
+    if isinstance(v, (Atom, UnitValue)):
+        return v
+    if isinstance(v, Pair):
+        return Pair(to_bags(v.fst), to_bags(v.snd))
+    if isinstance(v, Variant):
+        return Variant(v.side, to_bags(v.payload))
+    if isinstance(v, SetValue):
+        return BagValue(to_bags(e) for e in v.elems)
+    if isinstance(v, BagValue):
+        return BagValue(to_bags(e) for e in v.elems)
+    if isinstance(v, OrSetValue):
+        return OrSetValue(to_bags(e) for e in v.elems)
+    raise OrNRAValueError(f"not a value: {v!r}")
+
+
+def to_sets(v: Value) -> Value:
+    """The translation ``o -> o^s`` (bags collapse to duplicate-free sets)."""
+    if isinstance(v, (Atom, UnitValue)):
+        return v
+    if isinstance(v, Pair):
+        return Pair(to_sets(v.fst), to_sets(v.snd))
+    if isinstance(v, Variant):
+        return Variant(v.side, to_sets(v.payload))
+    if isinstance(v, BagValue):
+        return SetValue(to_sets(e) for e in v.elems)
+    if isinstance(v, SetValue):
+        return SetValue(to_sets(e) for e in v.elems)
+    if isinstance(v, OrSetValue):
+        return OrSetValue(to_sets(e) for e in v.elems)
+    raise OrNRAValueError(f"not a value: {v!r}")

@@ -1,0 +1,197 @@
+"""Size and structure measures on complex objects (Section 6).
+
+The paper defines, for an object ``x``:
+
+* ``size(x)`` — the number of leaves of the labeled tree ``T(x)``: atomic
+  objects have size 1, ``size (x, y) = size x + size y``, and the size of a
+  (or-)set is the sum of the sizes of its elements.  Note the empty set and
+  empty or-set then have size 0.
+* the tree ``T(x)`` — root labeled ``*`` for pairs, ``{}`` / ``<>`` for
+  collections, atoms at the leaves.
+* the *innermost or-sets* — nodes labeled ``<>`` whose subtrees contain no
+  other ``<>`` node; their child counts ``m_i`` drive the Proposition 6.1
+  bound ``m(x) <= prod_i (m_i + 1)``.
+
+``m(x)`` itself (the number of conceptual possibilities) needs the
+normalization machinery and therefore lives in :mod:`repro.core.costs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OrNRAValueError
+from repro.values.values import (
+    Atom,
+    BagValue,
+    OrSetValue,
+    Pair,
+    SetValue,
+    UnitValue,
+    Value,
+    Variant,
+)
+
+__all__ = [
+    "size",
+    "depth",
+    "count_orsets",
+    "has_orset",
+    "has_empty_orset",
+    "innermost_orset_arities",
+    "ValueTree",
+    "value_tree",
+]
+
+
+def size(v: Value) -> int:
+    """The paper's ``size``: the number of atomic leaves of ``T(v)``."""
+    if isinstance(v, (Atom, UnitValue)):
+        return 1
+    if isinstance(v, Pair):
+        return size(v.fst) + size(v.snd)
+    if isinstance(v, Variant):
+        return size(v.payload)
+    if isinstance(v, (SetValue, OrSetValue, BagValue)):
+        return sum(size(e) for e in v.elems)
+    raise OrNRAValueError(f"not a value: {v!r}")
+
+
+def depth(v: Value) -> int:
+    """Height of the value tree (atoms have depth 1)."""
+    if isinstance(v, (Atom, UnitValue)):
+        return 1
+    if isinstance(v, Pair):
+        return 1 + max(depth(v.fst), depth(v.snd))
+    if isinstance(v, Variant):
+        return 1 + depth(v.payload)
+    if isinstance(v, (SetValue, OrSetValue, BagValue)):
+        if not v.elems:
+            return 1
+        return 1 + max(depth(e) for e in v.elems)
+    raise OrNRAValueError(f"not a value: {v!r}")
+
+
+def count_orsets(v: Value) -> int:
+    """How many or-set nodes occur in the tree of *v*."""
+    if isinstance(v, (Atom, UnitValue)):
+        return 0
+    if isinstance(v, Pair):
+        return count_orsets(v.fst) + count_orsets(v.snd)
+    if isinstance(v, Variant):
+        return count_orsets(v.payload)
+    if isinstance(v, OrSetValue):
+        return 1 + sum(count_orsets(e) for e in v.elems)
+    if isinstance(v, (SetValue, BagValue)):
+        return sum(count_orsets(e) for e in v.elems)
+    raise OrNRAValueError(f"not a value: {v!r}")
+
+
+def has_orset(v: Value) -> bool:
+    """Does *v* contain any or-set node?"""
+    return count_orsets(v) > 0
+
+
+def has_empty_orset(v: Value) -> bool:
+    """Does *v* contain the empty or-set ``< >`` anywhere?
+
+    Objects containing ``< >`` are conceptually inconsistent (Section 1) and
+    are excluded from the losslessness theorem's inputs.
+    """
+    if isinstance(v, (Atom, UnitValue)):
+        return False
+    if isinstance(v, Pair):
+        return has_empty_orset(v.fst) or has_empty_orset(v.snd)
+    if isinstance(v, Variant):
+        return has_empty_orset(v.payload)
+    if isinstance(v, OrSetValue):
+        if not v.elems:
+            return True
+        return any(has_empty_orset(e) for e in v.elems)
+    if isinstance(v, (SetValue, BagValue)):
+        return any(has_empty_orset(e) for e in v.elems)
+    raise OrNRAValueError(f"not a value: {v!r}")
+
+
+def innermost_orset_arities(v: Value) -> list[int]:
+    """Child counts ``m_i`` of the or-sets closest to the leaves.
+
+    These are the ``v_1, ..., v_k`` of Proposition 6.1: or-set nodes whose
+    subtrees contain no further or-set node.
+    """
+    arities: list[int] = []
+
+    def walk(node: Value) -> None:
+        if isinstance(node, (Atom, UnitValue)):
+            return
+        if isinstance(node, Pair):
+            walk(node.fst)
+            walk(node.snd)
+            return
+        if isinstance(node, Variant):
+            walk(node.payload)
+            return
+        if isinstance(node, OrSetValue):
+            if all(count_orsets(e) == 0 for e in node.elems):
+                arities.append(len(node.elems))
+            else:
+                for e in node.elems:
+                    walk(e)
+            return
+        if isinstance(node, (SetValue, BagValue)):
+            for e in node.elems:
+                walk(e)
+            return
+        raise OrNRAValueError(f"not a value: {node!r}")
+
+    walk(v)
+    return arities
+
+
+@dataclass(frozen=True, slots=True)
+class ValueTree:
+    """The labeled tree ``T(x)`` of Section 6, for inspection/plotting."""
+
+    label: str
+    children: tuple["ValueTree", ...] = ()
+
+    _COLLECTION_LABELS = ("{}", "<>", "[||]", "*")
+
+    def leaves(self) -> int:
+        """Number of atomic leaves, i.e. ``size`` of the underlying object.
+
+        An empty collection is a childless node but contributes no leaves,
+        matching the paper's ``size`` (sum over elements).
+        """
+        if not self.children:
+            return 0 if self.label in self._COLLECTION_LABELS else 1
+        return sum(c.leaves() for c in self.children)
+
+    def render(self, indent: int = 0) -> str:
+        """An ASCII rendering, one node per line."""
+        lines = [" " * indent + self.label]
+        for child in self.children:
+            lines.append(child.render(indent + 2))
+        return "\n".join(lines)
+
+
+def value_tree(v: Value) -> ValueTree:
+    """Build ``T(v)``.
+
+    Pairs are labeled ``*``, sets ``{}``, or-sets ``<>``, bags ``[||]``;
+    atoms carry their printed form.
+    """
+    if isinstance(v, (Atom, UnitValue)):
+        return ValueTree(str(v))
+    if isinstance(v, Pair):
+        return ValueTree("*", (value_tree(v.fst), value_tree(v.snd)))
+    if isinstance(v, Variant):
+        tag = "inl" if v.side == 0 else "inr"
+        return ValueTree(tag, (value_tree(v.payload),))
+    if isinstance(v, SetValue):
+        return ValueTree("{}", tuple(value_tree(e) for e in v.elems))
+    if isinstance(v, OrSetValue):
+        return ValueTree("<>", tuple(value_tree(e) for e in v.elems))
+    if isinstance(v, BagValue):
+        return ValueTree("[||]", tuple(value_tree(e) for e in v.elems))
+    raise OrNRAValueError(f"not a value: {v!r}")

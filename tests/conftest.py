@@ -1,0 +1,11 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; per-test reseeding keeps failures reproducible."""
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,138 @@
+"""Tests for the Section 6 cost results (P6.1, T6.2, T6.3, C6.4, T6.5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import OrNRAValueError
+from repro.values.measure import has_orset, size
+from repro.values.values import vorset, vpair, vset
+
+from repro.core.costs import (
+    alpha_outputs_are_cliques,
+    choice_graph_edges,
+    log_lower_bound_holds,
+    m_value,
+    moon_moser,
+    normalized_size,
+    prop61_bound,
+    thm62_bound,
+    thm63_bound,
+    thm65_bound,
+    tight_family,
+)
+
+from tests.strategies import typed_orset_values
+
+
+class TestMValue:
+    def test_simple(self):
+        assert m_value(vorset(1, 2, 3)) == 3
+        assert m_value(vset(1, 2)) == 1  # no or-sets: one possibility
+        assert m_value(vpair(1, vorset())) == 0  # inconsistent
+
+    def test_tight_family(self):
+        for k in (1, 2, 3):
+            x, t = tight_family(k)
+            assert size(x) == 3 * k
+            assert m_value(x, t) == 3**k
+
+
+class TestProposition61:
+    @given(typed_orset_values(max_depth=3, max_width=3, min_width=1))
+    @settings(max_examples=60, deadline=None)
+    def test_product_bound(self, pair):
+        value, t = pair
+        if has_orset(value):
+            assert m_value(value, t) <= prop61_bound(value)
+
+    def test_bound_requires_orsets(self):
+        with pytest.raises(OrNRAValueError):
+            prop61_bound(vset(1, 2))
+
+    def test_exact_on_independent_orsets(self):
+        x = vpair(vorset(1, 2), vorset(3, 4, 5))
+        assert m_value(x) == 6
+        assert prop61_bound(x) == 12  # (2+1)(3+1)
+
+
+class TestTheorem62:
+    @given(typed_orset_values(max_depth=3, max_width=3, min_width=1))
+    @settings(max_examples=60, deadline=None)
+    def test_m_bounded(self, pair):
+        value, t = pair
+        n = size(value)
+        if n > 0:
+            assert m_value(value, t) <= thm62_bound(n) + 1e-9
+
+    def test_tightness(self):
+        for k in (1, 2, 3, 4):
+            x, t = tight_family(k)
+            n = size(x)
+            assert m_value(x, t) == round(thm62_bound(n))
+
+    def test_moon_moser_values(self):
+        assert moon_moser(3) == 3
+        assert moon_moser(6) == 9
+        assert moon_moser(4) == 4
+        assert moon_moser(5) == 6
+        assert moon_moser(0) == 1
+
+
+class TestCliqueConnection:
+    def test_choice_graph_structure(self):
+        x = vset(vorset(1, 2), vorset(3, 4, 5))
+        edges, groups = choice_graph_edges(x)
+        assert groups == [[0, 1], [2, 3, 4]]
+        assert len(edges) == 6  # complete bipartite 2x3
+
+    def test_alpha_outputs_are_maximal_cliques(self):
+        x, _ = tight_family(3)
+        assert alpha_outputs_are_cliques(x)
+
+    def test_unbalanced_groups(self):
+        x = vset(vorset(1), vorset(2, 3), vorset(4, 5, 6))
+        assert alpha_outputs_are_cliques(x)
+
+
+class TestTheorem63:
+    @given(typed_orset_values(max_depth=3, max_width=3, min_width=1))
+    @settings(max_examples=60, deadline=None)
+    def test_size_bounded(self, pair):
+        value, t = pair
+        n = size(value)
+        if n > 1:
+            assert normalized_size(value, t) <= thm63_bound(n) + 1e-9
+
+    def test_size_one(self):
+        assert normalized_size(vorset(1)) == 1
+
+
+class TestTheorem65:
+    def test_tight_equality(self):
+        for k in (1, 2, 3, 4):
+            x, t = tight_family(k)
+            n = size(x)
+            assert normalized_size(x, t) == round(thm65_bound(n))
+
+    def test_within_63_envelope(self):
+        x, t = tight_family(3)
+        n = size(x)
+        assert thm65_bound(n) <= thm63_bound(n)
+
+
+class TestCorollary64:
+    @given(typed_orset_values(max_depth=3, max_width=3, min_width=1))
+    @settings(max_examples=40, deadline=None)
+    def test_envelope(self, pair):
+        value, t = pair
+        if size(value) > 1:
+            assert log_lower_bound_holds(value, t)
+
+    def test_log_lower_bound_is_attained_up_to_constants(self):
+        # The tight family: input size n, normal-form size (n/3)3^(n/3);
+        # so input is Theta(log of output).
+        x, t = tight_family(4)
+        out_size = normalized_size(x, t)
+        assert size(x) <= 3 * math.log(out_size, 3) + 3

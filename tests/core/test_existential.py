@@ -1,0 +1,99 @@
+"""Tests for existential queries over normal forms (Section 6)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import INT, SetType
+from repro.values.values import vorset, vpair, vset
+
+from repro.core.existential import (
+    as_predicate,
+    exists_query,
+    forall_query,
+    witness,
+)
+from repro.lang.morphisms import Id, PairOf, always
+from repro.lang.primitives import int_le, predicate
+
+from tests.strategies import typed_orset_values
+
+# "some chosen element <= 2"
+small_sets = predicate(
+    "small", lambda v: all(e.value <= 2 for e in v.elems), SetType(INT)
+)
+
+
+class TestBackendsAgree:
+    @given(typed_orset_values(max_depth=3, max_width=2))
+    @settings(max_examples=40, deadline=None)
+    def test_three_backends(self, pair):
+        value, t = pair
+
+        def pred(v):
+            return size_mod(v)
+
+        def size_mod(v):
+            from repro.values.measure import size
+
+            return size(v) % 2 == 0
+
+        answers = {
+            exists_query(pred, value, t, backend=backend)
+            for backend in ("eager", "lazy", "worlds")
+        }
+        assert len(answers) == 1
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            exists_query(lambda v: True, vorset(1), backend="psychic")
+
+
+class TestSemantics:
+    def test_exists_on_design_space(self):
+        x = vset(vorset(1, 5), vorset(2))
+        assert exists_query(small_sets, x)
+
+    def test_exists_false(self):
+        x = vset(vorset(5, 6))
+        assert not exists_query(small_sets, x)
+
+    def test_exists_on_inconsistent_is_false(self):
+        assert not exists_query(lambda v: True, vpair(1, vorset()))
+
+    def test_forall(self):
+        x = vset(vorset(1, 2))
+        assert forall_query(small_sets, x)
+        y = vset(vorset(1, 9))
+        assert not forall_query(small_sets, y)
+
+    def test_forall_vacuous_on_inconsistent(self):
+        assert forall_query(lambda v: False, vpair(1, vorset()))
+
+    def test_witness(self):
+        x = vset(vorset(1, 5), vorset(2))
+        w = witness(small_sets, x)
+        assert w == vset(1, 2)
+
+    def test_witness_none(self):
+        assert witness(small_sets, vset(vorset(5))) is None
+
+
+class TestPredicateCoercion:
+    def test_morphism_predicate(self):
+        le2 = int_le() @ PairOf(Id(), always(2))
+        pred = as_predicate(le2)
+        from repro.values.values import atom
+
+        assert pred(atom(1)) and not pred(atom(3))
+
+    def test_non_boolean_morphism_rejected(self):
+        bad = as_predicate(Id())
+        from repro.values.values import vset as _vset
+
+        with pytest.raises(OrNRATypeError):
+            bad(_vset(1))
+
+    def test_python_predicate_passthrough(self):
+        pred = as_predicate(lambda v: True)
+        assert pred(vset())

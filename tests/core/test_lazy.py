@@ -1,0 +1,68 @@
+"""Tests for lazy (stream) normalization — the Section 7 optimization."""
+
+from hypothesis import given, settings
+
+from repro.values.values import atom, vorset, vpair, vset
+
+from repro.core.lazy import (
+    exists_lazy,
+    find_first,
+    forall_lazy,
+    iter_possibilities,
+    take_possibilities,
+)
+from repro.core.normalize import possibilities
+
+from tests.strategies import typed_orset_values
+
+
+class TestStreamEquivalence:
+    @given(typed_orset_values(max_depth=3, max_width=2))
+    @settings(max_examples=60, deadline=None)
+    def test_stream_matches_eager(self, pair):
+        value, t = pair
+        assert set(iter_possibilities(value)) == set(possibilities(value, t))
+
+    @given(typed_orset_values(max_depth=3, max_width=2))
+    @settings(max_examples=40, deadline=None)
+    def test_stream_has_no_duplicates(self, pair):
+        value, _ = pair
+        seen = list(iter_possibilities(value))
+        assert len(seen) == len(set(seen))
+
+
+class TestShortCircuit:
+    def test_exists_stops_early(self):
+        calls = []
+
+        def pred(v):
+            calls.append(v)
+            return True
+
+        big = vset(vorset(*range(3)), vorset(*range(3)), vorset(*range(3)))
+        assert exists_lazy(pred, big)
+        assert len(calls) == 1  # found on the very first world
+
+    def test_exists_false_on_inconsistent(self):
+        assert not exists_lazy(lambda v: True, vpair(1, vorset()))
+
+    def test_forall_vacuous_on_inconsistent(self):
+        assert forall_lazy(lambda v: False, vpair(1, vorset()))
+
+    def test_find_first(self):
+        found = find_first(lambda v: v.value > 1, vorset(1, 2, 3))
+        assert found is not None and found.value > 1
+
+    def test_find_first_none(self):
+        assert find_first(lambda v: False, vorset(1, 2)) is None
+
+
+class TestTake:
+    def test_take_limits(self):
+        x = vset(vorset(*range(4)), vorset(*range(4)))
+        got = take_possibilities(x, 3)
+        assert len(got) == 3
+        assert len(set(got)) == 3
+
+    def test_take_exhausts_small(self):
+        assert take_possibilities(atom(5), 10) == [atom(5)]

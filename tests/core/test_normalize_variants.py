@@ -1,0 +1,115 @@
+"""Object normalization with variants: coherence still holds (Section 7)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.normalize import (
+    coherence_witness,
+    conceptual_eq,
+    normalize,
+    possibilities,
+)
+from repro.core.lazy import iter_possibilities
+from repro.core.worlds import worlds
+from repro.gen import random_variant_value
+from repro.types.parse import parse_type
+from repro.values.measure import has_empty_orset, size
+from repro.values.values import (
+    format_value,
+    vinl,
+    vinr,
+    vorset,
+    vpair,
+    vset,
+)
+
+
+class TestVariantNormalization:
+    def test_inl_orset_distributes(self):
+        t = parse_type("<int> + bool")
+        assert normalize(vinl(vorset(1, 2)), t) == vorset(vinl(1), vinl(2))
+
+    def test_inr_without_orset_is_singleton(self):
+        t = parse_type("<int> + bool")
+        assert normalize(vinr(True), t) == vorset(vinr(True))
+
+    def test_set_of_variants(self):
+        t = parse_type("{<int> + <bool>}")
+        v = vset(vinl(vorset(1, 2)), vinr(vorset(True)))
+        assert normalize(v, t) == vorset(
+            vset(vinl(1), vinr(True)), vset(vinl(2), vinr(True))
+        )
+
+    def test_pair_with_variant(self):
+        t = parse_type("(int + <bool>) * int")
+        v = vpair(vinr(vorset(True, False)), 7)
+        assert normalize(v, t) == vorset(
+            vpair(vinr(False), 7), vpair(vinr(True), 7)
+        )
+
+    def test_inconsistent_variant(self):
+        t = parse_type("<int> + bool")
+        assert normalize(vinl(vorset()), t) == vorset()
+
+    def test_conceptually_equal_representations(self):
+        # inl <1, 2> and the "already distributed" <inl 1, inl 2> have the
+        # same normal form, hence the same conceptual meaning.
+        x = vinl(vorset(1, 2))
+        y = vorset(vinl(1), vinl(2))
+        assert conceptual_eq(
+            x, y, parse_type("<int> + bool"), parse_type("<int + bool>")
+        )
+
+    def test_normal_form_printing(self):
+        t = parse_type("<int> + bool")
+        assert format_value(normalize(vinl(vorset(2, 1)), t)) == "<inl 1, inl 2>"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_variant_coherence_random(seed):
+    """Theorem 4.2 holds in the extended language (the paper's claim)."""
+    rng = random.Random(seed)
+    v, t = random_variant_value(rng, max_depth=3, max_width=2, min_width=1)
+    assert len(coherence_witness(v, t, samples=4, seed=seed)) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_variant_tagged_normalizer_agrees(seed):
+    """Corollary 4.3's tagging simulation extends to variants."""
+    from repro.core.tagged import normalize_via_tagging
+
+    rng = random.Random(seed)
+    v, t = random_variant_value(rng, max_depth=3, max_width=2, min_width=1)
+    assert normalize_via_tagging(v, t) == normalize(v, t)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_variant_worlds_oracle_random(seed):
+    """Normalization equals the possible-worlds denotation with variants."""
+    rng = random.Random(seed)
+    v, t = random_variant_value(rng, max_depth=3, max_width=2, min_width=1)
+    assert frozenset(possibilities(v, t)) == worlds(v)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_variant_lazy_stream_matches(seed):
+    rng = random.Random(seed)
+    v, t = random_variant_value(rng, max_depth=3, max_width=2, min_width=1)
+    assert frozenset(iter_possibilities(v)) == frozenset(possibilities(v, t))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_variant_size_is_leaf_count(seed):
+    rng = random.Random(seed)
+    v, t = random_variant_value(rng, max_depth=3, max_width=2, min_width=1)
+    n = size(v)
+    assert n >= 1
+    if not has_empty_orset(v):
+        assert possibilities(v, t)

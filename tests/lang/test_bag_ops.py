@@ -1,0 +1,186 @@
+"""Tests for the Section 4 internal bag operators and the Section 7
+nested bag language."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OrNRATypeError
+from repro.values.values import UNIT_VALUE, atom, vbag, vorset, vpair, vset
+
+from repro.lang.bag_ops import (
+    AlphaD,
+    BagRho2,
+    DMap,
+    bag_cartesian,
+    bag_count,
+    bag_eta,
+    bag_flatmap,
+    bag_max_union,
+    bag_min_intersect,
+    bag_monus,
+    bag_mu,
+    bag_multiplicity,
+    bag_union,
+    bag_unique,
+    bagtoset,
+    empty_bag,
+    settobag,
+)
+from repro.lang.morphisms import Id, Proj1, infer_signature
+from repro.lang.parser import parse_morphism
+
+
+class TestDMap:
+    def test_preserves_cardinality(self):
+        out = DMap(Proj1())(vbag(vpair(1, 2), vpair(1, 3)))
+        assert out == vbag(1, 1)
+        assert len(out) == 2
+
+    def test_requires_bag(self):
+        from repro.values.values import vset
+
+        with pytest.raises(OrNRATypeError):
+            DMap(Id())(vset(1))
+
+
+class TestAlphaD:
+    def test_paper_example(self):
+        # alpha_d [|<1,2>, <1,2>|] = <[|1,1|], [|1,2|], [|2,2|]>
+        out = AlphaD()(vbag(vorset(1, 2), vorset(1, 2)))
+        assert out == vorset(vbag(1, 1), vbag(1, 2), vbag(2, 2))
+
+    def test_duplicates_not_collapsed(self):
+        # The whole point: the bag remembers both copies, so the mixed
+        # choice [|1,2|] is reachable (contrast with the set case).
+        out = AlphaD()(vbag(vorset(1, 2), vorset(1, 2)))
+        assert vbag(1, 2) in out.elems
+
+    def test_empty_member(self):
+        assert AlphaD()(vbag(vorset(1), vorset())) == vorset()
+
+    def test_empty_bag(self):
+        assert AlphaD()(vbag()) == vorset(vbag())
+
+    def test_requires_bag(self):
+        from repro.values.values import vset
+
+        with pytest.raises(OrNRATypeError):
+            AlphaD()(vset(vorset(1)))
+
+
+class TestBagRho2:
+    def test_pairs_with_each(self):
+        out = BagRho2()(vpair(1, vbag(2, 2)))
+        assert out == vbag(vpair(1, 2), vpair(1, 2))
+
+
+def _random_bag(rng, domain=3, max_width=5):
+    return vbag(*(rng.randrange(domain) for _ in range(rng.randint(0, max_width))))
+
+
+class TestBagMonad:
+    def test_eta(self):
+        assert bag_eta()(3) == vbag(3)
+
+    def test_mu_adds_multiplicities(self):
+        assert bag_mu()(vbag(vbag(1), vbag(1, 2))) == vbag(1, 1, 2)
+
+    def test_monad_laws(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            b = _random_bag(rng)
+            # left unit: mu o eta = id
+            assert bag_mu()(bag_eta()(b)) == b
+            # right unit: mu o dmap(eta) = id
+            assert bag_mu()(DMap(bag_eta())(b)) == b
+        # associativity: mu o mu = mu o dmap(mu)  on bags of bags of bags
+        bbb = vbag(vbag(vbag(1), vbag(1, 2)), vbag(vbag(2)))
+        assert bag_mu()(bag_mu()(bbb)) == bag_mu()(DMap(bag_mu())(bbb))
+
+    def test_flatmap(self):
+        dup = bag_flatmap(parse_morphism("b_union o (b_eta, b_eta)"))
+        assert dup(vbag(1, 2)) == vbag(1, 1, 2, 2)
+
+    def test_cartesian_multiplies_multiplicities(self):
+        out = bag_cartesian()(vpair(vbag(1, 1), vbag(2, 3)))
+        assert out == vbag(vpair(1, 2), vpair(1, 2), vpair(1, 3), vpair(1, 3))
+
+
+class TestBagAlgebra:
+    def test_additive_union(self):
+        assert bag_union()(vpair(vbag(1, 2), vbag(2))) == vbag(1, 2, 2)
+
+    def test_monus_truncates(self):
+        assert bag_monus()(vpair(vbag(1, 1, 2), vbag(1, 3))) == vbag(1, 2)
+        assert bag_monus()(vpair(vbag(1), vbag(1, 1))) == vbag()
+
+    def test_max_union(self):
+        assert bag_max_union()(vpair(vbag(1, 1, 2), vbag(1, 2, 2))) == vbag(
+            1, 1, 2, 2
+        )
+
+    def test_min_intersect(self):
+        assert bag_min_intersect()(vpair(vbag(1, 1, 2), vbag(1, 2, 2))) == vbag(1, 2)
+
+    def test_unique(self):
+        assert bag_unique()(vbag(1, 1, 2, 2, 2)) == vbag(1, 2)
+
+    def test_empty_bag(self):
+        assert empty_bag()(UNIT_VALUE) == vbag()
+
+    def test_count_and_mult(self):
+        assert bag_count()(vbag(1, 1, 2)) == atom(3)
+        assert bag_multiplicity()(vpair(1, vbag(1, 1, 2))) == atom(2)
+        assert bag_multiplicity()(vpair(9, vbag(1, 1, 2))) == atom(0)
+
+    def test_set_coercions(self):
+        assert bagtoset()(vbag(1, 1, 2)) == vset(1, 2)
+        assert settobag()(vset(1, 2)) == vbag(1, 2)
+        # unique = settobag o bagtoset
+        rng = random.Random(7)
+        for _ in range(20):
+            b = _random_bag(rng)
+            assert bag_unique()(b) == settobag()(bagtoset()(b))
+
+    def test_signatures_are_polymorphic(self):
+        for m in (bag_union(), bag_monus(), bag_unique(), bag_count()):
+            sig = infer_signature(m)
+            assert sig.dom is not None
+
+    def test_type_errors(self):
+        with pytest.raises(OrNRATypeError):
+            bag_union()(vpair(vset(1), vbag(1)))
+        with pytest.raises(OrNRATypeError):
+            bag_unique()(vset(1))
+        with pytest.raises(OrNRATypeError):
+            bag_mu()(vbag(vset(1)))
+
+    def test_parser_tokens(self):
+        assert parse_morphism("unique o b_union")(
+            vpair(vbag(1), vbag(1, 2))
+        ) == vbag(1, 2)
+        assert parse_morphism("K[||] o !")(atom(5)) == vbag()
+        assert parse_morphism("count o settobag")(vset(1, 2, 3)) == atom(3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 10_000))
+def test_bag_algebra_identities(seed):
+    """Standard BQL identities on random bags."""
+    rng = random.Random(seed)
+    a, b = _random_bag(rng), _random_bag(rng)
+    pair = vpair(a, b)
+    union, monus = bag_union()(pair), bag_monus()(pair)
+    maxu, minu = bag_max_union()(pair), bag_min_intersect()(pair)
+    # max + min = additive union  (pointwise max + min = sum)
+    assert bag_union()(vpair(maxu, minu)) == union
+    # a monus b, joined back with min(a, b)'s complement: (a - b) + (a & b) = a...
+    # in multiplicity terms: (m - n)^+ + min(m, n) = m.
+    assert bag_union()(vpair(monus, minu)) == a
+    # monus of self is empty
+    assert bag_monus()(vpair(a, a)) == vbag()
+    # unique is idempotent
+    assert bag_unique()(bag_unique()(a)) == bag_unique()(a)

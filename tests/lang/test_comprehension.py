@@ -1,0 +1,144 @@
+"""Tests for the comprehension front end (the paper's opening query)."""
+
+import pytest
+
+from repro.errors import OrNRAParseError
+from repro.types.kinds import INT
+from repro.values.values import atom, vorset, vpair, vset
+
+from repro.lang.comprehension import (
+    capply,
+    ceq,
+    compile_comprehension,
+    cpair,
+    fst,
+    gen,
+    guard,
+    lit,
+    orcomp,
+    setcomp,
+    snd,
+    var,
+)
+from repro.lang.primitives import plus, predicate
+
+
+class TestVariables:
+    def test_single_scope_is_identity(self):
+        m = compile_comprehension(var("db"), "db")
+        assert m(atom(7)) == atom(7)
+
+    def test_unbound_variable(self):
+        with pytest.raises(OrNRAParseError):
+            compile_comprehension(var("nope"), "db")
+
+
+class TestSetComprehensions:
+    def test_identity_comprehension(self):
+        q = setcomp(var("x"), [gen("x", var("db"))])
+        m = compile_comprehension(q, "db")
+        assert m(vset(1, 2, 3)) == vset(1, 2, 3)
+
+    def test_projection(self):
+        q = setcomp(fst(var("x")), [gen("x", var("db"))])
+        m = compile_comprehension(q, "db")
+        assert m(vset(vpair(1, True), vpair(2, False))) == vset(1, 2)
+
+    def test_guard(self):
+        small = predicate("small", lambda v: v.value < 3, INT)
+        q = setcomp(var("x"), [gen("x", var("db")), guard(capply(small, var("x")))])
+        m = compile_comprehension(q, "db")
+        assert m(vset(1, 2, 3, 4)) == vset(1, 2)
+
+    def test_cartesian_product_two_generators(self):
+        q = setcomp(
+            cpair(var("x"), var("y")),
+            [gen("x", fst(var("db"))), gen("y", snd(var("db")))],
+        )
+        m = compile_comprehension(q, "db")
+        out = m(vpair(vset(1, 2), vset(3)))
+        assert out == vset(vpair(1, 3), vpair(2, 3))
+
+    def test_join_with_equality_guard(self):
+        q = setcomp(
+            cpair(fst(var("r")), snd(var("s"))),
+            [
+                gen("r", fst(var("db"))),
+                gen("s", snd(var("db"))),
+                guard(ceq(snd(var("r")), fst(var("s")))),
+            ],
+        )
+        m = compile_comprehension(q, "db")
+        r = vset(vpair(1, 10), vpair(2, 20))
+        s = vset(vpair(10, "a"), vpair(30, "c"))
+        assert m(vpair(r, s)) == vset(vpair(1, "a"))
+
+    def test_computed_head(self):
+        q = setcomp(
+            capply(plus(), cpair(var("x"), lit(1))), [gen("x", var("db"))]
+        )
+        m = compile_comprehension(q, "db")
+        assert m(vset(1, 2)) == vset(2, 3)
+
+
+class TestOrComprehensions:
+    def test_paper_opening_query(self):
+        """(x | x <- DB, ischeap(x)) — select cheap completed designs."""
+        ischeap = predicate("ischeap", lambda v: v.value < 100, INT)
+        q = orcomp(
+            var("x"), [gen("x", var("db")), guard(capply(ischeap, var("x")))]
+        )
+        m = compile_comprehension(q, "db")
+        assert m(vorset(50, 150, 70)) == vorset(50, 70)
+
+    def test_or_generator_nesting(self):
+        q = orcomp(
+            cpair(var("x"), var("y")),
+            [gen("x", fst(var("db"))), gen("y", snd(var("db")))],
+        )
+        m = compile_comprehension(q, "db")
+        out = m(vpair(vorset(1, 2), vorset(3, 4)))
+        assert out == vorset(vpair(1, 3), vpair(1, 4), vpair(2, 3), vpair(2, 4))
+
+    def test_empty_or_generator_propagates(self):
+        q = orcomp(var("x"), [gen("x", var("db"))])
+        m = compile_comprehension(q, "db")
+        assert m(vorset()) == vorset()
+
+    def test_guard_can_empty_orset(self):
+        never = predicate("never", lambda v: False, INT)
+        q = orcomp(var("x"), [gen("x", var("db")), guard(capply(never, var("x")))])
+        m = compile_comprehension(q, "db")
+        assert m(vorset(1, 2)) == vorset()
+
+    def test_kind_validation(self):
+        from repro.errors import OrNRATypeError
+        from repro.lang.comprehension import Comprehension
+
+        with pytest.raises(OrNRATypeError):
+            Comprehension(var("x"), (), "bag")
+
+
+class TestScoping:
+    def test_shadowing_inner_wins(self):
+        q = setcomp(
+            var("x"),
+            [gen("x", var("db")), gen("x", fst(var("x")))],
+        )
+        m = compile_comprehension(q, "db")
+        # db : {({1,2}-like, _)}; inner x ranges over fst of outer x.
+        out = m(vset(vpair(vset(1, 2), True)))
+        assert out == vset(1, 2)
+
+    def test_three_level_scope(self):
+        q = setcomp(
+            cpair(var("x"), cpair(var("y"), var("z"))),
+            [
+                gen("x", var("db")),
+                gen("y", var("db")),
+                gen("z", var("db")),
+            ],
+        )
+        m = compile_comprehension(q, "db")
+        out = m(vset(1, 2))
+        assert len(out) == 8

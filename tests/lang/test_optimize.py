@@ -1,0 +1,164 @@
+"""Tests for the Section 7 equational optimizer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gen import random_value
+from repro.lang.bag_ops import AlphaD, DMap, bag_eta, bag_mu
+from repro.lang.morphisms import (
+    Bang,
+    Compose,
+    Cond,
+    Id,
+    PairOf,
+    Proj1,
+    Proj2,
+    always,
+    compose,
+    identity,
+    pair_of,
+)
+from repro.lang.optimize import cost, equations_applied, optimize
+from repro.lang.orset_ops import Alpha, OrEta, OrMap, OrMu, OrRho2, or_eta, ormap
+from repro.lang.primitives import plus
+from repro.lang.set_ops import SetEta, SetMap, SetMu, set_eta, set_map, set_mu
+from repro.lang.variant_ops import case, inl, inr
+from repro.types.parse import parse_type
+from repro.values.values import atom, vbag, vorset, vpair, vset
+
+
+DOUBLE = Compose(plus(), PairOf(Id(), Id()))
+
+
+class TestBasicRules:
+    def test_identity_elimination(self):
+        assert optimize(compose(identity(), plus(), identity())) == plus()
+
+    def test_projection_of_pair(self):
+        m = Compose(Proj1(), PairOf(DOUBLE, Bang()))
+        assert optimize(m) == DOUBLE
+
+    def test_pair_of_projections_is_id(self):
+        assert optimize(PairOf(Proj1(), Proj2())) == Id()
+
+    def test_bang_absorbs(self):
+        assert optimize(Compose(Bang(), DOUBLE)) == Bang()
+
+    def test_map_id_collapses(self):
+        assert optimize(SetMap(Id())) == Id()
+        assert optimize(OrMap(Compose(Id(), Id()))) == Id()
+
+    def test_map_fusion(self):
+        m = Compose(SetMap(DOUBLE), SetMap(DOUBLE))
+        out = optimize(m)
+        # Fused into one traversal (canonical right-nested composition).
+        assert isinstance(out, SetMap)
+        assert out == optimize(SetMap(Compose(DOUBLE, DOUBLE)))
+        assert cost(out) < cost(m)
+
+    def test_monad_unit_laws(self):
+        assert optimize(Compose(SetMu(), SetEta())) == Id()
+        assert optimize(Compose(SetMu(), SetMap(SetEta()))) == Id()
+        assert optimize(Compose(OrMu(), OrEta())) == Id()
+        assert optimize(Compose(bag_mu(), bag_eta())) == Id()
+
+    def test_map_after_eta(self):
+        out = optimize(Compose(OrMap(DOUBLE), OrEta()))
+        assert out == Compose(OrEta(), DOUBLE)
+
+    def test_cond_same_branches(self):
+        m = Cond(always(True), DOUBLE, DOUBLE)
+        assert optimize(m) == DOUBLE
+
+    def test_case_of_injection(self):
+        assert optimize(Compose(case(DOUBLE, Bang()), inl())) == DOUBLE
+        assert optimize(Compose(case(DOUBLE, plus()), inr())) == plus()
+
+
+class TestCoherenceDiagramRules:
+    def test_alpha_push(self):
+        m = Compose(OrMap(SetMap(DOUBLE)), Alpha())
+        out = optimize(m)
+        assert out == Compose(Alpha(), SetMap(OrMap(DOUBLE)))
+        assert "alpha_diagram" in equations_applied(m)
+
+    def test_alpha_d_push(self):
+        m = Compose(OrMap(DMap(DOUBLE)), AlphaD())
+        assert optimize(m) == Compose(AlphaD(), DMap(OrMap(DOUBLE)))
+
+    def test_rho_square(self):
+        body = PairOf(Compose(DOUBLE, Proj1()), Proj2())
+        m = Compose(OrMap(body), OrRho2())
+        out = optimize(m)
+        assert isinstance(out, Compose) and isinstance(out.after, OrRho2)
+        assert "or_mu_diagram" in equations_applied(m)
+
+    def test_mu_naturality(self):
+        m = Compose(OrMu(), OrMap(OrMap(DOUBLE)))
+        assert optimize(m) == Compose(OrMap(DOUBLE), OrMu())
+
+    def test_rho_eta_collapse(self):
+        # or_rho_2 o (pi_1, or_eta o pi_2) is conceptually or_eta.
+        m = Compose(OrRho2(), pair_of(Proj1(), Compose(or_eta(), Proj2())))
+        assert optimize(m) == or_eta()
+        from repro.lang.set_ops import SetRho2
+
+        m2 = Compose(SetRho2(), pair_of(Proj1(), Compose(set_eta(), Proj2())))
+        assert optimize(m2) == set_eta()
+
+
+class TestSoundness:
+    """optimize(m)(x) == m(x) on random inputs, for a suite of shapes."""
+
+    SUITE = [
+        (compose(identity(), SetMap(DOUBLE), SetMap(DOUBLE)), "{int}"),
+        (Compose(SetMu(), SetMap(SetEta())), "{int}"),
+        (Compose(OrMap(SetMap(DOUBLE)), Alpha()), "{<int>}"),
+        (Compose(OrMu(), OrMap(OrMap(DOUBLE))), "<<int>>"),
+        (Compose(OrMap(DOUBLE), OrEta()), "int"),
+        (Compose(Proj1(), PairOf(DOUBLE, Bang())), "int"),
+        (PairOf(Proj1(), Proj2()), "int * bool"),
+        (Compose(Bang(), SetMap(DOUBLE)), "{int}"),
+        (
+            Compose(OrMap(PairOf(Compose(DOUBLE, Proj1()), Proj2())), OrRho2()),
+            "int * <int>",
+        ),
+        (Compose(case(DOUBLE, Id()), inl()), "int"),
+    ]
+
+    @pytest.mark.parametrize("m,type_text", SUITE)
+    def test_agreement(self, m, type_text):
+        t = parse_type(type_text)
+        rng = random.Random(11)
+        opt = optimize(m)
+        for _ in range(25):
+            x = random_value(t, rng, max_width=3, min_width=0)
+            assert opt(x) == m(x), (m.describe(), opt.describe(), str(x))
+
+    @pytest.mark.parametrize("m,type_text", SUITE)
+    def test_cost_never_increases(self, m, type_text):
+        assert cost(optimize(m)) <= cost(m)
+
+    @pytest.mark.parametrize("m,type_text", SUITE)
+    def test_idempotent(self, m, type_text):
+        once = optimize(m)
+        assert optimize(once) == once
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 4))
+def test_random_map_pipelines_sound(seed, k):
+    """Chains of maps/eta/mu optimize soundly on random set inputs."""
+    rng = random.Random(seed)
+    parts = []
+    for _ in range(k):
+        parts.append(rng.choice([SetMap(DOUBLE), SetMap(Id()), Id()]))
+    m = compose(*parts)
+    opt = optimize(m)
+    t = parse_type("{int}")
+    for _ in range(5):
+        x = random_value(t, rng, max_width=4, min_width=0)
+        assert opt(x) == m(x)

@@ -1,0 +1,111 @@
+"""Tests for the linear-order lifting (Section 7, ref [26])."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types.kinds import INT, OrSetType, ProdType, SetType
+from repro.values.values import FALSE, TRUE, atom, vorset, vpair, vset
+
+from repro.lang.order_lift import (
+    lifted_le_primitive,
+    linear_cmp,
+    linear_le,
+    sort_values,
+)
+
+from tests.strategies import value_of
+
+NESTED = SetType(ProdType(INT, OrSetType(INT)))
+
+
+class TestBaseRestriction:
+    def test_restricts_to_int_order(self):
+        assert linear_le(atom(1), atom(2))
+        assert not linear_le(atom(2), atom(1))
+
+    def test_bools_ordered(self):
+        assert linear_le(atom(False), atom(True))
+
+
+class TestLinearity:
+    @given(value_of(NESTED, max_width=3), value_of(NESTED, max_width=3))
+    def test_total(self, x, y):
+        assert linear_le(x, y) or linear_le(y, x)
+
+    @given(value_of(NESTED, max_width=3), value_of(NESTED, max_width=3))
+    def test_antisymmetric(self, x, y):
+        if linear_le(x, y) and linear_le(y, x):
+            assert x == y
+
+    @given(
+        value_of(NESTED, max_width=2),
+        value_of(NESTED, max_width=2),
+        value_of(NESTED, max_width=2),
+    )
+    def test_transitive(self, x, y, z):
+        if linear_le(x, y) and linear_le(y, z):
+            assert linear_le(x, z)
+
+    @given(value_of(NESTED, max_width=3))
+    def test_reflexive(self, x):
+        assert linear_cmp(x, x) == 0
+
+
+class TestSorting:
+    def test_sort_values(self):
+        values = [vset(2), vset(1), vset()]
+        ordered = sort_values(values)
+        assert ordered[0] == vset()
+
+    @given(st.lists(value_of(OrSetType(INT), max_width=3), max_size=5))
+    def test_sort_is_idempotent(self, values):
+        once = sort_values(values)
+        assert sort_values(once) == once
+
+
+class TestPrimitiveForm:
+    def test_morphism_wrapper(self):
+        leq = lifted_le_primitive(SetType(INT))
+        assert leq(vpair(vset(1), vset(1, 2))) == TRUE
+        assert leq(vpair(vset(9), vset(1, 2))) == FALSE
+
+    def test_declared_type(self):
+        leq = lifted_le_primitive(OrSetType(INT))
+        assert leq.dom == ProdType(OrSetType(INT), OrSetType(INT))
+
+
+class TestVariantLifting:
+    """The lifted order extends to the Section 7 variant types."""
+
+    def test_inl_before_inr(self):
+        from repro.lang.order_lift import linear_le
+        from repro.values.values import vinl, vinr
+
+        assert linear_le(vinl(99), vinr(0))
+        assert not linear_le(vinr(0), vinl(99))
+
+    def test_same_side_compares_payload(self):
+        from repro.lang.order_lift import linear_cmp
+        from repro.values.values import vinl
+
+        assert linear_cmp(vinl(1), vinl(2)) == -1
+        assert linear_cmp(vinl(2), vinl(2)) == 0
+
+    def test_linear_order_on_random_variant_values(self):
+        import random
+
+        from repro.gen import random_value
+        from repro.lang.order_lift import linear_cmp, sort_values
+        from repro.types.parse import parse_type
+
+        rng = random.Random(3)
+        t = parse_type("{int + bool * int}")
+        values = [random_value(t, rng, max_width=3) for _ in range(12)]
+        ordered = sort_values(values)
+        # Totality + transitivity: the sorted sequence is monotone.
+        for a, b in zip(ordered, ordered[1:]):
+            assert linear_cmp(a, b) <= 0
+        # Antisymmetry: cmp == 0 iff equal.
+        for a in values:
+            for b in values:
+                assert (linear_cmp(a, b) == 0) == (a == b)

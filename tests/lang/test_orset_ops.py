@@ -1,0 +1,136 @@
+"""Tests for the or-set fragment and ``alpha`` — the Section 1/2 examples."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import INT, OrSetType, ProdType, SetType
+from repro.values.values import UNIT_VALUE, atom, vorset, vpair, vset
+
+from repro.lang.morphisms import Id, PairOf, Proj1, Proj2, infer_signature
+from repro.lang.orset_ops import (
+    Alpha,
+    KEmptyOrSet,
+    OrEta,
+    OrMap,
+    OrMu,
+    OrRho2,
+    OrToSet,
+    OrUnion,
+    SetToOr,
+    or_cartesian,
+    or_flatmap,
+    or_rho1,
+)
+
+from tests.strategies import value_of
+
+
+class TestPaperExamples:
+    def test_or_mu_flattens_section1(self):
+        # or_mu <<1,2,3>, <2,4>> = <1,2,3,4>
+        assert OrMu()(vorset(vorset(1, 2, 3), vorset(2, 4))) == vorset(1, 2, 3, 4)
+
+    def test_or_rho2_section1(self):
+        # or_rho_2 (1, <2,3>) = <(1,2), (1,3)>
+        assert OrRho2()(vpair(1, vorset(2, 3))) == vorset(vpair(1, 2), vpair(1, 3))
+
+    def test_alpha_section1(self):
+        # alpha {<2,3>, <4,5,3>} = <{2,4},{2,5},{2,3},{3,4},{3,5},{3}>
+        out = Alpha()(vset(vorset(2, 3), vorset(4, 5, 3)))
+        assert out == vorset(
+            vset(2, 4), vset(2, 5), vset(2, 3), vset(3, 4), vset(3, 5), vset(3)
+        )
+
+    def test_alpha_empty_member_is_inconsistency(self):
+        # alpha {<1,2>, <>, <3>} = <> (Section 1's discussion).
+        assert Alpha()(vset(vorset(1, 2), vorset(), vorset(3))) == vorset()
+
+    def test_alpha_empty_set(self):
+        # alpha {} = <{}> (the unique choice over no members).
+        assert Alpha()(vset()) == vorset(vset())
+
+
+class TestOperators:
+    def test_or_eta(self):
+        assert OrEta()(atom(1)) == vorset(1)
+
+    def test_ormap(self):
+        assert OrMap(Proj1())(vorset(vpair(1, 2), vpair(3, 4))) == vorset(1, 3)
+
+    def test_ormap_requires_orset(self):
+        with pytest.raises(OrNRATypeError):
+            OrMap(Id())(vset(1))
+
+    def test_or_union(self):
+        assert OrUnion()(vpair(vorset(1), vorset(2))) == vorset(1, 2)
+
+    def test_k_empty(self):
+        assert KEmptyOrSet()(UNIT_VALUE) == vorset()
+
+    def test_or_rho1_derived(self):
+        assert or_rho1()(vpair(vorset(1, 2), 3)) == vorset(vpair(1, 3), vpair(2, 3))
+
+    def test_ortoset_settoor(self):
+        assert OrToSet()(vorset(1, 2)) == vset(1, 2)
+        assert SetToOr()(vset(1, 2)) == vorset(1, 2)
+
+    def test_or_cartesian(self):
+        out = or_cartesian()(vpair(vorset(1, 2), vorset(3, 4)))
+        assert out == vorset(vpair(1, 3), vpair(1, 4), vpair(2, 3), vpair(2, 4))
+
+    def test_or_cartesian_with_inconsistency(self):
+        assert or_cartesian()(vpair(vorset(1), vorset())) == vorset()
+
+    def test_or_flatmap(self):
+        assert or_flatmap(OrRho2())(
+            vorset(vpair(1, vorset(2)), vpair(3, vorset(4, 5)))
+        ) == vorset(vpair(1, 2), vpair(3, 4), vpair(3, 5))
+
+
+class TestMonadLaws:
+    @given(value_of(OrSetType(INT), max_width=4))
+    def test_left_unit(self, xs):
+        assert OrMu()(OrEta()(xs)) == xs
+
+    @given(value_of(OrSetType(INT), max_width=4))
+    def test_right_unit(self, xs):
+        assert OrMu()(OrMap(OrEta())(xs)) == xs
+
+    @given(value_of(OrSetType(OrSetType(OrSetType(INT))), max_width=3))
+    def test_associativity(self, xsss):
+        assert OrMu()(OrMu()(xsss)) == OrMu()(OrMap(OrMu())(xsss))
+
+    @given(value_of(OrSetType(ProdType(INT, INT)), max_width=3))
+    def test_map_composition(self, xs):
+        f, g = Proj1(), PairOf(Proj2(), Proj1())
+        assert OrMap(f)(OrMap(g)(xs)) == OrMap(f @ g)(xs)
+
+
+class TestAlphaProperties:
+    @given(value_of(SetType(OrSetType(INT)), max_width=3, min_width=0))
+    def test_alpha_cardinality(self, family):
+        """|alpha(A)| <= prod |A_i| (with equality when all leaves distinct)."""
+        out = Alpha()(family)
+        expected = 1
+        for member in family:
+            expected *= len(member)
+        assert len(out) <= expected
+
+    def test_alpha_signature(self):
+        sig = infer_signature(Alpha())
+        assert isinstance(sig.dom, SetType)
+        assert isinstance(sig.dom.elem, OrSetType)
+        assert isinstance(sig.cod, OrSetType)
+        assert isinstance(sig.cod.elem, SetType)
+
+    def test_alpha_requires_orset_members(self):
+        with pytest.raises(OrNRATypeError):
+            Alpha()(vset(vset(1)))
+
+    def test_duplicate_orsets_collapse_in_sets(self):
+        """The Section 4 motivation for multisets: as a *set*, two equal
+        or-sets are one element, so {a,b} is unreachable."""
+        family = vset(vorset(1, 2), vorset(1, 2))  # collapses to {<1,2>}
+        assert len(family) == 1
+        assert Alpha()(family) == vorset(vset(1), vset(2))

@@ -1,0 +1,120 @@
+"""Tests for the surface-syntax parsers (values and morphisms)."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import OrNRAParseError
+from repro.types.kinds import INT
+from repro.values.values import (
+    UNIT_VALUE,
+    Atom,
+    atom,
+    format_value,
+    vbag,
+    vorset,
+    vpair,
+    vset,
+)
+
+from repro.lang.morphisms import Compose, Cond, PairOf, Proj1
+from repro.lang.orset_ops import Alpha, OrMu
+from repro.lang.parser import parse_morphism, parse_value
+from repro.lang.primitives import predicate
+from repro.lang.set_ops import SetMap
+
+from tests.strategies import typed_values
+
+
+class TestValueParsing:
+    def test_atoms(self):
+        assert parse_value("42") == atom(42)
+        assert parse_value("-3") == atom(-3)
+        assert parse_value("true") == atom(True)
+        assert parse_value('"hello"') == atom("hello")
+        assert parse_value("()") is UNIT_VALUE
+
+    def test_user_base_atoms(self):
+        assert parse_value("module:B") == Atom("module", "B")
+        assert parse_value("part:7") == Atom("part", 7)
+
+    def test_collections(self):
+        assert parse_value("{1, 2}") == vset(1, 2)
+        assert parse_value("<1, 2>") == vorset(1, 2)
+        assert parse_value("[|1, 1|]") == vbag(1, 1)
+        assert parse_value("{}") == vset()
+        assert parse_value("<>") == vorset()
+
+    def test_pairs_and_nesting(self):
+        assert parse_value("(1, {<2>, <3, 4>})") == vpair(
+            1, vset(vorset(2), vorset(3, 4))
+        )
+
+    def test_paper_object(self):
+        v = parse_value("({<1, 2>, <3>}, <1, 2>)")
+        assert v == vpair(vset(vorset(1, 2), vorset(3)), vorset(1, 2))
+
+    @pytest.mark.parametrize("bad", ["", "{1", "(1,", "<1,,2>", '"open'])
+    def test_malformed(self, bad):
+        with pytest.raises(OrNRAParseError):
+            parse_value(bad)
+
+    @given(typed_values(max_depth=3, max_width=3))
+    def test_format_parse_round_trip(self, pair):
+        value, _ = pair
+        assert parse_value(format_value(value)) == value
+
+
+class TestMorphismParsing:
+    def test_nullary_names(self):
+        assert isinstance(parse_morphism("alpha"), Alpha)
+        assert isinstance(parse_morphism("pi_1"), Proj1)
+
+    def test_composition(self):
+        m = parse_morphism("or_mu o ormap(or_eta)")
+        assert isinstance(m, Compose)
+        assert isinstance(m.after, OrMu)
+
+    def test_pair_formation(self):
+        m = parse_morphism("(pi_2, pi_1)")
+        assert isinstance(m, PairOf)
+        assert m(vpair(1, 2)) == vpair(2, 1)
+
+    def test_map_forms(self):
+        m = parse_morphism("map(pi_1)")
+        assert isinstance(m, SetMap)
+
+    def test_constants(self):
+        assert parse_morphism("K(5)")(UNIT_VALUE) == atom(5)
+        assert parse_morphism("K{} o !")(atom(1)) == vset()
+        assert parse_morphism("K<> o !")(atom(1)) == vorset()
+
+    def test_cond(self):
+        env = {"pos": predicate("pos", lambda v: v.value > 0, INT)}
+        m = parse_morphism("cond(pos, eta, K{} o !)", env)
+        assert isinstance(m, Cond)
+        assert m(atom(3)) == vset(3)
+        assert m(atom(-3)) == vset()
+
+    def test_paper_intro_query(self):
+        """or_mu o ormap(cond(ischeap, or_eta, K<> o !)) — Section 2."""
+        env = {"ischeap": predicate("ischeap", lambda v: v.value < 100, INT)}
+        q = parse_morphism("or_mu o ormap(cond(ischeap, or_eta, K<> o !))", env)
+        assert q(vorset(50, 150, 70)) == vorset(50, 70)
+
+    def test_normalize_in_surface_syntax(self):
+        q = parse_morphism("normalize")
+        assert q(parse_value("{<1>, <2, 3>}")) == parse_value(
+            "<{1, 2}, {1, 3}>"
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(OrNRAParseError):
+            parse_morphism("frobnicate")
+
+    def test_env_lookup(self):
+        env = {"swap": PairOf(Proj1(), Proj1())}
+        assert parse_morphism("swap", env)(vpair(1, 2)) == vpair(1, 1)
+
+    def test_composition_binds_over_o(self):
+        m = parse_morphism("pi_1 o (pi_2, pi_1)")
+        assert m(vpair(1, 2)) == atom(2)

@@ -1,0 +1,66 @@
+"""Tests for the Sigma primitives."""
+
+import pytest
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import BOOL, INT
+from repro.values.values import FALSE, TRUE, atom, vpair
+
+from repro.lang.primitives import (
+    bool_and,
+    bool_not,
+    bool_or,
+    int_le,
+    int_lt,
+    minus,
+    plus,
+    predicate,
+    times,
+    unary_primitive,
+)
+
+
+class TestArithmetic:
+    def test_plus_minus_times(self):
+        assert plus()(vpair(2, 3)) == atom(5)
+        assert minus()(vpair(2, 3)) == atom(-1)
+        assert times()(vpair(2, 3)) == atom(6)
+
+    def test_comparisons(self):
+        assert int_le()(vpair(2, 2)) == TRUE
+        assert int_lt()(vpair(2, 2)) == FALSE
+        assert int_lt()(vpair(1, 2)) == TRUE
+
+    def test_type_errors(self):
+        with pytest.raises(OrNRATypeError):
+            plus()(atom(1))
+        with pytest.raises(OrNRATypeError):
+            plus()(vpair(True, 1))
+
+
+class TestBooleans:
+    def test_connectives(self):
+        assert bool_and()(vpair(True, True)) == TRUE
+        assert bool_and()(vpair(True, False)) == FALSE
+        assert bool_or()(vpair(False, True)) == TRUE
+        assert bool_not()(atom(True)) == FALSE
+
+    def test_not_rejects_ints(self):
+        with pytest.raises(OrNRATypeError):
+            bool_not()(atom(1))
+
+
+class TestUserPrimitives:
+    def test_predicate(self):
+        p = predicate("even", lambda v: v.value % 2 == 0, INT)
+        assert p(atom(4)) == TRUE
+        assert p(atom(3)) == FALSE
+        assert p.cod == BOOL
+
+    def test_unary_primitive_coerces(self):
+        double = unary_primitive("double", lambda v: v.value * 2, INT, INT)
+        assert double(atom(3)) == atom(6)
+
+    def test_declared_types_visible(self):
+        p = predicate("p", lambda v: True, INT)
+        assert p.dom == INT

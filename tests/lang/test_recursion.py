@@ -1,0 +1,141 @@
+"""Tests for structural recursion (Section 7)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EligibilityError, OrNRATypeError
+from repro.lang.morphisms import Compose, PairOf, Proj1, Proj2, infer_signature
+from repro.lang.primitives import plus
+from repro.lang.recursion import (
+    check_idempotent,
+    check_left_commutative,
+    fold_bag,
+    fold_orset,
+    fold_set,
+    sr_bag,
+    sr_orset,
+    sr_set,
+)
+from repro.lang.set_ops import SetUnion, set_eta
+from repro.types.kinds import INT, SetType
+from repro.values.values import atom, vbag, vorset, vset
+
+
+def _max_insert(x, acc):
+    return x if x.value > acc.value else acc
+
+
+def _add_insert(x, acc):
+    return atom(x.value + acc.value)
+
+
+class TestFolds:
+    def test_fold_set_max(self):
+        assert fold_set(vset(3, 1, 4), 0, _max_insert) == atom(4)
+
+    def test_fold_empty_gives_seed(self):
+        assert fold_set(vset(), 42, _max_insert) == atom(42)
+
+    def test_fold_orset(self):
+        assert fold_orset(vorset(3, 9), 0, _max_insert) == atom(9)
+
+    def test_fold_bag_sum_counts_duplicates(self):
+        assert fold_bag(vbag(2, 2, 3), 0, _add_insert) == atom(7)
+
+    def test_type_errors(self):
+        with pytest.raises(OrNRATypeError):
+            fold_set(vbag(1), 0, _max_insert)
+        with pytest.raises(OrNRATypeError):
+            fold_bag(vset(1), 0, _add_insert)
+
+
+class TestWellDefinedness:
+    def test_max_is_eligible(self):
+        elems = [atom(i) for i in (3, 1, 4)]
+        assert check_left_commutative(_max_insert, elems, atom(0))
+        assert check_idempotent(_max_insert, elems, atom(0))
+
+    def test_sum_is_commutative_not_idempotent(self):
+        elems = [atom(i) for i in (3, 1)]
+        assert check_left_commutative(_add_insert, elems, atom(0))
+        assert not check_idempotent(_add_insert, elems, atom(0))
+
+    def test_checked_set_fold_rejects_sum(self):
+        # Summing over a *set* is ill-defined (repeated insertion of a
+        # member would change the result); the checked fold catches it.
+        with pytest.raises(EligibilityError):
+            fold_set(vset(1, 2), 0, _add_insert, checked=True)
+
+    def test_checked_bag_fold_accepts_sum(self):
+        assert fold_bag(vbag(1, 2, 2), 0, _add_insert, checked=True) == atom(5)
+
+    def test_order_dependent_insert_rejected(self):
+        def first_wins(x, acc):
+            return acc if acc.value else x
+
+        # first_wins is not left-commutative: the result depends on which
+        # element is inserted last.
+        with pytest.raises(EligibilityError):
+            fold_set(vset(1, 2), 0, first_wins, checked=True)
+
+    def test_checked_result_is_order_independent(self):
+        rng = random.Random(5)
+        elems = [rng.randrange(10) for _ in range(5)]
+        base = fold_set(vset(*elems), 0, _max_insert, checked=True)
+        for _ in range(5):
+            rng.shuffle(elems)
+            assert fold_set(vset(*elems), 0, _max_insert, checked=True) == base
+
+
+class TestSRMorphisms:
+    def test_sr_set_cardinality_like(self):
+        # sr({}, i)(X) with i(x, acc) = {x} U acc  is the identity on sets,
+        # demonstrating the insert presentation.
+        insert = Compose(SetUnion(), PairOf(Compose(set_eta(), Proj1()), Proj2()))
+        m = sr_set(vset(), insert)
+        assert m(vset(1, 2, 3)) == vset(1, 2, 3)
+
+    def test_sr_bag_sum(self):
+        m = sr_bag(0, plus())
+        assert m(vbag(1, 2, 3, 3)) == atom(9)
+
+    def test_sr_orset(self):
+        m = sr_orset(0, plus())
+        assert m(vorset(1, 2, 4)) == atom(7)
+
+    def test_signature(self):
+        sig = infer_signature(sr_bag(0, plus()))
+        assert sig.cod == INT
+
+    def test_sr_in_composition(self):
+        # Sum of pairwise sums: sr o dmap.
+        from repro.lang.bag_ops import DMap
+
+        m = Compose(sr_bag(0, plus()), DMap(plus()))
+        assert m(vbag(vpair_(1, 2), vpair_(3, 4))) == atom(10)
+
+    def test_checked_morphism_raises(self):
+        m = sr_set(0, plus(), checked=True)
+        with pytest.raises(EligibilityError):
+            m(vset(1, 2))
+
+
+def vpair_(a, b):
+    from repro.values.values import vpair
+
+    return vpair(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 20), max_size=6), st.integers(0, 20))
+def test_fold_bag_sum_equals_python_sum(xs, seed):
+    assert fold_bag(vbag(*xs), seed, _add_insert) == atom(sum(xs) + seed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=6))
+def test_fold_set_max_equals_python_max(xs):
+    assert fold_set(vset(*xs), 0, _max_insert, checked=True) == atom(max(xs))

@@ -1,0 +1,93 @@
+"""Tests for the relational derived layer (nest/unnest/join/semijoin)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.relational import join, nest, or_unnest, semijoin, unnest
+from repro.lang.typecheck import result_type
+from repro.types.parse import format_type, parse_type
+from repro.values.values import vorset, vpair, vset
+
+
+R = vset(vpair(1, "a"), vpair(1, "b"), vpair(2, "c"))
+
+
+class TestNestUnnest:
+    def test_nest_groups_by_key(self):
+        assert nest()(R) == vset(
+            vpair(1, vset("a", "b")), vpair(2, vset("c"))
+        )
+
+    def test_unnest_inverts_nest(self):
+        assert unnest()(nest()(R)) == R
+
+    def test_nest_of_empty(self):
+        assert nest()(vset()) == vset()
+
+    def test_nest_type(self):
+        out = result_type(nest(), parse_type("{int * string}"))
+        assert format_type(out) == "{int * {string}}"
+
+    def test_unnest_type(self):
+        out = result_type(unnest(), parse_type("{int * {string}}"))
+        assert format_type(out) == "{int * string}"
+
+    def test_or_unnest(self):
+        v = vorset(vpair(1, vorset("a", "b")))
+        assert or_unnest()(v) == vorset(vpair(1, "a"), vpair(1, "b"))
+
+
+class TestJoins:
+    def test_natural_join(self):
+        s = vset(vpair("x", 1), vpair("y", 2))
+        t = vset(vpair(1, "one"), vpair(1, "uno"), vpair(3, "three"))
+        out = join()(vpair(s, t))
+        assert out == vset(
+            vpair("x", vpair(1, "one")), vpair("x", vpair(1, "uno"))
+        )
+
+    def test_join_empty_when_no_match(self):
+        s = vset(vpair("x", 1))
+        t = vset(vpair(2, "two"))
+        assert join()(vpair(s, t)) == vset()
+
+    def test_semijoin(self):
+        keys = vset("a", "c")
+        assert semijoin()(vpair(R, keys)) == vset(vpair(1, "a"), vpair(2, "c"))
+
+    def test_semijoin_type(self):
+        out = result_type(semijoin(), parse_type("{int * string} * {string}"))
+        assert format_type(out) == "{int * string}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=8))
+def test_nest_unnest_roundtrip_random(rows):
+    r = vset(*(vpair(a, b) for a, b in rows))
+    assert unnest()(nest()(r)) == r
+    # Groups partition the rows: keys are exactly the first components.
+    nested = nest()(r)
+    keys = {p.fst for p in nested}
+    assert keys == {p.fst for p in r}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=6),
+    st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=6),
+)
+def test_join_agrees_with_python(left, right):
+    s = vset(*(vpair(a, b) for a, b in left))
+    t = vset(*(vpair(c, d) for c, d in right))
+    out = join()(vpair(s, t))
+    expected = vset(
+        *(
+            vpair(a, vpair(c, d))
+            for a, b in set(left)
+            for c, d in set(right)
+            if b == c
+        )
+    )
+    assert out == expected

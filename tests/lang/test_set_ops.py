@@ -1,0 +1,116 @@
+"""Tests for the NRA set fragment and the set-monad laws."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import INT, ProdType, SetType
+from repro.values.values import atom, vpair, vset
+
+from repro.lang.morphisms import Id, PairOf, Proj1, Proj2
+from repro.lang.primitives import plus
+from repro.lang.set_ops import (
+    KEmptySet,
+    SetEta,
+    SetMap,
+    SetMu,
+    SetRho2,
+    SetUnion,
+    flatmap,
+    set_cartesian,
+    set_rho1,
+)
+
+from tests.strategies import value_of
+
+
+class TestOperators:
+    def test_eta(self):
+        assert SetEta()(atom(1)) == vset(1)
+
+    def test_mu(self):
+        assert SetMu()(vset(vset(1, 2), vset(2, 3))) == vset(1, 2, 3)
+
+    def test_mu_requires_nested(self):
+        with pytest.raises(OrNRATypeError):
+            SetMu()(vset(1))
+
+    def test_map(self):
+        first = SetMap(Proj1())
+        assert first(vset(vpair(1, True), vpair(2, False))) == vset(1, 2)
+
+    def test_map_with_arithmetic(self):
+        double = SetMap(plus() @ PairOf(Id(), Id()))
+        assert double(vset(1, 2, 3)) == vset(2, 4, 6)
+
+    def test_map_collapses_duplicates(self):
+        collapse = SetMap(Proj2())
+        assert collapse(vset(vpair(1, 9), vpair(2, 9))) == vset(9)
+
+    def test_rho2(self):
+        assert SetRho2()(vpair(1, vset(2, 3))) == vset(vpair(1, 2), vpair(1, 3))
+
+    def test_rho2_empty(self):
+        assert SetRho2()(vpair(1, vset())) == vset()
+
+    def test_rho1_derived(self):
+        assert set_rho1()(vpair(vset(2, 3), 1)) == vset(vpair(2, 1), vpair(3, 1))
+
+    def test_union(self):
+        assert SetUnion()(vpair(vset(1), vset(2, 1))) == vset(1, 2)
+
+    def test_empty(self):
+        from repro.values.values import UNIT_VALUE
+
+        assert KEmptySet()(UNIT_VALUE) == vset()
+
+
+class TestDerivedForms:
+    def test_flatmap(self):
+        pairs = flatmap(SetRho2())
+        out = pairs(vset(vpair(1, vset(2, 3)), vpair(4, vset(5))))
+        assert out == vset(vpair(1, 2), vpair(1, 3), vpair(4, 5))
+
+    def test_cartesian(self):
+        out = set_cartesian()(vpair(vset(1, 2), vset(True, False)))
+        assert out == vset(
+            vpair(1, True), vpair(1, False), vpair(2, True), vpair(2, False)
+        )
+
+    def test_cartesian_with_empty(self):
+        assert set_cartesian()(vpair(vset(1), vset())) == vset()
+
+
+class TestMonadLaws:
+    """The monad equations of [5] that or-NRA's design relies on."""
+
+    @given(value_of(SetType(INT), max_width=4))
+    def test_mu_eta_left_unit(self, xs):
+        assert SetMu()(SetEta()(xs)) == xs
+
+    @given(value_of(SetType(INT), max_width=4))
+    def test_mu_map_eta_right_unit(self, xs):
+        assert SetMu()(SetMap(SetEta())(xs)) == xs
+
+    @given(value_of(SetType(SetType(SetType(INT))), max_width=3))
+    def test_mu_associativity(self, xsss):
+        assert SetMu()(SetMu()(xsss)) == SetMu()(SetMap(SetMu())(xsss))
+
+    @given(value_of(SetType(ProdType(INT, INT)), max_width=3))
+    def test_map_composition(self, xs):
+        f, g = Proj1(), PairOf(Proj2(), Proj1())
+        assert SetMap(f)(SetMap(g)(xs)) == SetMap(f @ g)(xs)
+
+
+class TestSignatures:
+    def test_types(self):
+        from repro.lang.morphisms import infer_signature
+
+        sig = infer_signature(SetMu())
+        assert isinstance(sig.dom, SetType)
+        assert isinstance(sig.dom.elem, SetType)
+        assert sig.dom.elem == SetType(sig.cod.elem)  # type: ignore[union-attr]
+
+    def test_rho2_signature(self):
+        sig = SetRho2().output_type(ProdType(INT, SetType(INT)))
+        assert sig == SetType(ProdType(INT, INT))

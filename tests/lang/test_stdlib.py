@@ -1,0 +1,176 @@
+"""Tests for the OR-SML-style derived library (Section 7).
+
+Every function is a composition of Figure 1 primitives; these tests check
+their semantics against plain Python set operations on random inputs.
+"""
+
+from hypothesis import given
+
+from repro.types.kinds import INT, OrSetType, ProdType, SetType
+from repro.values.values import FALSE, TRUE, atom, vorset, vpair, vset
+
+from repro.lang.morphisms import Id, PairOf, always
+from repro.lang.primitives import int_le
+from repro.lang.stdlib import (
+    is_empty,
+    member,
+    nonempty,
+    or_difference,
+    or_exists,
+    or_forall,
+    or_intersect,
+    or_is_empty,
+    or_member,
+    or_nonempty,
+    or_select,
+    or_subset,
+    select,
+    set_difference,
+    set_eq_morphism,
+    set_exists,
+    set_forall,
+    set_intersect,
+    subset,
+)
+
+from tests.strategies import value_of
+
+# "x <= 5" as an or-NRA predicate.
+le5 = int_le() @ PairOf(Id(), always(5))
+
+
+class TestEmptiness:
+    def test_nonempty(self):
+        assert nonempty()(vset(1)) == TRUE
+        assert nonempty()(vset()) == FALSE
+
+    def test_is_empty(self):
+        assert is_empty()(vset()) == TRUE
+        assert is_empty()(vset(1)) == FALSE
+
+    def test_or_versions(self):
+        assert or_nonempty()(vorset(1)) == TRUE
+        assert or_is_empty()(vorset()) == TRUE
+
+
+class TestSelection:
+    def test_select(self):
+        assert select(le5)(vset(1, 5, 9)) == vset(1, 5)
+
+    def test_select_empty_result(self):
+        assert select(le5)(vset(7, 8)) == vset()
+
+    def test_or_select_paper_idiom(self):
+        # "keep the cheap alternatives"
+        assert or_select(le5)(vorset(3, 7, 5)) == vorset(3, 5)
+
+    def test_or_select_all_filtered_gives_inconsistency(self):
+        assert or_select(le5)(vorset(9)) == vorset()
+
+    @given(value_of(SetType(INT), max_width=5))
+    def test_select_matches_python(self, xs):
+        got = select(le5)(xs)
+        expected = vset(*[e for e in xs if e.value <= 5])
+        assert got == expected
+
+
+class TestQuantifiers:
+    def test_set_exists(self):
+        assert set_exists(le5)(vset(9, 4)) == TRUE
+        assert set_exists(le5)(vset(9)) == FALSE
+        assert set_exists(le5)(vset()) == FALSE
+
+    def test_set_forall(self):
+        assert set_forall(le5)(vset(1, 2)) == TRUE
+        assert set_forall(le5)(vset(1, 9)) == FALSE
+        assert set_forall(le5)(vset()) == TRUE  # vacuous
+
+    def test_or_quantifiers(self):
+        assert or_exists(le5)(vorset(9, 4)) == TRUE
+        assert or_forall(le5)(vorset(4, 5)) == TRUE
+        assert or_forall(le5)(vorset()) == TRUE
+
+
+class TestMembership:
+    def test_member(self):
+        assert member()(vpair(1, vset(1, 2))) == TRUE
+        assert member()(vpair(3, vset(1, 2))) == FALSE
+        assert member()(vpair(3, vset())) == FALSE
+
+    def test_or_member(self):
+        assert or_member()(vpair(1, vorset(1, 2))) == TRUE
+        assert or_member()(vpair(3, vorset(1, 2))) == FALSE
+
+    @given(value_of(INT), value_of(SetType(INT), max_width=5))
+    def test_member_matches_python(self, x, xs):
+        assert (member()(vpair(x, xs)) == TRUE) == (x in xs.elems)
+
+
+class TestInclusionAndBoolean:
+    def test_subset(self):
+        assert subset()(vpair(vset(1), vset(1, 2))) == TRUE
+        assert subset()(vpair(vset(1, 3), vset(1, 2))) == FALSE
+        assert subset()(vpair(vset(), vset())) == TRUE
+
+    def test_set_eq(self):
+        assert set_eq_morphism()(vpair(vset(1, 2), vset(2, 1))) == TRUE
+        assert set_eq_morphism()(vpair(vset(1), vset(1, 2))) == FALSE
+
+    def test_or_subset(self):
+        assert or_subset()(vpair(vorset(2), vorset(1, 2))) == TRUE
+        assert or_subset()(vpair(vorset(3), vorset(1, 2))) == FALSE
+
+    @given(
+        value_of(SetType(INT), max_width=4),
+        value_of(SetType(INT), max_width=4),
+    )
+    def test_subset_matches_python(self, xs, ys):
+        expected = set(xs.elems) <= set(ys.elems)
+        assert (subset()(vpair(xs, ys)) == TRUE) == expected
+
+
+class TestAlgebraOfSets:
+    def test_intersect(self):
+        assert set_intersect()(vpair(vset(1, 2, 3), vset(2, 3, 4))) == vset(2, 3)
+
+    def test_difference(self):
+        assert set_difference()(vpair(vset(1, 2, 3), vset(2))) == vset(1, 3)
+
+    def test_or_intersect(self):
+        assert or_intersect()(vpair(vorset(1, 2), vorset(2, 3))) == vorset(2)
+
+    def test_or_difference(self):
+        assert or_difference()(vpair(vorset(1, 2), vorset(2))) == vorset(1)
+
+    @given(
+        value_of(SetType(INT), max_width=4),
+        value_of(SetType(INT), max_width=4),
+    )
+    def test_intersect_difference_match_python(self, xs, ys):
+        inter = set_intersect()(vpair(xs, ys))
+        diff = set_difference()(vpair(xs, ys))
+        assert set(inter.elems) == set(xs.elems) & set(ys.elems)
+        assert set(diff.elems) == set(xs.elems) - set(ys.elems)
+
+
+class TestPurity:
+    def test_stdlib_is_pure_or_nra(self):
+        """No Python-level primitives sneak in (other than bool ops from
+        Sigma): every stdlib function typechecks as an or-NRA morphism."""
+        from repro.lang.morphisms import infer_signature
+
+        for m in [
+            nonempty(),
+            is_empty(),
+            member(),
+            subset(),
+            set_intersect(),
+            set_difference(),
+            or_nonempty(),
+            or_member(),
+            or_subset(),
+            or_intersect(),
+            or_difference(),
+        ]:
+            sig = infer_signature(m)
+            assert sig is not None

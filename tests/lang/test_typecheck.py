@@ -1,0 +1,155 @@
+"""Tests for type inference on Figure 1 — the FIG1 experiment's core."""
+
+import pytest
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import (
+    BOOL,
+    INT,
+    OrSetType,
+    ProdType,
+    SetType,
+    UnitType,
+)
+from repro.types.parse import parse_type
+
+from repro.lang.bag_ops import AlphaD, DMap
+from repro.lang.morphisms import (
+    Bang,
+    Compose,
+    Eq,
+    Id,
+    PairOf,
+    Proj1,
+    Proj2,
+)
+from repro.lang.orset_ops import (
+    Alpha,
+    KEmptyOrSet,
+    OrEta,
+    OrMap,
+    OrMu,
+    OrRho2,
+    OrToSet,
+    OrUnion,
+    SetToOr,
+)
+from repro.lang.set_ops import (
+    KEmptySet,
+    SetEta,
+    SetMap,
+    SetMu,
+    SetRho2,
+    SetUnion,
+)
+from repro.lang.typecheck import (
+    can_apply,
+    check_value_against,
+    elaborate,
+    most_general_type,
+    result_type,
+)
+
+FIG1_TABLE = [
+    # (morphism, input type, output type) — the Figure 1 rules.
+    (SetEta(), "int", "{int}"),
+    (SetMu(), "{{int}}", "{int}"),
+    (SetMap(Proj1()), "{int * bool}", "{int}"),
+    (SetRho2(), "int * {bool}", "{int * bool}"),
+    (SetUnion(), "{int} * {int}", "{int}"),
+    (KEmptySet(), "unit", "{'a}"),
+    (OrEta(), "int", "<int>"),
+    (OrMu(), "<<int>>", "<int>"),
+    (OrMap(Proj2()), "<int * bool>", "<bool>"),
+    (OrRho2(), "int * <bool>", "<int * bool>"),
+    (OrUnion(), "<int> * <int>", "<int>"),
+    (KEmptyOrSet(), "unit", "<'a>"),
+    (Alpha(), "{<int>}", "<{int}>"),
+    (OrToSet(), "<int>", "{int}"),
+    (SetToOr(), "{int}", "<int>"),
+    (DMap(Id()), "[|int|]", "[|int|]"),
+    (AlphaD(), "[|<int>|]", "<[|int|]>"),
+    (Eq(), "int * int", "bool"),
+    (Bang(), "{<int>}", "unit"),
+]
+
+
+class TestFigureOne:
+    @pytest.mark.parametrize(
+        "morphism, dom, cod", FIG1_TABLE, ids=[m.describe() for m, _, _ in FIG1_TABLE]
+    )
+    def test_operator_typing_rule(self, morphism, dom, cod):
+        out = result_type(morphism, parse_type(dom))
+        expected = parse_type(cod)
+        # 'a in the table stands for "any type variable".
+        from repro.types.kinds import TypeVar
+
+        def matches(a, b):
+            if isinstance(b, TypeVar):
+                return True
+            if type(a) is not type(b):
+                return False
+            return all(matches(x, y) for x, y in zip(a.children(), b.children())) and (
+                a == b if not a.children() else True
+            )
+
+        assert matches(out, expected)
+
+
+class TestInference:
+    def test_most_general_type_of_query(self):
+        # ormap(pi_1) o alpha : {<'a * 'b>} -> <{'a}>
+        q = Compose(OrMap(SetMap(Proj1())), Alpha())
+        sig = most_general_type(q)
+        assert isinstance(sig.dom, SetType)
+        assert isinstance(sig.dom.elem, OrSetType)
+        assert isinstance(sig.cod, OrSetType)
+        assert isinstance(sig.cod.elem, SetType)
+
+    def test_can_apply(self):
+        assert can_apply(Alpha(), parse_type("{<int>}"))
+        assert not can_apply(Alpha(), parse_type("{int}"))
+
+    def test_result_type_error(self):
+        with pytest.raises(OrNRATypeError):
+            result_type(OrMu(), parse_type("<int>"))
+
+    def test_elaborate_pipeline(self):
+        q = Compose(OrMu(), OrMap(OrEta()))
+        stages = elaborate(q, parse_type("<int>"))
+        assert [s[0] for s in stages] == ["ormap(or_eta)", "or_mu"]
+        assert stages[-1][2] == parse_type("<int>")
+
+    def test_elaborate_flags_bad_stage(self):
+        q = Compose(SetMu(), OrEta())
+        with pytest.raises(OrNRATypeError):
+            elaborate(q, INT)
+
+    def test_check_value_against(self):
+        from repro.values.values import vorset
+
+        check_value_against(vorset(1), OrSetType(INT))
+        with pytest.raises(OrNRATypeError):
+            check_value_against(vorset(1), SetType(INT))
+
+
+class TestPolymorphism:
+    def test_fresh_variables_independent(self):
+        pair = PairOf(SetEta(), OrEta())
+        sig = most_general_type(pair)
+        assert isinstance(sig.cod, ProdType)
+        assert isinstance(sig.cod.left, SetType)
+        assert isinstance(sig.cod.right, OrSetType)
+        assert sig.cod.left.elem == sig.cod.right.elem == sig.dom
+
+    def test_normalize_is_not_polymorphic(self):
+        from repro.core.normalize import Normalize
+
+        with pytest.raises(OrNRATypeError):
+            most_general_type(Normalize())
+
+    def test_normalize_with_declared_type(self):
+        from repro.core.normalize import Normalize
+
+        n = Normalize(parse_type("{<int>}"))
+        assert most_general_type(n).cod == parse_type("<{int}>")

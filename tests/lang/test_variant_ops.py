@@ -1,0 +1,177 @@
+"""Tests for the variant (sum) type extension (Section 7)."""
+
+import pytest
+
+from repro.errors import OrNRAParseError, OrNRATypeError
+from repro.lang.morphisms import always, identity, infer_signature, pair_of
+from repro.lang.orset_ops import ormap
+from repro.lang.parser import parse_morphism, parse_value
+from repro.lang.primitives import plus
+from repro.lang.typecheck import result_type
+from repro.lang.variant_ops import (
+    Case,
+    InjectLeft,
+    InjectRight,
+    OrKappa1,
+    OrKappa2,
+    case,
+    inl,
+    inr,
+    is_left,
+    is_right,
+    or_kappa1,
+    or_kappa2,
+    variant_map,
+)
+from repro.types.kinds import BOOL, INT, OrSetType, VariantType
+from repro.types.parse import format_type, parse_type
+from repro.values.values import (
+    FALSE,
+    TRUE,
+    Variant,
+    atom,
+    format_value,
+    vinl,
+    vinr,
+    vorset,
+    vpair,
+)
+
+
+class TestInjections:
+    def test_inl_wraps(self):
+        assert inl()(3) == vinl(3)
+        assert vinl(3) == Variant(0, atom(3))
+
+    def test_inr_wraps(self):
+        assert inr()(True) == vinr(True)
+        assert vinr(True) == Variant(1, atom(True))
+
+    def test_injections_are_distinct(self):
+        assert vinl(1) != vinr(1)
+
+    def test_inl_signature(self):
+        sig = infer_signature(inl())
+        assert isinstance(sig.cod, VariantType)
+        assert sig.cod.left == sig.dom
+
+    def test_inr_signature(self):
+        sig = infer_signature(inr())
+        assert isinstance(sig.cod, VariantType)
+        assert sig.cod.right == sig.dom
+
+    def test_bad_side_rejected(self):
+        with pytest.raises(Exception):
+            Variant(2, atom(1))
+
+
+class TestCase:
+    def test_case_dispatches_on_tag(self):
+        g = case(always(1), always(2))
+        assert g(vinl(99)) == atom(1)
+        assert g(vinr(99)) == atom(2)
+
+    def test_case_payload_goes_to_branch(self):
+        double = plus() @ pair_of(identity(), identity())
+        f = case(double, identity())
+        assert f(vinl(4)) == atom(8)
+        assert f(vinr(7)) == atom(7)
+
+    def test_case_signature_unifies_codomains(self):
+        sig = infer_signature(case(always(1), always(2)))
+        assert sig.cod == INT
+        assert isinstance(sig.dom, VariantType)
+
+    def test_case_rejects_non_variant(self):
+        with pytest.raises(OrNRATypeError):
+            case(identity(), identity())(atom(3))
+
+    def test_variant_map_keeps_tags(self):
+        f = variant_map(always(0), always(True))
+        assert f(vinl(5)) == vinl(0)
+        assert f(vinr("x")) == vinr(True)
+
+    def test_discriminators(self):
+        assert is_left()(vinl(1)) == TRUE
+        assert is_left()(vinr(1)) == FALSE
+        assert is_right()(vinr(1)) == TRUE
+        assert is_right()(vinl(1)) == FALSE
+
+
+class TestOrKappa:
+    def test_kappa1_distributes_inl(self):
+        assert or_kappa1()(vinl(vorset(1, 2))) == vorset(vinl(1), vinl(2))
+
+    def test_kappa1_singleton_on_inr(self):
+        assert or_kappa1()(vinr(True)) == vorset(vinr(True))
+
+    def test_kappa2_distributes_inr(self):
+        assert or_kappa2()(vinr(vorset(1, 2))) == vorset(vinr(1), vinr(2))
+
+    def test_kappa2_singleton_on_inl(self):
+        assert or_kappa2()(vinl(True)) == vorset(vinl(True))
+
+    def test_kappa1_empty_orset_gives_empty(self):
+        # inl <> is conceptually inconsistent; the or-set of alternatives
+        # it denotes is empty.
+        assert or_kappa1()(vinl(vorset())) == vorset()
+
+    def test_kappa1_type(self):
+        sig = infer_signature(or_kappa1())
+        assert isinstance(sig.dom, VariantType)
+        assert isinstance(sig.dom.left, OrSetType)
+        assert isinstance(sig.cod, OrSetType)
+        assert isinstance(sig.cod.elem, VariantType)
+
+    def test_kappa1_rejects_inl_of_non_orset(self):
+        with pytest.raises(OrNRATypeError):
+            or_kappa1()(vinl(3))
+
+    def test_kappa_output_type_concrete(self):
+        t = parse_type("<int> + bool")
+        out = result_type(or_kappa1(), t)
+        assert format_type(out) == "<int + bool>"
+
+    def test_conceptual_meaning_preserved(self):
+        # or_kappa_1 composed with ormap over a case returns tags faithfully.
+        v = vinl(vorset(1, 2, 3))
+        flattened = or_kappa1()(v)
+        tags = ormap(is_left())(flattened)
+        assert tags == vorset(True)
+
+
+class TestVariantParsing:
+    def test_parse_variant_type(self):
+        t = parse_type("int + bool")
+        assert t == VariantType(INT, BOOL)
+
+    def test_variant_binds_looser_than_product(self):
+        t = parse_type("int * bool + string")
+        assert isinstance(t, VariantType)
+        assert format_type(t) == "int * bool + string"
+
+    def test_parse_format_roundtrip(self):
+        for text in ("int + bool", "(int + bool) * string", "<int + {bool}>",
+                     "(int + bool) + string", "{int + bool}"):
+            assert format_type(parse_type(text)) == text
+        # Right-nesting needs no parentheses (+ is right-associative).
+        assert format_type(parse_type("int + (bool + string)")) == "int + bool + string"
+        assert parse_type("int + bool + string") == parse_type("int + (bool + string)")
+
+    def test_parse_inl_value(self):
+        assert parse_value("inl 3") == vinl(3)
+        assert parse_value("inr (1, true)") == vinr(vpair(1, True))
+
+    def test_value_format_roundtrip(self):
+        for v in (vinl(3), vinr(vpair(1, True)), vorset(vinl(1), vinr(False))):
+            assert parse_value(format_value(v)) == v
+
+    def test_parse_variant_morphisms(self):
+        m = parse_morphism("case(inl, inr)")
+        assert isinstance(m, Case)
+        assert m(vinl(1)) == vinl(1)
+        assert parse_morphism("or_kappa_1")(vinl(vorset(1))) == vorset(vinl(1))
+
+    def test_parse_error_trailing(self):
+        with pytest.raises(OrNRAParseError):
+            parse_value("inl")

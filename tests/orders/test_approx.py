@@ -1,0 +1,147 @@
+"""Tests for the approximation models (Section 7, refs [6,10,31,22])."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OrNRAValueError
+from repro.orders.approx import (
+    Mix,
+    Sandwich,
+    Snack,
+    consistent_witness,
+    mix_le,
+    object_to_sandwich,
+    sandwich_le,
+    sandwich_to_object,
+    snack_le,
+)
+from repro.orders.poset import chain, diamond, flat_domain, random_poset
+from repro.orders.semantics import value_le
+
+CHAIN = chain(4)
+DIAMOND = diamond()
+FLAT = flat_domain(["a", "b", "c"])
+
+
+def _random_sandwich(poset, rng, max_width=2):
+    carrier = sorted(poset.carrier, key=repr)
+    lo = rng.sample(carrier, rng.randint(0, max_width))
+    up = rng.sample(carrier, rng.randint(0, max_width))
+    return Sandwich(lo, up, poset)
+
+
+class TestSandwich:
+    def test_components_normalized_to_antichains(self):
+        s = Sandwich([0, 1, 2], [1, 3], CHAIN)
+        assert s.lower == {2}      # max of the lower part
+        assert s.upper == {1}      # min of the upper part
+
+    def test_outside_carrier_rejected(self):
+        with pytest.raises(OrNRAValueError):
+            Sandwich([99], [], CHAIN)
+
+    def test_consistency_basic(self):
+        # Lower {a}, upper {b} over a flat domain: nothing above both.
+        assert not Sandwich(["a"], ["b"], FLAT).is_consistent()
+        # Lower {bot}, upper {b}: b itself is a witness.
+        assert Sandwich(["_bot"], ["b"], FLAT).is_consistent()
+        # Empty lower part is always consistent.
+        assert Sandwich([], ["a"], FLAT).is_consistent()
+        assert Sandwich([], [], FLAT).is_consistent()
+        # Nonempty lower, empty upper: no possibilities left.
+        assert not Sandwich(["a"], [], FLAT).is_consistent()
+
+    def test_order_reflexive_transitive(self):
+        rng = random.Random(1)
+        sandwiches = [_random_sandwich(DIAMOND, rng) for _ in range(8)]
+        for s in sandwiches:
+            assert sandwich_le(s, s)
+        for a in sandwiches:
+            for b in sandwiches:
+                for c in sandwiches:
+                    if sandwich_le(a, b) and sandwich_le(b, c):
+                        assert sandwich_le(a, c)
+
+    def test_improving_both_parts(self):
+        worse = Sandwich(["_bot"], ["a", "b"], FLAT)
+        better = Sandwich(["a"], ["a"], FLAT)
+        assert sandwich_le(worse, better)
+        assert not sandwich_le(better, worse)
+
+
+class TestMix:
+    def test_mix_requires_support(self):
+        # bot <= a: lower {a} supported by upper {bot}? bot <= a yes.
+        Mix(["a"], ["_bot"], FLAT)
+        with pytest.raises(OrNRAValueError):
+            Mix(["a"], ["b"], FLAT)
+
+    def test_every_mix_is_consistent_sandwich(self):
+        rng = random.Random(2)
+        found = 0
+        for _ in range(200):
+            s = _random_sandwich(DIAMOND, rng)
+            if s.is_mix():
+                m = Mix(s.lower, s.upper, DIAMOND)
+                assert m.is_consistent()
+                found += 1
+        assert found > 5
+
+    def test_mix_order_matches_sandwich_order(self):
+        a = Mix(["a"], ["_bot"], FLAT)
+        b = Mix(["a"], ["a"], FLAT)
+        assert mix_le(a, b) == sandwich_le(a, b)
+
+
+class TestSnack:
+    def test_singleton_snacks_order_like_sandwiches(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            s1 = _random_sandwich(DIAMOND, rng)
+            s2 = _random_sandwich(DIAMOND, rng)
+            assert snack_le(
+                Snack([s1], DIAMOND), Snack([s2], DIAMOND)
+            ) == sandwich_le(s1, s2)
+
+    def test_empty_snack_below_everything(self):
+        s = Snack([], DIAMOND)
+        other = Snack([_random_sandwich(DIAMOND, random.Random(4))], DIAMOND)
+        assert snack_le(s, other)
+
+    def test_shared_poset_enforced(self):
+        with pytest.raises(OrNRAValueError):
+            Snack([Sandwich([], [], CHAIN)], DIAMOND)
+
+
+class TestOrSetRepresentation:
+    """Libkin [22]: sandwiches embed into complex objects order-faithfully."""
+
+    def test_roundtrip(self):
+        s = Sandwich([0], [2, 3], CHAIN)
+        obj = sandwich_to_object(s)
+        assert object_to_sandwich(obj, CHAIN).lower == s.lower
+        assert object_to_sandwich(obj, CHAIN).upper == s.upper
+
+    @pytest.mark.parametrize("poset", [CHAIN, DIAMOND, FLAT])
+    def test_order_embedding(self, poset):
+        rng = random.Random(7)
+        orders = {"d": poset}
+        sandwiches = [_random_sandwich(poset, rng) for _ in range(10)]
+        for a in sandwiches:
+            for b in sandwiches:
+                assert sandwich_le(a, b) == value_le(
+                    sandwich_to_object(a), sandwich_to_object(b), orders
+                )
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 10_000))
+def test_consistency_closed_form_equals_witness_search(seed):
+    rng = random.Random(seed)
+    poset = random_poset(4, 0.4, rng)
+    s = _random_sandwich(poset, rng)
+    witness = consistent_witness(s, max_size=4)
+    assert s.is_consistent() == (witness is not None)

@@ -1,0 +1,127 @@
+"""Tests for Theorem 3.3: alpha_a is an isomorphism [{<t>}]_a = [<{t}>]_a."""
+
+import random
+
+import pytest
+
+from repro.orders.iso import alpha_antichain, beta_antichain
+from repro.orders.poset import chain, diamond, discrete, random_poset
+from repro.orders.powerdomains import hoare_le, smyth_le
+from repro.orders.semantics import (
+    max_antichain_values,
+    min_antichain_values,
+    value_le,
+)
+from repro.values.values import Atom, OrSetValue, SetValue, vorset, vset
+
+
+def _orset_family(poset, rng, base, n_members=3, width=2):
+    """A random valid element of [{<t>}]_a: a Smyth-antichain family of
+    min-antichain or-sets over the poset's carrier."""
+    carrier = sorted(poset.carrier, key=repr)
+    members = []
+    for _ in range(n_members):
+        picks = rng.sample(carrier, min(len(carrier), rng.randint(1, width)))
+        atoms = tuple(Atom(base, p) for p in picks)
+        members.append(OrSetValue(min_antichain_values(atoms, {base: poset})))
+
+    def le(x, y):
+        return value_le(x, y, {base: poset})
+
+    # Keep a Smyth-antichain: drop members strictly below another.
+    def member_le(a, b):
+        return smyth_le(a.elems, b.elems, le)
+
+    kept = [
+        m
+        for m in members
+        if not any(
+            member_le(other, m) and not member_le(m, other) for other in members
+        )
+    ]
+    return SetValue(kept)
+
+
+POSETS = [
+    ("chain", chain(4)),
+    ("diamond", diamond()),
+    ("flat", discrete(range(4))),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name, poset", POSETS, ids=[n for n, _ in POSETS])
+    def test_beta_alpha_is_identity(self, name, poset):
+        rng = random.Random(42)
+        orders = {"d": poset}
+        for _ in range(25):
+            family = _orset_family(poset, rng, "d")
+            image = alpha_antichain(family, orders)
+            back = beta_antichain(image, orders)
+            assert back == family, (family, image, back)
+
+    def test_random_posets_round_trip(self):
+        rng = random.Random(9)
+        for _ in range(10):
+            poset = random_poset(4, 0.4, rng)
+            orders = {"d": poset}
+            family = _orset_family(poset, rng, "d")
+            assert beta_antichain(alpha_antichain(family, orders), orders) == family
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("name, poset", POSETS, ids=[n for n, _ in POSETS])
+    def test_alpha_monotone(self, name, poset):
+        rng = random.Random(7)
+        orders = {"d": poset}
+
+        def elem_le(x, y):
+            return value_le(x, y, orders)
+
+        samples = [_orset_family(poset, rng, "d") for _ in range(14)]
+        for fam_a in samples:
+            for fam_b in samples:
+                # Order on [{<t>}]: Hoare over the Smyth element order.
+                a_le_b = hoare_le(fam_a.elems, fam_b.elems, elem_le)
+                if a_le_b:
+                    img_a = alpha_antichain(fam_a, orders)
+                    img_b = alpha_antichain(fam_b, orders)
+                    # Order on [<{t}>]: Smyth over the Hoare element order.
+                    assert smyth_le(img_a.elems, img_b.elems, elem_le)
+
+
+class TestUnorderedSpecialCase:
+    def test_alpha_a_is_min_antichain_of_plain_alpha(self):
+        """With no base order, Hoare is the subset order, so alpha_a keeps
+        the inclusion-minimal choice sets of the structural alpha: the
+        antichain representative of its Smyth-equivalence class."""
+        from repro.lang.orset_ops import Alpha
+
+        family = vset(vorset(1, 2), vorset(2, 3))
+        structural = Alpha().apply(family)
+        # alpha gives <{1,2},{1,3},{2},{2,3}>; {2} ⊆ {1,2} and {2} ⊆ {2,3}.
+        assert alpha_antichain(family) == vorset(vset(2), vset(1, 3))
+        assert set(alpha_antichain(family).elems) < set(structural.elems) | {
+            vset(2)
+        }
+
+    def test_inconsistent_member(self):
+        family = vset(vorset(1), vorset())
+        assert alpha_antichain(family) == vorset()
+
+    def test_beta_of_singleton(self):
+        image = vorset(vset(1, 2))
+        back = beta_antichain(image)
+        assert back == vset(vorset(1), vorset(2))
+
+
+class TestStructuredExample:
+    def test_diamond_collapse(self):
+        """Choices that dominate each other collapse to the minimal ones."""
+        poset = diamond()
+        orders = {"d": poset}
+        bot, top = Atom("d", "bot"), Atom("d", "top")
+        family = SetValue([OrSetValue([bot]), OrSetValue([top])])
+        image = alpha_antichain(family, orders)
+        # choices: {bot, top}; max-antichain of {bot, top} = {top}.
+        assert image == OrSetValue([SetValue([top])])

@@ -1,0 +1,107 @@
+"""Tests for finite posets (Section 3 substrate)."""
+
+import random
+
+import pytest
+
+from repro.errors import OrNRAValueError
+from repro.orders.poset import (
+    Poset,
+    chain,
+    diamond,
+    discrete,
+    flat_domain,
+    random_poset,
+)
+
+
+class TestConstruction:
+    def test_transitive_closure(self):
+        p = Poset("abc", [("a", "b"), ("b", "c")])
+        assert p.le("a", "c")
+
+    def test_reflexive(self):
+        p = discrete([1, 2])
+        assert p.le(1, 1)
+
+    def test_antisymmetry_enforced(self):
+        with pytest.raises(OrNRAValueError):
+            Poset("ab", [("a", "b"), ("b", "a")])
+
+    def test_pairs_must_be_in_carrier(self):
+        with pytest.raises(OrNRAValueError):
+            Poset("ab", [("a", "z")])
+
+
+class TestQueries:
+    def test_up_down_sets(self):
+        p = diamond()
+        assert p.up_set("bot") == frozenset({"bot", "a", "b", "top"})
+        assert p.down_set("a") == frozenset({"bot", "a"})
+
+    def test_comparable(self):
+        p = diamond()
+        assert p.comparable("bot", "top")
+        assert not p.comparable("a", "b")
+
+    def test_lt(self):
+        p = chain(3)
+        assert p.lt(0, 2)
+        assert not p.lt(1, 1)
+
+    def test_le_outside_carrier(self):
+        with pytest.raises(OrNRAValueError):
+            chain(2).le(0, 9)
+
+
+class TestAntichains:
+    def test_maximal_minimal(self):
+        p = diamond()
+        assert p.maximal({"bot", "a", "b"}) == frozenset({"a", "b"})
+        assert p.minimal({"a", "b", "top"}) == frozenset({"a", "b"})
+
+    def test_is_antichain(self):
+        p = diamond()
+        assert p.is_antichain({"a", "b"})
+        assert not p.is_antichain({"bot", "a"})
+        assert p.is_antichain(set())
+
+    def test_antichains_enumeration(self):
+        p = chain(3)
+        # In a chain the antichains are exactly the singletons + empty set.
+        assert set(p.antichains()) == {
+            frozenset(),
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({2}),
+        }
+
+
+class TestGenerators:
+    def test_flat_domain(self):
+        p = flat_domain(["x", "y"])
+        assert p.le("_bot", "x")
+        assert not p.comparable("x", "y")
+
+    def test_flat_domain_bottom_clash(self):
+        with pytest.raises(OrNRAValueError):
+            flat_domain(["_bot"])
+
+    def test_chain_total(self):
+        p = chain(4)
+        assert all(p.comparable(i, j) for i in range(4) for j in range(4))
+
+    def test_discrete_trivial(self):
+        p = discrete("xy")
+        assert not p.comparable("x", "y")
+
+    def test_random_poset_is_poset(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            p = random_poset(5, 0.4, rng)
+            for a in p.carrier:
+                assert p.le(a, a)
+                for b in p.carrier:
+                    for c in p.carrier:
+                        if p.le(a, b) and p.le(b, c):
+                            assert p.le(a, c)

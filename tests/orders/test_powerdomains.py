@@ -1,0 +1,83 @@
+"""Tests for the Hoare/Smyth/Plotkin orderings (Section 3)."""
+
+import random
+
+from repro.orders.poset import chain, diamond, discrete, random_poset
+from repro.orders.powerdomains import (
+    hoare_equivalent,
+    hoare_le,
+    plotkin_le,
+    smyth_equivalent,
+    smyth_le,
+)
+
+
+class TestDefinitions:
+    def test_hoare_on_chain(self):
+        p = chain(4)
+        assert hoare_le({0, 1}, {2}, p.le)
+        assert not hoare_le({3}, {1, 2}, p.le)
+
+    def test_smyth_on_chain(self):
+        p = chain(4)
+        assert smyth_le({0}, {1, 2}, p.le)
+        assert not smyth_le({2}, {1}, p.le)
+
+    def test_plotkin_combines(self):
+        p = chain(4)
+        assert plotkin_le({0, 1}, {1, 2}, p.le)
+        assert not plotkin_le({0, 3}, {1}, p.le)
+
+
+class TestEmptySetConvention:
+    def test_empty_orset_only_comparable_to_itself(self):
+        p = chain(2)
+        assert smyth_le(set(), set(), p.le)
+        assert not smyth_le({0}, set(), p.le)
+        assert not smyth_le(set(), {0}, p.le)
+
+    def test_hoare_empty_is_bottom(self):
+        p = chain(2)
+        assert hoare_le(set(), {0}, p.le)
+        assert hoare_le(set(), set(), p.le)
+        assert not hoare_le({0}, set(), p.le)
+
+
+class TestUnorderedSpecialCase:
+    """On totally unordered X: Hoare = subset, Smyth = superset (non-empty)."""
+
+    def test_hoare_is_subset(self):
+        p = discrete(range(4))
+        subsets = [set(), {0}, {1}, {0, 1}, {2, 3}, {0, 1, 2}]
+        for a in subsets:
+            for b in subsets:
+                assert hoare_le(a, b, p.le) == (a <= b)
+
+    def test_smyth_is_superset_on_nonempty(self):
+        p = discrete(range(4))
+        subsets = [{0}, {1}, {0, 1}, {2, 3}, {0, 1, 2}]
+        for a in subsets:
+            for b in subsets:
+                assert smyth_le(a, b, p.le) == (a >= b)
+
+
+class TestPreorderProperties:
+    def test_reflexive_transitive(self):
+        rng = random.Random(3)
+        p = random_poset(5, 0.4, rng)
+        pool = [frozenset(rng.sample(range(5), rng.randint(0, 3))) for _ in range(12)]
+        for rel in (hoare_le, smyth_le):
+            for a in pool:
+                assert rel(a, a, p.le)
+            for a in pool:
+                for b in pool:
+                    for c in pool:
+                        if rel(a, b, p.le) and rel(b, c, p.le):
+                            assert rel(a, c, p.le)
+
+    def test_equivalence_means_same_extremes(self):
+        p = diamond()
+        # {bot, a} and {a} are Hoare-equivalent (same max).
+        assert hoare_equivalent({"bot", "a"}, {"a"}, p.le)
+        # {a, top} and {a} are Smyth-equivalent (same min).
+        assert smyth_equivalent({"a", "top"}, {"a"}, p.le)

@@ -1,0 +1,107 @@
+"""Tests for the order on complex objects and the antichain semantics."""
+
+import pytest
+
+from repro.errors import OrNRAValueError
+from repro.orders.poset import chain, diamond, flat_domain
+from repro.orders.semantics import (
+    antichain_normal,
+    is_antichain_value,
+    value_le,
+    value_lt,
+)
+from repro.values.values import Atom, vorset, vpair, vset
+
+
+def a(name):
+    return Atom("d", name)
+
+
+DIAMOND = {"d": diamond()}
+CHAIN = {"int": chain(5)}
+
+
+class TestBaseAndPairs:
+    def test_unordered_base_by_default(self):
+        assert value_le(Atom("x", 1), Atom("x", 1))
+        assert not value_le(Atom("x", 1), Atom("x", 2))
+
+    def test_base_poset_used(self):
+        assert value_le(a("bot"), a("top"), DIAMOND)
+        assert not value_le(a("a"), a("b"), DIAMOND)
+
+    def test_pairs_componentwise(self):
+        assert value_le(
+            vpair(a("bot"), a("a")), vpair(a("a"), a("top")), DIAMOND
+        )
+        assert not value_le(
+            vpair(a("a"), a("bot")), vpair(a("b"), a("top")), DIAMOND
+        )
+
+    def test_mixed_bases_raise(self):
+        with pytest.raises(OrNRAValueError):
+            value_le(Atom("x", 1), Atom("y", 1))
+
+    def test_kind_mismatch_raises(self):
+        with pytest.raises(OrNRAValueError):
+            value_le(vset(1), vorset(1))
+
+
+class TestCollections:
+    def test_sets_use_hoare(self):
+        # {bot} <= {a, b}: bot is below both.
+        assert value_le(vset(a("bot")), vset(a("a"), a("b")), DIAMOND)
+        # {a, b} <= {top}.
+        assert value_le(vset(a("a"), a("b")), vset(a("top")), DIAMOND)
+
+    def test_orsets_use_smyth(self):
+        # <a, b> <= <a>: fewer alternatives is more informative.
+        assert value_le(vorset(a("a"), a("b")), vorset(a("a")), DIAMOND)
+        assert not value_le(vorset(a("a")), vorset(a("a"), a("b")), DIAMOND)
+
+    def test_empty_orset_incomparable(self):
+        assert not value_le(vorset(a("a")), vorset(), DIAMOND)
+        assert not value_le(vorset(), vorset(a("a")), DIAMOND)
+        assert value_le(vorset(), vorset(), DIAMOND)
+
+    def test_int_chain_example(self):
+        assert value_le(vset(1, 2), vset(2, 3), CHAIN)
+        assert value_le(vorset(1, 2, 3), vorset(2, 3), CHAIN)
+
+    def test_strictness(self):
+        assert value_lt(vset(1), vset(1, 2), CHAIN)
+        assert not value_lt(vset(1), vset(1), CHAIN)
+
+
+class TestAntichainSemantics:
+    def test_sets_keep_max(self):
+        v = vset(a("bot"), a("a"), a("b"))
+        assert antichain_normal(v, DIAMOND) == vset(a("a"), a("b"))
+
+    def test_orsets_keep_min(self):
+        v = vorset(a("bot"), a("a"), a("top"))
+        assert antichain_normal(v, DIAMOND) == vorset(a("bot"))
+
+    def test_recursive(self):
+        v = vset(vorset(a("bot"), a("a")))
+        assert antichain_normal(v, DIAMOND) == vset(vorset(a("bot")))
+
+    def test_is_antichain_value(self):
+        assert is_antichain_value(vset(a("a"), a("b")), DIAMOND)
+        assert not is_antichain_value(vset(a("bot"), a("a")), DIAMOND)
+
+    def test_normalization_preserves_equivalence_class(self):
+        # max X ~ X in the Hoare preorder; min X ~ X in the Smyth preorder.
+        v = vset(a("bot"), a("a"))
+        n = antichain_normal(v, DIAMOND)
+        assert value_le(v, n, DIAMOND) and value_le(n, v, DIAMOND)
+
+    def test_oid_record_example(self):
+        """Section 3's motivation: comparable records with the same oid
+        should collapse (here: keep the more informative one)."""
+        nulls = {"name": flat_domain(["joe", "mary"])}
+        partial = vpair(1, Atom("name", "_bot"))
+        complete = vpair(1, Atom("name", "joe"))
+        rel = vset(partial, complete)
+        normalized = antichain_normal(rel, nulls)
+        assert normalized == vset(complete)

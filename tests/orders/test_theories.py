@@ -1,0 +1,192 @@
+"""Tests for Proposition 3.4: x <= y iff Th(x) ⊇ Th(y)."""
+
+import random
+
+import pytest
+
+from repro.errors import OrNRAValueError
+from repro.orders.poset import chain, diamond, flat_domain
+from repro.orders.semantics import value_le
+from repro.orders.theories import (
+    Box,
+    Diamond,
+    Disj,
+    Falsum,
+    PairForm,
+    PropAtom,
+    TruthConst,
+    formulas_for,
+    satisfies,
+    theory_superset,
+)
+from repro.types.kinds import BaseType, OrSetType, ProdType, SetType
+from repro.values.values import Atom, OrSetValue, Pair, SetValue
+
+D = BaseType("d")
+CHAIN3 = {"d": chain(3)}
+DIAMOND = {"d": diamond()}
+
+
+def a(v):
+    return Atom("d", v)
+
+
+class TestSatisfaction:
+    def test_prop_atom_is_upward(self):
+        # P_e in Th(x) iff x <= e: more partial elements satisfy more.
+        assert satisfies(PropAtom("d", 2), a(0), CHAIN3)
+        assert satisfies(PropAtom("d", 2), a(2), CHAIN3)
+        assert not satisfies(PropAtom("d", 0), a(2), CHAIN3)
+
+    def test_bottom_implies_everything(self):
+        orders = {"d": flat_domain(["x", "y"])}
+        assert satisfies(PropAtom("d", "x"), Atom("d", "_bot"), orders)
+        assert satisfies(PropAtom("d", "y"), Atom("d", "_bot"), orders)
+        assert not satisfies(PropAtom("d", "y"), Atom("d", "x"), orders)
+
+    def test_disjunction_weakening(self):
+        phi = Disj(PropAtom("d", 0), PropAtom("d", 2))
+        assert satisfies(phi, a(0), CHAIN3)
+        assert satisfies(phi, a(2), CHAIN3)
+
+    def test_box_all_members(self):
+        v = SetValue([a(0), a(1)])
+        assert satisfies(Box(PropAtom("d", 2)), v, CHAIN3)
+        assert not satisfies(Box(PropAtom("d", 0)), v, CHAIN3)
+
+    def test_diamond_some_member(self):
+        v = OrSetValue([a(0), a(2)])
+        assert satisfies(Diamond(PropAtom("d", 0)), v, CHAIN3)
+        assert not satisfies(Diamond(PropAtom("d", 0)), OrSetValue([a(2)]), CHAIN3)
+
+    def test_empty_orset_satisfies_no_diamond(self):
+        assert not satisfies(Diamond(TruthConst()), OrSetValue([]), CHAIN3)
+
+    def test_empty_set_satisfies_all_boxes(self):
+        assert satisfies(Box(PropAtom("d", 0)), SetValue([]), CHAIN3)
+
+    def test_pair_form(self):
+        v = Pair(a(0), a(1))
+        assert satisfies(PairForm(PropAtom("d", 1), PropAtom("d", 1)), v, CHAIN3)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(OrNRAValueError):
+            satisfies(Box(TruthConst()), a(0), CHAIN3)
+
+
+class TestProposition34:
+    def _check_equivalence(self, t, values, orders, disj_width=2):
+        for x in values:
+            for y in values:
+                le = value_le(x, y, orders)
+                th = theory_superset(x, y, t, orders, disj_width)
+                assert le == th, (x, y, le, th)
+
+    def test_base_chain(self):
+        values = [a(i) for i in range(3)]
+        self._check_equivalence(D, values, CHAIN3)
+
+    def test_base_diamond(self):
+        values = [Atom("d", n) for n in ("bot", "a", "b", "top")]
+        self._check_equivalence(D, values, DIAMOND)
+
+    def test_pairs(self):
+        values = [Pair(a(i), a(j)) for i in range(2) for j in range(2)]
+        self._check_equivalence(ProdType(D, D), values, CHAIN3)
+
+    def test_sets_hoare(self):
+        values = [
+            SetValue([]),
+            SetValue([a(0)]),
+            SetValue([a(1)]),
+            SetValue([a(0), a(1)]),
+            SetValue([a(2)]),
+        ]
+        self._check_equivalence(SetType(D), values, CHAIN3, disj_width=3)
+
+    def test_orsets_smyth(self):
+        values = [
+            OrSetValue([a(0)]),
+            OrSetValue([a(1)]),
+            OrSetValue([a(0), a(1)]),
+            OrSetValue([a(1), a(2)]),
+        ]
+        self._check_equivalence(OrSetType(D), values, CHAIN3, disj_width=3)
+
+    def test_random_nested(self):
+        rng = random.Random(5)
+        t = SetType(OrSetType(D))
+        values = []
+        for _ in range(6):
+            members = []
+            for _ in range(rng.randint(0, 2)):
+                members.append(
+                    OrSetValue([a(rng.randrange(3)) for _ in range(rng.randint(1, 2))])
+                )
+            values.append(SetValue(members))
+        self._check_equivalence(t, values, CHAIN3, disj_width=3)
+
+
+class TestVariantTheories:
+    """Proposition 3.4 extended to the Section 7 variant types."""
+
+    def test_injection_satisfaction(self):
+        from repro.orders.theories import InlForm, InrForm
+        from repro.values.values import vinl, vinr
+
+        phi = InlForm(PropAtom("d", 2))
+        assert satisfies(phi, vinl(a(0)), CHAIN3)
+        assert not satisfies(phi, vinr(a(0)), CHAIN3)
+        assert not satisfies(InrForm(PropAtom("d", 0)), vinr(a(2)), CHAIN3)
+
+    def test_injection_against_non_variant_raises(self):
+        from repro.orders.theories import InlForm
+
+        with pytest.raises(OrNRAValueError):
+            satisfies(InlForm(TruthConst()), a(0), CHAIN3)
+
+    def test_prop34_on_variants(self):
+        from repro.types.kinds import VariantType
+        from repro.values.values import vinl, vinr
+
+        t = VariantType(D, D)
+        values = [vinl(a(0)), vinl(a(2)), vinr(a(0)), vinr(a(1))]
+        for x in values:
+            for y in values:
+                le = value_le(x, y, CHAIN3)
+                th = theory_superset(x, y, t, CHAIN3)
+                assert le == th, (x, y, le, th)
+
+    def test_prop34_on_orsets_of_variants(self):
+        from repro.types.kinds import OrSetType, VariantType
+        from repro.values.values import vinl, vinr
+
+        t = OrSetType(VariantType(D, D))
+        values = [
+            OrSetValue([vinl(a(0))]),
+            OrSetValue([vinl(a(1))]),
+            OrSetValue([vinl(a(0)), vinr(a(0))]),
+            OrSetValue([vinr(a(2))]),
+        ]
+        for x in values:
+            for y in values:
+                assert value_le(x, y, CHAIN3) == theory_superset(
+                    x, y, t, CHAIN3, disj_width=3
+                )
+
+
+class TestFormulaUniverse:
+    def test_universe_follows_type(self):
+        formulas = formulas_for(SetType(D), CHAIN3, disj_width=1)
+        assert all(isinstance(phi, Box) for phi in formulas)
+
+    def test_disjunction_width(self):
+        narrow = formulas_for(D, CHAIN3, disj_width=1)
+        wide = formulas_for(D, CHAIN3, disj_width=2)
+        assert len(wide) > len(narrow)
+
+    def test_unregistered_base_contributes_only_falsum(self):
+        # No carrier is known, so no P_e can be enumerated; falsum remains
+        # (box falsum is what separates {} from nonempty sets).
+        formulas = formulas_for(BaseType("mystery"))
+        assert all(isinstance(phi, (Falsum, Disj)) for phi in formulas)

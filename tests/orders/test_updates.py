@@ -1,0 +1,115 @@
+"""Tests for Propositions 3.1 and 3.2: update closures = Hoare/Smyth.
+
+These are the paper's operational justification for the orderings; the
+closure is computed exhaustively over small carriers and compared against
+the declarative definitions for *every* pair of subsets.
+"""
+
+import random
+from itertools import chain as ichain, combinations
+
+import pytest
+
+from repro.orders.poset import Poset, chain, diamond, random_poset
+from repro.orders.powerdomains import hoare_le, smyth_le
+from repro.orders.updates import (
+    hoare_reachable,
+    hoare_reachable_antichain,
+    smyth_reachable,
+    smyth_reachable_antichain,
+)
+
+
+def _subsets(items, max_size=None):
+    items = sorted(items, key=repr)
+    limit = len(items) if max_size is None else max_size
+    return [
+        frozenset(c)
+        for c in ichain.from_iterable(
+            combinations(items, k) for k in range(limit + 1)
+        )
+    ]
+
+
+POSETS = [
+    chain(3),
+    diamond(),
+    Poset("abc", []),
+    Poset("abcd", [("a", "b"), ("a", "c")]),
+]
+
+
+class TestProposition31:
+    @pytest.mark.parametrize("poset", POSETS, ids=["chain3", "diamond", "flat3", "vee"])
+    def test_hoare_closure_equals_hoare_order(self, poset):
+        for start in _subsets(poset.carrier, 2):
+            reached = hoare_reachable(poset, start)
+            for target in _subsets(poset.carrier):
+                expected = hoare_le(start, target, poset.le)
+                assert (target in reached) == expected, (start, target)
+
+    @pytest.mark.parametrize("poset", POSETS, ids=["chain3", "diamond", "flat3", "vee"])
+    def test_smyth_closure_equals_smyth_order(self, poset):
+        for start in _subsets(poset.carrier, 2):
+            reached = smyth_reachable(poset, start)
+            for target in _subsets(poset.carrier):
+                expected = smyth_le(start, target, poset.le)
+                assert (target in reached) == expected, (start, target)
+
+    def test_random_posets(self):
+        rng = random.Random(11)
+        for _ in range(3):
+            poset = random_poset(4, 0.5, rng)
+            for start in _subsets(poset.carrier, 2)[:8]:
+                reached = hoare_reachable(poset, start)
+                for target in _subsets(poset.carrier):
+                    assert (target in reached) == hoare_le(
+                        start, target, poset.le
+                    )
+
+
+class TestProposition32:
+    """Antichain variant: steps re-normalize with max (sets) / min (or-sets)."""
+
+    @pytest.mark.parametrize("poset", POSETS, ids=["chain3", "diamond", "flat3", "vee"])
+    def test_hoare_antichain_closure(self, poset):
+        antichains = [a for a in _subsets(poset.carrier) if poset.is_antichain(a)]
+        for start in antichains[:10]:
+            reached = hoare_reachable_antichain(poset, start)
+            for target in antichains:
+                expected = hoare_le(start, target, poset.le)
+                assert (target in reached) == expected, (start, target)
+
+    @pytest.mark.parametrize("poset", POSETS, ids=["chain3", "diamond", "flat3", "vee"])
+    def test_smyth_antichain_closure(self, poset):
+        antichains = [a for a in _subsets(poset.carrier) if poset.is_antichain(a)]
+        for start in antichains[:10]:
+            reached = smyth_reachable_antichain(poset, start)
+            for target in antichains:
+                expected = smyth_le(start, target, poset.le)
+                assert (target in reached) == expected, (start, target)
+
+    def test_reachable_states_are_antichains(self):
+        poset = diamond()
+        for state in hoare_reachable_antichain(poset, {"bot"}):
+            assert poset.is_antichain(state)
+
+
+class TestStepSemantics:
+    def test_office_example(self):
+        """Section 3's example: refine a record with a null, add a record."""
+        # Model: flat domain of names with bottom = unknown.
+        from repro.orders.poset import flat_domain
+
+        names = flat_domain(["joe", "mary", "bill"])
+        start = frozenset({"_bot"})
+        reached = hoare_reachable(names, start)
+        # Refinement: _bot -> {joe, mary}; addition: + bill.
+        assert frozenset({"joe", "mary"}) in reached
+        assert frozenset({"joe", "mary", "bill"}) in reached
+
+    def test_orset_removal_gains_information(self):
+        poset = chain(3)
+        reached = smyth_reachable(poset, {0, 1, 2})
+        assert frozenset({1}) in reached  # narrowed the alternatives
+        assert frozenset() not in reached  # but never to inconsistency

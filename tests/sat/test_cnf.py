@@ -1,0 +1,106 @@
+"""Tests for the CNF encoding of Section 6's hardness result."""
+
+import random
+
+import pytest
+
+from repro.errors import OrNRAValueError
+from repro.sat.cnf import (
+    CNF,
+    all_assignments,
+    assignment_satisfies,
+    decode_choice,
+    encode_cnf,
+    encoded_type,
+    fd_predicate,
+    random_cnf,
+    satisfies_fd,
+)
+from repro.types.parse import format_type
+from repro.values.values import (
+    FALSE,
+    TRUE,
+    Atom,
+    OrSetValue,
+    Pair,
+    SetValue,
+    boolean,
+    check_type,
+    vset,
+)
+
+
+def lit(v, pol):
+    return Pair(Atom("var", v), boolean(pol))
+
+
+class TestCNFModel:
+    def test_clause_validation(self):
+        with pytest.raises(OrNRAValueError):
+            CNF(2, (frozenset({3}),))
+        with pytest.raises(OrNRAValueError):
+            CNF(2, (frozenset({0}),))
+
+    def test_is_satisfied_by(self):
+        cnf = CNF(2, (frozenset({1, -2}),))
+        assert cnf.is_satisfied_by({1: True, 2: True})
+        assert not cnf.is_satisfied_by({1: False, 2: True})
+
+    def test_random_cnf_shape(self):
+        rng = random.Random(1)
+        cnf = random_cnf(5, 8, 3, rng)
+        assert len(cnf) == 8
+        assert all(len(c) == 3 for c in cnf)
+        assert all(abs(l) <= 5 for c in cnf for l in c)
+
+    def test_random_cnf_width_check(self):
+        with pytest.raises(OrNRAValueError):
+            random_cnf(2, 1, 3, random.Random(0))
+
+
+class TestEncoding:
+    def test_encoded_type(self):
+        assert format_type(encoded_type()) == "{<var * bool>}"
+
+    def test_encoding_inhabits_type(self):
+        cnf = random_cnf(4, 5, 2, random.Random(2))
+        assert check_type(encode_cnf(cnf), encoded_type())
+
+    def test_clause_becomes_orset(self):
+        cnf = CNF(2, (frozenset({1, -2}),))
+        encoded = encode_cnf(cnf)
+        assert encoded == SetValue([OrSetValue([lit(1, True), lit(2, False)])])
+
+    def test_duplicate_clauses_collapse_safely(self):
+        cnf = CNF(1, (frozenset({1}), frozenset({1})))
+        assert len(encode_cnf(cnf)) == 1  # same satisfiability
+
+
+class TestFDPredicate:
+    def test_consistent_choice(self):
+        assert satisfies_fd(vset(lit(1, True), lit(2, False)))
+
+    def test_violating_choice(self):
+        assert not satisfies_fd(vset(lit(1, True), lit(1, False)))
+
+    def test_morphism_form(self):
+        p = fd_predicate()
+        assert p(vset(lit(1, True))) == TRUE
+        assert p(vset(lit(1, True), lit(1, False))) == FALSE
+
+    def test_decode_choice(self):
+        choice = vset(lit(1, True), lit(3, False))
+        assert decode_choice(choice) == {1: True, 3: False}
+
+    def test_decode_rejects_violations(self):
+        with pytest.raises(OrNRAValueError):
+            decode_choice(vset(lit(1, True), lit(1, False)))
+
+
+class TestAssignments:
+    def test_all_assignments_count(self):
+        assert len(list(all_assignments(3))) == 8
+
+    def test_assignment_satisfies_free_vars_default_false(self):
+        cnf = CNF(2, (frozenset({-2}),))
+        assert assignment_satisfies(cnf, {})  # var 2 defaults to False

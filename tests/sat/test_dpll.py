@@ -1,0 +1,52 @@
+"""Tests for the baseline DPLL solver."""
+
+import random
+
+from repro.sat.cnf import CNF, all_assignments, random_cnf
+from repro.sat.dpll import dpll_sat, dpll_solve
+
+
+def brute_force_sat(cnf: CNF) -> bool:
+    return any(cnf.is_satisfied_by(a) for a in all_assignments(cnf.n_vars))
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert dpll_sat(CNF(1, ()))
+
+    def test_unit_clause(self):
+        assert dpll_solve(CNF(1, (frozenset({1}),))) == {1: True}
+
+    def test_contradiction(self):
+        assert not dpll_sat(CNF(1, (frozenset({1}), frozenset({-1}))))
+
+    def test_simple_3sat(self):
+        cnf = CNF(3, (frozenset({1, 2}), frozenset({-1, 3}), frozenset({-2, -3})))
+        model = dpll_solve(cnf)
+        assert model is not None
+        assert cnf.is_satisfied_by({v: model.get(v, False) for v in (1, 2, 3)})
+
+    def test_unsat_pigeonhole_style(self):
+        # x1..x? encode: (1)(−1∨2)(−2) is unsatisfiable.
+        cnf = CNF(2, (frozenset({1}), frozenset({-1, 2}), frozenset({-2})))
+        assert not dpll_sat(cnf)
+
+
+class TestAgainstBruteForce:
+    def test_random_instances(self):
+        rng = random.Random(99)
+        for _ in range(60):
+            n = rng.randint(2, 5)
+            m = rng.randint(1, 10)
+            k = rng.randint(1, min(3, n))
+            cnf = random_cnf(n, m, k, rng)
+            assert dpll_sat(cnf) == brute_force_sat(cnf)
+
+    def test_models_actually_satisfy(self):
+        rng = random.Random(123)
+        for _ in range(40):
+            cnf = random_cnf(4, 6, 2, rng)
+            model = dpll_solve(cnf)
+            if model is not None:
+                total = {v: model.get(v, False) for v in range(1, 5)}
+                assert cnf.is_satisfied_by(total)

@@ -1,0 +1,63 @@
+"""Tests for SAT as an existential query over normal forms (Section 6)."""
+
+import random
+
+import pytest
+
+from repro.sat.cnf import CNF, assignment_satisfies, random_cnf
+from repro.sat.dpll import dpll_sat
+from repro.sat.via_normalization import sat_eager, sat_lazy, sat_witness
+
+
+class TestReductionCorrectness:
+    def test_satisfiable_example(self):
+        cnf = CNF(2, (frozenset({1, 2}), frozenset({-1})))
+        assert sat_lazy(cnf)
+        assert sat_eager(cnf)
+
+    def test_unsatisfiable_example(self):
+        cnf = CNF(1, (frozenset({1}), frozenset({-1})))
+        assert not sat_lazy(cnf)
+        assert not sat_eager(cnf)
+
+    def test_empty_clause_set(self):
+        assert sat_lazy(CNF(1, ()))
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_agreement_with_dpll(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 5)
+        cnf = random_cnf(n, rng.randint(1, 2 * n), min(3, n), rng)
+        expected = dpll_sat(cnf)
+        assert sat_lazy(cnf) == expected
+        assert sat_eager(cnf) == expected
+
+
+class TestWitnesses:
+    def test_witness_satisfies(self):
+        rng = random.Random(77)
+        for _ in range(20):
+            cnf = random_cnf(4, 5, 2, rng)
+            model = sat_witness(cnf)
+            if model is None:
+                assert not dpll_sat(cnf)
+            else:
+                assert assignment_satisfies(cnf, model)
+
+    def test_witness_none_when_unsat(self):
+        cnf = CNF(1, (frozenset({1}), frozenset({-1})))
+        assert sat_witness(cnf) is None
+
+
+class TestHardnessShape:
+    def test_normal_form_is_exponential_for_disjoint_clauses(self):
+        """m(encode(psi)) = prod |clauses| — the source of hardness."""
+        from repro.core.costs import m_value
+        from repro.sat.cnf import encode_cnf, encoded_type
+
+        # 3 disjoint 2-literal clauses -> 8 possibilities.
+        cnf = CNF(
+            6,
+            (frozenset({1, 2}), frozenset({3, 4}), frozenset({5, 6})),
+        )
+        assert m_value(encode_cnf(cnf), encoded_type()) == 8

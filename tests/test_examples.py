@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs to completion and prints what
+its docstring promises."""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _run(path: pathlib.Path) -> str:
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        check=False,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    out = _run(path)
+    assert out.strip(), f"{path.name} printed nothing"
+
+
+def test_quickstart_shows_normalization():
+    out = _run(EXAMPLES_DIR / "quickstart.py")
+    assert "<" in out and ">" in out
+
+
+def test_query_optimization_reports_speedup():
+    out = _run(EXAMPLES_DIR / "query_optimization.py")
+    assert "equations fired" in out
+    assert re.search(r"\d+\.\d+x", out), "no speedup column in output"
+
+
+def test_approximate_answers_consistency():
+    out = _run(EXAMPLES_DIR / "approximate_answers.py")
+    assert "consistent=True" in out
+    assert "consistent=False" in out
+    assert "object order matches sandwich order: True" in out

@@ -1,0 +1,51 @@
+"""Tests for the workload generators."""
+
+import random
+
+from repro.gen import random_atom, random_orset_value, random_type, random_value
+from repro.types.kinds import BOOL, INT, contains_orset, type_height
+from repro.values.values import check_type
+
+
+class TestRandomType:
+    def test_depth_bound(self, rng):
+        for _ in range(50):
+            t = random_type(rng, max_depth=3)
+            assert type_height(t) <= 3
+
+    def test_orset_suppression(self, rng):
+        for _ in range(50):
+            t = random_type(rng, max_depth=4, allow_orset=False)
+            assert not contains_orset(t)
+
+
+class TestRandomValue:
+    def test_values_typecheck(self, rng):
+        for _ in range(50):
+            t = random_type(rng, max_depth=3)
+            v = random_value(t, rng)
+            assert check_type(v, t)
+
+    def test_min_width_respected(self, rng):
+        from repro.types.kinds import SetType
+
+        for _ in range(20):
+            v = random_value(SetType(INT), rng, max_width=3, min_width=1)
+            assert len(v) >= 1
+
+    def test_atoms(self, rng):
+        assert random_atom(INT, rng).base == "int"
+        assert random_atom(BOOL, rng).base == "bool"
+
+
+class TestRandomOrsetValue:
+    def test_always_contains_orsets(self, rng):
+        for _ in range(30):
+            value, t = random_orset_value(rng)
+            assert contains_orset(t)
+            assert check_type(value, t)
+
+    def test_reproducible_from_seed(self):
+        a = random_orset_value(random.Random(5))
+        b = random_orset_value(random.Random(5))
+        assert a == b

@@ -1,0 +1,133 @@
+"""Cross-module integration tests.
+
+The centerpiece is the paper's introduction query, built exactly as
+written there::
+
+    or_mu o ormap(cond(ischeap, or_eta, K<> o !)) o normalize
+
+("selects cheap completed designs"), evaluated through the full stack —
+parser, typechecker, normalization engine — and cross-checked against
+the possible-worlds oracle, the lazy stream, and the optimizer.
+"""
+
+import random
+
+import pytest
+
+from repro.core.normalize import Normalize, normalize, possibilities
+from repro.core.worlds import worlds
+from repro.gen import random_orset_value
+from repro.lang.morphisms import Bang, Compose, Cond, Morphism, Primitive, always
+from repro.lang.optimize import optimize
+from repro.lang.orset_ops import KEmptyOrSet, OrEta, OrMap, OrMu
+from repro.lang.parser import parse_morphism, parse_value
+from repro.lang.typecheck import result_type
+from repro.types.kinds import BOOL
+from repro.types.parse import format_type, parse_type
+from repro.types.rewrite import nf_type
+from repro.values.measure import has_empty_orset
+from repro.values.values import SetValue, Value, boolean, format_value
+
+
+TEMPLATE = parse_value("{(1, <10, 20>), (2, <5, 30>)}")
+TEMPLATE_TYPE = parse_type("{int * <int>}")
+
+
+def _design_cost(design: Value) -> int:
+    assert isinstance(design, SetValue)
+    return sum(row.snd.value for row in design)
+
+
+ISCHEAP = Primitive(
+    "ischeap",
+    lambda d: boolean(_design_cost(d) <= 25),
+    parse_type("{int * int}"),
+    BOOL,
+)
+
+
+def intro_query() -> Morphism:
+    """The introduction's conceptual query, combinator for combinator."""
+    keep = OrEta()
+    drop = Compose(KEmptyOrSet(), Bang())
+    return Compose(
+        OrMu(),
+        Compose(
+            OrMap(Cond(ISCHEAP, keep, drop)),
+            Normalize(TEMPLATE_TYPE),
+        ),
+    )
+
+
+class TestIntroQuery:
+    def test_selects_exactly_the_cheap_designs(self):
+        result = intro_query()(TEMPLATE)
+        costs = sorted(_design_cost(d) for d in result.elems)
+        # Designs: {10+5, 10+30, 20+5, 20+30} = {15, 40, 25, 50}.
+        assert costs == [15, 25]
+
+    def test_agrees_with_worlds_oracle(self):
+        result = intro_query()(TEMPLATE)
+        expected = {w for w in worlds(TEMPLATE) if _design_cost(w) <= 25}
+        assert set(result.elems) == expected
+
+    def test_agrees_with_lazy_stream(self):
+        from repro.core.lazy import iter_possibilities
+
+        lazy = {
+            w for w in iter_possibilities(TEMPLATE) if _design_cost(w) <= 25
+        }
+        assert set(intro_query()(TEMPLATE).elems) == lazy
+
+    def test_typechecks_end_to_end(self):
+        q = intro_query()
+        out = result_type(q, TEMPLATE_TYPE)
+        assert format_type(out) == "<{int * int}>"
+
+    def test_optimizer_preserves_the_query(self):
+        q = intro_query()
+        opt = optimize(q)
+        assert opt(TEMPLATE) == q(TEMPLATE)
+
+    def test_parsed_form_matches_built_form(self):
+        q = parse_morphism(
+            "or_mu o ormap(cond(ischeap, or_eta, K<> o !)) o normalize",
+            env={"ischeap": ISCHEAP},
+        )
+        assert q(TEMPLATE) == intro_query()(TEMPLATE)
+
+
+class TestConceptualEquivalencePipelines:
+    """Random end-to-end agreement: engine == tagged == worlds == lazy."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_four_way_agreement(self, seed):
+        from repro.core.lazy import iter_possibilities
+        from repro.core.tagged import normalize_via_tagging
+
+        rng = random.Random(seed)
+        for _ in range(8):
+            v, t = random_orset_value(rng, max_depth=3, max_width=2, min_width=1)
+            engine = normalize(v, t)
+            assert normalize_via_tagging(v, t) == engine
+            assert frozenset(possibilities(v, t)) == worlds(v)
+            assert frozenset(iter_possibilities(v)) == worlds(v)
+
+    def test_nf_type_matches_value(self):
+        rng = random.Random(99)
+        for _ in range(20):
+            v, t = random_orset_value(rng, max_depth=3, max_width=2, min_width=1)
+            from repro.values.values import check_type
+
+            assert check_type(normalize(v, t), nf_type(t))
+
+
+class TestInconsistencyPropagation:
+    def test_empty_orset_kills_the_template(self):
+        broken = parse_value("{(1, <>), (2, <5>)}")
+        assert normalize(broken, TEMPLATE_TYPE) == parse_value("<>")
+        assert not worlds(broken)
+
+    def test_intro_query_on_inconsistent_input(self):
+        broken = parse_value("{(1, <>), (2, <5>)}")
+        assert intro_query()(broken) == parse_value("<>")

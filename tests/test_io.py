@@ -1,0 +1,60 @@
+"""Tests for serialization (Section 7's I/O facilities)."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import OrNRAValueError
+from repro.io import (
+    dumps_type,
+    dumps_value,
+    loads_type,
+    loads_value,
+    value_from_json,
+    value_from_text,
+    value_to_json,
+    value_to_text,
+)
+from repro.values.values import vbag, vorset, vpair, vset
+
+from tests.strategies import object_types, typed_values
+
+
+class TestJsonRoundTrip:
+    @given(typed_values(max_depth=3, max_width=3))
+    def test_round_trip(self, pair):
+        value, _ = pair
+        assert loads_value(dumps_value(value)) == value
+
+    def test_json_shape(self):
+        data = value_to_json(vpair(1, vorset(True)))
+        assert data == {
+            "pair": [
+                {"atom": "int", "value": 1},
+                {"orset": [{"atom": "bool", "value": True}]},
+            ]
+        }
+
+    def test_bag_round_trip(self):
+        assert value_from_json(value_to_json(vbag(1, 1))) == vbag(1, 1)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(OrNRAValueError):
+            value_from_json({"mystery": 1})
+        with pytest.raises(OrNRAValueError):
+            value_from_json(42)
+
+
+class TestTextRoundTrip:
+    @given(typed_values(max_depth=3, max_width=3))
+    def test_round_trip(self, pair):
+        value, _ = pair
+        assert value_from_text(value_to_text(value)) == value
+
+    def test_example(self):
+        assert value_from_text("{<1, 2>}") == vset(vorset(1, 2))
+
+
+class TestTypeRoundTrip:
+    @given(object_types(max_depth=4))
+    def test_round_trip(self, t):
+        assert loads_type(dumps_type(t)) == t

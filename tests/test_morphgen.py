@@ -1,0 +1,47 @@
+"""Property tests: Theorem 5.1 on randomly generated eligible morphisms."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.preserve import check_lossless_eligible, verify_losslessness
+from repro.gen import random_orset_value, random_value
+from repro.morphgen import random_lossless_morphism
+from repro.values.measure import has_empty_orset
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 100_000))
+def test_generated_morphisms_are_eligible(seed):
+    rng = random.Random(seed)
+    _v, t = random_orset_value(rng, max_depth=3, max_width=2, min_width=1)
+    f, out_t = random_lossless_morphism(t, rng, depth=3)
+    # The generator's output must be in Theorem 5.1's class at t, and the
+    # eligibility checker must agree on the output type.
+    assert check_lossless_eligible(f, t) == out_t
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 100_000))
+def test_losslessness_on_random_programs(seed):
+    """The Theorem 5.1 commuting square on random eligible programs."""
+    rng = random.Random(seed)
+    v, t = random_orset_value(rng, max_depth=3, max_width=2, min_width=1)
+    if has_empty_orset(v):
+        return
+    f, _out_t = random_lossless_morphism(t, rng, depth=3)
+    assert verify_losslessness(f, v, t), (f.describe(), str(v), t)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 100_000))
+def test_losslessness_on_orset_free_inputs(seed):
+    """The square also commutes trivially when nothing is disjunctive."""
+    rng = random.Random(seed)
+    from repro.gen import random_type
+
+    t = random_type(rng, max_depth=3, allow_orset=False)
+    v = random_value(t, rng, max_width=2, min_width=0)
+    f, _ = random_lossless_morphism(t, rng, depth=3)
+    assert verify_losslessness(f, v, t)

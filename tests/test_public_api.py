@@ -1,0 +1,41 @@
+"""Tests for the curated top-level API — the README quickstart must work."""
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestQuickstart:
+    def test_readme_snippet(self):
+        design = repro.vpair(
+            repro.vset(repro.vorset(1, 2), repro.vorset(3)), repro.vorset(1, 2)
+        )
+        normal = repro.normalize(design)
+        assert len(normal) == 4
+
+    def test_end_to_end_conceptual_query(self):
+        # A design space; ask for a completed design whose parts sum small.
+        from repro.values.measure import size
+
+        space = repro.vset(repro.vorset(1, 5), repro.vorset(2, 6))
+        assert repro.exists_query(
+            lambda w: sum(e.value for e in w.elems) <= 3, space
+        )
+        cheapest = repro.witness(
+            lambda w: sum(e.value for e in w.elems) <= 3, space
+        )
+        assert cheapest == repro.vset(1, 2)
+        assert size(cheapest) == 2
+
+    def test_conceptual_eq_exported(self):
+        from repro import vorset
+        from repro.core import conceptual_eq
+
+        assert conceptual_eq(vorset(vorset(1, 2)), vorset(1, 2))

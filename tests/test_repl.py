@@ -1,0 +1,109 @@
+"""Tests for the OR-SML-style interpreter (Section 7)."""
+
+import io
+
+import pytest
+
+from repro.repl import Repl, main
+
+
+@pytest.fixture()
+def repl():
+    return Repl()
+
+
+class TestBindings:
+    def test_let_and_show(self, repl):
+        out = repl.eval_line("let x = <1, 2, 3>")
+        assert out == "x = <1, 2, 3> : <int>"
+        assert repl.eval_line("show x") == "<1, 2, 3> : <int>"
+        assert repl.eval_line("x") == "<1, 2, 3> : <int>"
+
+    def test_let_with_declared_type(self, repl):
+        out = repl.eval_line("let x : <int> = <1>")
+        assert out == "x = <1> : <int>"
+
+    def test_declared_type_checked(self, repl):
+        out = repl.eval_line("let x : <bool> = <1>")
+        assert out.startswith("error:")
+
+    def test_del(self, repl):
+        repl.eval_line("let x = 1")
+        assert repl.eval_line("del x") == "deleted x"
+        assert repl.eval_line("show x").startswith("error:")
+
+    def test_env_lists_bindings(self, repl):
+        repl.eval_line("let x = 1")
+        repl.eval_line("def f = pi_1")
+        listing = repl.eval_line("env")
+        assert "x = 1 : int" in listing
+        assert "f = pi_1" in listing
+
+    def test_empty_and_comment_lines(self, repl):
+        assert repl.eval_line("") == ""
+        assert repl.eval_line("-- a comment") == ""
+
+    def test_unknown_command(self, repl):
+        assert "unknown command" in repl.eval_line("frobnicate x")
+
+
+class TestQueries:
+    def test_normalize(self, repl):
+        repl.eval_line("let db = {<1, 2>, <3>}")
+        out = repl.eval_line("normalize db")
+        assert out == "<{1, 3}, {2, 3}> : <{int}>"
+
+    def test_worlds(self, repl):
+        repl.eval_line("let db = <1, 2>")
+        assert repl.eval_line("worlds db") == "{1, 2}"
+
+    def test_type_and_size(self, repl):
+        repl.eval_line("let db = ({<1, 2>, <3>}, <1, 2>)")
+        assert repl.eval_line("type db") == "{<int>} * <int>"
+        assert repl.eval_line("size db") == "5"
+
+    def test_apply_named_morphism(self, repl):
+        repl.eval_line("let db = {<1, 2>, <3>}")
+        repl.eval_line("def choices = alpha")
+        out = repl.eval_line("apply choices db")
+        assert out.startswith("<{1, 3}, {2, 3}>")
+
+    def test_apply_inline_morphism(self, repl):
+        repl.eval_line("let p = (1, 2)")
+        assert repl.eval_line("apply pi_2 p") == "2 : int"
+
+    def test_apply_composed(self, repl):
+        repl.eval_line("let db = {<1, 2>}")
+        out = repl.eval_line("apply ormap(eta) o alpha db")
+        assert out == "<{{1}}, {{2}}> : <{{int}}>"
+
+    def test_typeof_morphism(self, repl):
+        repl.eval_line("def q = alpha")
+        out = repl.eval_line("typeof q")
+        assert "->" in out and "{<" in out
+
+    def test_variant_values_work(self, repl):
+        repl.eval_line("let v = inl <1, 2>")
+        out = repl.eval_line("apply or_kappa_1 v")
+        assert out.startswith("<inl 1, inl 2>")
+
+    def test_error_reported_not_raised(self, repl):
+        repl.eval_line("let x = 1")
+        out = repl.eval_line("apply alpha x")
+        assert out.startswith("error:")
+
+
+class TestMainLoop:
+    def test_scripted_session(self):
+        stdin = io.StringIO("let x = <1, 2>\nnormalize x\nquit\n")
+        stdout = io.StringIO()
+        main(stdin=stdin, stdout=stdout)
+        text = stdout.getvalue()
+        assert "x = <1, 2> : <int>" in text
+        assert "bye." in text
+
+    def test_eof_terminates(self):
+        stdin = io.StringIO("let x = 1\n")
+        stdout = io.StringIO()
+        main(stdin=stdin, stdout=stdout)
+        assert "bye." in stdout.getvalue()

@@ -1,0 +1,25 @@
+"""The tutorial's code examples must actually run and print what they say."""
+
+import doctest
+import pathlib
+
+TUTORIAL = pathlib.Path(__file__).resolve().parent.parent / "docs" / "TUTORIAL.md"
+
+
+def test_tutorial_doctests():
+    # Markdown code fences would otherwise be read as expected output;
+    # blank them out and run the remaining >>> examples as one doctest
+    # sharing a namespace (imports persist across blocks, like a session).
+    text = "\n".join(
+        "" if line.strip().startswith("```") else line
+        for line in TUTORIAL.read_text().splitlines()
+    )
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(text, {}, "TUTORIAL.md", str(TUTORIAL), 0)
+    runner = doctest.DocTestRunner(
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS
+    )
+    runner.run(test)
+    results = runner.summarize(verbose=False)
+    assert results.attempted > 10
+    assert results.failed == 0

@@ -1,0 +1,117 @@
+"""Tests for the type constructors and translations (Section 2/4)."""
+
+import pytest
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import (
+    BOOL,
+    INT,
+    STRING,
+    UNIT,
+    BagType,
+    BaseType,
+    FuncType,
+    OrSetType,
+    ProdType,
+    SetType,
+    TypeVar,
+    bags_to_sets,
+    contains_bag,
+    contains_orset,
+    contains_set,
+    is_object_type,
+    sets_to_bags,
+    strip_orsets,
+    subtypes,
+    type_height,
+)
+
+
+class TestConstruction:
+    def test_structural_equality(self):
+        assert SetType(INT) == SetType(INT)
+        assert OrSetType(INT) != SetType(INT)
+        assert ProdType(INT, BOOL) == ProdType(INT, BOOL)
+        assert ProdType(INT, BOOL) != ProdType(BOOL, INT)
+
+    def test_types_are_hashable(self):
+        seen = {SetType(INT), OrSetType(INT), SetType(INT)}
+        assert len(seen) == 2
+
+    def test_mul_operator_builds_products(self):
+        assert INT * BOOL == ProdType(INT, BOOL)
+
+    def test_base_types_distinct(self):
+        assert len({BOOL, INT, STRING, UNIT}) == 4
+
+    def test_unit_is_not_a_base_name(self):
+        assert UNIT != BaseType("unit")
+
+
+class TestPredicates:
+    def test_contains_orset(self):
+        assert contains_orset(SetType(OrSetType(INT)))
+        assert contains_orset(OrSetType(INT))
+        assert not contains_orset(SetType(ProdType(INT, BOOL)))
+
+    def test_contains_set_and_bag(self):
+        assert contains_set(ProdType(SetType(INT), BOOL))
+        assert not contains_set(OrSetType(INT))
+        assert contains_bag(BagType(INT))
+        assert not contains_bag(SetType(INT))
+
+    def test_is_object_type(self):
+        assert is_object_type(SetType(OrSetType(ProdType(INT, BOOL))))
+        assert not is_object_type(FuncType(INT, BOOL))
+        assert not is_object_type(SetType(TypeVar("a")))
+
+    def test_subtypes_preorder(self):
+        t = ProdType(SetType(INT), OrSetType(BOOL))
+        listed = list(subtypes(t))
+        assert listed[0] == t
+        assert SetType(INT) in listed
+        assert INT in listed
+        assert BOOL in listed
+        assert len(listed) == 5
+
+    def test_type_height(self):
+        assert type_height(INT) == 1
+        assert type_height(SetType(INT)) == 2
+        assert type_height(ProdType(SetType(INT), BOOL)) == 3
+
+
+class TestStripOrsets:
+    def test_strip_simple(self):
+        assert strip_orsets(OrSetType(INT)) == INT
+
+    def test_strip_nested(self):
+        t = SetType(OrSetType(ProdType(INT, OrSetType(BOOL))))
+        assert strip_orsets(t) == SetType(ProdType(INT, BOOL))
+
+    def test_strip_no_orsets_is_identity(self):
+        t = SetType(ProdType(INT, BOOL))
+        assert strip_orsets(t) == t
+
+    def test_strip_keeps_bags(self):
+        assert strip_orsets(BagType(OrSetType(INT))) == BagType(INT)
+
+    def test_strip_rejects_function_types(self):
+        with pytest.raises(OrNRATypeError):
+            strip_orsets(FuncType(INT, BOOL))
+
+
+class TestBagTranslations:
+    def test_sets_to_bags(self):
+        t = SetType(ProdType(INT, SetType(BOOL)))
+        assert sets_to_bags(t) == BagType(ProdType(INT, BagType(BOOL)))
+
+    def test_orsets_survive(self):
+        t = OrSetType(SetType(INT))
+        assert sets_to_bags(t) == OrSetType(BagType(INT))
+
+    def test_round_trip(self):
+        t = SetType(OrSetType(ProdType(INT, SetType(BOOL))))
+        assert bags_to_sets(sets_to_bags(t)) == t
+
+    def test_bags_to_sets_collapses(self):
+        assert bags_to_sets(BagType(INT)) == SetType(INT)

@@ -1,0 +1,77 @@
+"""Tests for the type-expression parser and printer."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import OrNRAParseError
+from repro.types.kinds import (
+    BOOL,
+    INT,
+    BagType,
+    BaseType,
+    FuncType,
+    OrSetType,
+    ProdType,
+    SetType,
+    TypeVar,
+    UnitType,
+)
+from repro.types.parse import format_type, parse_type
+
+from tests.strategies import object_types
+
+
+class TestParse:
+    def test_base_types(self):
+        assert parse_type("int") == INT
+        assert parse_type("bool") == BOOL
+        assert parse_type("unit") == UnitType()
+
+    def test_user_base_types(self):
+        assert parse_type("module") == BaseType("module")
+
+    def test_set_and_orset(self):
+        assert parse_type("{int}") == SetType(INT)
+        assert parse_type("<int>") == OrSetType(INT)
+        assert parse_type("[|int|]") == BagType(INT)
+
+    def test_product_right_associative(self):
+        assert parse_type("int * bool * int") == ProdType(
+            INT, ProdType(BOOL, INT)
+        )
+
+    def test_parens_override(self):
+        assert parse_type("(int * bool) * int") == ProdType(
+            ProdType(INT, BOOL), INT
+        )
+
+    def test_nested_paper_type(self):
+        t = parse_type("{<int>} * <int>")
+        assert t == ProdType(SetType(OrSetType(INT)), OrSetType(INT))
+
+    def test_function_type(self):
+        assert parse_type("{<int>} -> <{int}>") == FuncType(
+            SetType(OrSetType(INT)), OrSetType(SetType(INT))
+        )
+
+    def test_type_variable(self):
+        assert parse_type("<'a>") == OrSetType(TypeVar("a"))
+
+    @pytest.mark.parametrize("bad", ["", "{int", "<>", "int *", "* int", "(int"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(OrNRAParseError):
+            parse_type(bad)
+
+    def test_rejects_trailing(self):
+        with pytest.raises(OrNRAParseError):
+            parse_type("int }")
+
+
+class TestRoundTrip:
+    @given(object_types(max_depth=4))
+    def test_format_parse_round_trip(self, t):
+        assert parse_type(format_type(t)) == t
+
+    def test_format_examples(self):
+        assert format_type(parse_type("{<int * bool>}")) == "{<int * bool>}"
+        assert format_type(parse_type("(int*bool)*int")) == "(int * bool) * int"

@@ -1,0 +1,186 @@
+"""Tests for the type rewrite system — Proposition 4.1.
+
+The proposition claims termination, Church–Rosserness and the closed form
+``nf(t) = <strip(t)>``.  Confluence is verified *exhaustively* on random
+small types by exploring the full rewrite graph.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NormalizationError
+from repro.types.kinds import (
+    BOOL,
+    INT,
+    BagType,
+    OrSetType,
+    ProdType,
+    SetType,
+    contains_orset,
+)
+from repro.types.parse import parse_type
+from repro.types.rewrite import (
+    OR_FLATTEN,
+    PAIR_LEFT,
+    PAIR_RIGHT,
+    SET_ALPHA,
+    all_normal_forms,
+    apply_rewrite,
+    innermost_strategy,
+    is_normal_type,
+    nf_type,
+    normalize_type,
+    outermost_strategy,
+    phi,
+    random_strategy,
+    redexes,
+    replace_at,
+    subtype_at,
+)
+
+from tests.strategies import object_types
+
+
+class TestPositions:
+    def test_subtype_at_root(self):
+        t = parse_type("{<int>}")
+        assert subtype_at(t, ()) == t
+
+    def test_subtype_at_nested(self):
+        t = parse_type("{<int>} * <bool>")
+        assert subtype_at(t, (0, 0)) == OrSetType(INT)
+        assert subtype_at(t, (1,)) == OrSetType(BOOL)
+
+    def test_replace_at(self):
+        t = parse_type("{<int>}")
+        assert replace_at(t, (0,), BOOL) == SetType(BOOL)
+
+    def test_invalid_position_raises(self):
+        from repro.errors import OrNRATypeError
+
+        with pytest.raises(OrNRATypeError):
+            subtype_at(INT, (0,))
+
+
+class TestRules:
+    def test_pair_right(self):
+        t = parse_type("int * <bool>")
+        assert apply_rewrite(t, (), PAIR_RIGHT) == parse_type("<int * bool>")
+
+    def test_pair_left(self):
+        t = parse_type("<int> * bool")
+        assert apply_rewrite(t, (), PAIR_LEFT) == parse_type("<int * bool>")
+
+    def test_or_flatten(self):
+        assert apply_rewrite(parse_type("<<int>>"), (), OR_FLATTEN) == parse_type(
+            "<int>"
+        )
+
+    def test_set_alpha(self):
+        assert apply_rewrite(parse_type("{<int>}"), (), SET_ALPHA) == parse_type(
+            "<{int}>"
+        )
+
+    def test_set_alpha_on_bags(self):
+        assert apply_rewrite(
+            BagType(OrSetType(INT)), (), SET_ALPHA
+        ) == OrSetType(BagType(INT))
+
+    def test_rule_not_applicable_raises(self):
+        with pytest.raises(NormalizationError):
+            apply_rewrite(parse_type("{int}"), (), SET_ALPHA)
+
+    def test_both_pair_rules_at_same_node(self):
+        t = parse_type("<int> * <bool>")
+        rules = {rule for pos, rule in redexes(t) if pos == ()}
+        assert rules == {PAIR_LEFT, PAIR_RIGHT}
+
+
+class TestNormalForms:
+    @pytest.mark.parametrize(
+        "src, expected",
+        [
+            ("int", "int"),
+            ("{int * bool}", "{int * bool}"),
+            ("<int>", "<int>"),
+            ("{<int>}", "<{int}>"),
+            ("{<int>} * <int>", "<{int} * int>"),
+            ("<<{<bool * <int>>}>>", "<{bool * int}>"),
+            ("{{<int>}}", "<{{int}}>"),
+        ],
+    )
+    def test_closed_form_matches_rewriting(self, src, expected):
+        t = parse_type(src)
+        rewritten, _ = normalize_type(t)
+        assert rewritten == parse_type(expected)
+        assert nf_type(t) == parse_type(expected)
+
+    def test_normal_form_shape(self):
+        # Or-sets occur only as the outermost constructor (Prop 4.1).
+        t = parse_type("{<int>} * (<bool> * {int})")
+        nf, _ = normalize_type(t)
+        assert isinstance(nf, OrSetType)
+        assert not contains_orset(nf.elem)
+
+    def test_is_normal_type(self):
+        assert is_normal_type(parse_type("<{int} * bool>"))
+        assert not is_normal_type(parse_type("{<int>}"))
+
+    @given(object_types(max_depth=4))
+    def test_closed_form_agrees_with_rewriting(self, t):
+        assert normalize_type(t)[0] == nf_type(t)
+
+
+class TestTermination:
+    @given(object_types(max_depth=4))
+    def test_phi_strictly_decreases(self, t):
+        current = t
+        previous = phi(current)
+        for _ in range(200):
+            options = redexes(current)
+            if not options:
+                break
+            pos, rule = options[0]
+            current = apply_rewrite(current, pos, rule)
+            now = phi(current)
+            assert now < previous
+            previous = now
+        else:
+            pytest.fail("rewriting did not terminate within 200 steps")
+
+    def test_phi_zero_iff_orset_free_or_outer(self):
+        assert phi(parse_type("{int}")) == 0
+        assert phi(parse_type("<int>")) == 1
+        assert phi(parse_type("{<int>}")) == 2
+
+
+class TestConfluence:
+    @given(object_types(max_depth=3))
+    @settings(max_examples=40, deadline=None)
+    def test_all_paths_reach_unique_normal_form(self, t):
+        forms = all_normal_forms(t, max_nodes=3000)
+        assert forms == {nf_type(t)}
+
+    def test_critical_pair_example(self):
+        # ({<t>}) inside < > : two overlapping redexes.
+        t = parse_type("<{<int>}>")
+        assert all_normal_forms(t) == {parse_type("<{int}>")}
+
+    @given(object_types(max_depth=4), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_strategies_agree(self, t, seed):
+        inner, _ = normalize_type(t, innermost_strategy)
+        outer, _ = normalize_type(t, outermost_strategy)
+        rand, _ = normalize_type(t, random_strategy(random.Random(seed)))
+        assert inner == outer == rand
+
+    def test_trace_replays(self):
+        t = parse_type("{<int>} * <bool>")
+        nf, trace = normalize_type(t)
+        current = t
+        for pos, rule in trace:
+            current = apply_rewrite(current, pos, rule)
+        assert current == nf

@@ -1,0 +1,92 @@
+"""Tests for type unification (the Section 2 inference substrate)."""
+
+import pytest
+
+from repro.errors import OrNRATypeError
+from repro.types.kinds import (
+    BOOL,
+    INT,
+    FuncType,
+    OrSetType,
+    ProdType,
+    SetType,
+    TypeVar,
+)
+from repro.types.unify import (
+    FreshVars,
+    apply_subst,
+    compose_subst,
+    free_type_vars,
+    rename_apart,
+    unify,
+    unify_many,
+)
+
+A, B, C = TypeVar("a"), TypeVar("b"), TypeVar("c")
+
+
+class TestUnify:
+    def test_identical_types(self):
+        assert unify(SetType(INT), SetType(INT)) == {}
+
+    def test_variable_binding(self):
+        subst = unify(A, SetType(INT))
+        assert apply_subst(subst, A) == SetType(INT)
+
+    def test_symmetric_binding(self):
+        subst = unify(SetType(INT), A)
+        assert apply_subst(subst, A) == SetType(INT)
+
+    def test_structural_descent(self):
+        subst = unify(ProdType(A, B), ProdType(INT, SetType(BOOL)))
+        assert apply_subst(subst, A) == INT
+        assert apply_subst(subst, B) == SetType(BOOL)
+
+    def test_chained_variables(self):
+        subst = unify_many([(A, B), (B, INT)])
+        assert apply_subst(subst, A) == INT
+
+    def test_clash_raises(self):
+        with pytest.raises(OrNRATypeError):
+            unify(SetType(INT), OrSetType(INT))
+
+    def test_base_clash_raises(self):
+        with pytest.raises(OrNRATypeError):
+            unify(INT, BOOL)
+
+    def test_occurs_check(self):
+        with pytest.raises(OrNRATypeError):
+            unify(A, SetType(A))
+
+    def test_function_types(self):
+        subst = unify(FuncType(A, B), FuncType(INT, SetType(A)))
+        assert apply_subst(subst, B) == SetType(INT)
+
+
+class TestSubstitutions:
+    def test_apply_subst_recursive(self):
+        subst = {A: SetType(B), B: INT}
+        assert apply_subst(subst, A) == SetType(INT)
+
+    def test_compose_subst(self):
+        inner = {A: B}
+        outer = {B: INT}
+        composed = compose_subst(outer, inner)
+        assert apply_subst(composed, A) == INT
+
+    def test_free_type_vars(self):
+        assert free_type_vars(ProdType(A, SetType(B))) == {A, B}
+        assert free_type_vars(INT) == set()
+
+
+class TestFreshVars:
+    def test_fresh_are_distinct(self):
+        fresh = FreshVars()
+        assert fresh.fresh() != fresh.fresh()
+
+    def test_rename_apart_consistent(self):
+        fresh = FreshVars("z")
+        renamed = rename_apart(ProdType(A, A), fresh)
+        assert isinstance(renamed, ProdType)
+        assert renamed.left == renamed.right
+        assert renamed.left != A

@@ -1,0 +1,89 @@
+"""Type-rewrite tests for the variant extension (Section 7 + Prop 4.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gen import random_type
+from repro.types.kinds import (
+    BOOL,
+    INT,
+    OrSetType,
+    ProdType,
+    SetType,
+    VariantType,
+    contains_orset,
+    strip_orsets,
+)
+from repro.types.parse import parse_type
+from repro.types.rewrite import (
+    VARIANT_LEFT,
+    VARIANT_RIGHT,
+    all_normal_forms,
+    apply_rewrite,
+    nf_type,
+    normalize_type,
+    phi,
+    redexes,
+    rule_applicable,
+)
+
+
+class TestVariantRules:
+    def test_variant_left_applies(self):
+        t = VariantType(OrSetType(INT), BOOL)
+        assert rule_applicable(t, VARIANT_LEFT)
+        assert not rule_applicable(t, VARIANT_RIGHT)
+        assert apply_rewrite(t, (), VARIANT_LEFT) == OrSetType(VariantType(INT, BOOL))
+
+    def test_variant_right_applies(self):
+        t = VariantType(INT, OrSetType(BOOL))
+        assert rule_applicable(t, VARIANT_RIGHT)
+        assert apply_rewrite(t, (), VARIANT_RIGHT) == OrSetType(VariantType(INT, BOOL))
+
+    def test_both_sides_orset_critical_pair_joins(self):
+        # <s> + <t> can fire either rule; both paths reach <s + t>.
+        t = VariantType(OrSetType(INT), OrSetType(BOOL))
+        assert all_normal_forms(t) == {OrSetType(VariantType(INT, BOOL))}
+
+    def test_redexes_found_inside_variants(self):
+        t = SetType(VariantType(OrSetType(INT), BOOL))
+        found = redexes(t)
+        assert ((0,), VARIANT_LEFT) in found
+
+    def test_phi_decreases_under_variant_rules(self):
+        t = VariantType(OrSetType(INT), OrSetType(BOOL))
+        for pos, rule in redexes(t):
+            assert phi(apply_rewrite(t, pos, rule)) < phi(t)
+
+    def test_closed_form_with_variants(self):
+        t = parse_type("{<int> + <bool>}")
+        assert nf_type(t) == parse_type("<{int + bool}>")
+        assert nf_type(parse_type("int + bool")) == parse_type("int + bool")
+
+    def test_nested_variant_confluence_exhaustive(self):
+        cases = [
+            "(<int> + bool) * <string>",
+            "<<int> + <bool>>",
+            "{<int>} + <bool>",
+            "(int + <bool>) + <string>",
+        ]
+        for text in cases:
+            t = parse_type(text)
+            assert all_normal_forms(t, 5000) == {nf_type(t)}
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_random_variant_types_confluent(seed):
+    rng = random.Random(seed)
+    t = random_type(rng, max_depth=3, allow_variant=True)
+    assert all_normal_forms(t, 5000) == {nf_type(t)}
+    nf, trace = normalize_type(t)
+    assert nf == nf_type(t)
+    if contains_orset(t):
+        assert nf == OrSetType(strip_orsets(t))
+    else:
+        assert nf == t and not trace

@@ -1,0 +1,48 @@
+"""Tests for the set/bag value translations of Section 4."""
+
+from hypothesis import given
+
+from repro.values.convert import to_bags, to_sets
+from repro.values.values import BagValue, SetValue, vbag, vorset, vpair, vset
+
+from tests.strategies import typed_values
+
+
+class TestToBags:
+    def test_simple(self):
+        assert to_bags(vset(1, 2)) == vbag(1, 2)
+
+    def test_nested(self):
+        v = vset(vset(1), vset(2))
+        out = to_bags(v)
+        assert isinstance(out, BagValue)
+        assert all(isinstance(e, BagValue) for e in out)
+
+    def test_orsets_untouched(self):
+        out = to_bags(vorset(vset(1)))
+        assert out == vorset(vbag(1))
+
+    def test_single_multiplicities(self):
+        out = to_bags(vset(1, 1, 2))
+        assert len(out) == 2
+
+
+class TestToSets:
+    def test_collapses_duplicates(self):
+        assert to_sets(vbag(1, 1, 2)) == vset(1, 2)
+
+    def test_nested_collapse(self):
+        v = vbag(vbag(1), vbag(1), vbag(2))
+        out = to_sets(v)
+        assert isinstance(out, SetValue)
+        assert len(out) == 2
+
+    def test_pairs_descend(self):
+        assert to_sets(vpair(vbag(1), 2)) == vpair(vset(1), 2)
+
+
+class TestRoundTrip:
+    @given(typed_values(max_depth=3, max_width=3))
+    def test_sets_bags_sets_identity(self, pair):
+        value, _ = pair
+        assert to_sets(to_bags(value)) == value

@@ -1,0 +1,96 @@
+"""Tests for the Section 6 measures on objects."""
+
+from hypothesis import given
+
+from repro.values.measure import (
+    count_orsets,
+    depth,
+    has_empty_orset,
+    has_orset,
+    innermost_orset_arities,
+    size,
+    value_tree,
+)
+from repro.values.values import vbag, vorset, vpair, vset
+
+from tests.strategies import typed_values
+
+
+class TestSize:
+    def test_atom_size(self):
+        assert size(vpair(1, 2)) == 2
+
+    def test_paper_definition(self):
+        # size{x1..xn} = sum of sizes; empty collections have size 0.
+        assert size(vset(1, 2, 3)) == 3
+        assert size(vset()) == 0
+        assert size(vorset(vpair(1, 2), vpair(3, 4))) == 4
+
+    def test_tight_family_size(self):
+        x = vset(vorset(1, 2, 3), vorset(4, 5, 6))
+        assert size(x) == 6
+
+    @given(typed_values(max_depth=3, max_width=3))
+    def test_size_equals_tree_leaves(self, pair):
+        value, _ = pair
+        if size(value) > 0:
+            assert value_tree(value).leaves() == size(value)
+
+
+class TestDepthAndCounts:
+    def test_depth(self):
+        assert depth(vpair(1, 2)) == 2
+        assert depth(vset(vorset(1))) == 3
+        assert depth(vset()) == 1
+
+    def test_count_orsets(self):
+        assert count_orsets(vset(vorset(1), vorset(vorset(2)))) == 3
+        assert count_orsets(vset(1, 2)) == 0
+
+    def test_has_orset(self):
+        assert has_orset(vpair(1, vorset(2)))
+        assert not has_orset(vpair(1, vset(2)))
+
+
+class TestEmptyOrsetDetection:
+    def test_direct(self):
+        assert has_empty_orset(vorset())
+
+    def test_nested(self):
+        assert has_empty_orset(vset(vpair(1, vorset())))
+        assert has_empty_orset(vorset(vorset()))
+
+    def test_absent(self):
+        assert not has_empty_orset(vset())  # empty *set* is fine
+        assert not has_empty_orset(vorset(1))
+
+    def test_bag_traversal(self):
+        assert has_empty_orset(vbag(vorset()))
+
+
+class TestInnermostArities:
+    def test_flat(self):
+        x = vset(vorset(1, 2), vorset(3, 4, 5))
+        assert sorted(innermost_orset_arities(x)) == [2, 3]
+
+    def test_nested_orsets_only_innermost(self):
+        x = vorset(vorset(1, 2), vorset(3))
+        assert sorted(innermost_orset_arities(x)) == [1, 2]
+
+    def test_orset_with_orfree_elements_is_innermost(self):
+        x = vorset(vset(1, 2), vset(3))
+        assert innermost_orset_arities(x) == [2]
+
+    def test_no_orsets(self):
+        assert innermost_orset_arities(vset(1, 2)) == []
+
+
+class TestValueTree:
+    def test_labels(self):
+        tree = value_tree(vpair(1, vorset(2)))
+        assert tree.label == "*"
+        assert tree.children[1].label == "<>"
+
+    def test_render_contains_leaves(self):
+        text = value_tree(vset(1, 2)).render()
+        assert "{}" in text and "1" in text and "2" in text

@@ -1,0 +1,183 @@
+"""Tests for the complex-object value model."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import OrNRAValueError
+from repro.types.kinds import (
+    BOOL,
+    INT,
+    OrSetType,
+    ProdType,
+    SetType,
+    TypeVar,
+    UnitType,
+)
+from repro.values.values import (
+    FALSE,
+    TRUE,
+    UNIT_VALUE,
+    Atom,
+    BagValue,
+    Or,
+    OrSetValue,
+    Pair,
+    SetValue,
+    atom,
+    boolean,
+    check_type,
+    format_value,
+    from_python,
+    infer_type,
+    sort_key,
+    to_python,
+    vbag,
+    vorset,
+    vpair,
+    vset,
+)
+
+from tests.strategies import typed_values
+
+
+class TestCanonicalization:
+    def test_sets_deduplicate(self):
+        assert vset(1, 2, 2, 1) == vset(1, 2)
+        assert len(vset(1, 2, 2, 1)) == 2
+
+    def test_orsets_deduplicate(self):
+        assert vorset(3, 3, 3) == vorset(3)
+
+    def test_bags_keep_duplicates(self):
+        assert len(vbag(1, 1, 2)) == 3
+        assert vbag(1, 1) != vbag(1)
+
+    def test_order_insensitive(self):
+        assert vset(3, 1, 2) == vset(1, 2, 3)
+        assert vorset(vpair(2, 1), vpair(1, 2)) == vorset(vpair(1, 2), vpair(2, 1))
+        assert vbag(2, 1, 2) == vbag(2, 2, 1)
+
+    def test_nested_sets_hashable(self):
+        outer = vset(vset(1, 2), vset(2, 1), vset(3))
+        assert len(outer) == 2
+
+    def test_sort_key_total_on_same_type(self):
+        values = [vset(2), vset(1), vset(1, 2)]
+        keys = [sort_key(v) for v in values]
+        assert sorted(keys) == sorted(keys, reverse=False)
+        assert len(set(keys)) == 3
+
+
+class TestAtoms:
+    def test_atom_inference(self):
+        assert atom(True) == TRUE
+        assert atom(0).base == "int"
+        assert atom("x").base == "string"
+        assert atom(None) is UNIT_VALUE
+
+    def test_bool_not_confused_with_int(self):
+        assert atom(True) != atom(1)
+
+    def test_custom_base(self):
+        module = atom("B", base="module")
+        assert isinstance(module, Atom)
+        assert module.base == "module"
+
+    def test_boolean_constants(self):
+        assert boolean(True) is TRUE
+        assert boolean(False) is FALSE
+
+    def test_atom_rejects_unhashable_kinds(self):
+        with pytest.raises(OrNRAValueError):
+            atom(object())
+
+
+class TestFormatting:
+    def test_paper_notation(self):
+        # Canonical element order sorts shorter or-sets first: <3> < <1, 2>.
+        v = vpair(vset(vorset(1, 2), vorset(3)), vorset(1, 2))
+        assert format_value(v) == "({<3>, <1, 2>}, <1, 2>)"
+
+    def test_bool_and_string_atoms(self):
+        assert format_value(vpair(True, "hi")) == '(true, "hi")'
+
+    def test_empty_collections(self):
+        assert format_value(vset()) == "{}"
+        assert format_value(vorset()) == "<>"
+        assert format_value(vbag()) == "[||]"
+
+    def test_unit(self):
+        assert format_value(UNIT_VALUE) == "()"
+
+
+class TestTypeInference:
+    def test_infer_simple(self):
+        assert infer_type(vorset(1, 2)) == OrSetType(INT)
+        assert infer_type(vpair(1, True)) == ProdType(INT, BOOL)
+        assert infer_type(UNIT_VALUE) == UnitType()
+
+    def test_infer_empty_collection_gives_variable(self):
+        t = infer_type(vset())
+        assert isinstance(t, SetType)
+        assert isinstance(t.elem, TypeVar)
+
+    def test_infer_mixed_with_empty(self):
+        t = infer_type(vset(vorset(), vorset(1)))
+        assert t == SetType(OrSetType(INT))
+
+    def test_heterogeneous_raises(self):
+        with pytest.raises(OrNRAValueError):
+            infer_type(vset(1, True))
+
+    def test_check_type(self):
+        assert check_type(vorset(1), OrSetType(INT))
+        assert not check_type(vorset(1), SetType(INT))
+        assert check_type(vset(), SetType(INT))  # empty inhabits any set type
+
+    @given(typed_values(max_depth=3, max_width=2, min_width=1))
+    def test_inferred_type_checks(self, pair):
+        value, t = pair
+        assert check_type(value, t)
+
+
+class TestPythonRoundTrip:
+    def test_from_python(self):
+        v = from_python({(1, True), (2, False)})
+        assert isinstance(v, SetValue)
+        assert vpair(1, True) in v
+
+    def test_or_wrapper(self):
+        assert from_python(Or(1, 2)) == vorset(1, 2)
+
+    def test_list_is_bag(self):
+        assert from_python([1, 1]) == vbag(1, 1)
+
+    def test_round_trip(self):
+        original = ((1, Or(2, 3)), frozenset({4}))
+        assert to_python(from_python(original)) == (
+            (1, Or(2, 3)),
+            frozenset({4}),
+        )
+
+    def test_non_pair_tuple_rejected(self):
+        with pytest.raises(OrNRAValueError):
+            from_python((1, 2, 3))
+
+    @given(typed_values(max_depth=3, max_width=2))
+    def test_value_round_trip(self, pair):
+        value, _ = pair
+        assert from_python(to_python(value)) == value
+
+
+class TestKindChecks:
+    def test_pair_fields(self):
+        p = vpair(1, vset(2))
+        assert p.fst == atom(1)
+        assert p.snd == vset(2)
+
+    def test_membership(self):
+        assert atom(1) in vset(1, 2)
+        assert atom(3) not in vorset(1, 2)
+
+    def test_bag_not_equal_to_set(self):
+        assert vbag(1) != vset(1)

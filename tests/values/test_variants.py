@@ -1,0 +1,89 @@
+"""Value-model tests for variant injections."""
+
+import pytest
+
+from repro.errors import OrNRAValueError
+from repro.io import loads_value, dumps_value
+from repro.types.parse import parse_type
+from repro.values.convert import to_bags, to_sets
+from repro.values.measure import count_orsets, depth, size, value_tree
+from repro.values.values import (
+    Inl,
+    Inr,
+    Variant,
+    atom,
+    check_type,
+    format_value,
+    from_python,
+    infer_type,
+    sort_key,
+    to_python,
+    vinl,
+    vinr,
+    vorset,
+    vpair,
+    vset,
+)
+
+
+class TestVariantValues:
+    def test_equality_and_hash(self):
+        assert vinl(3) == vinl(3)
+        assert hash(vinl(3)) == hash(vinl(3))
+        assert vinl(3) != vinl(4)
+        assert vinl(3) != vinr(3)
+
+    def test_sort_key_total(self):
+        elems = [vinr(0), vinl(1), vinl(0)]
+        ordered = sorted(elems, key=sort_key)
+        assert ordered == [vinl(0), vinl(1), vinr(0)]
+
+    def test_sets_of_variants_dedup(self):
+        s = vset(vinl(1), vinl(1), vinr(1))
+        assert len(s) == 2
+
+    def test_format(self):
+        assert format_value(vinl(3)) == "inl 3"
+        assert format_value(vinr(vpair(1, True))) == "inr (1, true)"
+
+    def test_check_type(self):
+        t = parse_type("int + bool")
+        assert check_type(vinl(3), t)
+        assert check_type(vinr(True), t)
+        assert not check_type(vinl(True), t)
+        assert not check_type(atom(3), t)
+
+    def test_infer_type_merges_sides(self):
+        t = infer_type(vorset(vinl(1), vinr(True)))
+        assert t == parse_type("<int + bool>")
+
+    def test_infer_type_single_side_has_hole(self):
+        t = infer_type(vinl(1))
+        assert t.left == parse_type("int")
+
+    def test_heterogeneous_collection_rejected(self):
+        with pytest.raises(OrNRAValueError):
+            infer_type(vset(vinl(1), vinl(True)))
+
+    def test_python_roundtrip(self):
+        v = vorset(vinl(1), vinr(vpair(2, True)))
+        assert from_python(to_python(v)) == v
+        assert to_python(vinl(1)) == Inl(1)
+        assert from_python(Inr((1, 2))) == vinr(vpair(1, 2))
+
+    def test_json_roundtrip(self):
+        v = vset(vinl(vorset(1, 2)), vinr(True))
+        assert loads_value(dumps_value(v)) == v
+
+    def test_bag_conversions_preserve_variants(self):
+        v = vinl(vset(1, 2))
+        assert to_sets(to_bags(v)) == v
+
+    def test_measures(self):
+        v = vinl(vorset(1, 2))
+        assert size(v) == 2
+        assert depth(v) == 3
+        assert count_orsets(v) == 1
+        tree = value_tree(v)
+        assert tree.label == "inl"
+        assert tree.leaves() == 2
