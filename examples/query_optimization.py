@@ -21,6 +21,7 @@ catalogues and their outputs compared.
 
 import time
 
+from repro.engine import Engine
 from repro.lang.morphisms import Compose, Const, Id, PairOf, Bang
 from repro.lang.optimize import cost, equations_applied, optimize
 from repro.lang.orset_ops import Alpha, OrMap
@@ -36,17 +37,22 @@ PRICE_BUMP = Compose(plus(), PairOf(Id(), Compose(Const(10), Bang())))
 NAIVE = Compose(OrMap(SetMap(PRICE_BUMP)), Alpha())
 OPTIMIZED = optimize(NAIVE)
 
+# The engine performs the same rewrite internally: engine.run(NAIVE, x)
+# optimizes, compiles to a plan, and executes — so callers never need to
+# invoke the optimizer by hand.
+ENGINE = Engine()
+
 
 def catalogue(k: int):
     """k parts, each with two candidate prices (2^k configurations)."""
     return vset(*(vorset(10 * i, 10 * i + 5) for i in range(1, k + 1)))
 
 
-def timed(m, x, repeat: int = 3) -> float:
+def timed(run, x, repeat: int = 3) -> float:
     best = float("inf")
     for _ in range(repeat):
         start = time.perf_counter()
-        m.apply(x)
+        run(x)
         best = min(best, time.perf_counter() - start)
     return best
 
@@ -67,9 +73,11 @@ def main() -> None:
     print(f"{'parts':>5} {'configs':>8} {'naive (ms)':>12} {'optimized (ms)':>15} {'speedup':>8}")
     for k in (6, 8, 10, 12):
         x = catalogue(k)
-        t_naive = timed(NAIVE, x)
-        t_opt = timed(OPTIMIZED, x)
-        assert NAIVE.apply(x) == OPTIMIZED.apply(x)
+        # Direct interpretation of the naive tree versus the engine's
+        # optimized + compiled execution of the very same program.
+        t_naive = timed(NAIVE.apply, x)
+        t_opt = timed(lambda v: ENGINE.run(NAIVE, v, intern=False), x)
+        assert NAIVE.apply(x) == ENGINE.run(NAIVE, x)
         print(
             f"{k:>5} {2**k:>8} {t_naive * 1000:>12.2f} {t_opt * 1000:>15.2f}"
             f" {t_naive / t_opt:>7.1f}x"

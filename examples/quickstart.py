@@ -6,10 +6,12 @@ Walks through the paper's core ideas on a five-minute scale:
 1. build complex objects mixing tuples, sets and or-sets;
 2. query them *structurally* with or-NRA;
 3. normalize to pass to the *conceptual* level (or-NRA+);
-4. ask existential questions lazily.
+4. ask existential questions lazily;
+5. run queries through the compile-and-run engine.
 """
 
 from repro import (
+    engine,
     format_value,
     normalize,
     parse_type,
@@ -34,9 +36,10 @@ def main() -> None:
 
     # ----------------------------------------------------------------- 2.
     # Structural query: how many alternatives does each component offer?
-    # (Queries see the or-sets themselves.)
+    # (Queries see the or-sets themselves.)  Evaluation goes through the
+    # engine: the query is optimized, compiled to a plan and executed.
     first_choices = parse_morphism("map(ortoset) o pi_1")
-    print("choices    :", format_value(first_choices(design)))
+    print("choices    :", format_value(engine.run(first_choices, design)))
 
     # ----------------------------------------------------------------- 3.
     # Conceptual level: normalize lists every completed possibility.
@@ -65,6 +68,16 @@ def main() -> None:
 
     # possibilities() is the tuple behind all of this:
     print("count      :", len(possibilities(design, t)))
+
+    # ----------------------------------------------------------------- 5.
+    # engine.run is the single entry point behind the REPL, the I/O
+    # helpers and the benchmarks: pass-based optimization, plan
+    # compilation, interned values, and a choice of backends.
+    query = parse_morphism("ormap(map(eta)) o alpha o pi_1")
+    print("engine     :", format_value(engine.run(query, design)))
+    print("streaming  :", format_value(engine.run(query, design, backend="streaming")))
+    print("plan       :")
+    print(engine.explain(query, t))
 
 
 if __name__ == "__main__":

@@ -13,6 +13,9 @@ The package implements the paper end to end:
 * :mod:`repro.core` — normalization and the conceptual language or-NRA+
   (Theorem 4.2, Corollaries 4.3/6.4, Theorems 5.1/6.2/6.3/6.5,
   Propositions 2.1/5.2/6.1), possible-worlds oracle, lazy streams;
+* :mod:`repro.engine` — the compile-and-run engine: plan IR, pass-based
+  optimizer, interned values and the eager/streaming backends behind
+  ``engine.run(program, value)``;
 * :mod:`repro.orders` — the partial-information semantics (Section 3):
   posets, Hoare/Smyth/Plotkin, update closures, the ``alpha_a``
   isomorphism (Theorem 3.3) and modal theories (Proposition 3.4);
@@ -62,6 +65,9 @@ from repro.types import (
     prod,
     set_of,
 )
+from repro import engine
+from repro.engine import Engine, compile_plan
+from repro.engine import run as run_program
 from repro.values import (
     Atom,
     BagValue,
@@ -95,6 +101,8 @@ __all__ = [
     "atom", "vpair", "vset", "vorset", "vbag",
     "format_value", "infer_type", "from_python", "to_python",
     # core
+    # engine
+    "engine", "Engine", "run_program", "compile_plan",
     "normalize", "possibilities", "conceptual_eq", "coherence_witness",
     "Normalize", "normalize_morphism", "normalize_via_tagging",
     "worlds", "m_value", "preserve",

@@ -1,0 +1,185 @@
+"""The compile-and-run engine: plan IR, optimizer passes, interned runtime.
+
+This package gives the evaluation stack the classic query-engine shape:
+
+1. **compile** — :func:`repro.engine.plan.compile_plan` turns a
+   :class:`~repro.lang.morphisms.Morphism` tree into a flat, typed
+   :class:`~repro.engine.plan.Plan`;
+2. **optimize** — :mod:`repro.engine.passes` rewrites the morphism with
+   a pipeline of composable equational passes before compilation;
+3. **run** — :mod:`repro.engine.backends` executes the plan eagerly or
+   as a stream, with :mod:`repro.engine.interning` hash-consing values
+   and memoizing ``normalize`` on interned identity.
+
+The single entry point is :func:`run` (or :meth:`Engine.run`)::
+
+    from repro import engine
+    from repro.lang import ormap, p1
+
+    engine.run(ormap(p1()), vorset(vpair(1, 2)))     # <1>
+    engine.run(q, db, backend="streaming")           # lazy spine
+    engine.run(q, db, optimize=False, intern=False)  # plain compiled
+
+``engine.run(p, v)`` is structurally equal to the direct interpretation
+``p(v)`` for every program; the engine is the canonical execution path
+used by the REPL, the I/O helpers, the examples and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lang.morphisms import Morphism
+from repro.types.kinds import Type
+from repro.values.values import Value, ensure_value
+
+from repro.engine.backends import BACKENDS, Backend, EagerBackend, StreamingBackend
+from repro.engine.interning import Interner
+from repro.engine.passes import (
+    COND_PUSHDOWN,
+    DEFAULT_PASSES,
+    Pass,
+    Pipeline,
+    default_pipeline,
+    optimize_morphism,
+)
+from repro.engine.plan import Plan, PlanNode, compile_plan
+
+__all__ = [
+    "Engine",
+    "DEFAULT_ENGINE",
+    "run",
+    "compile_program",
+    "explain",
+    "Plan",
+    "PlanNode",
+    "compile_plan",
+    "Pass",
+    "Pipeline",
+    "DEFAULT_PASSES",
+    "COND_PUSHDOWN",
+    "default_pipeline",
+    "optimize_morphism",
+    "Interner",
+    "Backend",
+    "EagerBackend",
+    "StreamingBackend",
+    "BACKENDS",
+]
+
+
+class Engine:
+    """Compile-and-run driver tying passes, plans, backends and the arena.
+
+    One engine owns one :class:`Interner` (so repeated runs share the
+    memoized normal forms) and one compiled-plan cache keyed on the
+    program, per optimization setting.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline | None = None,
+        interner: Interner | None = None,
+    ) -> None:
+        self.pipeline = pipeline if pipeline is not None else default_pipeline()
+        self.interner = interner if interner is not None else Interner()
+        self.backends: dict[str, Backend] = dict(BACKENDS)
+        self._plans: dict[tuple[Morphism, bool], Plan] = {}
+
+    # -- compilation -------------------------------------------------------
+
+    def compile(self, program: Morphism, optimize: bool = True) -> Plan:
+        """The (cached) compiled plan for *program*."""
+        key = (program, optimize)
+        plan = self._plans.get(key)
+        if plan is None:
+            m = self.pipeline.run(program) if optimize else program
+            plan = compile_plan(m)
+            self._plans[key] = plan
+        return plan
+
+    def explain(self, program: Morphism, input_type: Type | None = None) -> str:
+        """The optimized, compiled (and, given a type, annotated) plan."""
+        plan = self.compile(program)
+        if input_type is not None:
+            plan.infer_types(input_type)
+        return plan.describe()
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        program: Morphism,
+        value: object,
+        *,
+        backend: str = "eager",
+        optimize: bool = True,
+        intern: bool = True,
+    ) -> Value:
+        """Compile *program* and execute it on *value*.
+
+        ``backend`` selects eager or streaming execution; ``optimize``
+        toggles the pass pipeline; ``intern`` routes values through the
+        hash-consing arena (enabling the memoized ``normalize``).
+        """
+        chosen = self._backend(backend)
+        plan = self.compile(program, optimize)
+        concrete = ensure_value(value)
+        interner = self.interner if intern else None
+        if interner is not None:
+            concrete = interner.intern(concrete)
+        result = chosen.execute(plan, concrete, interner)
+        if interner is not None:
+            result = interner.intern(result)
+        return result
+
+    def possibilities(
+        self,
+        program: Morphism,
+        value: object,
+        *,
+        backend: str = "eager",
+        optimize: bool = True,
+        intern: bool = True,
+    ) -> Iterator[Value]:
+        """Lazily stream the conceptual values of ``run(program, value)``."""
+        chosen = self._backend(backend)
+        plan = self.compile(program, optimize)
+        interner = self.interner if intern else None
+        concrete = ensure_value(value)
+        if interner is not None:
+            concrete = interner.intern(concrete)
+        return chosen.possibilities(plan, concrete, interner)
+
+    def _backend(self, name: str) -> Backend:
+        try:
+            return self.backends[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {name!r} (have: {', '.join(sorted(self.backends))})"
+            ) from None
+
+    def clear_caches(self) -> None:
+        """Drop compiled plans and the value arena."""
+        self._plans.clear()
+        self.interner.clear()
+
+
+#: The module-level engine behind :func:`run` — shared so the REPL, the
+#: I/O helpers and library callers benefit from one another's caches.
+DEFAULT_ENGINE = Engine()
+
+
+def run(program: Morphism, value: object, **options) -> Value:
+    """Run *program* on *value* through the default engine."""
+    return DEFAULT_ENGINE.run(program, value, **options)
+
+
+def compile_program(program: Morphism, optimize: bool = True) -> Plan:
+    """Compile (and optionally optimize) through the default engine."""
+    return DEFAULT_ENGINE.compile(program, optimize)
+
+
+def explain(program: Morphism, input_type: Type | None = None) -> str:
+    """Describe the default engine's plan for *program*."""
+    return DEFAULT_ENGINE.explain(program, input_type)

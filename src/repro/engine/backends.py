@@ -1,0 +1,214 @@
+"""Execution backends for compiled plans.
+
+Two strategies share the plan IR:
+
+* :class:`EagerBackend` binds the plan to nested closures (see
+  :meth:`repro.engine.plan.Plan.bind`) and runs them directly — the same
+  semantics as the recursive interpreter, minus the per-composition
+  interpretive overhead, plus the interner's memoized ``normalize``
+  leaves when an arena is supplied.
+
+* :class:`StreamingBackend` threads *lazy* collections through the
+  top-level spine of the plan in the style of :mod:`repro.core.lazy`:
+  ``map``/``mu``/coercion stages over sets, or-sets and bags pass
+  generators along instead of materializing (sorting, deduplicating) a
+  canonical collection between every stage.  Only the final result — and
+  any intermediate consumed by a non-streamable operator — is
+  materialized, so a chain like ``map(f) o mu o map(g)`` canonicalizes
+  once instead of three times.  Results are structurally identical to
+  the eager backend's.
+
+Both backends also expose :meth:`Backend.possibilities`, the lazy
+conceptual-value stream of a program's output (built directly on
+:func:`repro.core.lazy.iter_possibilities`), which is how existential
+queries short-circuit without producing a whole normal form.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import OrNRATypeError
+from repro.lang.bag_ops import BagMu, BagToSet, BagUnique, SetToBag
+from repro.lang.orset_ops import OrMu, OrToSet, SetToOr
+from repro.lang.set_ops import SetMu
+from repro.values.values import (
+    BagValue,
+    OrSetValue,
+    SetValue,
+    Value,
+)
+
+from repro.engine.interning import Interner
+from repro.engine.plan import MAP_KINDS, Plan
+
+__all__ = ["Backend", "EagerBackend", "StreamingBackend", "BACKENDS"]
+
+
+class Backend:
+    """Interface: execute a compiled plan on a value."""
+
+    name = "abstract"
+
+    def execute(self, plan: Plan, value: Value, interner: Interner | None = None) -> Value:
+        raise NotImplementedError
+
+    def possibilities(
+        self, plan: Plan, value: Value, interner: Interner | None = None
+    ) -> Iterator[Value]:
+        """Stream the conceptual values of the program's output lazily."""
+        from repro.core.lazy import iter_possibilities
+
+        return iter_possibilities(self.execute(plan, value, interner))
+
+
+class EagerBackend(Backend):
+    """Closure-compiled execution with the original eager semantics."""
+
+    name = "eager"
+
+    def execute(self, plan: Plan, value: Value, interner: Interner | None = None) -> Value:
+        if interner is None:
+            return plan.bind()(value)
+        return plan.bind(interner.leaf_apply, cache_key=("interned", id(interner)))(value)
+
+
+# -- streaming ---------------------------------------------------------------
+
+_KIND_OF = {SetValue: "set", OrSetValue: "orset", BagValue: "bag"}
+_WRAPPER_OF = {"set": SetValue, "orset": OrSetValue, "bag": BagValue}
+
+# kind-changing coercions that stream (input kind -> output kind).
+_RETAG: dict[type, tuple[str, str, str]] = {
+    OrToSet: ("orset", "set", "ortoset expects an or-set"),
+    SetToOr: ("set", "orset", "settoor expects a set"),
+    BagToSet: ("bag", "set", "bagtoset expects a bag"),
+    SetToBag: ("set", "bag", "settobag expects a set"),
+}
+
+_MU: dict[type, tuple[str, str]] = {
+    SetMu: ("set", "mu expects a set of sets"),
+    OrMu: ("orset", "or_mu expects an or-set of or-sets"),
+    BagMu: ("bag", "b_mu expects a bag of bags"),
+}
+
+
+class _Stream:
+    """A lazily produced collection: kind tag plus an element iterator."""
+
+    __slots__ = ("kind", "elems")
+
+    def __init__(self, kind: str, elems: Iterator[Value]) -> None:
+        self.kind = kind
+        self.elems = elems
+
+
+def _materialize(x: "Value | _Stream") -> Value:
+    if isinstance(x, _Stream):
+        return _WRAPPER_OF[x.kind](x.elems)
+    return x
+
+
+def _dedup(elems: Iterator[Value]) -> Iterator[Value]:
+    """Yield each distinct element once, keeping first occurrences."""
+    seen: set[Value] = set()
+    for e in elems:
+        if e not in seen:
+            seen.add(e)
+            yield e
+
+
+def _as_stream(x: "Value | _Stream", kind: str, error: str) -> _Stream:
+    if isinstance(x, _Stream):
+        if x.kind != kind:
+            raise OrNRATypeError(f"{error}, got {_materialize(x)!r}")
+        return x
+    wrapper = _WRAPPER_OF[kind]
+    if not isinstance(x, wrapper):
+        raise OrNRATypeError(f"{error}, got {x!r}")
+    return _Stream(kind, iter(x.elems))
+
+
+class StreamingBackend(Backend):
+    """Lazy element flow along the plan's top-level collection spine."""
+
+    name = "streaming"
+
+    def execute(self, plan: Plan, value: Value, interner: Interner | None = None) -> Value:
+        leaf = interner.leaf_apply if interner is not None else None
+        result = self._eval(plan, plan.root, value, leaf, {})
+        return _materialize(result)
+
+    def _eval(
+        self,
+        plan: Plan,
+        idx: int,
+        value: "Value | _Stream",
+        leaf: Callable | None,
+        bound: dict[int, Callable[[Value], Value]],
+    ) -> "Value | _Stream":
+        node = plan.nodes[idx]
+        op = node.op
+        if op == "id":
+            return value
+        if op == "chain":
+            for kid in node.kids:
+                value = self._eval(plan, kid, value, leaf, bound)
+            return value
+        if op == "map":
+            kind, _wrapper, _tw, noun = MAP_KINDS[type(node.source)]
+            stream = _as_stream(value, kind, noun)
+            body = node.kids[0]
+
+            def mapped(elems=stream.elems, body=body):
+                for e in elems:
+                    yield _materialize(self._eval(plan, body, e, leaf, bound))
+
+            return _Stream(kind, mapped())
+        source_cls = type(node.source)
+        if op == "leaf" and source_cls in _MU:
+            kind, noun = _MU[source_cls]
+            stream = _as_stream(value, kind, noun)
+            wrapper = _WRAPPER_OF[kind]
+
+            def flattened(elems=stream.elems, wrapper=wrapper, noun=noun):
+                for inner in elems:
+                    if not isinstance(inner, wrapper):
+                        raise OrNRATypeError(f"{noun}, got element {inner!r}")
+                    yield from inner.elems
+
+            return _Stream(kind, flattened())
+        if op == "leaf" and source_cls in _RETAG:
+            kind_in, kind_out, noun = _RETAG[source_cls]
+            stream = _as_stream(value, kind_in, noun)
+            elems = stream.elems
+            if kind_out == "bag" and kind_in != "bag":
+                # A set/or-set-kinded stream may carry transient
+                # duplicates (canonicalization is deferred); they must
+                # not become observable bag multiplicities.
+                elems = _dedup(elems)
+            return _Stream(kind_out, elems)
+        if op == "leaf" and source_cls is BagUnique:
+            stream = _as_stream(value, "bag", "unique expects a bag")
+            return _Stream("bag", _dedup(stream.elems))
+        # Anything else: materialize and fall back to the eager node,
+        # binding each node's closure once per execution (`bound`), not
+        # once per element flowing through a surrounding map.
+        concrete = _materialize(value)
+        fn = bound.get(idx)
+        if fn is None:
+            fn = Plan._build_node(
+                node,
+                lambda k: (
+                    lambda v: _materialize(self._eval(plan, k, v, leaf, bound))
+                ),
+                leaf,
+            )
+            bound[idx] = fn
+        return fn(concrete)
+
+
+BACKENDS: dict[str, Backend] = {
+    "eager": EagerBackend(),
+    "streaming": StreamingBackend(),
+}

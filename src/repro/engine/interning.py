@@ -1,0 +1,157 @@
+"""The value arena: hash-consing, cached sort keys, memoized normalize.
+
+Every :class:`~repro.values.values.Value` is immutable, so structurally
+equal values are interchangeable — but the direct interpreter happily
+builds millions of distinct-but-equal objects, re-deriving the canonical
+sort order (and, worse, the normal form) for each copy.  The
+:class:`Interner` fixes that at the runtime layer:
+
+* :meth:`Interner.intern` hash-conses a value: structurally equal values
+  come back as the *same* object, rebuilt bottom-up so all shared
+  substructure is shared physically too;
+* the arena registers each interned object's canonical sort key in the
+  :func:`repro.values.values.sort_key` cache (safe because the arena
+  keeps the object alive, so its ``id`` can never be reused), which
+  makes re-canonicalization of collections containing interned elements
+  an O(1) dictionary hit instead of a recursive descent;
+* :meth:`Interner.normalize` memoizes :func:`repro.core.normalize.normalize`
+  keyed on the interned object's *identity* (plus the declared type), so
+  repeated normalization of the same object — the dominant cost in
+  possible-worlds workloads — is computed once.
+
+The arena holds strong references by design (identity-keyed caches
+require it); call :meth:`Interner.clear` to release everything.
+"""
+
+from __future__ import annotations
+
+from repro.types.kinds import Type
+from repro.values.values import (
+    Atom,
+    BagValue,
+    OrSetValue,
+    Pair,
+    SetValue,
+    UnitValue,
+    Value,
+    Variant,
+    sort_key,
+    use_sort_key_cache,
+)
+
+__all__ = ["Interner"]
+
+
+class Interner:
+    """A hash-consing arena with identity-keyed derived-result caches."""
+
+    def __init__(self) -> None:
+        self._arena: dict[Value, Value] = {}
+        self._sort_keys: dict[int, tuple] = {}
+        self._normal_forms: dict[tuple[int, Type | None], Value] = {}
+        self.hits = 0
+        self.misses = 0
+        self.normalize_hits = 0
+        self.normalize_misses = 0
+
+    # -- hash-consing ------------------------------------------------------
+
+    def intern(self, value: Value) -> Value:
+        """The canonical physical object structurally equal to *value*."""
+        with use_sort_key_cache(self._sort_keys):
+            return self._intern(value)
+
+    def _intern(self, value: Value) -> Value:
+        canon = self._arena.get(value)
+        if canon is not None:
+            self.hits += 1
+            return canon
+        self.misses += 1
+        canon = self._rebuild(value)
+        self._arena[canon] = canon
+        # The arena pins `canon`, so caching by id() is sound.
+        self._sort_keys[id(canon)] = sort_key(canon)
+        return canon
+
+    def _rebuild(self, value: Value) -> Value:
+        if isinstance(value, (Atom, UnitValue)):
+            return value
+        if isinstance(value, Pair):
+            return Pair(self._intern(value.fst), self._intern(value.snd))
+        if isinstance(value, Variant):
+            return Variant(value.side, self._intern(value.payload))
+        if isinstance(value, SetValue):
+            return SetValue(self._intern(e) for e in value.elems)
+        if isinstance(value, OrSetValue):
+            return OrSetValue(self._intern(e) for e in value.elems)
+        if isinstance(value, BagValue):
+            return BagValue(self._intern(e) for e in value.elems)
+        return value
+
+    def is_interned(self, value: Value) -> bool:
+        """Is *value* (this exact object) the arena's canonical copy?"""
+        return self._arena.get(value) is value
+
+    # -- derived results ---------------------------------------------------
+
+    def sort_key(self, value: Value) -> tuple:
+        """The canonical sort key, cached on the interned identity."""
+        canon = self.intern(value)
+        return self._sort_keys[id(canon)]
+
+    def normalize(self, value: Value, value_type: Type | None = None) -> Value:
+        """Memoized :func:`repro.core.normalize.normalize`.
+
+        The key is the *identity* of the interned input (plus the
+        declared type), so equal inputs share one normalization no matter
+        how many structurally distinct copies the caller holds.
+        """
+        from repro.core.normalize import normalize as _normalize
+
+        canon = self.intern(value)
+        key = (id(canon), value_type)
+        cached = self._normal_forms.get(key)
+        if cached is not None:
+            self.normalize_hits += 1
+            return cached
+        self.normalize_misses += 1
+        with use_sort_key_cache(self._sort_keys):
+            result = self._intern(_normalize(canon, value_type))
+        self._normal_forms[key] = result
+        return result
+
+    # -- plan integration --------------------------------------------------
+
+    def leaf_apply(self, m):
+        """Leaf executor for :meth:`repro.engine.plan.Plan.bind`.
+
+        ``normalize`` leaves run through the memo table; every other leaf
+        keeps its direct ``apply``.
+        """
+        from repro.core.normalize import Normalize
+
+        if isinstance(m, Normalize):
+            declared = m.input_type
+            return lambda v: self.normalize(v, declared)
+        return m.apply
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Arena and cache counters (for benchmarks and diagnostics)."""
+        return {
+            "arena_size": len(self._arena),
+            "intern_hits": self.hits,
+            "intern_misses": self.misses,
+            "normalize_hits": self.normalize_hits,
+            "normalize_misses": self.normalize_misses,
+        }
+
+    def clear(self) -> None:
+        """Drop the arena and every derived-result cache."""
+        self._arena.clear()
+        self._sort_keys.clear()
+        self._normal_forms.clear()
+
+    def __len__(self) -> int:
+        return len(self._arena)

@@ -1,0 +1,542 @@
+"""The pass-based optimizer: composable, toggleable rewrite passes.
+
+This re-homes the equational rewriter that used to be hard-coded in
+:mod:`repro.lang.optimize` as a pipeline of named :class:`Pass` objects,
+each a small group of oriented rewrite rules (a semantic identity on
+well-typed inputs, oriented toward the cheaper side).  Passes can be run
+individually (each is unit-testable on its own), toggled out of a
+pipeline, or extended with new rules without touching the driver.
+
+The default pipeline (:data:`DEFAULT_PASSES`) contains exactly the
+equations of the paper's Section 7 optimizer — category laws, monad laws
+for the three collection monads and the Theorem 4.2 coherence-diagram
+equations — plus three new groups:
+
+* ``projection`` additionally performs *dead-projection elimination*:
+  ``pi_i o ((f, g) o h)`` drops the unused pair component even when the
+  pairing is buried inside a composition chain;
+* ``conditionals`` folds constant predicates, collapses equal branches
+  and factors a common composition suffix out of both branches;
+* ``normalize`` knows the or-set rewrites of :mod:`repro.core.normalize`:
+  composing ``normalize`` after one of its own value transformers
+  (``or_mu``, ``or_rho_2``) is just ``normalize``, ``normalize`` is
+  idempotent, and the ``ortoset``/``settoor`` round trip is the identity.
+
+:data:`COND_PUSHDOWN` is provided but *not* in the default pipeline: it
+duplicates the pushed composition into all three branches, so it can
+grow the static operator count (the default pipeline guarantees
+``cost(optimize(m)) <= cost(m)``); enable it explicitly when a later
+fusion pass profits from the exposed redexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.normalize import Normalize
+from repro.lang.bag_ops import AlphaD, BagEta, BagMu, DMap
+from repro.lang.morphisms import (
+    Bang,
+    Compose,
+    Cond,
+    Const,
+    Id,
+    Morphism,
+    PairOf,
+    Proj1,
+    Proj2,
+)
+from repro.lang.orset_ops import (
+    Alpha,
+    OrEta,
+    OrMap,
+    OrMu,
+    OrRho2,
+    OrToSet,
+    SetToOr,
+)
+from repro.lang.set_ops import SetEta, SetMap, SetMu
+from repro.lang.variant_ops import Case, InjectLeft, InjectRight
+
+__all__ = [
+    "Pass",
+    "Pipeline",
+    "DEFAULT_PASSES",
+    "COND_PUSHDOWN",
+    "default_pipeline",
+    "optimize_morphism",
+    "morphism_cost",
+    "rebuild",
+]
+
+# (map-combinator, eta, mu) triples for the three collection monads.
+_MONADS = (
+    (SetMap, SetEta, SetMu),
+    (OrMap, OrEta, OrMu),
+    (DMap, BagEta, BagMu),
+)
+
+Rule = Callable[[Morphism], "Morphism | None"]
+
+
+def rebuild(m: Morphism, kids: tuple[Morphism, ...]) -> Morphism:
+    """Reconstruct *m* with new children (same class, same other state)."""
+    if isinstance(m, Compose):
+        return Compose(kids[0], kids[1])
+    if isinstance(m, PairOf):
+        return PairOf(kids[0], kids[1])
+    if isinstance(m, Cond):
+        return Cond(kids[0], kids[1], kids[2])
+    if isinstance(m, Case):
+        return Case(kids[0], kids[1])
+    for map_cls, _eta, _mu in _MONADS:
+        if isinstance(m, map_cls):
+            return map_cls(kids[0])
+    raise TypeError(f"cannot rebuild {m!r} with children")
+
+
+# ---------------------------------------------------------------------------
+# Rules (each returns the rewritten morphism, or None when it does not apply)
+# ---------------------------------------------------------------------------
+
+
+def _rule_assoc_right(m: Morphism) -> Morphism | None:
+    # (f o g) o h -> f o (g o h): canonical right-nesting so that the
+    # binary composition rules see adjacent operators.
+    if isinstance(m, Compose) and isinstance(m.after, Compose):
+        return Compose(m.after.after, Compose(m.after.before, m.before))
+    return None
+
+
+def _rule_compose_id(m: Morphism) -> Morphism | None:
+    if isinstance(m, Compose):
+        if isinstance(m.after, Id):
+            return m.before
+        if isinstance(m.before, Id):
+            return m.after
+    return None
+
+
+def _rule_proj_pair(m: Morphism) -> Morphism | None:
+    if isinstance(m, Compose) and isinstance(m.before, PairOf):
+        if isinstance(m.after, Proj1):
+            return m.before.left
+        if isinstance(m.after, Proj2):
+            return m.before.right
+    return None
+
+
+def _rule_dead_projection(m: Morphism) -> Morphism | None:
+    # pi_i o ((f, g) o h) -> f_or_g o h: the pairing buried inside a
+    # right-nested chain is dead on the unused side.
+    if not (
+        isinstance(m, Compose)
+        and isinstance(m.after, (Proj1, Proj2))
+        and isinstance(m.before, Compose)
+        and isinstance(m.before.after, PairOf)
+    ):
+        return None
+    pairing = m.before.after
+    kept = pairing.left if isinstance(m.after, Proj1) else pairing.right
+    return Compose(kept, m.before.before)
+
+
+def _rule_pair_of_projections(m: Morphism) -> Morphism | None:
+    if (
+        isinstance(m, PairOf)
+        and isinstance(m.left, Proj1)
+        and isinstance(m.right, Proj2)
+    ):
+        return Id()
+    return None
+
+
+def _rule_bang_absorbs(m: Morphism) -> Morphism | None:
+    if isinstance(m, Compose) and isinstance(m.after, Bang):
+        if not isinstance(m.before, Id):
+            return Bang()
+    return None
+
+
+def _rule_map_id(m: Morphism) -> Morphism | None:
+    for map_cls, _eta, _mu in _MONADS:
+        if isinstance(m, map_cls) and isinstance(m.body, Id):
+            return Id()
+    return None
+
+
+def _rule_map_fusion(m: Morphism) -> Morphism | None:
+    if not isinstance(m, Compose):
+        return None
+    for map_cls, _eta, _mu in _MONADS:
+        if isinstance(m.after, map_cls) and isinstance(m.before, map_cls):
+            return map_cls(Compose(m.after.body, m.before.body))
+    return None
+
+
+def _rule_mu_eta(m: Morphism) -> Morphism | None:
+    if not isinstance(m, Compose):
+        return None
+    for map_cls, eta_cls, mu_cls in _MONADS:
+        if isinstance(m.after, mu_cls):
+            # mu o eta = id
+            if isinstance(m.before, eta_cls):
+                return Id()
+            # mu o map(eta) = id
+            if isinstance(m.before, map_cls) and isinstance(m.before.body, eta_cls):
+                return Id()
+    return None
+
+
+def _rule_map_after_eta(m: Morphism) -> Morphism | None:
+    if not isinstance(m, Compose):
+        return None
+    for map_cls, eta_cls, _mu in _MONADS:
+        if isinstance(m.after, map_cls) and isinstance(m.before, eta_cls):
+            return Compose(eta_cls(), m.after.body)
+    return None
+
+
+def _rule_mu_naturality(m: Morphism) -> Morphism | None:
+    # mu o map(map(f))  ->  map(f) o mu  (one traversal less)
+    if not isinstance(m, Compose):
+        return None
+    for map_cls, _eta, mu_cls in _MONADS:
+        if (
+            isinstance(m.after, mu_cls)
+            and isinstance(m.before, map_cls)
+            and isinstance(m.before.body, map_cls)
+        ):
+            return Compose(map_cls(m.before.body.body), mu_cls())
+    return None
+
+
+def _rule_alpha_diagram(m: Morphism) -> Morphism | None:
+    # ormap(map(f)) o alpha  ->  alpha o map(ormap(f))       (Theorem 4.2)
+    # ormap(dmap(f)) o alpha_d -> alpha_d o dmap(ormap(f))
+    if not (isinstance(m, Compose) and isinstance(m.after, OrMap)):
+        return None
+    body = m.after.body
+    if isinstance(m.before, Alpha) and isinstance(body, SetMap):
+        return Compose(Alpha(), SetMap(OrMap(body.body)))
+    if isinstance(m.before, AlphaD) and isinstance(body, DMap):
+        return Compose(AlphaD(), DMap(OrMap(body.body)))
+    return None
+
+
+def _factors_through_proj1(m: Morphism) -> bool:
+    """Is *m* of the shape ``h o pi_1`` (under right-nested composition)?"""
+    if isinstance(m, Proj1):
+        return True
+    return isinstance(m, Compose) and _factors_through_proj1(m.before)
+
+
+def _rule_or_mu_diagram(m: Morphism) -> Morphism | None:
+    # ormap((f o pi_1, pi_2)) o or_rho_2  ->  or_rho_2 o (f o pi_1, pi_2)
+    if not (isinstance(m, Compose) and isinstance(m.before, OrRho2)):
+        return None
+    if not isinstance(m.after, OrMap):
+        return None
+    body = m.after.body
+    if (
+        isinstance(body, PairOf)
+        and isinstance(body.right, Proj2)
+        and _factors_through_proj1(body.left)
+    ):
+        return Compose(OrRho2(), body)
+    return None
+
+
+def _rule_rho_eta(m: Morphism) -> Morphism | None:
+    # or_rho_2 o (f, or_eta o g)  ->  or_eta o (f, g):  pairing with a
+    # singleton or-set is conceptually just pairing.  (Dually for sets.)
+    from repro.lang.set_ops import SetRho2
+
+    if not (isinstance(m, Compose) and isinstance(m.before, PairOf)):
+        return None
+    right = m.before.right
+    if isinstance(m.after, OrRho2):
+        if isinstance(right, OrEta):
+            return Compose(OrEta(), PairOf(m.before.left, Id()))
+        if isinstance(right, Compose) and isinstance(right.after, OrEta):
+            return Compose(OrEta(), PairOf(m.before.left, right.before))
+    if isinstance(m.after, SetRho2):
+        if isinstance(right, SetEta):
+            return Compose(SetEta(), PairOf(m.before.left, Id()))
+        if isinstance(right, Compose) and isinstance(right.after, SetEta):
+            return Compose(SetEta(), PairOf(m.before.left, right.before))
+    return None
+
+
+def _rule_case_eta(m: Morphism) -> Morphism | None:
+    # case(f, g) o inl = f  (and dually for inr): case with a known tag.
+    if isinstance(m, Compose) and isinstance(m.after, Case):
+        if isinstance(m.before, InjectLeft):
+            return m.after.on_left
+        if isinstance(m.before, InjectRight):
+            return m.after.on_right
+    return None
+
+
+def _rule_cond_same_branches(m: Morphism) -> Morphism | None:
+    if isinstance(m, Cond) and m.then == m.orelse:
+        return m.then
+    return None
+
+
+def _constant_bool(m: Morphism) -> bool | None:
+    """The boolean *m* always returns, if statically known (K b [o !])."""
+    if isinstance(m, Compose) and isinstance(m.before, Bang):
+        m = m.after
+    if isinstance(m, Const) and m.value.base == "bool":
+        return bool(m.value.value)
+    return None
+
+
+def _rule_cond_const_pred(m: Morphism) -> Morphism | None:
+    # cond(K true o !, t, f) -> t  (and dually for a constant-false test).
+    if not isinstance(m, Cond):
+        return None
+    verdict = _constant_bool(m.pred)
+    if verdict is None:
+        return None
+    return m.then if verdict else m.orelse
+
+
+def _rule_cond_factor_suffix(m: Morphism) -> Morphism | None:
+    # cond(p, f o t, f o e) -> f o cond(p, t, e): both branches end in the
+    # same post-processing, so apply it once outside the conditional.
+    if not (
+        isinstance(m, Cond)
+        and isinstance(m.then, Compose)
+        and isinstance(m.orelse, Compose)
+        and m.then.after == m.orelse.after
+    ):
+        return None
+    return Compose(m.then.after, Cond(m.pred, m.then.before, m.orelse.before))
+
+
+def _rule_cond_pushdown(m: Morphism) -> Morphism | None:
+    # cond(p, t, f) o g -> cond(p o g, t o g, f o g): push a pre-step into
+    # the predicate and both branches.  Semantics-preserving but triples
+    # the occurrences of g, hence not in the default pipeline.
+    if isinstance(m, Compose) and isinstance(m.after, Cond):
+        c, g = m.after, m.before
+        return Cond(
+            Compose(c.pred, g), Compose(c.then, g), Compose(c.orelse, g)
+        )
+    return None
+
+
+_NORMALIZE_ABSORBED = (OrMu, OrRho2)
+
+
+def _rule_normalize_absorbs_transformer(m: Morphism) -> Morphism | None:
+    # normalize o or_mu = normalize   /   normalize o or_rho_2 = normalize:
+    # the inner combinator is one of normalization's own value
+    # transformers, so by coherence (Theorem 4.2) running it first cannot
+    # change the normal form.  Only fires for the type-agnostic normalize
+    # (a declared input type would no longer match the new input).
+    if not (
+        isinstance(m, Compose)
+        and isinstance(m.after, Normalize)
+        and m.after.input_type is None
+        and isinstance(m.before, _NORMALIZE_ABSORBED)
+    ):
+        return None
+    return m.after
+
+
+def _rule_normalize_idempotent(m: Morphism) -> Morphism | None:
+    # normalize o normalize = normalize: a normal form has no redexes.
+    if (
+        isinstance(m, Compose)
+        and isinstance(m.after, Normalize)
+        and m.after.input_type is None
+        and isinstance(m.before, Normalize)
+    ):
+        return m.before
+    return None
+
+
+def _rule_orset_set_roundtrip(m: Morphism) -> Morphism | None:
+    # ortoset o settoor = id  and  settoor o ortoset = id: the two
+    # coercions are mutually inverse bijections on the carrier.
+    if not isinstance(m, Compose):
+        return None
+    if isinstance(m.after, OrToSet) and isinstance(m.before, SetToOr):
+        return Id()
+    if isinstance(m.after, SetToOr) and isinstance(m.before, OrToSet):
+        return Id()
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Passes and pipelines
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Pass:
+    """A named, independently runnable group of rewrite rules."""
+
+    name: str
+    rules: tuple[Rule, ...]
+    doc: str = ""
+
+    def apply_at_root(self, m: Morphism) -> tuple[Morphism, str] | None:
+        """Try each rule at the root; the first hit wins."""
+        for rule in self.rules:
+            out = rule(m)
+            if out is not None and out != m:
+                return out, rule.__name__.removeprefix("_rule_")
+        return None
+
+    def run(self, m: Morphism, max_passes: int = 50) -> Morphism:
+        """Run just this pass (with canonical right-nesting) to fixpoint."""
+        return Pipeline((CANONICALIZE, self)).run(m, max_passes=max_passes)
+
+
+CANONICALIZE = Pass(
+    "canonicalize",
+    (_rule_assoc_right,),
+    "right-nest compositions so binary rules see adjacent operators",
+)
+IDENTITY_ELIMINATION = Pass(
+    "identity",
+    (_rule_compose_id, _rule_map_id),
+    "category identity laws and map(id) = id",
+)
+PROJECTION = Pass(
+    "projection",
+    (
+        _rule_proj_pair,
+        _rule_dead_projection,
+        _rule_pair_of_projections,
+        _rule_bang_absorbs,
+    ),
+    "projection/pairing laws and dead-projection elimination",
+)
+MAP_FUSION = Pass(
+    "fusion",
+    (_rule_map_fusion,),
+    "map(f) o map(g) = map(f o g) for all three monads",
+)
+MONAD_LAWS = Pass(
+    "monad",
+    (_rule_mu_eta, _rule_map_after_eta, _rule_mu_naturality),
+    "unit and naturality laws of the collection monads",
+)
+INTERACTION = Pass(
+    "interaction",
+    (_rule_alpha_diagram, _rule_or_mu_diagram, _rule_rho_eta),
+    "Theorem 4.2 coherence-diagram equations",
+)
+VARIANTS = Pass(
+    "variants",
+    (_rule_case_eta,),
+    "case over a known injection",
+)
+CONDITIONALS = Pass(
+    "conditionals",
+    (_rule_cond_same_branches, _rule_cond_const_pred, _rule_cond_factor_suffix),
+    "conditional folding and common-suffix factoring",
+)
+NORMALIZE_AWARE = Pass(
+    "normalize",
+    (
+        _rule_normalize_absorbs_transformer,
+        _rule_normalize_idempotent,
+        _rule_orset_set_roundtrip,
+    ),
+    "or-set rewrites around the normalize primitive",
+)
+COND_PUSHDOWN = Pass(
+    "cond-pushdown",
+    (_rule_cond_pushdown,),
+    "push a composition into conditional branches (may grow the plan)",
+)
+
+DEFAULT_PASSES: tuple[Pass, ...] = (
+    CANONICALIZE,
+    IDENTITY_ELIMINATION,
+    PROJECTION,
+    MAP_FUSION,
+    MONAD_LAWS,
+    INTERACTION,
+    VARIANTS,
+    CONDITIONALS,
+    NORMALIZE_AWARE,
+)
+
+
+class Pipeline:
+    """An ordered collection of passes run to a joint fixpoint.
+
+    The driver is the same terminating bottom-up strategy the old
+    monolithic optimizer used: rewrite children first, then retry every
+    pass's rules at the node until none fires.  ``fired`` records the
+    rule names applied during the last :meth:`run` (diagnostics and the
+    ablation benchmark read it).
+    """
+
+    def __init__(self, passes: Iterable[Pass] = DEFAULT_PASSES) -> None:
+        self.passes: tuple[Pass, ...] = tuple(passes)
+        self.fired: list[str] = []
+
+    def without(self, *names: str) -> "Pipeline":
+        """A copy of this pipeline with the named passes disabled."""
+        return Pipeline(p for p in self.passes if p.name not in names)
+
+    def with_pass(self, extra: Pass) -> "Pipeline":
+        """A copy of this pipeline with *extra* appended."""
+        return Pipeline((*self.passes, extra))
+
+    def rewrite_once(self, m: Morphism) -> Morphism:
+        """One bottom-up sweep: children first, then root rules to quiescence."""
+        kids = m.children()
+        if kids:
+            new_kids = tuple(self.rewrite_once(k) for k in kids)
+            if new_kids != kids:
+                m = rebuild(m, new_kids)
+        changed = True
+        while changed:
+            changed = False
+            for pipeline_pass in self.passes:
+                hit = pipeline_pass.apply_at_root(m)
+                if hit is not None:
+                    m, rule_name = hit
+                    self.fired.append(rule_name)
+                    changed = True
+                    break
+        return m
+
+    def run(self, m: Morphism, max_passes: int = 50) -> Morphism:
+        """Rewrite *m* to a fixpoint of all passes."""
+        self.fired = []
+        for _ in range(max_passes):
+            out = self.rewrite_once(m)
+            if out == m:
+                return out
+            m = out
+        return m
+
+
+def default_pipeline() -> Pipeline:
+    """A fresh pipeline with the default pass set."""
+    return Pipeline(DEFAULT_PASSES)
+
+
+def optimize_morphism(
+    m: Morphism, pipeline: Pipeline | None = None, max_passes: int = 50
+) -> Morphism:
+    """Optimize *m* with *pipeline* (default pipeline when omitted)."""
+    if pipeline is None:
+        pipeline = Pipeline(DEFAULT_PASSES)
+    return pipeline.run(m, max_passes=max_passes)
+
+
+def morphism_cost(m: Morphism) -> int:
+    """Static operator count (nodes in the morphism AST)."""
+    return 1 + sum(morphism_cost(k) for k in m.children())

@@ -41,6 +41,8 @@ __all__ = [
     "loads_type",
     "value_to_text",
     "value_from_text",
+    "run_text",
+    "run_json",
 ]
 
 
@@ -118,3 +120,45 @@ def value_from_text(text: str) -> Value:
     from repro.lang.parser import parse_value
 
     return parse_value(text)
+
+
+def run_text(morphism_text: str, value_text: str, backend: str = "eager") -> str:
+    """Parse, compile and run a query; both sides in the paper notation.
+
+    The batch-mode counterpart of the REPL's ``apply``: the program goes
+    through the engine (optimizer passes, plan compilation), so repeated
+    calls share compiled plans.  Values are *not* interned — these
+    helpers serve arbitrary one-shot inputs, and the default engine's
+    arena pins everything it interns for the process lifetime.
+
+    >>> run_text("ormap(map(pi_1)) o alpha", "{<(1, 2), (3, 4)>}")
+    '<{1}, {3}>'
+    """
+    from repro.engine import run
+    from repro.lang.parser import parse_morphism, parse_value
+
+    result = run(
+        parse_morphism(morphism_text),
+        parse_value(value_text),
+        backend=backend,
+        intern=False,
+    )
+    return format_value(result)
+
+
+def run_json(morphism_text: str, value_json: object, backend: str = "eager") -> object:
+    """Run a query over the JSON value encoding (interchange endpoint).
+
+    The program is given in the surface syntax, the input and output in
+    the :func:`value_to_json` structure.
+    """
+    from repro.engine import run
+    from repro.lang.parser import parse_morphism
+
+    result = run(
+        parse_morphism(morphism_text),
+        value_from_json(value_json),
+        backend=backend,
+        intern=False,
+    )
+    return value_to_json(result)

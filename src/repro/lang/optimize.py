@@ -3,318 +3,61 @@
 The conclusion observes that combining the collection monads "gives rise
 to interesting equational theories which can lead to useful optimizations.
 In addition to the monad equations of [5], every diagram in the proof of
-Theorem 4.2 gives rise to a new equation."  This module implements that
-optimizer: a terminating bottom-up rewriter over morphism ASTs whose rules
-are exactly those equations, oriented toward the cheaper side.
+Theorem 4.2 gives rise to a new equation."
 
-Rule groups (each is a semantic identity on well-typed inputs):
+The rewrite rules themselves now live in :mod:`repro.engine.passes` as
+composable, individually toggleable optimizer passes (category laws,
+monad laws, the Theorem 4.2 coherence-diagram equations, conditional
+folding and normalize-aware or-set rewrites); this module keeps the
+original convenience API on top of the default pipeline:
 
-**Category laws**::
+* :func:`optimize` — rewrite to a fixpoint of the default passes;
+* :func:`optimize_once` — a single bottom-up sweep;
+* :func:`cost` — the static operator count (used by the never-grows
+  property test and the ablation benchmark);
+* :func:`equations_applied` — names of the rules that fire (diagnostics).
 
-    f o id = f            id o f = f
-    pi_1 o (f, g) = f     pi_2 o (f, g) = g
-    (pi_1, pi_2) = id     ! o f = !
-    (f, g) o h = (f o h, g o h)   -- NOT used: duplicates h; the reverse
-                                     (shared-subexpression) direction is.
-
-**Monad laws** (for each of the three collection monads)::
-
-    mu o eta = id                 mu o map(eta) = id
-    map(id) = id                  map(f) o map(g) = map(f o g)
-    map(f) o eta = eta o f        mu o map(map(f)) = map(f) o mu
-
-**Coherence-diagram equations** (Theorem 4.2's commuting squares,
-oriented to push work *before* the exponential interaction operators)::
-
-    ormap(map(f)) o alpha     = alpha o map(ormap(f))
-    ormap(dmap(f)) o alpha_d  = alpha_d o dmap(ormap(f))
-    ormap((f o pi_1, pi_2)) o or_rho_2 = or_rho_2 o (f o pi_1, pi_2)
-    ormap(f) o or_mu          = or_mu o ormap(ormap(f))   [left is cheaper]
-
-The left-hand sides of the alpha equations apply ``f`` once per element of
-every *choice* (exponentially many); the right-hand sides apply ``f`` once
-per element of the *input*.  :func:`optimize` rewrites to a fixpoint;
-:func:`cost` is the static operator count used to prove termination
-locally, and ``benchmarks/bench_optimizer.py`` measures the dynamic win.
+Every rule is oriented toward the cheaper side, so
+``cost(optimize(m)) <= cost(m)``; the dynamic win is measured by
+``benchmarks/bench_optimizer.py`` and ``benchmarks/bench_engine.py``.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.lang.bag_ops import AlphaD, BagEta, BagMu, DMap
-from repro.lang.morphisms import (
-    Bang,
-    Compose,
-    Cond,
-    Id,
-    Morphism,
-    PairOf,
-    Proj1,
-    Proj2,
-)
-from repro.lang.orset_ops import Alpha, OrEta, OrMap, OrMu
-from repro.lang.set_ops import SetEta, SetMap, SetMu
-from repro.lang.variant_ops import Case, InjectLeft, InjectRight
+from repro.lang.morphisms import Morphism
 
 __all__ = ["optimize", "optimize_once", "cost", "equations_applied"]
 
-# (map-combinator, eta, mu) triples for the three collection monads.
-_MONADS = (
-    (SetMap, SetEta, SetMu),
-    (OrMap, OrEta, OrMu),
-    (DMap, BagEta, BagMu),
-)
 
-Rule = Callable[[Morphism], "Morphism | None"]
+def _pipeline():
+    # Imported lazily: repro.engine.passes imports the lang operator
+    # modules, so a module-level import would be circular when this
+    # module is loaded first via `repro.lang`.
+    from repro.engine.passes import default_pipeline
 
-
-def _rule_compose_id(m: Morphism) -> Morphism | None:
-    if isinstance(m, Compose):
-        if isinstance(m.after, Id):
-            return m.before
-        if isinstance(m.before, Id):
-            return m.after
-    return None
-
-
-def _rule_proj_pair(m: Morphism) -> Morphism | None:
-    if isinstance(m, Compose) and isinstance(m.before, PairOf):
-        if isinstance(m.after, Proj1):
-            return m.before.left
-        if isinstance(m.after, Proj2):
-            return m.before.right
-    return None
-
-
-def _rule_pair_of_projections(m: Morphism) -> Morphism | None:
-    if (
-        isinstance(m, PairOf)
-        and isinstance(m.left, Proj1)
-        and isinstance(m.right, Proj2)
-    ):
-        return Id()
-    return None
-
-
-def _rule_bang_absorbs(m: Morphism) -> Morphism | None:
-    if isinstance(m, Compose) and isinstance(m.after, Bang):
-        if not isinstance(m.before, Id):
-            return Bang()
-    return None
-
-
-def _rule_map_id(m: Morphism) -> Morphism | None:
-    for map_cls, _eta, _mu in _MONADS:
-        if isinstance(m, map_cls) and isinstance(m.body, Id):
-            return Id()
-    return None
-
-
-def _rule_map_fusion(m: Morphism) -> Morphism | None:
-    if not isinstance(m, Compose):
-        return None
-    for map_cls, _eta, _mu in _MONADS:
-        if isinstance(m.after, map_cls) and isinstance(m.before, map_cls):
-            return map_cls(Compose(m.after.body, m.before.body))
-    return None
-
-
-def _rule_mu_eta(m: Morphism) -> Morphism | None:
-    if not isinstance(m, Compose):
-        return None
-    for map_cls, eta_cls, mu_cls in _MONADS:
-        if isinstance(m.after, mu_cls):
-            # mu o eta = id
-            if isinstance(m.before, eta_cls):
-                return Id()
-            # mu o map(eta) = id
-            if isinstance(m.before, map_cls) and isinstance(m.before.body, eta_cls):
-                return Id()
-    return None
-
-
-def _rule_map_after_eta(m: Morphism) -> Morphism | None:
-    if not isinstance(m, Compose):
-        return None
-    for map_cls, eta_cls, _mu in _MONADS:
-        if isinstance(m.after, map_cls) and isinstance(m.before, eta_cls):
-            return Compose(eta_cls(), m.after.body)
-    return None
-
-
-def _rule_mu_naturality(m: Morphism) -> Morphism | None:
-    # mu o map(map(f))  ->  map(f) o mu  (one traversal less)
-    if not isinstance(m, Compose):
-        return None
-    for map_cls, _eta, mu_cls in _MONADS:
-        if (
-            isinstance(m.after, mu_cls)
-            and isinstance(m.before, map_cls)
-            and isinstance(m.before.body, map_cls)
-        ):
-            return Compose(map_cls(m.before.body.body), mu_cls())
-    return None
-
-
-def _rule_alpha_diagram(m: Morphism) -> Morphism | None:
-    # ormap(map(f)) o alpha  ->  alpha o map(ormap(f))       (Theorem 4.2)
-    # ormap(dmap(f)) o alpha_d -> alpha_d o dmap(ormap(f))
-    if not (isinstance(m, Compose) and isinstance(m.after, OrMap)):
-        return None
-    body = m.after.body
-    if isinstance(m.before, Alpha) and isinstance(body, SetMap):
-        return Compose(Alpha(), SetMap(OrMap(body.body)))
-    if isinstance(m.before, AlphaD) and isinstance(body, DMap):
-        return Compose(AlphaD(), DMap(OrMap(body.body)))
-    return None
-
-
-def _rule_or_mu_diagram(m: Morphism) -> Morphism | None:
-    # or_mu o ormap(ormap(f)) -> ormap(f) o or_mu  (covered by naturality)
-    # plus the rho square:
-    # ormap((f o pi_1, pi_2)) o or_rho_2  ->  or_rho_2 o (f o pi_1, pi_2)
-    from repro.lang.orset_ops import OrRho2
-
-    if not (isinstance(m, Compose) and isinstance(m.before, OrRho2)):
-        return None
-    if not isinstance(m.after, OrMap):
-        return None
-    body = m.after.body
-    if (
-        isinstance(body, PairOf)
-        and isinstance(body.right, Proj2)
-        and _factors_through_proj1(body.left)
-    ):
-        return Compose(OrRho2(), body)
-    return None
-
-
-def _factors_through_proj1(m: Morphism) -> bool:
-    """Is *m* of the shape ``h o pi_1`` (under right-nested composition)?"""
-    if isinstance(m, Proj1):
-        return True
-    return isinstance(m, Compose) and _factors_through_proj1(m.before)
-
-
-def _rule_assoc_right(m: Morphism) -> Morphism | None:
-    # (f o g) o h -> f o (g o h): canonical right-nesting so that the
-    # binary composition rules see adjacent operators.
-    if isinstance(m, Compose) and isinstance(m.after, Compose):
-        return Compose(m.after.after, Compose(m.after.before, m.before))
-    return None
-
-
-def _rule_rho_eta(m: Morphism) -> Morphism | None:
-    # or_rho_2 o (f, or_eta o g)  ->  or_eta o (f, g):  pairing with a
-    # singleton or-set is conceptually just pairing.  (Dually for sets.)
-    from repro.lang.orset_ops import OrRho2
-    from repro.lang.set_ops import SetRho2
-
-    if not (isinstance(m, Compose) and isinstance(m.before, PairOf)):
-        return None
-    right = m.before.right
-    if isinstance(m.after, OrRho2):
-        if isinstance(right, OrEta):
-            return Compose(OrEta(), PairOf(m.before.left, Id()))
-        if isinstance(right, Compose) and isinstance(right.after, OrEta):
-            return Compose(OrEta(), PairOf(m.before.left, right.before))
-    if isinstance(m.after, SetRho2):
-        if isinstance(right, SetEta):
-            return Compose(SetEta(), PairOf(m.before.left, Id()))
-        if isinstance(right, Compose) and isinstance(right.after, SetEta):
-            return Compose(SetEta(), PairOf(m.before.left, right.before))
-    return None
-
-
-def _rule_case_eta(m: Morphism) -> Morphism | None:
-    # case(f, g) o inl = f o id ... : case with a known injection.
-    if isinstance(m, Compose) and isinstance(m.after, Case):
-        if isinstance(m.before, InjectLeft):
-            return m.after.on_left
-        if isinstance(m.before, InjectRight):
-            return m.after.on_right
-    return None
-
-
-def _rule_cond_same_branches(m: Morphism) -> Morphism | None:
-    if isinstance(m, Cond) and m.then == m.orelse:
-        return m.then
-    return None
-
-
-_RULES: tuple[Rule, ...] = (
-    _rule_assoc_right,
-    _rule_compose_id,
-    _rule_proj_pair,
-    _rule_pair_of_projections,
-    _rule_bang_absorbs,
-    _rule_map_id,
-    _rule_map_fusion,
-    _rule_mu_eta,
-    _rule_map_after_eta,
-    _rule_mu_naturality,
-    _rule_alpha_diagram,
-    _rule_or_mu_diagram,
-    _rule_rho_eta,
-    _rule_case_eta,
-    _rule_cond_same_branches,
-)
-
-
-def _rebuild(m: Morphism, kids: tuple[Morphism, ...]) -> Morphism:
-    """Reconstruct *m* with new children (same class, same other state)."""
-    if isinstance(m, Compose):
-        return Compose(kids[0], kids[1])
-    if isinstance(m, PairOf):
-        return PairOf(kids[0], kids[1])
-    if isinstance(m, Cond):
-        return Cond(kids[0], kids[1], kids[2])
-    if isinstance(m, Case):
-        return Case(kids[0], kids[1])
-    for map_cls, _eta, _mu in _MONADS:
-        if isinstance(m, map_cls):
-            return map_cls(kids[0])
-    raise TypeError(f"cannot rebuild {m!r} with children")
-
-
-def optimize_once(m: Morphism) -> Morphism:
-    """One bottom-up pass: rewrite children, then try each rule at the root."""
-    kids = m.children()
-    if kids:
-        new_kids = tuple(optimize_once(k) for k in kids)
-        if new_kids != kids:
-            m = _rebuild(m, new_kids)
-    changed = True
-    while changed:
-        changed = False
-        for rule in _RULES:
-            out = rule(m)
-            if out is not None and out != m:
-                m = out
-                changed = True
-                break
-    return m
+    return default_pipeline()
 
 
 def optimize(m: Morphism, max_passes: int = 50) -> Morphism:
-    """Rewrite *m* to a fixpoint of the equational rules.
+    """Rewrite *m* to a fixpoint of the default equational passes.
 
     Every rule either removes an operator or pushes a map inside an
     exponential operator, so the fixpoint exists; *max_passes* is a
     safety net.
     """
-    for _ in range(max_passes):
-        out = optimize_once(m)
-        if out == m:
-            return out
-        m = out
-    return m
+    return _pipeline().run(m, max_passes=max_passes)
+
+
+def optimize_once(m: Morphism) -> Morphism:
+    """One bottom-up pass: rewrite children, then try each rule at the root."""
+    return _pipeline().rewrite_once(m)
 
 
 def cost(m: Morphism) -> int:
     """Static operator count (nodes in the morphism AST)."""
-    return 1 + sum(cost(k) for k in m.children())
+    from repro.engine.passes import morphism_cost
+
+    return morphism_cost(m)
 
 
 def equations_applied(m: Morphism) -> list[str]:
@@ -322,29 +65,6 @@ def equations_applied(m: Morphism) -> list[str]:
 
     Diagnostic helper for tests and the ablation benchmark.
     """
-    fired: list[str] = []
-
-    def walk(current: Morphism) -> Morphism:
-        kids = current.children()
-        if kids:
-            new_kids = tuple(walk(k) for k in kids)
-            if new_kids != kids:
-                current = _rebuild(current, new_kids)
-        changed = True
-        while changed:
-            changed = False
-            for rule in _RULES:
-                out = rule(current)
-                if out is not None and out != current:
-                    fired.append(rule.__name__.removeprefix("_rule_"))
-                    current = out
-                    changed = True
-                    break
-        return current
-
-    previous = None
-    current = m
-    while previous != current:
-        previous = current
-        current = walk(current)
-    return fired
+    pipeline = _pipeline()
+    pipeline.run(m)
+    return pipeline.fired

@@ -17,6 +17,8 @@ Commands::
     type x                            inferred type
     typeof f                          most general morphism type
     size x                            Section 6 size measure
+    plan f                            compiled engine plan of a morphism
+    backend streaming                 switch the execution backend
     show x          /  x              print a binding
     del x                             destroy a binding
     env                               list bindings
@@ -38,8 +40,8 @@ from __future__ import annotations
 import sys
 from typing import Callable, TextIO
 
-from repro.core.normalize import normalize
 from repro.core.worlds import worlds
+from repro.engine import Engine
 from repro.errors import OrNRAError
 from repro.lang.morphisms import Morphism, infer_signature
 from repro.lang.parser import parse_morphism, parse_value
@@ -60,6 +62,8 @@ _HELP = """commands:
   worlds NAME                 possible-worlds denotation
   type NAME | typeof NAME     type of a value / morphism binding
   size NAME                   Section 6 size measure
+  plan MORPHISM               show the optimized, compiled engine plan
+  backend [eager|streaming]   show or select the execution backend
   show NAME (or just NAME)    print a binding
   del NAME                    remove a binding
   env | help | quit"""
@@ -71,6 +75,10 @@ class Repl:
     def __init__(self) -> None:
         self.values: dict[str, tuple[Value, Type]] = {}
         self.morphisms: dict[str, Morphism] = {}
+        # All evaluation routes through one compile-and-run engine, so
+        # repeated queries share compiled plans and memoized normal forms.
+        self.engine = Engine()
+        self.backend = "eager"
 
     # ----- helpers ---------------------------------------------------------
 
@@ -119,8 +127,18 @@ class Repl:
             return self._cmd_apply(rest)
         if head == "normalize":
             value, t = self._lookup_value(rest)
-            result = normalize(value, t)
+            result = self.engine.interner.normalize(value, t)
             return self._render(result, nf_type(t))
+        if head == "plan":
+            return self.engine.explain(self._morphism(rest))
+        if head == "backend":
+            if not rest:
+                return f"backend = {self.backend}"
+            if rest not in self.engine.backends:
+                options = ", ".join(sorted(self.engine.backends))
+                return f"error: unknown backend {rest!r} (have: {options})"
+            self.backend = rest
+            return f"backend = {rest}"
         if head == "worlds":
             value, _t = self._lookup_value(rest)
             rendered = sorted(format_value(w) for w in worlds(value))
@@ -194,7 +212,7 @@ class Repl:
             return f"error: unbound value {arg!r}"
         m = self._morphism(morph_text)
         value, _t = self.values[arg]
-        result = m.apply(value)
+        result = self.engine.run(m, value, backend=self.backend)
         return self._render(result)
 
 

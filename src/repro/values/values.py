@@ -18,6 +18,7 @@ Construction helpers accept raw Python scalars and wrap them in
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -59,6 +60,7 @@ __all__ = [
     "vinl",
     "vinr",
     "sort_key",
+    "use_sort_key_cache",
     "format_value",
     "infer_type",
     "check_type",
@@ -288,12 +290,41 @@ def _atom_key(a: Atom) -> tuple:
     return (rank, a.base, value)
 
 
+# An optional identity-keyed cache of computed sort keys, installed by the
+# engine's interning arena (repro.engine.interning).  Entries are keyed by
+# id(); the installer must keep the keyed objects alive for the cache's
+# lifetime, which the arena guarantees by holding strong references.
+_SORT_KEY_CACHE: dict[int, tuple] | None = None
+
+
+@contextmanager
+def use_sort_key_cache(cache: dict[int, tuple]) -> Iterator[None]:
+    """Consult *cache* for precomputed sort keys within the block.
+
+    :func:`sort_key` only *reads* the cache (the installer decides which
+    object ids are safe to register); nesting restores the previous cache
+    on exit.
+    """
+    global _SORT_KEY_CACHE
+    previous = _SORT_KEY_CACHE
+    _SORT_KEY_CACHE = cache
+    try:
+        yield
+    finally:
+        _SORT_KEY_CACHE = previous
+
+
 def sort_key(v: Value) -> tuple:
     """A canonical total-order key; values of one type compare sensibly.
 
     Mixed kinds get disjoint key prefixes, so the order is total on all
     values (needed only for canonical storage, never for semantics).
     """
+    cache = _SORT_KEY_CACHE
+    if cache is not None:
+        hit = cache.get(id(v))
+        if hit is not None:
+            return hit
     if isinstance(v, UnitValue):
         return (0,)
     if isinstance(v, Atom):

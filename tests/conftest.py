@@ -1,8 +1,22 @@
 """Shared fixtures for the test suite."""
 
+import os
+import pathlib
 import random
+import sys
 
 import pytest
+
+# The example scripts run as subprocesses (tests/test_examples.py); make
+# sure they can resolve `repro` even when the suite itself found it via
+# pytest's `pythonpath` setting rather than an installed package or an
+# exported PYTHONPATH.
+_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+_existing = os.environ.get("PYTHONPATH", "")
+if _SRC not in _existing.split(os.pathsep):
+    os.environ["PYTHONPATH"] = _SRC + (os.pathsep + _existing if _existing else "")
 
 
 @pytest.fixture

@@ -1,0 +1,149 @@
+"""Tests for engine.run(): backends, equivalence with direct
+interpretation, interning integration and the possibilities stream."""
+
+import random
+
+import pytest
+
+from repro import engine
+from repro.core.normalize import Normalize, possibilities
+from repro.engine import Engine
+from repro.errors import OrNRATypeError
+from repro.gen import random_orset_value, random_value
+from repro.lang.bag_ops import bag_unique, settobag
+from repro.lang.morphisms import Compose, Id, PairOf, Proj1
+from repro.lang.orset_ops import Alpha, OrMap, OrToSet, SetToOr
+from repro.lang.primitives import plus
+from repro.lang.set_ops import SetMap, SetMu
+from repro.lang.stdlib import select
+from repro.lang.primitives import predicate
+from repro.morphgen import random_lossless_morphism
+from repro.types.kinds import INT
+from repro.values.values import vbag, vorset, vpair, vset
+
+DOUBLE = Compose(plus(), PairOf(Id(), Id()))
+
+
+@pytest.fixture(params=["eager", "streaming"])
+def backend(request):
+    return request.param
+
+
+class TestEquivalenceWithDirectInterpretation:
+    def test_structural_query(self, backend):
+        q = Compose(OrMap(SetMap(DOUBLE)), Alpha())
+        v = vset(vorset(1, 2), vorset(3, 4))
+        assert engine.run(q, v, backend=backend) == q(v)
+
+    def test_random_programs(self, backend):
+        rng = random.Random(23)
+        eng = Engine()
+        for _ in range(50):
+            v, t = random_orset_value(rng, max_depth=3, max_width=2, min_width=1)
+            f, _ = random_lossless_morphism(t, rng, depth=4)
+            assert eng.run(f, v, backend=backend) == f(v), f.describe()
+
+    def test_unoptimized_and_uninterned(self, backend):
+        q = Compose(SetMu(), SetMap(SetMap(DOUBLE)))
+        v = vset(vset(1, 2), vset(3))
+        expected = q(v)
+        assert engine.run(q, v, backend=backend, optimize=False) == expected
+        assert engine.run(q, v, backend=backend, intern=False) == expected
+
+    def test_normalize_program(self, backend):
+        v = vpair(vset(vorset(1, 2), vorset(3)), vorset(1, 2))
+        assert engine.run(Normalize(), v, backend=backend) == Normalize()(v)
+
+    def test_python_scalars_are_coerced(self, backend):
+        assert engine.run(DOUBLE, 2, backend=backend) == DOUBLE(2)
+
+    def test_type_errors_propagate(self, backend):
+        with pytest.raises(OrNRATypeError):
+            engine.run(Alpha(), vorset(1), backend=backend)
+
+
+class TestStreamingSpine:
+    def test_filter_pipeline(self, backend):
+        keep = predicate("big", lambda v: v.value >= 2, INT)
+        q = Compose(SetMap(DOUBLE), select(keep))
+        v = vset(1, 2, 3)
+        assert engine.run(q, v, backend=backend) == q(v)
+
+    def test_coercion_chain(self, backend):
+        q = Compose(OrToSet(), SetToOr())
+        v = vset(1, 2, 2, 3)
+        assert engine.run(q, v, backend=backend, optimize=False) == q(v)
+
+    def test_bag_unique_stream(self):
+        q = Compose(bag_unique(), settobag())
+        v = vset(1, 2)
+        assert engine.run(q, v, backend="streaming") == q(v)
+
+    def test_settobag_dedups_transient_stream_duplicates(self):
+        # map over a set may stream colliding outputs; converting the
+        # (conceptually deduplicated) set to a bag must not expose them
+        # as multiplicities.
+        from repro.lang.bag_ops import SetToBag
+        from repro.lang.morphisms import Bang
+
+        q = Compose(SetToBag(), SetMap(Bang()))
+        v = vset(1, 2, 3)
+        assert q(v) == vbag(None)
+        assert engine.run(q, v, backend="streaming", optimize=False) == q(v)
+
+    def test_mismatched_stream_kind_raises(self):
+        with pytest.raises(OrNRATypeError):
+            engine.run(Compose(SetMu(), SetToOr()), vset(vset(1)), backend="streaming")
+
+
+class TestEngineObject:
+    def test_plan_cache_reused(self):
+        eng = Engine()
+        q = OrMap(DOUBLE)
+        assert eng.compile(q) is eng.compile(q)
+        assert eng.compile(q, optimize=False) is not eng.compile(q)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            Engine().run(Id(), vset(1), backend="warp")
+
+    def test_interned_results_are_canonical(self):
+        eng = Engine()
+        out1 = eng.run(OrMap(DOUBLE), vorset(1, 2))
+        out2 = eng.run(OrMap(DOUBLE), vorset(1, 2))
+        assert out1 is out2
+
+    def test_repeated_normalize_hits_memo(self):
+        eng = Engine()
+        v = vpair(vset(vorset(1, 2), vorset(3)), vorset(1, 2))
+        eng.run(Normalize(), v)
+        eng.run(Normalize(), v)
+        assert eng.interner.normalize_hits >= 1
+
+    def test_clear_caches(self):
+        eng = Engine()
+        eng.run(OrMap(DOUBLE), vorset(1, 2))
+        eng.clear_caches()
+        assert len(eng.interner) == 0
+
+    def test_possibilities_stream(self):
+        eng = Engine()
+        v = vset(vorset(1, 2), vorset(3))
+        streamed = set(eng.possibilities(Id(), v))
+        assert streamed == set(possibilities(v))
+
+    def test_possibilities_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            Engine().possibilities(Id(), vset(1), backend="streming")
+
+    def test_possibilities_respects_intern_flag(self):
+        eng = Engine()
+        list(eng.possibilities(Id(), vset(vorset(1, 2)), intern=False))
+        assert len(eng.interner) == 0
+
+    def test_explain_produces_typed_plan(self):
+        from repro.types.parse import parse_type
+
+        eng = Engine()
+        text = eng.explain(Compose(OrMap(Proj1()), Alpha()), parse_type("{<int * bool>}"))
+        assert "chain" in text and "->" in text

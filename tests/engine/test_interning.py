@@ -1,0 +1,100 @@
+"""Tests for the hash-consing arena and its derived-result caches."""
+
+from repro.core.normalize import normalize
+from repro.engine.interning import Interner
+from repro.values.values import (
+    sort_key,
+    vbag,
+    vorset,
+    vpair,
+    vset,
+)
+
+
+def big_value():
+    return vpair(vset(vorset(1, 2), vorset(3)), vorset(1, 2))
+
+
+class TestHashConsing:
+    def test_equal_values_intern_to_same_object(self):
+        interner = Interner()
+        a = interner.intern(big_value())
+        b = interner.intern(big_value())
+        assert a is b
+        assert a == big_value()
+
+    def test_shared_substructure_is_physically_shared(self):
+        interner = Interner()
+        a = interner.intern(vpair(vorset(1, 2), 9))
+        b = interner.intern(vpair(vorset(1, 2), 10))
+        assert a.fst is b.fst
+
+    def test_all_value_kinds_round_trip(self):
+        from repro.values.values import UNIT_VALUE, vinl, vinr
+
+        interner = Interner()
+        for v in (
+            UNIT_VALUE,
+            vpair(1, "x"),
+            vset(1, 2),
+            vorset(True),
+            vbag(1, 1, 2),
+            vinl(1),
+            vinr(vset(2)),
+        ):
+            assert interner.intern(v) == v
+
+    def test_is_interned(self):
+        interner = Interner()
+        raw = big_value()
+        canon = interner.intern(raw)
+        assert interner.is_interned(canon)
+        assert not interner.is_interned(big_value())
+
+
+class TestDerivedCaches:
+    def test_sort_key_matches_uncached(self):
+        interner = Interner()
+        v = big_value()
+        assert interner.sort_key(v) == sort_key(v)
+
+    def test_normalize_memoizes_on_identity(self):
+        interner = Interner()
+        v = big_value()
+        first = interner.normalize(v)
+        again = interner.normalize(big_value())
+        assert first is again
+        assert interner.normalize_hits == 1
+        assert interner.normalize_misses == 1
+
+    def test_memoized_normalize_matches_direct(self):
+        interner = Interner()
+        v = big_value()
+        assert interner.normalize(v) == normalize(v)
+
+    def test_normalize_key_includes_declared_type(self):
+        from repro.types.parse import parse_type
+
+        interner = Interner()
+        v = vorset(1, 2)
+        untyped = interner.normalize(v)
+        typed = interner.normalize(v, parse_type("<int>"))
+        assert untyped == typed
+        assert interner.normalize_misses == 2
+
+    def test_clear_resets_arena(self):
+        interner = Interner()
+        interner.normalize(big_value())
+        assert len(interner) > 0
+        interner.clear()
+        assert len(interner) == 0
+        stats = interner.stats()
+        assert stats["arena_size"] == 0
+
+    def test_stats_counters(self):
+        interner = Interner()
+        interner.intern(vset(1))
+        interner.intern(vset(1))
+        stats = interner.stats()
+        assert stats["intern_hits"] >= 1
+        assert stats["intern_misses"] >= 1

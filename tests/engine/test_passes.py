@@ -1,0 +1,154 @@
+"""Tests for the pass-based optimizer: individual passes, pipelines,
+toggleability, and the new rule groups."""
+
+from repro.core.normalize import Normalize
+from repro.engine.passes import (
+    CANONICALIZE,
+    COND_PUSHDOWN,
+    CONDITIONALS,
+    DEFAULT_PASSES,
+    IDENTITY_ELIMINATION,
+    INTERACTION,
+    MAP_FUSION,
+    NORMALIZE_AWARE,
+    PROJECTION,
+    Pipeline,
+    default_pipeline,
+    morphism_cost,
+    optimize_morphism,
+)
+from repro.lang.morphisms import (
+    Bang,
+    Compose,
+    Cond,
+    Id,
+    PairOf,
+    Proj1,
+    Proj2,
+    always,
+)
+from repro.lang.orset_ops import Alpha, OrMap, OrMu, OrRho2, OrToSet, SetToOr
+from repro.lang.primitives import plus
+from repro.lang.set_ops import SetMap
+from repro.values.values import vorset, vpair, vset
+
+DOUBLE = Compose(plus(), PairOf(Id(), Id()))
+
+
+class TestIndividualPasses:
+    def test_fusion_pass_alone_fuses_maps(self):
+        m = Compose(SetMap(plus()), SetMap(plus()))
+        out = MAP_FUSION.run(m)
+        assert out == SetMap(Compose(plus(), plus()))
+
+    def test_fusion_pass_alone_leaves_identities(self):
+        m = Compose(Id(), DOUBLE)
+        assert MAP_FUSION.run(m) == m
+        assert IDENTITY_ELIMINATION.run(m) == DOUBLE
+
+    def test_projection_pass_eliminates_dead_pair_component(self):
+        # pi_1 o ((f, g) o h): g is dead even though the pairing is
+        # buried inside the chain.
+        m = Compose(Proj1(), Compose(PairOf(plus(), Bang()), Proj2()))
+        out = PROJECTION.run(m)
+        assert out == Compose(plus(), Proj2())
+
+    def test_interaction_pass_rewrites_alpha_diagram(self):
+        m = Compose(OrMap(SetMap(DOUBLE)), Alpha())
+        out = INTERACTION.run(m)
+        assert out == Compose(Alpha(), SetMap(OrMap(DOUBLE)))
+
+
+class TestConditionals:
+    def test_constant_true_predicate_folds(self):
+        m = Cond(always(True), Proj1(), Proj2())
+        assert CONDITIONALS.run(m) == Proj1()
+
+    def test_constant_false_predicate_folds(self):
+        m = Cond(always(False), Proj1(), Proj2())
+        assert CONDITIONALS.run(m) == Proj2()
+
+    def test_common_suffix_factors_out(self):
+        from repro.lang.primitives import predicate
+        from repro.types.kinds import INT
+        from repro.values.values import atom
+
+        even = predicate("even", lambda v: v.value % 2 == 0, INT)
+        widen = PairOf(Id(), Id())
+        narrow = PairOf(Id(), always(1))
+        m = Cond(even, Compose(plus(), widen), Compose(plus(), narrow))
+        out = CONDITIONALS.run(m)
+        assert out == Compose(plus(), Cond(even, widen, narrow))
+        for v in (atom(4), atom(3)):
+            assert out(v) == m(v)
+
+    def test_cond_pushdown_not_default_but_sound(self):
+        swap = PairOf(Proj2(), Proj1())
+        m = Compose(Cond(Proj1(), Proj1(), Proj2()), swap)
+        assert all(p.name != COND_PUSHDOWN.name for p in DEFAULT_PASSES)
+        pushed = COND_PUSHDOWN.run(m)
+        assert isinstance(pushed, Cond)
+        for v in (vpair(1, True), vpair(2, False)):
+            assert pushed(v) == m(v)
+
+
+class TestNormalizeAware:
+    def test_normalize_absorbs_or_mu(self):
+        m = Compose(Normalize(), OrMu())
+        assert NORMALIZE_AWARE.run(m) == Normalize()
+        v = vorset(vorset(vpair(1, vorset(2, 3))))
+        assert NORMALIZE_AWARE.run(m)(v) == m(v)
+
+    def test_normalize_absorbs_or_rho2(self):
+        m = Compose(Normalize(), OrRho2())
+        assert NORMALIZE_AWARE.run(m) == Normalize()
+        v = vpair(1, vorset(2, 3))
+        assert NORMALIZE_AWARE.run(m)(v) == m(v)
+
+    def test_normalize_idempotent(self):
+        inner = Normalize()
+        m = Compose(Normalize(), inner)
+        assert NORMALIZE_AWARE.run(m) == inner
+
+    def test_declared_input_type_blocks_rewrite(self):
+        from repro.types.parse import parse_type
+
+        declared = Normalize(parse_type("<int>"))
+        m = Compose(declared, OrMu())
+        assert NORMALIZE_AWARE.run(m) == m
+
+    def test_orset_set_roundtrip_is_identity(self):
+        assert NORMALIZE_AWARE.run(Compose(OrToSet(), SetToOr())) == Id()
+        assert NORMALIZE_AWARE.run(Compose(SetToOr(), OrToSet())) == Id()
+
+
+class TestPipeline:
+    def test_default_pipeline_matches_lang_optimize(self):
+        from repro.lang.optimize import optimize
+
+        m = Compose(OrMap(SetMap(DOUBLE)), Compose(Alpha(), SetMap(Id())))
+        assert default_pipeline().run(m) == optimize(m)
+
+    def test_without_disables_a_pass(self):
+        m = Compose(SetMap(plus()), SetMap(plus()))
+        crippled = default_pipeline().without("fusion")
+        assert crippled.run(m) == m
+        assert default_pipeline().run(m) == SetMap(Compose(plus(), plus()))
+
+    def test_with_pass_appends(self):
+        extended = default_pipeline().with_pass(COND_PUSHDOWN)
+        assert extended.passes[-1] is COND_PUSHDOWN
+
+    def test_fired_records_rule_names(self):
+        pipeline = default_pipeline()
+        pipeline.run(Compose(OrMap(SetMap(DOUBLE)), Alpha()))
+        assert "alpha_diagram" in pipeline.fired
+
+    def test_default_never_grows_cost(self):
+        m = Compose(OrMap(SetMap(DOUBLE)), Alpha())
+        assert morphism_cost(optimize_morphism(m)) <= morphism_cost(m)
+
+    def test_canonicalize_right_nests(self):
+        m = Compose(Compose(Proj1(), Proj2()), plus())
+        out = Pipeline((CANONICALIZE,)).run(m)
+        assert out == Compose(Proj1(), Compose(Proj2(), plus()))

@@ -1,0 +1,118 @@
+"""Tests for the plan IR: compilation, sharing, typing, round-trips."""
+
+import random
+
+import pytest
+
+from repro.engine.plan import Plan, compile_plan
+from repro.errors import OrNRATypeError
+from repro.gen import random_orset_value
+from repro.lang.morphisms import (
+    Bang,
+    Compose,
+    Cond,
+    Id,
+    PairOf,
+    Proj1,
+    Proj2,
+    always,
+    compose,
+)
+from repro.lang.orset_ops import Alpha, OrEta, OrMap
+from repro.lang.primitives import plus
+from repro.lang.set_ops import SetMap, SetMu
+from repro.lang.variant_ops import case
+from repro.morphgen import random_lossless_morphism
+from repro.types.parse import format_type, parse_type
+from repro.values.values import vinl, vinr, vorset, vpair, vset
+
+DOUBLE = Compose(plus(), PairOf(Id(), Id()))
+
+
+class TestCompilation:
+    def test_compose_chain_flattens(self):
+        m = compose(Alpha(), SetMap(OrMap(DOUBLE)), Id())
+        plan = compile_plan(m)
+        root = plan.nodes[plan.root]
+        assert root.op == "chain"
+        # id is pruned; the chain holds the two real steps in
+        # application order (map first, alpha second).
+        assert [plan.nodes[k].op for k in root.kids] == ["map", "leaf"]
+
+    def test_shared_subtrees_compile_once(self):
+        m = PairOf(DOUBLE, DOUBLE)
+        plan = compile_plan(m)
+        root = plan.nodes[plan.root]
+        assert root.kids[0] == root.kids[1]
+
+    def test_identity_only_program(self):
+        plan = compile_plan(Compose(Id(), Id()))
+        assert plan.execute(vpair(1, 2)) == vpair(1, 2)
+
+    def test_execute_matches_direct_interpretation(self):
+        m = Compose(OrMap(SetMap(DOUBLE)), Alpha())
+        v = vset(vorset(1, 2), vorset(3))
+        assert compile_plan(m).execute(v) == m(v)
+
+    def test_cond_and_case_semantics(self):
+        m = Cond(always(True), Proj1(), Proj2())
+        assert compile_plan(m).execute(vpair(1, 2)) == m(vpair(1, 2))
+        c = case(DOUBLE, Bang())
+        plan = compile_plan(c)
+        assert plan.execute(vinl(3)) == c(vinl(3))
+        assert plan.execute(vinr(vpair(1, 2))) == c(vinr(vpair(1, 2)))
+
+    def test_type_errors_preserved(self):
+        plan = compile_plan(SetMap(DOUBLE))
+        with pytest.raises(OrNRATypeError):
+            plan.execute(vorset(1))
+
+    def test_random_programs_agree(self):
+        rng = random.Random(7)
+        for _ in range(60):
+            v, t = random_orset_value(rng, max_depth=3, max_width=2, min_width=1)
+            f, _ = random_lossless_morphism(t, rng, depth=4)
+            assert compile_plan(f).execute(v) == f(v), f.describe()
+
+
+class TestTyping:
+    def test_infer_types_annotates_nodes(self):
+        m = Compose(OrMap(SetMap(Proj1())), Alpha())
+        plan = compile_plan(m)
+        out = plan.infer_types(parse_type("{<int * bool>}"))
+        assert format_type(out) == "<{int}>"
+        leaf_types = {
+            plan.nodes[i].source.describe(): (
+                format_type(plan.nodes[i].dom),
+                format_type(plan.nodes[i].cod),
+            )
+            for i in range(len(plan.nodes))
+            if plan.nodes[i].op == "leaf"
+        }
+        assert leaf_types["alpha"] == ("{<int * bool>}", "<{int * bool}>")
+
+    def test_infer_types_survives_untypeable_leaves(self):
+        from repro.core.normalize import Normalize
+
+        plan = compile_plan(Compose(OrMap(Id()), Normalize()))
+        assert plan.infer_types(parse_type("<<int>>")) is None
+
+    def test_describe_mentions_every_node(self):
+        plan = compile_plan(Compose(SetMu(), SetMap(OrEta())))
+        text = plan.describe()
+        for node in plan.nodes:
+            assert f"n{node.idx}" in text
+
+
+class TestRoundTrip:
+    def test_to_morphism_evaluates_identically(self):
+        rng = random.Random(11)
+        for _ in range(40):
+            v, t = random_orset_value(rng, max_depth=3, max_width=2, min_width=1)
+            f, _ = random_lossless_morphism(t, rng, depth=4)
+            back = compile_plan(f).to_morphism()
+            assert back(v) == f(v)
+
+    def test_bind_is_cached(self):
+        plan = compile_plan(OrMap(DOUBLE))
+        assert plan.bind() is plan.bind()

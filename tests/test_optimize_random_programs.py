@@ -12,6 +12,8 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.engine import Engine
+from repro.engine.passes import DEFAULT_PASSES, default_pipeline
 from repro.gen import random_orset_value, random_value
 from repro.lang.optimize import cost, optimize
 from repro.morphgen import random_lossless_morphism
@@ -45,6 +47,35 @@ def test_optimize_is_idempotent_on_random_programs(seed):
     f, _ = random_lossless_morphism(t, rng, depth=4)
     once = optimize(f)
     assert optimize(once) == once
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 100_000))
+def test_every_pass_and_pipeline_preserve_semantics(seed):
+    """Each optimizer pass alone — and the full default pipeline — agrees
+    with the direct interpreter on random Theorem 5.1-eligible programs."""
+    rng = random.Random(seed)
+    v, t = random_orset_value(rng, max_depth=3, max_width=2, min_width=1)
+    f, _ = random_lossless_morphism(t, rng, depth=4)
+    expected = f(v)
+    for pipeline_pass in DEFAULT_PASSES:
+        rewritten = pipeline_pass.run(f)
+        assert rewritten(v) == expected, (pipeline_pass.name, f.describe())
+    assert default_pipeline().run(f)(v) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 100_000))
+def test_engine_run_agrees_with_direct_interpreter(seed):
+    """engine.run (both backends, interned or not) matches direct p(v)."""
+    rng = random.Random(seed)
+    v, t = random_orset_value(rng, max_depth=3, max_width=2, min_width=1)
+    f, _ = random_lossless_morphism(t, rng, depth=4)
+    expected = f(v)
+    eng = Engine()
+    assert eng.run(f, v) == expected
+    assert eng.run(f, v, backend="streaming") == expected
+    assert eng.run(f, v, intern=False, optimize=False) == expected
 
 
 @settings(max_examples=50, deadline=None)
