@@ -7,9 +7,10 @@ This package gives the evaluation stack the classic query-engine shape:
    :class:`~repro.engine.plan.Plan`;
 2. **optimize** — :mod:`repro.engine.passes` rewrites the morphism with
    a pipeline of composable equational passes before compilation;
-3. **run** — :mod:`repro.engine.backends` executes the plan eagerly or
-   as a stream, with :mod:`repro.engine.interning` hash-consing values
-   and memoizing ``normalize`` on interned identity.
+3. **run** — :mod:`repro.engine.backends` executes the plan eagerly, as
+   a stream, or sharded across a worker pool
+   (:mod:`repro.engine.parallel`), with :mod:`repro.engine.interning`
+   hash-consing values and memoizing ``normalize``.
 
 The single entry point is :func:`run` (or :meth:`Engine.run`)::
 
@@ -18,16 +19,27 @@ The single entry point is :func:`run` (or :meth:`Engine.run`)::
 
     engine.run(ormap(p1()), vorset(vpair(1, 2)))     # <1>
     engine.run(q, db, backend="streaming")           # lazy spine
+    engine.run(q, db, backend="parallel")            # sharded spine
     engine.run(q, db, optimize=False, intern=False)  # plain compiled
+    engine.run_many(q, dbs)                          # compile once, fan out
 
 ``engine.run(p, v)`` is structurally equal to the direct interpretation
 ``p(v)`` for every program; the engine is the canonical execution path
 used by the REPL, the I/O helpers, the examples and the benchmarks.
+
+The module-level :data:`DEFAULT_ENGINE` is safe for concurrent use: the
+plan cache is guarded by a lock (and LRU-bounded), and the shared
+:class:`Interner` serializes arena access internally — which is what
+lets :meth:`Engine.run_many` and the parallel backend hammer one engine
+from many threads.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator, Sequence
 
 from repro.lang.morphisms import Morphism
 from repro.types.kinds import Type
@@ -35,6 +47,7 @@ from repro.values.values import Value, ensure_value
 
 from repro.engine.backends import BACKENDS, Backend, EagerBackend, StreamingBackend
 from repro.engine.interning import Interner
+from repro.engine.parallel import ParallelBackend, default_worker_count
 from repro.engine.passes import (
     COND_PUSHDOWN,
     DEFAULT_PASSES,
@@ -49,6 +62,7 @@ __all__ = [
     "Engine",
     "DEFAULT_ENGINE",
     "run",
+    "run_many",
     "compile_program",
     "explain",
     "Plan",
@@ -64,7 +78,9 @@ __all__ = [
     "Backend",
     "EagerBackend",
     "StreamingBackend",
+    "ParallelBackend",
     "BACKENDS",
+    "default_worker_count",
 ]
 
 
@@ -73,34 +89,57 @@ class Engine:
 
     One engine owns one :class:`Interner` (so repeated runs share the
     memoized normal forms) and one compiled-plan cache keyed on the
-    program, per optimization setting.
+    program, per optimization setting.  The plan cache is an LRU bounded
+    by *max_plans*, and both caches are safe to use from multiple
+    threads.
     """
 
     def __init__(
         self,
         pipeline: Pipeline | None = None,
         interner: Interner | None = None,
+        max_plans: int = 256,
     ) -> None:
         self.pipeline = pipeline if pipeline is not None else default_pipeline()
         self.interner = interner if interner is not None else Interner()
         self.backends: dict[str, Backend] = dict(BACKENDS)
-        self._plans: dict[tuple[Morphism, bool], Plan] = {}
+        self.max_plans = max_plans
+        self._plans: OrderedDict[tuple[Morphism, bool], Plan] = OrderedDict()
+        self._lock = threading.Lock()
 
     # -- compilation -------------------------------------------------------
 
     def compile(self, program: Morphism, optimize: bool = True) -> Plan:
-        """The (cached) compiled plan for *program*."""
+        """The (cached, LRU-evicted) compiled plan for *program*."""
         key = (program, optimize)
-        plan = self._plans.get(key)
-        if plan is None:
+        # The whole miss path runs under the lock: `pipeline.run` records
+        # the fired rules on the shared pipeline (the documented
+        # diagnostics channel), so concurrent compiles must not
+        # interleave their rule lists.
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                return plan
             m = self.pipeline.run(program) if optimize else program
             plan = compile_plan(m)
             self._plans[key] = plan
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
         return plan
 
     def explain(self, program: Morphism, input_type: Type | None = None) -> str:
-        """The optimized, compiled (and, given a type, annotated) plan."""
-        plan = self.compile(program)
+        """The optimized, compiled (and, given a type, annotated) plan.
+
+        Describes a *fresh* compilation rather than the cached plan:
+        ``infer_types`` writes dom/cod annotations into the plan's nodes,
+        and annotating the shared cached plan would leak one call's types
+        into later ``explain``/``describe`` output (or a concurrent
+        reader's).
+        """
+        with self._lock:
+            m = self.pipeline.run(program)
+        plan = compile_plan(m)
         if input_type is not None:
             plan.infer_types(input_type)
         return plan.describe()
@@ -118,9 +157,10 @@ class Engine:
     ) -> Value:
         """Compile *program* and execute it on *value*.
 
-        ``backend`` selects eager or streaming execution; ``optimize``
-        toggles the pass pipeline; ``intern`` routes values through the
-        hash-consing arena (enabling the memoized ``normalize``).
+        ``backend`` selects eager, streaming or parallel execution;
+        ``optimize`` toggles the pass pipeline; ``intern`` routes values
+        through the hash-consing arena (enabling the memoized
+        ``normalize``).
         """
         chosen = self._backend(backend)
         plan = self.compile(program, optimize)
@@ -132,6 +172,66 @@ class Engine:
         if interner is not None:
             result = interner.intern(result)
         return result
+
+    def run_many(
+        self,
+        program: Morphism,
+        values: Sequence[object],
+        *,
+        backend: str = "eager",
+        optimize: bool = True,
+        intern: bool = True,
+        interner: Interner | None = None,
+        max_workers: int | None = None,
+    ) -> list[Value]:
+        """Run *program* on every input in *values*: compile once, fan out.
+
+        The batched counterpart of :meth:`run`: one plan compilation and
+        one backend bind are amortized over the whole batch, structurally
+        equal inputs are computed once, and distinct inputs are fanned
+        out across a worker pool (``max_workers``; pass ``0`` or ``1``
+        for strictly sequential execution).  Results come back in input
+        order and satisfy ``run_many(p, vs)[i] == run(p, vs[i])``.
+
+        *interner* overrides the engine's arena for this batch — pass a
+        fresh :class:`Interner` to share memoized normal forms *within*
+        the batch without pinning anything in the engine afterwards
+        (this is what :func:`repro.io.run_json_many` does).
+        """
+        chosen = self._backend(backend)
+        plan = self.compile(program, optimize)
+        arena = interner if interner is not None else (self.interner if intern else None)
+        concrete = [ensure_value(v) for v in values]
+        if arena is not None:
+            concrete = [arena.intern(v) for v in concrete]
+        if not concrete:
+            return []
+
+        # Dedupe structurally equal inputs: a multi-world batch often
+        # repeats whole inputs, and each distinct one is computed once.
+        index: dict[Value, int] = {}
+        unique: list[Value] = []
+        for v in concrete:
+            if v not in index:
+                index[v] = len(unique)
+                unique.append(v)
+
+        def run_one(v: Value) -> Value:
+            result = chosen.execute(plan, v, arena)
+            if arena is not None:
+                result = arena.intern(result)
+            return result
+
+        workers = default_worker_count() if max_workers is None else max_workers
+        if workers > 1 and len(unique) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(unique)),
+                thread_name_prefix="repro-run-many",
+            ) as pool:
+                results = list(pool.map(run_one, unique))
+        else:
+            results = [run_one(v) for v in unique]
+        return [results[index[v]] for v in concrete]
 
     def possibilities(
         self,
@@ -161,7 +261,8 @@ class Engine:
 
     def clear_caches(self) -> None:
         """Drop compiled plans and the value arena."""
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
         self.interner.clear()
 
 
@@ -173,6 +274,11 @@ DEFAULT_ENGINE = Engine()
 def run(program: Morphism, value: object, **options) -> Value:
     """Run *program* on *value* through the default engine."""
     return DEFAULT_ENGINE.run(program, value, **options)
+
+
+def run_many(program: Morphism, values: Sequence[object], **options) -> list[Value]:
+    """Batched :func:`run` through the default engine (compile once, fan out)."""
+    return DEFAULT_ENGINE.run_many(program, values, **options)
 
 
 def compile_program(program: Morphism, optimize: bool = True) -> Plan:

@@ -19,9 +19,15 @@ Two strategies share the plan IR:
   the eager backend's.
 
 Both backends also expose :meth:`Backend.possibilities`, the lazy
-conceptual-value stream of a program's output (built directly on
-:func:`repro.core.lazy.iter_possibilities`), which is how existential
-queries short-circuit without producing a whole normal form.
+conceptual-value stream of a program's output, which is how existential
+queries short-circuit without producing a whole normal form; the
+streaming backend overrides it so the first conceptual value is yielded
+straight off the lazy spine, before any materialization.
+
+A third strategy, the sharded :class:`~repro.engine.parallel.ParallelBackend`,
+lives in :mod:`repro.engine.parallel` and registers itself under
+``BACKENDS["parallel"]`` when that module is imported (which
+:mod:`repro.engine` always does).
 """
 
 from __future__ import annotations
@@ -70,12 +76,14 @@ class EagerBackend(Backend):
     def execute(self, plan: Plan, value: Value, interner: Interner | None = None) -> Value:
         if interner is None:
             return plan.bind()(value)
-        return plan.bind(interner.leaf_apply, cache_key=("interned", id(interner)))(value)
+        # The interner owns the bound-closure memo (not the plan): a
+        # plan cached by the engine outlives any batch-scoped arena, and
+        # a plan-side entry would pin that arena for the plan's lifetime.
+        return interner.bound_plan(plan)(value)
 
 
 # -- streaming ---------------------------------------------------------------
 
-_KIND_OF = {SetValue: "set", OrSetValue: "orset", BagValue: "bag"}
 _WRAPPER_OF = {"set": SetValue, "orset": OrSetValue, "bag": BagValue}
 
 # kind-changing coercions that stream (input kind -> output kind).
@@ -138,6 +146,40 @@ class StreamingBackend(Backend):
         leaf = interner.leaf_apply if interner is not None else None
         result = self._eval(plan, plan.root, value, leaf, {})
         return _materialize(result)
+
+    def possibilities(
+        self, plan: Plan, value: Value, interner: Interner | None = None
+    ) -> Iterator[Value]:
+        """Stream conceptual values without materializing the lazy spine.
+
+        The base implementation executes first — which would canonicalize
+        the whole result (defeating the short-circuiting that makes
+        existential queries tractable).  Here, when the plan's output is
+        a lazy *or-set* spine, each element's worlds are yielded as the
+        element is produced: the or-set is a disjunction, so its
+        conceptual values are the union of its elements' worlds and the
+        first witness never forces the tail.  Set/bag-kinded outputs take
+        a choice per member (a cross product), so they materialize as
+        before.  Yield order may differ from the eager backend's; the
+        yielded *set* of values is identical.
+        """
+        from repro.core.lazy import iter_possibilities
+        from repro.core.worlds import iter_worlds
+
+        leaf = interner.leaf_apply if interner is not None else None
+        result = self._eval(plan, plan.root, value, leaf, {})
+        if isinstance(result, _Stream) and result.kind == "orset":
+
+            def stream(elems=result.elems):
+                seen: set[Value] = set()
+                for elem in elems:
+                    for world in iter_worlds(elem):
+                        if world not in seen:
+                            seen.add(world)
+                            yield world
+
+            return stream()
+        return iter_possibilities(_materialize(result))
 
     def _eval(
         self,

@@ -20,10 +20,23 @@ sort order (and, worse, the normal form) for each copy.  The
   possible-worlds workloads — is computed once.
 
 The arena holds strong references by design (identity-keyed caches
-require it); call :meth:`Interner.clear` to release everything.
+require it), so it is *bounded*: once it holds ``max_size`` entries the
+next :meth:`intern` evicts everything (arena, sort keys and normalize
+memo together — they are keyed by ids the arena keeps alive, so they
+must go as one).  Eviction costs one cold rebuild of the working set and
+is counted in :meth:`stats`; pass ``max_size=None`` for the old
+unbounded behaviour, or call :meth:`Interner.clear` to release
+everything by hand.
+
+All public methods are thread-safe: one :class:`threading.RLock` guards
+the arena and the derived-result caches, which is what makes the shared
+``DEFAULT_ENGINE`` safe to hammer from the parallel backend and
+``run_many`` worker threads.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.types.kinds import Type
 from repro.values.values import (
@@ -39,27 +52,49 @@ from repro.values.values import (
     use_sort_key_cache,
 )
 
-__all__ = ["Interner"]
+__all__ = ["Interner", "DEFAULT_MAX_ARENA_SIZE"]
+
+#: Default arena capacity (entries).  Generous enough that eviction never
+#: fires on benchmark-sized workloads, small enough that a long-running
+#: REPL or server process cannot pin memory without bound.
+DEFAULT_MAX_ARENA_SIZE = 1 << 20
+
+#: Cap on per-interner bound-plan closures (cleared wholesale past it).
+_MAX_BOUND_PLANS = 256
 
 
 class Interner:
-    """A hash-consing arena with identity-keyed derived-result caches."""
+    """A hash-consing arena with identity-keyed derived-result caches.
 
-    def __init__(self) -> None:
+    *max_size* caps the number of arena entries; ``None`` disables the
+    cap.  The arena clears itself (counting an eviction) when a new
+    top-level :meth:`intern` finds it at capacity.
+    """
+
+    def __init__(self, max_size: int | None = DEFAULT_MAX_ARENA_SIZE) -> None:
+        self.max_size = max_size
         self._arena: dict[Value, Value] = {}
         self._sort_keys: dict[int, tuple] = {}
         self._normal_forms: dict[tuple[int, Type | None], Value] = {}
+        self._bound_plans: dict[int, tuple[object, object]] = {}
+        # RLock: normalize() interns, and leaf_apply-driven normalize
+        # calls may arrive while intern() already holds the lock.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.normalize_hits = 0
         self.normalize_misses = 0
+        self.evictions = 0
 
     # -- hash-consing ------------------------------------------------------
 
     def intern(self, value: Value) -> Value:
         """The canonical physical object structurally equal to *value*."""
-        with use_sort_key_cache(self._sort_keys):
-            return self._intern(value)
+        with self._lock:
+            if self.max_size is not None and len(self._arena) >= self.max_size:
+                self._evict()
+            with use_sort_key_cache(self._sort_keys):
+                return self._intern(value)
 
     def _intern(self, value: Value) -> Value:
         canon = self._arena.get(value)
@@ -90,14 +125,27 @@ class Interner:
 
     def is_interned(self, value: Value) -> bool:
         """Is *value* (this exact object) the arena's canonical copy?"""
-        return self._arena.get(value) is value
+        with self._lock:
+            return self._arena.get(value) is value
+
+    def _evict(self) -> None:
+        """Drop every cache at once (all are keyed by arena-pinned ids).
+
+        Previously returned canonical objects stay valid values — they
+        merely stop being identical to the canon of *future* interns.
+        """
+        self._arena.clear()
+        self._sort_keys.clear()
+        self._normal_forms.clear()
+        self.evictions += 1
 
     # -- derived results ---------------------------------------------------
 
     def sort_key(self, value: Value) -> tuple:
         """The canonical sort key, cached on the interned identity."""
-        canon = self.intern(value)
-        return self._sort_keys[id(canon)]
+        with self._lock:
+            canon = self.intern(value)
+            return self._sort_keys[id(canon)]
 
     def normalize(self, value: Value, value_type: Type | None = None) -> Value:
         """Memoized :func:`repro.core.normalize.normalize`.
@@ -105,20 +153,37 @@ class Interner:
         The key is the *identity* of the interned input (plus the
         declared type), so equal inputs share one normalization no matter
         how many structurally distinct copies the caller holds.
+
+        The lock is held only around the memo lookups and inserts — the
+        normalization itself runs outside it, so concurrent workers
+        normalizing *different* inputs do not serialize on one arena
+        (first-insert-wins on the rare duplicated computation).
         """
         from repro.core.normalize import normalize as _normalize
 
-        canon = self.intern(value)
-        key = (id(canon), value_type)
-        cached = self._normal_forms.get(key)
-        if cached is not None:
-            self.normalize_hits += 1
-            return cached
-        self.normalize_misses += 1
-        with use_sort_key_cache(self._sort_keys):
-            result = self._intern(_normalize(canon, value_type))
-        self._normal_forms[key] = result
-        return result
+        with self._lock:
+            canon = self.intern(value)
+            key = (id(canon), value_type)
+            cached = self._normal_forms.get(key)
+            if cached is not None:
+                self.normalize_hits += 1
+                return cached
+        raw = _normalize(canon, value_type)
+        with self._lock:
+            # `canon` is pinned by this frame, but an eviction may have
+            # cleared the arena in between: re-intern so the memo key's
+            # id is arena-pinned again (a no-op hit in the common case).
+            with use_sort_key_cache(self._sort_keys):
+                canon = self._intern(canon)
+                key = (id(canon), value_type)
+                cached = self._normal_forms.get(key)
+                if cached is not None:
+                    self.normalize_hits += 1
+                    return cached
+                self.normalize_misses += 1
+                result = self._intern(raw)
+            self._normal_forms[key] = result
+            return result
 
     # -- plan integration --------------------------------------------------
 
@@ -135,23 +200,50 @@ class Interner:
             return lambda v: self.normalize(v, declared)
         return m.apply
 
+    def bound_plan(self, plan):
+        """The plan's executable closure with this arena's leaf executor.
+
+        The memo lives on the *interner*, not the plan: the bound
+        closures close over ``self``, so caching them on the (engine-
+        cached, long-lived) plan would pin a batch-scoped arena for the
+        plan's lifetime.  Here everything dies with the interner.  The
+        stored ``(plan, fn)`` pair keeps the plan alive so its ``id``
+        cannot be recycled into a stale hit.
+        """
+        key = id(plan)
+        with self._lock:
+            entry = self._bound_plans.get(key)
+            if entry is not None and entry[0] is plan:
+                return entry[1]
+            if len(self._bound_plans) >= _MAX_BOUND_PLANS:
+                self._bound_plans.clear()
+            fn = plan.bind(self.leaf_apply, cache=False)
+            self._bound_plans[key] = (plan, fn)
+            return fn
+
     # -- bookkeeping -------------------------------------------------------
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, int | None]:
         """Arena and cache counters (for benchmarks and diagnostics)."""
-        return {
-            "arena_size": len(self._arena),
-            "intern_hits": self.hits,
-            "intern_misses": self.misses,
-            "normalize_hits": self.normalize_hits,
-            "normalize_misses": self.normalize_misses,
-        }
+        with self._lock:
+            return {
+                "arena_size": len(self._arena),
+                "max_size": self.max_size,
+                "intern_hits": self.hits,
+                "intern_misses": self.misses,
+                "normalize_hits": self.normalize_hits,
+                "normalize_misses": self.normalize_misses,
+                "evictions": self.evictions,
+            }
 
     def clear(self) -> None:
         """Drop the arena and every derived-result cache."""
-        self._arena.clear()
-        self._sort_keys.clear()
-        self._normal_forms.clear()
+        with self._lock:
+            self._arena.clear()
+            self._sort_keys.clear()
+            self._normal_forms.clear()
+            self._bound_plans.clear()
 
     def __len__(self) -> int:
-        return len(self._arena)
+        with self._lock:
+            return len(self._arena)

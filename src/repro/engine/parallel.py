@@ -1,0 +1,249 @@
+"""The parallel backend: sharded execution over the plan's collection spine.
+
+The PODS'93 semantics makes possible-worlds evaluation embarrassingly
+parallel — every or-set branch is an independent world, and the
+structural operators (``map``, ``mu``, the coercions) act elementwise on
+the top-level collection.  :class:`ParallelBackend` exploits exactly
+that independence at the plan level:
+
+* the input collection of a ``map`` stage is split into *shards*
+  (contiguous element chunks), and the compiled body closure runs on
+  each shard in a worker pool;
+* ``mu`` and the kind-changing coercions are cheap resharding steps that
+  keep elements chunked (flattening or retagging without materializing a
+  canonical collection between stages);
+* any node that is not a streamable spine stage falls back to the eager
+  closure on the *materialized* (merged, canonicalized) intermediate,
+  after which sharding resumes — so every plan executes, parallel where
+  the spine allows and eager where it does not;
+* materialization merges shards in order, and the collection
+  constructors canonicalize (sort, deduplicate) exactly as the eager
+  backend's do, so results are structurally identical to
+  :class:`~repro.engine.backends.EagerBackend`'s on every program
+  (property-tested in ``tests/engine/test_parallel.py``).
+
+Like the streaming backend, intermediate shards may carry transient
+duplicates (canonicalization is deferred to materialization); the
+set/or-set → bag coercions therefore deduplicate across shards so no
+transient duplicate becomes an observable multiplicity.
+
+The pool is a lazily created :class:`~concurrent.futures.ThreadPoolExecutor`
+shared by all executions on one backend instance.  Worker closures touch
+only the (locked) interner and immutable values, so concurrent shards
+are safe; on free-threaded builds the shards genuinely overlap, on
+GIL builds the backend degrades to eager-equivalent throughput.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable
+
+from repro.errors import OrNRATypeError
+from repro.lang.bag_ops import BagUnique
+from repro.values.values import Value
+
+from repro.engine.backends import _MU, _RETAG, _WRAPPER_OF, BACKENDS, Backend
+from repro.engine.interning import Interner
+from repro.engine.plan import MAP_KINDS, Plan, PlanNode
+
+__all__ = ["ParallelBackend", "default_worker_count"]
+
+
+def default_worker_count() -> int:
+    """The stdlib-flavoured default pool width."""
+    return min(32, (os.cpu_count() or 1) + 4)
+
+
+class _Shards:
+    """A chunked collection flowing along the spine: kind + element chunks."""
+
+    __slots__ = ("kind", "chunks")
+
+    def __init__(self, kind: str, chunks: list[list[Value]]) -> None:
+        self.kind = kind
+        self.chunks = chunks
+
+
+def _materialize(x: "Value | _Shards") -> Value:
+    if isinstance(x, _Shards):
+        wrapper = _WRAPPER_OF[x.kind]
+        return wrapper(e for chunk in x.chunks for e in chunk)
+    return x
+
+
+def _dedup_chunks(chunks: list[list[Value]]) -> list[list[Value]]:
+    """Drop duplicates across shards, keeping first occurrences in order."""
+    seen: set[Value] = set()
+    out: list[list[Value]] = []
+    for chunk in chunks:
+        kept: list[Value] = []
+        for e in chunk:
+            if e not in seen:
+                seen.add(e)
+                kept.append(e)
+        out.append(kept)
+    return out
+
+
+class ParallelBackend(Backend):
+    """Sharded execution of the top-level collection spine on a pool.
+
+    *max_workers* sizes the thread pool (default:
+    :func:`default_worker_count`); *min_shard* is the smallest collection
+    worth splitting — anything shorter runs as a single inline shard.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: int | None = None, min_shard: int = 4) -> None:
+        self.max_workers = max_workers if max_workers is not None else default_worker_count()
+        self.min_shard = max(1, min_shard)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # -- pool --------------------------------------------------------------
+
+    def _executor(self) -> ThreadPoolExecutor | None:
+        if self.max_workers <= 1:
+            return None
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="repro-parallel",
+                    )
+                    self._pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later execute reopens it)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def _map_chunks(
+        self, fn: Callable[[list[Value]], list[Value]], chunks: list[list[Value]]
+    ) -> list[list[Value]]:
+        pool = self._executor() if len(chunks) > 1 else None
+        if pool is None:
+            return [fn(chunk) for chunk in chunks]
+        return list(pool.map(fn, chunks))
+
+    # -- sharding ----------------------------------------------------------
+
+    def _shard(self, elems: Iterable[Value]) -> list[list[Value]]:
+        items = list(elems)
+        if len(items) < max(self.min_shard, 2) or self.max_workers <= 1:
+            return [items] if items else [[]]
+        n_chunks = min(len(items), self.max_workers * 2)
+        step, extra = divmod(len(items), n_chunks)
+        chunks: list[list[Value]] = []
+        start = 0
+        for i in range(n_chunks):
+            end = start + step + (1 if i < extra else 0)
+            chunks.append(items[start:end])
+            start = end
+        return chunks
+
+    def _as_shards(self, x: "Value | _Shards", kind: str, error: str) -> _Shards:
+        if isinstance(x, _Shards):
+            if x.kind != kind:
+                raise OrNRATypeError(f"{error}, got {_materialize(x)!r}")
+            return x
+        wrapper = _WRAPPER_OF[kind]
+        if not isinstance(x, wrapper):
+            raise OrNRATypeError(f"{error}, got {x!r}")
+        return _Shards(kind, self._shard(x.elems))
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, plan: Plan, value: Value, interner: Interner | None = None) -> Value:
+        leaf = interner.leaf_apply if interner is not None else None
+        result = self._eval(plan, plan.root, value, leaf, {})
+        return _materialize(result)
+
+    def _eval(
+        self,
+        plan: Plan,
+        idx: int,
+        value: "Value | _Shards",
+        leaf: Callable | None,
+        bound: dict[int, Callable[[Value], Value]],
+    ) -> "Value | _Shards":
+        node = plan.nodes[idx]
+        op = node.op
+        if op == "id":
+            return value
+        if op == "chain":
+            for kid in node.kids:
+                value = self._eval(plan, kid, value, leaf, bound)
+            return value
+        if op == "map":
+            kind, _wrapper, _tw, noun = MAP_KINDS[type(node.source)]
+            shards = self._as_shards(value, kind, noun)
+            # The body is bound once, in the coordinating thread, so the
+            # worker closures only *apply* pure compiled functions.
+            body = self._bind_eager(plan, node.kids[0], leaf, bound)
+
+            def run_shard(chunk: list[Value], _body=body) -> list[Value]:
+                return [_body(e) for e in chunk]
+
+            return _Shards(kind, self._map_chunks(run_shard, shards.chunks))
+        source_cls = type(node.source)
+        if op == "leaf" and source_cls in _MU:
+            kind, noun = _MU[source_cls]
+            shards = self._as_shards(value, kind, noun)
+            wrapper = _WRAPPER_OF[kind]
+
+            def flatten(chunk: list[Value], _wrapper=wrapper, _noun=noun) -> list[Value]:
+                out: list[Value] = []
+                for inner in chunk:
+                    if not isinstance(inner, _wrapper):
+                        raise OrNRATypeError(f"{_noun}, got element {inner!r}")
+                    out.extend(inner.elems)
+                return out
+
+            return _Shards(kind, self._map_chunks(flatten, shards.chunks))
+        if op == "leaf" and source_cls in _RETAG:
+            kind_in, kind_out, noun = _RETAG[source_cls]
+            shards = self._as_shards(value, kind_in, noun)
+            chunks = shards.chunks
+            if kind_out == "bag" and kind_in != "bag":
+                # Transient duplicates across shards must not become
+                # observable bag multiplicities (cf. the streaming spine).
+                chunks = _dedup_chunks(chunks)
+            return _Shards(kind_out, chunks)
+        if op == "leaf" and source_cls is BagUnique:
+            shards = self._as_shards(value, "bag", "unique expects a bag")
+            return _Shards("bag", _dedup_chunks(shards.chunks))
+        # Anything else: merge-materialize and run the eager closure.
+        concrete = _materialize(value)
+        return self._bind_eager(plan, idx, leaf, bound)(concrete)
+
+    def _bind_eager(
+        self,
+        plan: Plan,
+        idx: int,
+        leaf: Callable | None,
+        bound: dict[int, Callable[[Value], Value]],
+    ) -> Callable[[Value], Value]:
+        """Eager closures for the subtree at *idx*, cached per execution."""
+
+        def build(i: int) -> Callable[[Value], Value]:
+            fn = bound.get(i)
+            if fn is None:
+                fn = Plan._build_node(plan.nodes[i], build, leaf)
+                bound[i] = fn
+            return fn
+
+        return build(idx)
+
+
+BACKENDS["parallel"] = ParallelBackend()

@@ -112,18 +112,32 @@ class Plan:
     # -- execution ---------------------------------------------------------
 
     def bind(
-        self, leaf_apply: LeafApply | None = None, cache_key: object = None
+        self,
+        leaf_apply: LeafApply | None = None,
+        cache_key: object = None,
+        cache: bool = True,
     ) -> Callable[[Value], Value]:
         """Build (and memoize) the executable closure for this plan.
 
         *leaf_apply* lets a backend substitute the executor of leaf nodes
         (the interning runtime replaces ``Normalize`` leaves with a
         memoized version); *cache_key* identifies that substitution so
-        repeated binds are free.
+        repeated binds are free.  Pass ``cache=False`` to skip the
+        plan-side memo entirely — callers whose *leaf_apply* closes over
+        shorter-lived state (a batch-scoped interner) must own the
+        caching themselves, or the plan would pin that state for its own
+        lifetime.
         """
+        if not cache:
+            return self._bind_fresh(leaf_apply)
         cached = self._bound.get(cache_key)
         if cached is not None:
             return cached
+        fn = self._bind_fresh(leaf_apply)
+        self._bound[cache_key] = fn
+        return fn
+
+    def _bind_fresh(self, leaf_apply: LeafApply | None) -> Callable[[Value], Value]:
         fns: list[Callable[[Value], Value] | None] = [None] * len(self.nodes)
 
         def build(i: int) -> Callable[[Value], Value]:
@@ -135,9 +149,7 @@ class Plan:
             fns[i] = fn
             return fn
 
-        fn = build(self.root)
-        self._bound[cache_key] = fn
-        return fn
+        return build(self.root)
 
     @staticmethod
     def _build_node(

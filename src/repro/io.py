@@ -43,6 +43,8 @@ __all__ = [
     "value_from_text",
     "run_text",
     "run_json",
+    "run_text_many",
+    "run_json_many",
 ]
 
 
@@ -66,23 +68,50 @@ def value_to_json(v: Value) -> object:
     raise OrNRAValueError(f"not a value: {v!r}")
 
 
+def _json_elements(data: dict, key: str) -> list[Value]:
+    elems = data[key]
+    if not isinstance(elems, list):
+        raise OrNRAValueError(
+            f"malformed value JSON: {key!r} expects a list of elements, got {elems!r}"
+        )
+    return [value_from_json(e) for e in elems]
+
+
 def value_from_json(data: object) -> Value:
-    """Decode the JSON structure produced by :func:`value_to_json`."""
+    """Decode the JSON structure produced by :func:`value_to_json`.
+
+    Every malformed fragment — a ``"pair"`` that is not a two-element
+    list, a non-list ``"set"``/``"orset"``/``"bag"``, an ``"atom"``
+    without a ``"value"`` — raises :class:`~repro.errors.OrNRAValueError`
+    naming the offending fragment, never a bare ``ValueError`` or
+    ``TypeError`` from the decoding plumbing.
+    """
     if not isinstance(data, dict):
         raise OrNRAValueError(f"malformed value JSON: {data!r}")
     if "unit" in data:
         return UNIT_VALUE
     if "atom" in data:
-        return Atom(str(data["atom"]), data["value"])
+        if "value" not in data:
+            raise OrNRAValueError(f"malformed value JSON: atom without a value: {data!r}")
+        payload = data["value"]
+        if not isinstance(payload, (bool, int, float, str)):
+            raise OrNRAValueError(
+                f"malformed value JSON: atom value must be a scalar, got {payload!r}"
+            )
+        return Atom(str(data["atom"]), payload)
     if "pair" in data:
-        left, right = data["pair"]
-        return Pair(value_from_json(left), value_from_json(right))
+        sides = data["pair"]
+        if not isinstance(sides, list) or len(sides) != 2:
+            raise OrNRAValueError(
+                f"malformed value JSON: 'pair' expects [left, right], got {sides!r}"
+            )
+        return Pair(value_from_json(sides[0]), value_from_json(sides[1]))
     if "set" in data:
-        return SetValue(value_from_json(e) for e in data["set"])
+        return SetValue(_json_elements(data, "set"))
     if "orset" in data:
-        return OrSetValue(value_from_json(e) for e in data["orset"])
+        return OrSetValue(_json_elements(data, "orset"))
     if "bag" in data:
-        return BagValue(value_from_json(e) for e in data["bag"])
+        return BagValue(_json_elements(data, "bag"))
     if "inl" in data:
         return Variant(0, value_from_json(data["inl"]))
     if "inr" in data:
@@ -97,7 +126,11 @@ def dumps_value(v: Value) -> str:
 
 def loads_value(text: str) -> Value:
     """Deserialize a value from :func:`dumps_value` output."""
-    return value_from_json(json.loads(text))
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise OrNRAValueError(f"malformed value JSON: {exc}") from exc
+    return value_from_json(data)
 
 
 def dumps_type(t: Type) -> str:
@@ -162,3 +195,49 @@ def run_json(morphism_text: str, value_json: object, backend: str = "eager") -> 
         intern=False,
     )
     return value_to_json(result)
+
+
+def run_text_many(
+    morphism_text: str, value_texts: list[str], backend: str = "eager"
+) -> list[str]:
+    """Batched :func:`run_text`: parse and compile once, fan out.
+
+    Unlike a loop of ``run_text`` calls, the batch shares one
+    *batch-scoped* interner — structurally equal inputs (and their
+    memoized normal forms) are computed once — and nothing stays pinned
+    in the default engine's arena after the call returns.
+    """
+    from repro.engine import DEFAULT_ENGINE, Interner
+    from repro.lang.parser import parse_morphism, parse_value
+
+    results = DEFAULT_ENGINE.run_many(
+        parse_morphism(morphism_text),
+        [parse_value(text) for text in value_texts],
+        backend=backend,
+        interner=Interner(),
+    )
+    return [format_value(r) for r in results]
+
+
+def run_json_many(
+    morphism_text: str, values_json: list, backend: str = "eager"
+) -> list[object]:
+    """Batched :func:`run_json`: parse and compile once, fan out.
+
+    The batch endpoint for serving many worlds of one query: the program
+    is parsed and compiled once, structurally equal inputs are computed
+    once (one batch-scoped interner shares memoized normal forms across
+    the whole batch), and distinct inputs fan out across worker threads.
+    Results come back in input order; nothing is pinned in the default
+    engine's arena afterwards.
+    """
+    from repro.engine import DEFAULT_ENGINE, Interner
+    from repro.lang.parser import parse_morphism
+
+    results = DEFAULT_ENGINE.run_many(
+        parse_morphism(morphism_text),
+        [value_from_json(v) for v in values_json],
+        backend=backend,
+        interner=Interner(),
+    )
+    return [value_to_json(r) for r in results]

@@ -12,13 +12,14 @@ Commands::
     let x : <int> = <1, 2>            bind with a declared type
     def f = ormap(pi_1) o alpha       bind a morphism
     apply f x                         evaluate a named/inline morphism
+    applymany f x y z                 batched evaluation (run_many)
     normalize x                       the conceptual value (or-NRA+)
     worlds x                          possible-worlds denotation
     type x                            inferred type
     typeof f                          most general morphism type
     size x                            Section 6 size measure
     plan f                            compiled engine plan of a morphism
-    backend streaming                 switch the execution backend
+    backend parallel                  switch the execution backend
     show x          /  x              print a binding
     del x                             destroy a binding
     env                               list bindings
@@ -58,12 +59,15 @@ _HELP = """commands:
   let NAME : TYPE = VALUE     bind with a declared type
   def NAME = MORPHISM         bind a morphism, e.g.  def q = ormap(pi_1)
   apply MORPHISM NAME         run a morphism on a binding
+  applymany MORPHISM NAMES..  run a morphism on several bindings at once
+                              (compiled once, fanned out via run_many)
   normalize NAME              conceptual value (the or-NRA+ primitive)
   worlds NAME                 possible-worlds denotation
   type NAME | typeof NAME     type of a value / morphism binding
   size NAME                   Section 6 size measure
   plan MORPHISM               show the optimized, compiled engine plan
-  backend [eager|streaming]   show or select the execution backend
+  backend [eager|streaming|parallel]
+                              show or select the execution backend
   show NAME (or just NAME)    print a binding
   del NAME                    remove a binding
   env | help | quit"""
@@ -125,6 +129,8 @@ class Repl:
             return self._cmd_def(rest)
         if head == "apply":
             return self._cmd_apply(rest)
+        if head == "applymany":
+            return self._cmd_applymany(rest)
         if head == "normalize":
             value, t = self._lookup_value(rest)
             result = self.engine.interner.normalize(value, t)
@@ -214,6 +220,39 @@ class Repl:
         value, _t = self.values[arg]
         result = self.engine.run(m, value, backend=self.backend)
         return self._render(result)
+
+    def _cmd_applymany(self, rest: str) -> str:
+        # `applymany MORPHISM NAME...` — the arguments are the trailing
+        # run of bound value names; everything before them is the
+        # morphism text.  A bound name may shadow a morphism word (e.g.
+        # a value called `alpha`), so of the candidate splits we take
+        # the longest name suffix whose prefix actually parses.
+        tokens = rest.split()
+        longest = len(tokens)
+        while longest > 1 and tokens[longest - 1] in self.values:
+            longest -= 1
+        if longest == len(tokens) or longest == 0:
+            return "error: expected  applymany MORPHISM NAME..."
+        last_error: OrNRAError | None = None
+        for split in range(longest, len(tokens)):
+            try:
+                m = self._morphism(" ".join(tokens[:split]))
+            except OrNRAError as exc:
+                last_error = exc
+                continue
+            names = tokens[split:]
+            results = self.engine.run_many(
+                m,
+                [self.values[name][0] for name in names],
+                backend=self.backend,
+            )
+            return "\n".join(
+                f"{name}: {self._render(result)}"
+                for name, result in zip(names, results)
+            )
+        raise last_error if last_error is not None else OrNRAError(
+            "expected  applymany MORPHISM NAME..."
+        )
 
 
 def main(stdin: TextIO | None = None, stdout: TextIO | None = None) -> None:

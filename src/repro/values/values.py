@@ -18,6 +18,7 @@ Construction helpers accept raw Python scalars and wrap them in
 
 from __future__ import annotations
 
+import threading as _threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
@@ -294,7 +295,10 @@ def _atom_key(a: Atom) -> tuple:
 # engine's interning arena (repro.engine.interning).  Entries are keyed by
 # id(); the installer must keep the keyed objects alive for the cache's
 # lifetime, which the arena guarantees by holding strong references.
-_SORT_KEY_CACHE: dict[int, tuple] | None = None
+# The installation is *per thread* (threading.local), so concurrent
+# engine runs — the parallel backend, `run_many` fan-out — never observe
+# each other's cache swaps.
+_SORT_KEY_TLS = _threading.local()
 
 
 @contextmanager
@@ -303,15 +307,14 @@ def use_sort_key_cache(cache: dict[int, tuple]) -> Iterator[None]:
 
     :func:`sort_key` only *reads* the cache (the installer decides which
     object ids are safe to register); nesting restores the previous cache
-    on exit.
+    on exit, and the installation is visible only to the calling thread.
     """
-    global _SORT_KEY_CACHE
-    previous = _SORT_KEY_CACHE
-    _SORT_KEY_CACHE = cache
+    previous = getattr(_SORT_KEY_TLS, "cache", None)
+    _SORT_KEY_TLS.cache = cache
     try:
         yield
     finally:
-        _SORT_KEY_CACHE = previous
+        _SORT_KEY_TLS.cache = previous
 
 
 def sort_key(v: Value) -> tuple:
@@ -320,7 +323,7 @@ def sort_key(v: Value) -> tuple:
     Mixed kinds get disjoint key prefixes, so the order is total on all
     values (needed only for canonical storage, never for semantics).
     """
-    cache = _SORT_KEY_CACHE
+    cache = getattr(_SORT_KEY_TLS, "cache", None)
     if cache is not None:
         hit = cache.get(id(v))
         if hit is not None:

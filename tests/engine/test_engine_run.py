@@ -24,7 +24,7 @@ from repro.values.values import vbag, vorset, vpair, vset
 DOUBLE = Compose(plus(), PairOf(Id(), Id()))
 
 
-@pytest.fixture(params=["eager", "streaming"])
+@pytest.fixture(params=["eager", "streaming", "parallel"])
 def backend(request):
     return request.param
 
@@ -147,3 +147,143 @@ class TestEngineObject:
         eng = Engine()
         text = eng.explain(Compose(OrMap(Proj1()), Alpha()), parse_type("{<int * bool>}"))
         assert "chain" in text and "->" in text
+
+    def test_explain_does_not_annotate_cached_plan(self):
+        # Regression: a typed explain must not leak annotations into the
+        # shared cached plan (or into a later untyped explain).
+        from repro.types.parse import parse_type
+
+        eng = Engine()
+        q = Compose(OrMap(Proj1()), Alpha())
+        assert "->" in eng.explain(q, parse_type("{<int * bool>}"))
+        assert "->" not in eng.explain(q)
+        plan = eng.compile(q)
+        assert all(n.dom is None and n.cod is None for n in plan.nodes)
+
+    def test_plan_cache_is_lru_bounded(self):
+        from repro.lang.primitives import int_binop
+
+        eng = Engine(max_plans=3)
+        programs = [OrMap(int_binop(f"op{i}", lambda a, b: a)) for i in range(6)]
+        for q in programs:
+            eng.compile(q)
+        assert len(eng._plans) == 3
+        # The most recent programs survive; the oldest were evicted.
+        assert (programs[5], True) in eng._plans
+        assert (programs[0], True) not in eng._plans
+
+
+class TestRunMany:
+    def test_matches_run_elementwise(self, backend):
+        q = Compose(OrMap(SetMap(DOUBLE)), Alpha())
+        batch = [vset(vorset(1, 2), vorset(3 + i)) for i in range(6)]
+        eng = Engine()
+        assert eng.run_many(q, batch, backend=backend) == [
+            eng.run(q, v, backend=backend) for v in batch
+        ]
+
+    def test_preserves_input_order_with_duplicates(self):
+        eng = Engine()
+        batch = [vorset(1, 2), vorset(3), vorset(1, 2), vorset(3), vorset(1, 2)]
+        results = eng.run_many(OrMap(DOUBLE), batch)
+        assert results == [eng.run(OrMap(DOUBLE), v) for v in batch]
+        # Duplicates come back as the same interned object.
+        assert results[0] is results[2] is results[4]
+
+    def test_empty_batch(self):
+        assert Engine().run_many(Id(), []) == []
+
+    def test_sequential_mode(self):
+        eng = Engine()
+        batch = [vorset(i, i + 1) for i in range(5)]
+        assert eng.run_many(OrMap(DOUBLE), batch, max_workers=0) == [
+            eng.run(OrMap(DOUBLE), v) for v in batch
+        ]
+
+    def test_batch_scoped_interner_pins_nothing(self):
+        from repro.engine import Interner
+
+        eng = Engine()
+        before = len(eng.interner)
+        batch_arena = Interner()
+        eng.run_many(OrMap(DOUBLE), [vorset(1, 2)] * 4, interner=batch_arena)
+        assert len(eng.interner) == before
+        assert len(batch_arena) > 0
+
+    def test_batch_scoped_interner_is_garbage_collected(self):
+        # Regression: the cached plan must not pin a batch arena — the
+        # bound-closure memo lives on the interner, not on the plan.
+        import gc
+        import weakref
+
+        from repro.engine import Interner
+
+        eng = Engine()
+        q = OrMap(DOUBLE)
+        batch_arena = Interner()
+        eng.run_many(q, [vorset(1, 2)] * 4, interner=batch_arena)
+        plan = eng.compile(q)
+        assert all(not isinstance(k, tuple) for k in plan._bound)
+        ref = weakref.ref(batch_arena)
+        del batch_arena
+        gc.collect()
+        assert ref() is None
+
+    def test_module_level_run_many(self):
+        batch = [vorset(1, 2), vorset(3)]
+        assert engine.run_many(OrMap(DOUBLE), batch) == [
+            engine.run(OrMap(DOUBLE), v) for v in batch
+        ]
+
+    def test_python_scalars_are_coerced(self):
+        assert engine.run_many(DOUBLE, [1, 2]) == [DOUBLE(1), DOUBLE(2)]
+
+
+class TestStreamingPossibilitiesLaziness:
+    """Regression: `possibilities` on the streaming backend must yield
+    its first value without materializing the full normal form."""
+
+    def _tracking_query(self):
+        from repro.lang.primitives import unary_primitive
+        from repro.values.values import Atom
+
+        calls = []
+
+        def body(v):
+            calls.append(v)
+            return Atom("int", v.value + 1)
+
+        return OrMap(unary_primitive("track", body, INT, INT)), calls
+
+    def test_first_value_short_circuits(self):
+        q, calls = self._tracking_query()
+        eng = Engine()
+        it = eng.possibilities(q, vorset(*range(100)), backend="streaming")
+        first = next(it)
+        assert first is not None
+        assert len(calls) < 100
+
+    def test_eager_backend_materializes(self):
+        # The contrast case: the base implementation executes first.
+        q, calls = self._tracking_query()
+        eng = Engine()
+        next(eng.possibilities(q, vorset(*range(100)), backend="eager"))
+        assert len(calls) == 100
+
+    def test_streamed_set_equals_eager_set(self):
+        q = Compose(OrMap(DOUBLE), SetToOr())
+        v = vset(*range(10))
+        eng = Engine()
+        assert set(eng.possibilities(q, v, backend="streaming")) == set(
+            eng.possibilities(q, v, backend="eager")
+        )
+
+    def test_exhausting_the_stream_matches_normal_form(self):
+        from repro.core.normalize import possibilities as eager_possibilities
+
+        eng = Engine()
+        v = vset(vorset(1, 2), vorset(3))
+        q = Compose(SetToOr(), Id())
+        streamed = list(eng.possibilities(q, v, backend="streaming"))
+        assert set(streamed) == set(eager_possibilities(q(v)))
+        assert len(streamed) == len(set(streamed))

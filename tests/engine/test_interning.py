@@ -98,3 +98,54 @@ class TestDerivedCaches:
         stats = interner.stats()
         assert stats["intern_hits"] >= 1
         assert stats["intern_misses"] >= 1
+
+
+class TestBoundedArena:
+    """Regression: the arena must not grow without bound in a
+    long-running process (the REPL and DEFAULT_ENGINE previously pinned
+    every value ever interned)."""
+
+    def test_eviction_fires_at_capacity(self):
+        interner = Interner(max_size=8)
+        for i in range(100):
+            interner.intern(vorset(i, i + 1))
+        stats = interner.stats()
+        assert stats["evictions"] >= 1
+        # Bounded: at capacity the arena clears, then refills; a single
+        # intern can overshoot by at most its own node count.
+        assert stats["arena_size"] < 8 + 8
+
+    def test_eviction_clears_derived_caches_together(self):
+        interner = Interner(max_size=4)
+        v = big_value()
+        first = interner.normalize(v)
+        for i in range(50):
+            interner.intern(vorset(1000 + i))
+        # The memo went with the arena, but the recomputed result is
+        # still structurally equal.
+        assert interner.normalize(v) == first
+
+    def test_evicted_objects_stay_valid_values(self):
+        interner = Interner(max_size=4)
+        canon = interner.intern(big_value())
+        for i in range(50):
+            interner.intern(vorset(2000 + i))
+        assert canon == big_value()
+        assert normalize(canon) == normalize(big_value())
+
+    def test_unbounded_when_max_size_none(self):
+        interner = Interner(max_size=None)
+        for i in range(200):
+            interner.intern(vorset(i))
+        assert interner.stats()["evictions"] == 0
+        assert len(interner) >= 200
+
+    def test_stats_surface_policy(self):
+        stats = Interner(max_size=128).stats()
+        assert stats["max_size"] == 128
+        assert stats["evictions"] == 0
+
+    def test_default_is_bounded(self):
+        from repro.engine.interning import DEFAULT_MAX_ARENA_SIZE
+
+        assert Interner().max_size == DEFAULT_MAX_ARENA_SIZE

@@ -1,0 +1,165 @@
+"""Tests for the sharded parallel backend.
+
+The headline property: ``ParallelBackend`` output is structurally equal
+to ``EagerBackend`` output on random programs (values from
+``tests/strategies.py``, programs from :mod:`repro.morphgen`), whatever
+the pool width or chunking.  The unit tests pin each spine stage —
+sharded map, mu flattening, coercion retagging, transient-duplicate
+handling — and the eager fallback.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import engine
+from repro.engine import BACKENDS, Engine, ParallelBackend
+from repro.engine.plan import compile_plan
+from repro.errors import OrNRATypeError
+from repro.gen import random_orset_value
+from repro.lang.bag_ops import bag_unique, settobag
+from repro.lang.morphisms import Bang, Compose, Id, PairOf
+from repro.lang.orset_ops import Alpha, OrMap, OrToSet, SetToOr
+from repro.lang.primitives import plus
+from repro.lang.set_ops import SetMap, SetMu
+from repro.morphgen import random_lossless_morphism
+from repro.values.values import vbag, vorset, vpair, vset
+
+from tests.strategies import typed_orset_values
+
+DOUBLE = Compose(plus(), PairOf(Id(), Id()))
+
+
+class TestRegistration:
+    def test_registered_in_backends(self):
+        assert isinstance(BACKENDS["parallel"], ParallelBackend)
+
+    def test_engine_accepts_parallel(self):
+        assert engine.run(Id(), vset(1, 2), backend="parallel") == vset(1, 2)
+
+
+class TestStructuralEqualityWithEager:
+    @settings(max_examples=60, deadline=None)
+    @given(typed_orset_values(max_depth=3, max_width=3, min_width=1), st.integers(0, 10_000))
+    def test_random_programs_from_strategies(self, pair, seed):
+        value, t = pair
+        f, _ = random_lossless_morphism(t, random.Random(seed), depth=4)
+        eng = Engine()
+        assert eng.run(f, value, backend="parallel") == eng.run(f, value, backend="eager")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_random_programs_from_morphgen(self, seed):
+        rng = random.Random(seed)
+        v, t = random_orset_value(rng, max_depth=3, max_width=2, min_width=1)
+        f, _ = random_lossless_morphism(t, rng, depth=4)
+        eng = Engine()
+        assert eng.run(f, v, backend="parallel") == f(v), f.describe()
+
+    def test_single_worker_backend_agrees(self):
+        # max_workers=1 disables the pool entirely: single inline shard.
+        backend = ParallelBackend(max_workers=1)
+        rng = random.Random(11)
+        eng = Engine()
+        eng.backends["serial-parallel"] = backend
+        for _ in range(25):
+            v, t = random_orset_value(rng, max_depth=3, max_width=2, min_width=1)
+            f, _ = random_lossless_morphism(t, rng, depth=4)
+            assert eng.run(f, v, backend="serial-parallel") == f(v)
+
+    def test_tiny_chunks_agree(self):
+        # min_shard=1 with many workers forces maximal sharding.
+        backend = ParallelBackend(max_workers=8, min_shard=1)
+        q = Compose(SetMu(), SetMap(SetMap(DOUBLE)))
+        v = vset(vset(1, 2), vset(3, 4), vset(5))
+        plan = compile_plan(q)
+        assert backend.execute(plan, v) == q(v)
+        backend.close()
+
+
+class TestSpineStages:
+    def test_sharded_map(self):
+        q = SetMap(DOUBLE)
+        v = vset(*range(50))
+        assert engine.run(q, v, backend="parallel") == q(v)
+
+    def test_mu_flattening(self):
+        q = Compose(SetMu(), SetMap(SetMap(DOUBLE)))
+        v = vset(*(vset(3 * i, 3 * i + 1, 3 * i + 2) for i in range(10)))
+        assert engine.run(q, v, backend="parallel") == q(v)
+
+    def test_coercion_chain(self):
+        q = Compose(OrToSet(), SetToOr())
+        v = vset(1, 2, 2, 3)
+        assert engine.run(q, v, backend="parallel", optimize=False) == q(v)
+
+    def test_settobag_dedups_transient_shard_duplicates(self):
+        # map over a set may emit colliding outputs across shards; the
+        # set->bag coercion must not expose them as multiplicities.
+        from repro.lang.bag_ops import SetToBag
+
+        q = Compose(SetToBag(), SetMap(Bang()))
+        v = vset(*range(20))
+        assert q(v) == vbag(None)
+        assert engine.run(q, v, backend="parallel", optimize=False) == q(v)
+
+    def test_bag_unique_dedups_across_shards(self):
+        q = Compose(bag_unique(), settobag())
+        v = vset(*range(20))
+        assert engine.run(q, v, backend="parallel") == q(v)
+
+    def test_eager_fallback_for_alpha(self):
+        q = Compose(OrMap(SetMap(DOUBLE)), Alpha())
+        v = vset(vorset(1, 2), vorset(3, 4))
+        assert engine.run(q, v, backend="parallel") == q(v)
+
+    def test_mismatched_shard_kind_raises(self):
+        with pytest.raises(OrNRATypeError):
+            engine.run(
+                Compose(SetMu(), SetToOr()), vset(vset(1)), backend="parallel"
+            )
+
+    def test_map_body_errors_propagate_from_workers(self):
+        backend = ParallelBackend(max_workers=4, min_shard=1)
+        eng = Engine()
+        eng.backends["p"] = backend
+        with pytest.raises(OrNRATypeError):
+            eng.run(SetMap(plus()), vset(*range(20)), backend="p")
+        backend.close()
+
+    def test_interned_execution(self):
+        eng = Engine()
+        q = Compose(SetMap(DOUBLE), SetMap(DOUBLE))
+        v = vset(*range(30))
+        out = eng.run(q, v, backend="parallel")
+        assert out == q(v)
+        assert eng.interner.is_interned(out)
+
+
+class TestPool:
+    def test_close_and_reopen(self):
+        backend = ParallelBackend(max_workers=4, min_shard=1)
+        plan = compile_plan(SetMap(DOUBLE))
+        v = vset(*range(16))
+        assert backend.execute(plan, v) == SetMap(DOUBLE)(v)
+        backend.close()
+        assert backend._pool is None
+        assert backend.execute(plan, v) == SetMap(DOUBLE)(v)
+        backend.close()
+
+    def test_sharding_covers_all_elements(self):
+        backend = ParallelBackend(max_workers=4, min_shard=1)
+        chunks = backend._shard(range(11))
+        flat = [e for chunk in chunks for e in chunk]
+        assert flat == list(range(11))
+        assert len(chunks) > 1
+
+    def test_possibilities_matches_eager(self):
+        eng = Engine()
+        v = vset(vorset(1, 2), vorset(3))
+        q = SetToOr()
+        assert set(eng.possibilities(q, v, backend="parallel")) == set(
+            eng.possibilities(q, v, backend="eager")
+        )

@@ -44,6 +44,56 @@ class TestJsonRoundTrip:
             value_from_json(42)
 
 
+class TestMalformedFragments:
+    """Regression: decode failures raise the domain error, never a bare
+    ValueError/TypeError from the decoding plumbing."""
+
+    def test_short_pair_rejected(self):
+        with pytest.raises(OrNRAValueError, match="pair"):
+            value_from_json({"pair": [{"atom": "int", "value": 1}]})
+
+    def test_long_pair_rejected(self):
+        one = {"atom": "int", "value": 1}
+        with pytest.raises(OrNRAValueError, match="pair"):
+            value_from_json({"pair": [one, one, one]})
+
+    def test_non_list_pair_rejected(self):
+        with pytest.raises(OrNRAValueError, match="pair"):
+            value_from_json({"pair": {"left": 1}})
+
+    @pytest.mark.parametrize("key", ["set", "orset", "bag"])
+    def test_non_list_collection_rejected(self, key):
+        with pytest.raises(OrNRAValueError, match=key):
+            value_from_json({key: 7})
+
+    @pytest.mark.parametrize("key", ["set", "orset", "bag"])
+    def test_non_dict_element_rejected(self, key):
+        with pytest.raises(OrNRAValueError):
+            value_from_json({key: [3]})
+
+    def test_atom_without_value_rejected(self):
+        with pytest.raises(OrNRAValueError, match="atom"):
+            value_from_json({"atom": "int"})
+
+    def test_non_scalar_atom_value_rejected(self):
+        with pytest.raises(OrNRAValueError, match="scalar"):
+            value_from_json({"atom": "int", "value": [1, 2]})
+        with pytest.raises(OrNRAValueError, match="scalar"):
+            value_from_json({"set": [{"atom": "int", "value": {"x": 1}}]})
+        with pytest.raises(OrNRAValueError, match="scalar"):
+            value_from_json({"atom": "int", "value": None})
+
+    def test_loads_value_wraps_decode_errors(self):
+        from repro.io import loads_value
+
+        with pytest.raises(OrNRAValueError, match="malformed"):
+            loads_value("{not json")
+
+    def test_error_names_offending_fragment(self):
+        with pytest.raises(OrNRAValueError, match=r"\[1\]"):
+            value_from_json({"pair": [1]})
+
+
 class TestTextRoundTrip:
     @given(typed_values(max_depth=3, max_width=3))
     def test_round_trip(self, pair):
@@ -58,3 +108,54 @@ class TestTypeRoundTrip:
     @given(object_types(max_depth=4))
     def test_round_trip(self, t):
         assert loads_type(dumps_type(t)) == t
+
+
+class TestBatchedEndpoints:
+    def test_run_json_many_matches_run_json(self):
+        from repro.io import run_json, run_json_many
+
+        query = "ormap(map(pi_1)) o alpha"
+        batch = [
+            value_to_json(vset(vorset(vpair(1, 10), vpair(2, 20)))),
+            value_to_json(vset(vorset(vpair(3, 30)))),
+        ]
+        assert run_json_many(query, batch) == [run_json(query, v) for v in batch]
+
+    def test_run_json_many_handles_duplicates_and_order(self):
+        from repro.io import run_json, run_json_many
+
+        a = value_to_json(vset(vorset(vpair(1, 10))))
+        b = value_to_json(vset(vorset(vpair(2, 20))))
+        batch = [a, b, a, a, b]
+        query = "ormap(map(pi_1)) o alpha"
+        assert run_json_many(query, batch) == [run_json(query, v) for v in batch]
+
+    def test_run_json_many_empty_batch(self):
+        from repro.io import run_json_many
+
+        assert run_json_many("normalize", []) == []
+
+    def test_run_json_many_pins_nothing_in_default_engine(self):
+        from repro.engine import DEFAULT_ENGINE
+        from repro.io import run_json_many
+
+        before = len(DEFAULT_ENGINE.interner)
+        run_json_many("normalize", [value_to_json(vset(vorset(7000, 7001)))])
+        assert len(DEFAULT_ENGINE.interner) == before
+
+    def test_run_text_many_matches_run_text(self):
+        from repro.io import run_text, run_text_many
+
+        query = "ormap(map(pi_1)) o alpha"
+        texts = ["{<(1, 2), (3, 4)>}", "{<(5, 6)>}"]
+        assert run_text_many(query, texts) == [run_text(query, t) for t in texts]
+
+    def test_run_json_many_backend_selectable(self):
+        from repro.io import run_json, run_json_many
+
+        batch = [value_to_json(vset(vorset(vpair(1, 10), vpair(2, 20))))]
+        query = "ormap(map(pi_1)) o alpha"
+        for backend in ("eager", "streaming", "parallel"):
+            assert run_json_many(query, batch, backend=backend) == [
+                run_json(query, batch[0])
+            ]

@@ -93,6 +93,62 @@ class TestQueries:
         assert out.startswith("error:")
 
 
+class TestBackendsAndBatch:
+    def test_backend_parallel_selectable(self, repl):
+        assert repl.eval_line("backend parallel") == "backend = parallel"
+        repl.eval_line("let db = {<1, 2>, <3>}")
+        out = repl.eval_line("apply ormap(eta) o alpha db")
+        assert out == "<{{1, 3}}, {{2, 3}}> : <{{int}}>"
+
+    def test_backend_unknown_rejected(self, repl):
+        out = repl.eval_line("backend warp")
+        assert out.startswith("error:") and "parallel" in out
+
+    def test_applymany(self, repl):
+        repl.eval_line("let a = {<1, 2>}")
+        repl.eval_line("let b = {<3>}")
+        out = repl.eval_line("applymany ormap(eta) o alpha a b")
+        assert out.splitlines() == [
+            "a: <{{1}}, {{2}}> : <{{int}}>",
+            "b: <{{3}}> : <{{int}}>",
+        ]
+
+    def test_applymany_named_morphism(self, repl):
+        repl.eval_line("let a = <1, 2>")
+        repl.eval_line("let b = <3>")
+        repl.eval_line("def q = ormap(eta)")
+        out = repl.eval_line("applymany q a b")
+        assert out.splitlines()[0].startswith("a:")
+        assert out.splitlines()[1].startswith("b:")
+
+    def test_applymany_respects_backend(self, repl):
+        repl.eval_line("backend parallel")
+        repl.eval_line("let a = {<1, 2>}")
+        out = repl.eval_line("applymany alpha a")
+        assert out == "a: <{1}, {2}> : <{int}>"
+
+    def test_applymany_requires_names(self, repl):
+        assert repl.eval_line("applymany alpha").startswith("error:")
+        assert repl.eval_line("applymany").startswith("error:")
+
+    def test_applymany_unbound_name(self, repl):
+        out = repl.eval_line("applymany alpha nosuch")
+        assert out.startswith("error:")
+
+    def test_applymany_value_shadowing_morphism_word(self, repl):
+        # A binding named like the morphism's last word must not be
+        # swallowed into the argument list.
+        repl.eval_line("let alpha = {<9>}")
+        repl.eval_line("let db = {<1, 2>}")
+        out = repl.eval_line("applymany ormap(eta) o alpha db")
+        assert out == "db: <{{1}}, {{2}}> : <{{int}}>"
+
+    def test_applymany_shadowed_name_still_usable_as_argument(self, repl):
+        repl.eval_line("let alpha = <1, 2>")
+        out = repl.eval_line("applymany ormap(eta) alpha")
+        assert out == "alpha: <{1}, {2}> : <{int}>"
+
+
 class TestMainLoop:
     def test_scripted_session(self):
         stdin = io.StringIO("let x = <1, 2>\nnormalize x\nquit\n")
