@@ -18,6 +18,8 @@ Implements the measured quantities and the paper's bounds:
 from __future__ import annotations
 
 import math
+from functools import lru_cache
+from typing import NamedTuple
 
 from repro.errors import OrNRAValueError
 from repro.types.kinds import INT, OrSetType, SetType, Type
@@ -27,8 +29,12 @@ from repro.values.values import Atom, OrSetValue, SetValue, Value
 from repro.core.normalize import possibilities
 
 __all__ = [
+    "NormalizationMeasures",
+    "normalization_measures",
     "m_value",
     "normalized_size",
+    "estimate_m_value",
+    "estimate_normalized_size",
     "prop61_bound",
     "thm62_bound",
     "thm63_bound",
@@ -41,9 +47,33 @@ __all__ = [
 ]
 
 
+class NormalizationMeasures(NamedTuple):
+    """Both Section 6 measured quantities from one normalization."""
+
+    m: int  # |normalize(<x>)| — the world count
+    size: int  # size(normalize(<x>)) — sum of the world sizes
+
+
+@lru_cache(maxsize=256)
+def normalization_measures(
+    x: Value, x_type: Type | None = None
+) -> NormalizationMeasures:
+    """``m(x)`` and ``size(normalize(<x>))`` from one shared traversal.
+
+    :func:`m_value` and :func:`normalized_size` both need the possible
+    worlds; computing them separately used to normalize the same value
+    twice.  This materializes the possibilities once and reads both
+    numbers off them; the small LRU memo makes the second accessor free
+    when both are called on the same value (values are immutable and
+    hashable, so caching on them is sound).
+    """
+    worlds = possibilities(x, x_type)
+    return NormalizationMeasures(len(worlds), sum(size(p) for p in worlds))
+
+
 def m_value(x: Value, x_type: Type | None = None) -> int:
     """The paper's ``m(x)``: the cardinality of ``normalize(<x>)``."""
-    return len(possibilities(x, x_type))
+    return normalization_measures(x, x_type).m
 
 
 def normalized_size(x: Value, x_type: Type | None = None) -> int:
@@ -52,7 +82,27 @@ def normalized_size(x: Value, x_type: Type | None = None) -> int:
     The normal form of ``<x>`` is the or-set of possibilities, whose size
     is the sum of the element sizes.
     """
-    return sum(size(p) for p in possibilities(x, x_type))
+    return normalization_measures(x, x_type).size
+
+
+def estimate_m_value(x: Value) -> int:
+    """Static upper bound on ``m(x)`` — never materializes a world.
+
+    Delegates to the engine's cost model
+    (:func:`repro.engine.cost_model.estimate_value`), which combines the
+    compositional world-count recursion with Proposition 6.1's
+    ``prod_i (m_i + 1)`` cap.  Exact on :func:`tight_family` witnesses.
+    """
+    from repro.engine.cost_model import estimate_m_value as _estimate
+
+    return _estimate(x)
+
+
+def estimate_normalized_size(x: Value) -> int:
+    """Static upper bound on ``size(normalize(<x>))`` — never normalizes."""
+    from repro.engine.cost_model import estimate_normalized_size as _estimate
+
+    return _estimate(x)
 
 
 def prop61_bound(x: Value) -> int:
@@ -185,7 +235,7 @@ def log_lower_bound_holds(x: Value, x_type: Type | None = None) -> bool:
     (size(x)/2) 3^(size(x)/3)`` which is its contrapositive source.
     """
     n_in = size(x)
-    n_out = sum(size(p) for p in possibilities(x, x_type)) or 1
+    n_out = normalization_measures(x, x_type).size or 1
     upper = n_out <= thm63_bound(max(n_in, 2))
     lower = n_in >= math.log(max(n_out, 1), 3) * 0.5
     return upper and lower

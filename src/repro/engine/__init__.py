@@ -23,6 +23,12 @@ The single entry point is :func:`run` (or :meth:`Engine.run`)::
     engine.run(q, db, optimize=False, intern=False)  # plain compiled
     engine.run_many(q, dbs)                          # compile once, fan out
 
+The default ``backend="auto"`` picks the backend *per call* from the
+cost model (:mod:`repro.engine.cost_model`): the input's estimated world
+count and the plan's spine profile decide between eager execution,
+lazy streaming and estimate-proportional sharding — without building a
+single world (Section 6's bounds are computed statically).
+
 ``engine.run(p, v)`` is structurally equal to the direct interpretation
 ``p(v)`` for every program; the engine is the canonical execution path
 used by the REPL, the I/O helpers, the examples and the benchmarks.
@@ -46,11 +52,22 @@ from repro.types.kinds import Type
 from repro.values.values import Value, ensure_value
 
 from repro.engine.backends import BACKENDS, Backend, EagerBackend, StreamingBackend
+from repro.engine.cost_model import (
+    BackendChoice,
+    PlanProfile,
+    ShapeEstimate,
+    annotate_plan,
+    estimate_morphism_cost,
+    estimate_value,
+    plan_profile,
+    select_backend,
+)
 from repro.engine.interning import Interner
 from repro.engine.parallel import ParallelBackend, default_worker_count
 from repro.engine.passes import (
     COND_PUSHDOWN,
     DEFAULT_PASSES,
+    LATE_NORMALIZE,
     Pass,
     Pipeline,
     default_pipeline,
@@ -72,6 +89,7 @@ __all__ = [
     "Pipeline",
     "DEFAULT_PASSES",
     "COND_PUSHDOWN",
+    "LATE_NORMALIZE",
     "default_pipeline",
     "optimize_morphism",
     "Interner",
@@ -81,6 +99,14 @@ __all__ = [
     "ParallelBackend",
     "BACKENDS",
     "default_worker_count",
+    "ShapeEstimate",
+    "estimate_value",
+    "estimate_morphism_cost",
+    "annotate_plan",
+    "PlanProfile",
+    "plan_profile",
+    "BackendChoice",
+    "select_backend",
 ]
 
 
@@ -128,21 +154,35 @@ class Engine:
                 self._plans.popitem(last=False)
         return plan
 
-    def explain(self, program: Morphism, input_type: Type | None = None) -> str:
+    def explain(
+        self,
+        program: Morphism,
+        input_type: Type | None = None,
+        value: object = None,
+    ) -> str:
         """The optimized, compiled (and, given a type, annotated) plan.
 
         Describes a *fresh* compilation rather than the cached plan:
         ``infer_types`` writes dom/cod annotations into the plan's nodes,
         and annotating the shared cached plan would leak one call's types
         into later ``explain``/``describe`` output (or a concurrent
-        reader's).
+        reader's).  Given a *value*, each node is additionally annotated
+        with the cost model's predicted world count and normalized size
+        (``~worlds<=... size<=...``) — the Section 6 bounds, computed
+        without building a single world — followed by the backend the
+        adaptive selector would pick for this call.
         """
         with self._lock:
             m = self.pipeline.run(program)
         plan = compile_plan(m)
         if input_type is not None:
             plan.infer_types(input_type)
-        return plan.describe()
+        if value is None:
+            return plan.describe()
+        concrete = ensure_value(value)
+        plan.annotate_estimates(concrete)
+        choice = select_backend(plan, concrete)
+        return plan.describe() + f"\nbackend: {choice.backend} ({choice.reason})"
 
     # -- execution ---------------------------------------------------------
 
@@ -151,34 +191,52 @@ class Engine:
         program: Morphism,
         value: object,
         *,
-        backend: str = "eager",
+        backend: str = "auto",
         optimize: bool = True,
         intern: bool = True,
     ) -> Value:
         """Compile *program* and execute it on *value*.
 
-        ``backend`` selects eager, streaming or parallel execution;
-        ``optimize`` toggles the pass pipeline; ``intern`` routes values
-        through the hash-consing arena (enabling the memoized
-        ``normalize``).
+        ``backend`` selects eager, streaming or parallel execution — or
+        ``"auto"`` (the default), which picks per call from the cost
+        model's static world-count estimate and the plan's spine profile
+        (:func:`repro.engine.cost_model.select_backend`); ``optimize``
+        toggles the pass pipeline; ``intern`` routes values through the
+        hash-consing arena (enabling the memoized ``normalize``).
         """
-        chosen = self._backend(backend)
         plan = self.compile(program, optimize)
         concrete = ensure_value(value)
         interner = self.interner if intern else None
         if interner is not None:
             concrete = interner.intern(concrete)
-        result = chosen.execute(plan, concrete, interner)
+        result = self._execute(backend, plan, concrete, interner)
         if interner is not None:
             result = interner.intern(result)
         return result
+
+    def _execute(
+        self,
+        backend: str,
+        plan: Plan,
+        concrete: Value,
+        interner: Interner | None,
+        existential: bool = False,
+    ) -> Value:
+        """Resolve *backend* (adaptively for ``"auto"``) and execute."""
+        if backend != "auto":
+            return self._backend(backend).execute(plan, concrete, interner)
+        choice = select_backend(plan, concrete, existential=existential)
+        chosen = self.backends[choice.backend]
+        if choice.shards is not None and isinstance(chosen, ParallelBackend):
+            return chosen.execute(plan, concrete, interner, shard_hint=choice.shards)
+        return chosen.execute(plan, concrete, interner)
 
     def run_many(
         self,
         program: Morphism,
         values: Sequence[object],
         *,
-        backend: str = "eager",
+        backend: str = "auto",
         optimize: bool = True,
         intern: bool = True,
         interner: Interner | None = None,
@@ -192,13 +250,17 @@ class Engine:
         out across a worker pool (``max_workers``; pass ``0`` or ``1``
         for strictly sequential execution).  Results come back in input
         order and satisfy ``run_many(p, vs)[i] == run(p, vs[i])``.
+        ``backend="auto"`` (the default) re-selects the backend per
+        distinct input — a batch can mix small eager inputs with wide
+        sharded ones.
 
         *interner* overrides the engine's arena for this batch — pass a
         fresh :class:`Interner` to share memoized normal forms *within*
         the batch without pinning anything in the engine afterwards
         (this is what :func:`repro.io.run_json_many` does).
         """
-        chosen = self._backend(backend)
+        if backend != "auto":
+            self._backend(backend)  # validate the name up front
         plan = self.compile(program, optimize)
         arena = interner if interner is not None else (self.interner if intern else None)
         concrete = [ensure_value(v) for v in values]
@@ -217,7 +279,7 @@ class Engine:
                 unique.append(v)
 
         def run_one(v: Value) -> Value:
-            result = chosen.execute(plan, v, arena)
+            result = self._execute(backend, plan, v, arena)
             if arena is not None:
                 result = arena.intern(result)
             return result
@@ -238,18 +300,44 @@ class Engine:
         program: Morphism,
         value: object,
         *,
-        backend: str = "eager",
+        backend: str = "auto",
         optimize: bool = True,
         intern: bool = True,
     ) -> Iterator[Value]:
-        """Lazily stream the conceptual values of ``run(program, value)``."""
-        chosen = self._backend(backend)
+        """Lazily stream the conceptual values of ``run(program, value)``.
+
+        With ``backend="auto"`` (the default) this is an *existential*
+        consumer: when the static estimate predicts a huge world count
+        over a streamable spine, the streaming backend is chosen so the
+        first witness short-circuits without materializing a normal form.
+        """
         plan = self.compile(program, optimize)
         interner = self.interner if intern else None
         concrete = ensure_value(value)
         if interner is not None:
             concrete = interner.intern(concrete)
+        if backend == "auto":
+            choice = select_backend(plan, concrete, existential=True)
+            chosen = self.backends[choice.backend]
+        else:
+            chosen = self._backend(backend)
         return chosen.possibilities(plan, concrete, interner)
+
+    def choose_backend(
+        self,
+        program: Morphism,
+        value: object,
+        *,
+        optimize: bool = True,
+        existential: bool = False,
+    ) -> BackendChoice:
+        """The adaptive selector's decision for this call, with reasoning.
+
+        What ``backend="auto"`` would do — exposed for diagnostics, the
+        REPL and tests.
+        """
+        plan = self.compile(program, optimize)
+        return select_backend(plan, ensure_value(value), existential=existential)
 
     def _backend(self, name: str) -> Backend:
         try:
@@ -286,6 +374,12 @@ def compile_program(program: Morphism, optimize: bool = True) -> Plan:
     return DEFAULT_ENGINE.compile(program, optimize)
 
 
-def explain(program: Morphism, input_type: Type | None = None) -> str:
-    """Describe the default engine's plan for *program*."""
-    return DEFAULT_ENGINE.explain(program, input_type)
+def explain(
+    program: Morphism, input_type: Type | None = None, value: object = None
+) -> str:
+    """Describe the default engine's plan for *program*.
+
+    Given a *value*, nodes carry the cost model's predicted world counts
+    and the adaptive backend decision for that input.
+    """
+    return DEFAULT_ENGINE.explain(program, input_type, value)

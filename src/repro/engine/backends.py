@@ -28,6 +28,11 @@ A third strategy, the sharded :class:`~repro.engine.parallel.ParallelBackend`,
 lives in :mod:`repro.engine.parallel` and registers itself under
 ``BACKENDS["parallel"]`` when that module is imported (which
 :mod:`repro.engine` always does).
+
+Callers rarely pick from :data:`BACKENDS` by hand: ``backend="auto"``
+(the :meth:`repro.engine.Engine.run` default) chooses among the three
+per call, from the cost model's static world-count estimate and the
+plan's spine profile (:func:`repro.engine.cost_model.select_backend`).
 """
 
 from __future__ import annotations

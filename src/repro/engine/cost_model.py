@@ -1,0 +1,420 @@
+"""The cost model: static Section 6 estimates driving the engine.
+
+`core/costs.py` measures the paper's quantities — ``m(x)`` (the world
+count) and ``size(normalize(x))`` — by *materializing* every possible
+world, which is exactly the exponential blow-up Section 6 quantifies.
+This module predicts the same quantities **without normalizing**: one
+structural traversal of the value combines
+
+* the compositional world-count recursion (union for or-sets, product
+  for sets, bags and pairs — the argument behind Proposition 6.1),
+* Proposition 6.1's ``prod_i (m_i + 1)`` cap over the innermost or-set
+  arities (:func:`repro.values.measure.innermost_orset_arities`), and
+* the Moon–Moser ``3^(n/3)`` ceiling of Theorem 6.2 for context in
+  diagnostics (the recursion is already at least as tight, so only the
+  first two enter the returned bound),
+
+into a :class:`ShapeEstimate` that is a *sound upper bound*:
+``estimate_value(x).worlds >= m(x)`` and
+``estimate_value(x).norm_size >= size(normalize(<x>))`` for every value
+(property-tested in ``tests/engine/test_cost_model.py``), and exact on
+the tight witness family of Theorem 6.5.
+
+Three consumers sit on top of the estimator:
+
+* :func:`annotate_plan` pushes the input estimate through a compiled
+  :class:`~repro.engine.plan.Plan`, writing predicted world counts and
+  normalized sizes onto every node along the executed spine — which
+  ``Plan.describe`` and ``Engine.explain`` render, so predicted blow-up
+  is visible before a single world is built;
+* :func:`estimate_morphism_cost` is the weighted static cost the
+  optimizer's best-first scheduler minimizes (normalization-class
+  operators carry the Section 6 exponential risk and weigh accordingly);
+* :func:`select_backend` picks the execution backend per call — eager
+  for small estimated world counts, streaming when the estimate says the
+  normal form is huge (existential consumers then short-circuit off the
+  lazy spine), parallel with estimate-proportional shard sizes when the
+  top-level spine is wide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import moon_moser
+from repro.core.normalize import Normalize
+from repro.lang.bag_ops import AlphaD, BagEta, BagMu, BagToSet, BagUnique, SetToBag
+from repro.lang.morphisms import Morphism
+from repro.lang.orset_ops import Alpha, OrEta, OrMu, OrToSet, SetToOr
+from repro.lang.set_ops import SetEta, SetMu
+from repro.values.measure import innermost_orset_arities
+from repro.values.values import (
+    Atom,
+    BagValue,
+    OrSetValue,
+    Pair,
+    SetValue,
+    UnitValue,
+    Value,
+    Variant,
+)
+
+from repro.engine.plan import Plan
+
+__all__ = [
+    "ShapeEstimate",
+    "estimate_value",
+    "estimate_m_value",
+    "estimate_normalized_size",
+    "estimate_morphism_cost",
+    "annotate_plan",
+    "PlanProfile",
+    "plan_profile",
+    "BackendChoice",
+    "select_backend",
+    "SMALL_WORLDS",
+    "WIDE_SPINE",
+    "STREAM_NORM_SIZE",
+    "SHARD_TARGET_WORK",
+]
+
+# -- backend-selection thresholds (documented in docs/ARCHITECTURE.md) -------
+
+#: At or below this many estimated worlds, eager execution (with its
+#: maximal memo reuse) beats the laziness bookkeeping.
+SMALL_WORLDS = 64
+
+#: Top-level collections at least this wide are worth sharding.
+WIDE_SPINE = 32
+
+#: Estimated ``size(normalize(x))`` past which a streamable spine should
+#: run lazily rather than materialize canonical intermediates.
+STREAM_NORM_SIZE = 4096
+
+#: Target estimated leaf-work per parallel shard; the shard-count hint is
+#: the estimated total size divided by this, clamped to the spine width.
+SHARD_TARGET_WORK = 256
+
+
+@dataclass(frozen=True)
+class ShapeEstimate:
+    """Static Section 6 bounds for one value, from one traversal.
+
+    ``worlds``    — upper bound on ``m(x) = |normalize(<x>)|``;
+    ``norm_size`` — upper bound on ``size(normalize(<x>))`` (the sum of
+    the sizes of all conceptual possibilities);
+    ``size``      — the paper's ``size(x)`` (atomic leaf count);
+    ``width``     — top-level element count when *x* is a collection;
+    ``orsets``    — number of or-set nodes in ``T(x)``.
+    """
+
+    worlds: int
+    norm_size: int
+    size: int
+    width: int | None = None
+    orsets: int = 0
+
+    @property
+    def moon_moser_cap(self) -> int:
+        """Theorem 6.2's ``3^(n/3)`` ceiling for this value's size."""
+        return moon_moser(self.size)
+
+
+def _estimate(v: Value) -> tuple[int, int, int, int]:
+    """(worlds, norm_size, size, orsets) for *v*, compositionally.
+
+    The recursion mirrors how possibilities are generated: an or-set's
+    worlds are the union of its elements' worlds (``<=`` the sum), a
+    set/bag/pair takes one world per component (``<=`` the product);
+    deduplication only ever shrinks, so every case is an upper bound.
+    """
+    if isinstance(v, (Atom, UnitValue)):
+        return 1, 1, 1, 0
+    if isinstance(v, Pair):
+        wa, na, sa, oa = _estimate(v.fst)
+        wb, nb, sb, ob = _estimate(v.snd)
+        # Each world of the pair is a pair of component worlds, so its
+        # size is the sum of the component-world sizes: summed over all
+        # wa*wb combinations that is wb*na + wa*nb.
+        return wa * wb, wb * na + wa * nb, sa + sb, oa + ob
+    if isinstance(v, Variant):
+        w, n, s, o = _estimate(v.payload)
+        return w, n, s, o
+    if isinstance(v, OrSetValue):
+        worlds = norm = size = orsets = 0
+        for e in v.elems:
+            w, n, s, o = _estimate(e)
+            worlds += w
+            norm += n
+            size += s
+            orsets += o
+        return worlds, norm, size, 1 + orsets
+    if isinstance(v, (SetValue, BagValue)):
+        worlds, size, orsets = 1, 0, 0
+        parts: list[tuple[int, int]] = []
+        for e in v.elems:
+            w, n, s, o = _estimate(e)
+            parts.append((w, n))
+            worlds *= w
+            size += s
+            orsets += o
+        if worlds == 0:
+            return 0, 0, size, orsets
+        # One world per element: summed over all combinations, element i
+        # contributes its world sizes once per choice of the others.
+        norm = sum(n * (worlds // w) for w, n in parts)
+        return worlds, norm, size, orsets
+    raise TypeError(f"not a value: {v!r}")
+
+
+def estimate_value(v: Value) -> ShapeEstimate:
+    """Statically bound ``m(v)`` and ``size(normalize(v))`` — no worlds built.
+
+    The compositional recursion is capped with Proposition 6.1's
+    ``prod_i (m_i + 1)`` over the innermost or-set arities (both are
+    sound, so their minimum is).
+    """
+    worlds, norm, size, orsets = _estimate(v)
+    if orsets:
+        cap = 1
+        for m_i in innermost_orset_arities(v):
+            cap *= m_i + 1
+        if cap < worlds:
+            worlds = cap
+    width = len(v.elems) if isinstance(v, (SetValue, OrSetValue, BagValue)) else None
+    return ShapeEstimate(worlds, norm, size, width, orsets)
+
+
+def estimate_m_value(v: Value) -> int:
+    """Static upper bound on the paper's ``m(v)`` (never normalizes)."""
+    return estimate_value(v).worlds
+
+
+def estimate_normalized_size(v: Value) -> int:
+    """Static upper bound on ``size(normalize(<v>))`` (never normalizes)."""
+    return estimate_value(v).norm_size
+
+
+# -- morphism cost -----------------------------------------------------------
+
+#: Weight classes for the optimizer's cost objective.  Normalization-class
+#: operators expand worlds (Theorem 6.2's 3^(n/3) risk); alpha is the
+#: per-redex expansion step; collection traversals touch every element.
+_EXPANSION_OPS = (Normalize,)
+_ALPHA_OPS = (Alpha, AlphaD)
+_TRAVERSAL_OPS = (
+    SetMu,
+    OrMu,
+    BagMu,
+    OrToSet,
+    SetToOr,
+    BagToSet,
+    SetToBag,
+    BagUnique,
+)
+
+NORMALIZE_WEIGHT = 64
+ALPHA_WEIGHT = 16
+TRAVERSAL_WEIGHT = 2
+
+
+def estimate_morphism_cost(m: Morphism, shape: ShapeEstimate | None = None) -> int:
+    """Weighted static cost of *m* — the scheduler's objective function.
+
+    Plain operator count (like :func:`repro.engine.passes.morphism_cost`)
+    treats ``normalize`` and ``pi_1`` alike; here each operator carries a
+    weight reflecting the Section 6 blow-up class it belongs to.  With a
+    *shape* for the program's input, the expansion weights scale with the
+    estimated world count, so rewrites that drop or delay normalization
+    of large pre-images score better the larger the input.
+    """
+    scale = 1
+    if shape is not None and shape.worlds > 1:
+        scale = max(1, shape.worlds.bit_length())
+
+    def walk(node: Morphism) -> int:
+        if isinstance(node, _EXPANSION_OPS):
+            own = NORMALIZE_WEIGHT * scale
+        elif isinstance(node, _ALPHA_OPS):
+            own = ALPHA_WEIGHT * scale
+        elif isinstance(node, _TRAVERSAL_OPS):
+            own = TRAVERSAL_WEIGHT
+        else:
+            own = 1
+        return own + sum(walk(k) for k in node.children())
+
+    return walk(m)
+
+
+# -- plan annotation ---------------------------------------------------------
+
+
+def annotate_plan(plan: Plan, value: Value) -> ShapeEstimate:
+    """Write per-node world/size estimates onto *plan* for input *value*.
+
+    Walks the plan in execution order, threading a :class:`ShapeEstimate`
+    through each node's transfer function: ``normalize``/``alpha`` turn
+    the estimate into an or-set of ``worlds`` elements of total size
+    ``norm_size``; ``eta`` wraps (width 1); ``settoor`` turns each of up
+    to ``width`` members into a disjunct.  These annotations are
+    *predictions* for diagnostics, not certified bounds: projections,
+    maps and unknown leaves pass the carried estimate through unchanged,
+    which is exact for world-preserving bodies but an approximation when
+    a body itself multiplies worlds (only :func:`estimate_value` on a
+    concrete value carries the tested soundness guarantee).  Returns the
+    estimate at the root; ``PlanNode.est_worlds`` / ``est_size`` hold the
+    per-node output predictions, which :meth:`PlanNode.pretty` renders.
+    """
+    est_in = estimate_value(value)
+
+    def transfer(node, est: ShapeEstimate) -> ShapeEstimate:
+        src = node.source
+        if node.op == "leaf":
+            if isinstance(src, (Normalize,) + _ALPHA_OPS):
+                return ShapeEstimate(
+                    est.worlds, est.norm_size, est.norm_size, est.worlds, 1
+                )
+            if isinstance(src, (SetEta, OrEta, BagEta)):
+                return ShapeEstimate(
+                    est.worlds,
+                    est.norm_size,
+                    est.size,
+                    1,
+                    est.orsets + (1 if isinstance(src, OrEta) else 0),
+                )
+            if isinstance(src, SetToOr) and est.width:
+                # A set of k members becomes a k-way disjunction: up to
+                # width * (worlds + 1) worlds (each member contributes
+                # its own worlds independently of the others' choices).
+                return ShapeEstimate(
+                    est.width * (est.worlds + 1),
+                    est.norm_size,
+                    est.size,
+                    est.width,
+                    est.orsets + 1,
+                )
+        return est
+
+    def visit(idx: int, est: ShapeEstimate) -> ShapeEstimate:
+        node = plan.nodes[idx]
+        if node.op == "chain":
+            out = est
+            for kid in node.kids:
+                out = visit(kid, out)
+        elif node.op == "pair":
+            left = visit(node.kids[0], est)
+            right = visit(node.kids[1], est)
+            out = ShapeEstimate(
+                left.worlds * right.worlds,
+                right.worlds * left.norm_size + left.worlds * right.norm_size,
+                left.size + right.size,
+                None,
+                left.orsets + right.orsets,
+            )
+        elif node.op in ("cond", "case"):
+            branches = node.kids[1:] if node.op == "cond" else node.kids
+            outs = [visit(k, est) for k in branches]
+            if node.op == "cond":
+                visit(node.kids[0], est)
+            out = max(outs, key=lambda e: (e.worlds, e.norm_size))
+        elif node.op == "map":
+            # The body transforms elements we have no shape for; keep the
+            # collection-level bound and leave body nodes unannotated.
+            out = est
+        else:
+            out = transfer(node, est)
+        node.est_worlds = out.worlds
+        node.est_size = out.norm_size
+        return out
+
+    return visit(plan.root, est_in)
+
+
+# -- plan profile and backend selection --------------------------------------
+
+# The streamable spine stages are exactly the traversal-class operators.
+_SPINE_LEAVES = _TRAVERSAL_OPS
+
+
+@dataclass(frozen=True)
+class PlanProfile:
+    """What the backend selector needs to know about a compiled plan."""
+
+    spine_maps: int  # map stages on the top-level streamable spine
+    spine_stages: int  # all streamable stages (maps, mus, coercions)
+    has_normalize: bool  # any Normalize/Alpha leaf anywhere in the plan
+    nodes: int
+
+
+def plan_profile(plan: Plan) -> PlanProfile:
+    """Classify the plan's top-level spine (cached on the plan object)."""
+    cached = getattr(plan, "_profile", None)
+    if cached is not None:
+        return cached
+    spine_maps = spine_stages = 0
+    top = plan.nodes[plan.root]
+    steps = top.kids if top.op == "chain" else (plan.root,)
+    for idx in steps:
+        node = plan.nodes[idx]
+        if node.op == "map":
+            spine_maps += 1
+            spine_stages += 1
+        elif node.op == "leaf" and isinstance(node.source, _SPINE_LEAVES):
+            spine_stages += 1
+    has_normalize = any(
+        node.op == "leaf" and isinstance(node.source, (Normalize,) + _ALPHA_OPS)
+        for node in plan.nodes
+    )
+    profile = PlanProfile(spine_maps, spine_stages, has_normalize, len(plan.nodes))
+    plan._profile = profile
+    return profile
+
+
+@dataclass(frozen=True)
+class BackendChoice:
+    """An adaptive backend decision, with its reasoning and shard hint."""
+
+    backend: str
+    reason: str
+    shards: int | None = None
+
+
+def select_backend(
+    plan: Plan, value: Value, *, existential: bool = False
+) -> BackendChoice:
+    """Pick eager / streaming / parallel for this (plan, value) call.
+
+    * **small** estimated world count → ``eager`` (closure execution and
+      maximal memo reuse win outright);
+    * **existential** consumers over a huge estimated world count →
+      ``streaming`` (the first witness comes off the lazy spine before
+      any normal form is materialized);
+    * **wide** top-level collection under a streamable spine →
+      ``parallel``, with a shard-count hint proportional to the
+      estimated total work (:data:`SHARD_TARGET_WORK` per shard);
+    * a streamable spine whose estimated normal form is large →
+      ``streaming`` (skip canonicalizing big intermediates);
+    * anything else → ``eager``.
+    """
+    est = estimate_value(value)
+    profile = plan_profile(plan)
+    if existential and est.worlds > SMALL_WORLDS and profile.spine_stages >= 1:
+        return BackendChoice(
+            "streaming",
+            f"existential over ~{est.worlds} estimated worlds short-circuits",
+        )
+    if est.worlds <= SMALL_WORLDS and (est.width or 0) < WIDE_SPINE:
+        return BackendChoice("eager", f"small (~{est.worlds} estimated worlds)")
+    if profile.spine_maps >= 1 and est.width is not None and est.width >= WIDE_SPINE:
+        shards = max(2, min(est.width, est.norm_size // SHARD_TARGET_WORK or 2))
+        return BackendChoice(
+            "parallel",
+            f"wide spine ({est.width} elements, ~{est.norm_size} estimated work)",
+            shards=shards,
+        )
+    if profile.spine_stages >= 2 and est.norm_size > STREAM_NORM_SIZE:
+        return BackendChoice(
+            "streaming",
+            f"streamable spine with ~{est.norm_size} estimated normal-form size",
+        )
+    return BackendChoice("eager", "default")

@@ -20,13 +20,13 @@ sort order (and, worse, the normal form) for each copy.  The
   possible-worlds workloads — is computed once.
 
 The arena holds strong references by design (identity-keyed caches
-require it), so it is *bounded*: once it holds ``max_size`` entries the
-next :meth:`intern` evicts everything (arena, sort keys and normalize
-memo together — they are keyed by ids the arena keeps alive, so they
-must go as one).  Eviction costs one cold rebuild of the working set and
-is counted in :meth:`stats`; pass ``max_size=None`` for the old
-unbounded behaviour, or call :meth:`Interner.clear` to release
-everything by hand.
+require it), so it is *bounded*: past ``max_size`` entries the arena
+evicts **least-recently-used** entries one at a time — every intern hit
+touches its entry, so the hot working set stays resident while cold
+values (and *their* cached sort keys and normal forms, keyed by the
+evicted object's id) leave together.  ``stats()["evictions"]`` counts
+evicted entries; pass ``max_size=None`` for the old unbounded behaviour,
+or call :meth:`Interner.clear` to release everything by hand.
 
 All public methods are thread-safe: one :class:`threading.RLock` guards
 the arena and the derived-result caches, which is what makes the shared
@@ -37,6 +37,7 @@ the arena and the derived-result caches, which is what makes the shared
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 
 from repro.types.kinds import Type
 from repro.values.values import (
@@ -67,15 +68,17 @@ class Interner:
     """A hash-consing arena with identity-keyed derived-result caches.
 
     *max_size* caps the number of arena entries; ``None`` disables the
-    cap.  The arena clears itself (counting an eviction) when a new
-    top-level :meth:`intern` finds it at capacity.
+    cap.  Past capacity the arena evicts in true LRU order: interning an
+    already-present value touches its entry, so frequently reused values
+    (and their cached sort keys and memoized normal forms) survive while
+    cold ones are dropped entry by entry.
     """
 
     def __init__(self, max_size: int | None = DEFAULT_MAX_ARENA_SIZE) -> None:
         self.max_size = max_size
-        self._arena: dict[Value, Value] = {}
+        self._arena: OrderedDict[Value, Value] = OrderedDict()
         self._sort_keys: dict[int, tuple] = {}
-        self._normal_forms: dict[tuple[int, Type | None], Value] = {}
+        self._normal_forms: dict[int, dict[Type | None, Value]] = {}
         self._bound_plans: dict[int, tuple[object, object]] = {}
         # RLock: normalize() interns, and leaf_apply-driven normalize
         # calls may arrive while intern() already holds the lock.
@@ -91,15 +94,16 @@ class Interner:
     def intern(self, value: Value) -> Value:
         """The canonical physical object structurally equal to *value*."""
         with self._lock:
-            if self.max_size is not None and len(self._arena) >= self.max_size:
-                self._evict()
             with use_sort_key_cache(self._sort_keys):
-                return self._intern(value)
+                canon = self._intern(value)
+            self._trim()
+            return canon
 
     def _intern(self, value: Value) -> Value:
         canon = self._arena.get(value)
         if canon is not None:
             self.hits += 1
+            self._arena.move_to_end(value)  # touch: LRU keeps hot entries
             return canon
         self.misses += 1
         canon = self._rebuild(value)
@@ -128,16 +132,25 @@ class Interner:
         with self._lock:
             return self._arena.get(value) is value
 
-    def _evict(self) -> None:
-        """Drop every cache at once (all are keyed by arena-pinned ids).
+    def _trim(self) -> None:
+        """Evict LRU entries until the arena is back within ``max_size``.
 
+        Each evicted canon takes its derived results with it (they are
+        keyed by an id only the arena kept alive).  A single intern of a
+        large value may insert many nested entries at once, so trimming
+        runs after the rebuild — always keeping at least the most recent
+        entry, which callers like :meth:`sort_key` read back immediately.
         Previously returned canonical objects stay valid values — they
         merely stop being identical to the canon of *future* interns.
         """
-        self._arena.clear()
-        self._sort_keys.clear()
-        self._normal_forms.clear()
-        self.evictions += 1
+        if self.max_size is None:
+            return
+        floor = max(self.max_size, 1)
+        while len(self._arena) > floor:
+            _key, canon = self._arena.popitem(last=False)
+            self._sort_keys.pop(id(canon), None)
+            self._normal_forms.pop(id(canon), None)
+            self.evictions += 1
 
     # -- derived results ---------------------------------------------------
 
@@ -163,26 +176,33 @@ class Interner:
 
         with self._lock:
             canon = self.intern(value)
-            key = (id(canon), value_type)
-            cached = self._normal_forms.get(key)
+            by_type = self._normal_forms.get(id(canon))
+            cached = by_type.get(value_type) if by_type is not None else None
             if cached is not None:
                 self.normalize_hits += 1
                 return cached
         raw = _normalize(canon, value_type)
         with self._lock:
-            # `canon` is pinned by this frame, but an eviction may have
-            # cleared the arena in between: re-intern so the memo key's
+            # `canon` is pinned by this frame, but the LRU may have
+            # evicted its entry in between: re-intern so the memo key's
             # id is arena-pinned again (a no-op hit in the common case).
             with use_sort_key_cache(self._sort_keys):
                 canon = self._intern(canon)
-                key = (id(canon), value_type)
-                cached = self._normal_forms.get(key)
+                by_type = self._normal_forms.get(id(canon))
+                cached = by_type.get(value_type) if by_type is not None else None
                 if cached is not None:
                     self.normalize_hits += 1
                     return cached
                 self.normalize_misses += 1
                 result = self._intern(raw)
-            self._normal_forms[key] = result
+            # Interning a large normal form may have pushed `canon` far
+            # down the LRU order; re-touch it so the trim below evicts
+            # the normal form's nested entries before the memo's key —
+            # otherwise the memo would die for exactly the expensive
+            # inputs it exists for.
+            self._arena.move_to_end(canon)
+            self._normal_forms.setdefault(id(canon), {})[value_type] = result
+            self._trim()
             return result
 
     # -- plan integration --------------------------------------------------

@@ -138,11 +138,16 @@ class ParallelBackend(Backend):
 
     # -- sharding ----------------------------------------------------------
 
-    def _shard(self, elems: Iterable[Value]) -> list[list[Value]]:
+    def _shard(
+        self, elems: Iterable[Value], hint: int | None = None
+    ) -> list[list[Value]]:
         items = list(elems)
         if len(items) < max(self.min_shard, 2) or self.max_workers <= 1:
             return [items] if items else [[]]
-        n_chunks = min(len(items), self.max_workers * 2)
+        # A shard-count *hint* (the cost model's estimate-proportional
+        # choice) overrides the fixed workers*2 default.
+        n_chunks = min(len(items), hint if hint else self.max_workers * 2)
+        n_chunks = max(1, n_chunks)
         step, extra = divmod(len(items), n_chunks)
         chunks: list[list[Value]] = []
         start = 0
@@ -152,7 +157,13 @@ class ParallelBackend(Backend):
             start = end
         return chunks
 
-    def _as_shards(self, x: "Value | _Shards", kind: str, error: str) -> _Shards:
+    def _as_shards(
+        self,
+        x: "Value | _Shards",
+        kind: str,
+        error: str,
+        hint: int | None = None,
+    ) -> _Shards:
         if isinstance(x, _Shards):
             if x.kind != kind:
                 raise OrNRATypeError(f"{error}, got {_materialize(x)!r}")
@@ -160,13 +171,21 @@ class ParallelBackend(Backend):
         wrapper = _WRAPPER_OF[kind]
         if not isinstance(x, wrapper):
             raise OrNRATypeError(f"{error}, got {x!r}")
-        return _Shards(kind, self._shard(x.elems))
+        return _Shards(kind, self._shard(x.elems, hint))
 
     # -- execution ---------------------------------------------------------
 
-    def execute(self, plan: Plan, value: Value, interner: Interner | None = None) -> Value:
+    def execute(
+        self,
+        plan: Plan,
+        value: Value,
+        interner: Interner | None = None,
+        shard_hint: int | None = None,
+    ) -> Value:
+        """Run the plan; *shard_hint* (from the cost model's estimate)
+        sizes the chunks whenever a concrete collection is sharded."""
         leaf = interner.leaf_apply if interner is not None else None
-        result = self._eval(plan, plan.root, value, leaf, {})
+        result = self._eval(plan, plan.root, value, leaf, {}, shard_hint)
         return _materialize(result)
 
     def _eval(
@@ -176,6 +195,7 @@ class ParallelBackend(Backend):
         value: "Value | _Shards",
         leaf: Callable | None,
         bound: dict[int, Callable[[Value], Value]],
+        hint: int | None = None,
     ) -> "Value | _Shards":
         node = plan.nodes[idx]
         op = node.op
@@ -183,11 +203,11 @@ class ParallelBackend(Backend):
             return value
         if op == "chain":
             for kid in node.kids:
-                value = self._eval(plan, kid, value, leaf, bound)
+                value = self._eval(plan, kid, value, leaf, bound, hint)
             return value
         if op == "map":
             kind, _wrapper, _tw, noun = MAP_KINDS[type(node.source)]
-            shards = self._as_shards(value, kind, noun)
+            shards = self._as_shards(value, kind, noun, hint)
             # The body is bound once, in the coordinating thread, so the
             # worker closures only *apply* pure compiled functions.
             body = self._bind_eager(plan, node.kids[0], leaf, bound)
@@ -199,7 +219,7 @@ class ParallelBackend(Backend):
         source_cls = type(node.source)
         if op == "leaf" and source_cls in _MU:
             kind, noun = _MU[source_cls]
-            shards = self._as_shards(value, kind, noun)
+            shards = self._as_shards(value, kind, noun, hint)
             wrapper = _WRAPPER_OF[kind]
 
             def flatten(chunk: list[Value], _wrapper=wrapper, _noun=noun) -> list[Value]:
@@ -213,7 +233,7 @@ class ParallelBackend(Backend):
             return _Shards(kind, self._map_chunks(flatten, shards.chunks))
         if op == "leaf" and source_cls in _RETAG:
             kind_in, kind_out, noun = _RETAG[source_cls]
-            shards = self._as_shards(value, kind_in, noun)
+            shards = self._as_shards(value, kind_in, noun, hint)
             chunks = shards.chunks
             if kind_out == "bag" and kind_in != "bag":
                 # Transient duplicates across shards must not become
@@ -221,7 +241,7 @@ class ParallelBackend(Backend):
                 chunks = _dedup_chunks(chunks)
             return _Shards(kind_out, chunks)
         if op == "leaf" and source_cls is BagUnique:
-            shards = self._as_shards(value, "bag", "unique expects a bag")
+            shards = self._as_shards(value, "bag", "unique expects a bag", hint)
             return _Shards("bag", _dedup_chunks(shards.chunks))
         # Anything else: merge-materialize and run the eager closure.
         concrete = _materialize(value)

@@ -31,7 +31,9 @@ fusion pass profits from the exposed redexes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable, Iterable
 
 from repro.core.normalize import Normalize
@@ -56,7 +58,7 @@ from repro.lang.orset_ops import (
     OrToSet,
     SetToOr,
 )
-from repro.lang.set_ops import SetEta, SetMap, SetMu
+from repro.lang.set_ops import SetEta, SetMap, SetMu, SetRho2
 from repro.lang.variant_ops import Case, InjectLeft, InjectRight
 
 __all__ = [
@@ -64,9 +66,11 @@ __all__ = [
     "Pipeline",
     "DEFAULT_PASSES",
     "COND_PUSHDOWN",
+    "LATE_NORMALIZE",
     "default_pipeline",
     "optimize_morphism",
     "morphism_cost",
+    "operator_census",
     "rebuild",
 ]
 
@@ -251,8 +255,6 @@ def _rule_or_mu_diagram(m: Morphism) -> Morphism | None:
 def _rule_rho_eta(m: Morphism) -> Morphism | None:
     # or_rho_2 o (f, or_eta o g)  ->  or_eta o (f, g):  pairing with a
     # singleton or-set is conceptually just pairing.  (Dually for sets.)
-    from repro.lang.set_ops import SetRho2
-
     if not (isinstance(m, Compose) and isinstance(m.before, PairOf)):
         return None
     right = m.before.right
@@ -372,18 +374,125 @@ def _rule_orset_set_roundtrip(m: Morphism) -> Morphism | None:
     return None
 
 
+def _rule_drop_prenormalized_elements(m: Morphism) -> Morphism | None:
+    # normalize o map(normalize) -> normalize (all three monads): by
+    # coherence (Theorem 4.2) elementwise pre-normalization cannot change
+    # the outer normal form, and Corollary 6.4 makes the un-normalized
+    # pre-image the smaller input — so normalize as late, and as few
+    # times, as possible.  Only for the type-agnostic outer normalize
+    # (a declared input type would no longer match the new input).
+    if not (
+        isinstance(m, Compose)
+        and isinstance(m.after, Normalize)
+        and m.after.input_type is None
+    ):
+        return None
+    before = m.before
+    for map_cls, _eta, _mu in _MONADS:
+        if isinstance(before, map_cls) and isinstance(before.body, Normalize):
+            return m.after
+    return None
+
+
+def _rule_delay_normalize_past_mu(m: Morphism) -> Morphism | None:
+    # or_mu o ormap(normalize_t) -> normalize_t o or_mu when t is an
+    # or-set type: flattening first leaves one normalize over the smaller
+    # (un-expanded) pre-image instead of one per element.  The declared
+    # or-set input type is required so the rewritten or_mu still
+    # typechecks (mu's input <t> must be an or-set of or-sets).
+    if not (isinstance(m, Compose) and isinstance(m.after, OrMu)):
+        return None
+    from repro.types.kinds import OrSetType
+
+    before = m.before
+    if (
+        isinstance(before, OrMap)
+        and isinstance(before.body, Normalize)
+        and isinstance(before.body.input_type, OrSetType)
+    ):
+        return Compose(Normalize(before.body.input_type), OrMu())
+    return None
+
+
 # ---------------------------------------------------------------------------
 # Passes and pipelines
 # ---------------------------------------------------------------------------
 
 
+def operator_census(m: Morphism) -> frozenset[type]:
+    """The set of morphism classes occurring in *m* (one cheap walk).
+
+    The scheduler uses it to skip passes whose rules cannot possibly
+    fire: a pass only matters when one of its trigger classes is present.
+    """
+    present: set[type] = set()
+
+    def walk(node: Morphism) -> None:
+        present.add(type(node))
+        for kid in node.children():
+            walk(kid)
+
+    walk(m)
+    return frozenset(present)
+
+
+# The scheduler's internal census representation: one bit per morphism
+# class, assigned on first sight, so subtree censuses union with `|` and
+# pass relevance is one `&` — integer ops instead of set building on the
+# optimizer's hottest path.  Bit assignment is locked: a race handing
+# two bits to one class would permanently desynchronize the cached
+# trigger masks from future census masks.
+_CLASS_BITS: dict[type, int] = {}
+_CLASS_BITS_LOCK = threading.Lock()
+
+
+def _class_bit(cls: type) -> int:
+    bit = _CLASS_BITS.get(cls)
+    if bit is None:
+        with _CLASS_BITS_LOCK:
+            bit = _CLASS_BITS.get(cls)
+            if bit is None:
+                bit = 1 << len(_CLASS_BITS)
+                _CLASS_BITS[cls] = bit
+    return bit
+
+
+def _mask_of(classes: Iterable[type]) -> int:
+    mask = 0
+    for cls in classes:
+        mask |= _class_bit(cls)
+    return mask
+
+
 @dataclass(frozen=True)
 class Pass:
-    """A named, independently runnable group of rewrite rules."""
+    """A named, independently runnable group of rewrite rules.
+
+    *triggers* lists the morphism classes whose presence makes the pass
+    worth trying; ``None`` means always relevant.  The cost-guided
+    scheduler skips passes whose triggers are absent from the program's
+    :func:`operator_census`.
+    """
 
     name: str
     rules: tuple[Rule, ...]
     doc: str = ""
+    triggers: tuple[type, ...] | None = None
+
+    def relevant(self, present: "frozenset[type] | set[type]") -> bool:
+        """Could any rule of this pass fire on a tree with *present* ops?"""
+        if self.triggers is None:
+            return True
+        return any(cls in present for cls in self.triggers)
+
+    @cached_property
+    def _trigger_mask(self) -> int:
+        """Bitmask form of *triggers* (0 = always relevant)."""
+        return 0 if self.triggers is None else _mask_of(self.triggers)
+
+    def _relevant_mask(self, mask: int) -> bool:
+        own = self._trigger_mask
+        return own == 0 or bool(own & mask)
 
     def apply_at_root(self, m: Morphism) -> tuple[Morphism, str] | None:
         """Try each rule at the root; the first hit wins."""
@@ -402,11 +511,13 @@ CANONICALIZE = Pass(
     "canonicalize",
     (_rule_assoc_right,),
     "right-nest compositions so binary rules see adjacent operators",
+    triggers=(Compose,),
 )
 IDENTITY_ELIMINATION = Pass(
     "identity",
     (_rule_compose_id, _rule_map_id),
     "category identity laws and map(id) = id",
+    triggers=(Id,),
 )
 PROJECTION = Pass(
     "projection",
@@ -417,31 +528,37 @@ PROJECTION = Pass(
         _rule_bang_absorbs,
     ),
     "projection/pairing laws and dead-projection elimination",
+    triggers=(Proj1, Proj2, PairOf, Bang),
 )
 MAP_FUSION = Pass(
     "fusion",
     (_rule_map_fusion,),
     "map(f) o map(g) = map(f o g) for all three monads",
+    triggers=(SetMap, OrMap, DMap),
 )
 MONAD_LAWS = Pass(
     "monad",
     (_rule_mu_eta, _rule_map_after_eta, _rule_mu_naturality),
     "unit and naturality laws of the collection monads",
+    triggers=(SetEta, OrEta, BagEta, SetMu, OrMu, BagMu),
 )
 INTERACTION = Pass(
     "interaction",
     (_rule_alpha_diagram, _rule_or_mu_diagram, _rule_rho_eta),
     "Theorem 4.2 coherence-diagram equations",
+    triggers=(Alpha, AlphaD, OrRho2, SetRho2),
 )
 VARIANTS = Pass(
     "variants",
     (_rule_case_eta,),
     "case over a known injection",
+    triggers=(Case,),
 )
 CONDITIONALS = Pass(
     "conditionals",
     (_rule_cond_same_branches, _rule_cond_const_pred, _rule_cond_factor_suffix),
     "conditional folding and common-suffix factoring",
+    triggers=(Cond,),
 )
 NORMALIZE_AWARE = Pass(
     "normalize",
@@ -451,12 +568,24 @@ NORMALIZE_AWARE = Pass(
         _rule_orset_set_roundtrip,
     ),
     "or-set rewrites around the normalize primitive",
+    triggers=(Normalize, OrToSet, SetToOr),
+)
+LATE_NORMALIZE = Pass(
+    "late-normalize",
+    (_rule_drop_prenormalized_elements, _rule_delay_normalize_past_mu),
+    "normalize as late (and as few times) as possible — Corollary 6.4 "
+    "makes the un-normalized pre-image the smaller input",
+    triggers=(Normalize,),
 )
 COND_PUSHDOWN = Pass(
     "cond-pushdown",
     (_rule_cond_pushdown,),
     "push a composition into conditional branches (may grow the plan)",
+    triggers=(Cond,),
 )
+
+#: Classes a firing rule may introduce that were not necessarily present.
+_ID_COMPOSE_MASK = _mask_of((Id, Compose))
 
 DEFAULT_PASSES: tuple[Pass, ...] = (
     CANONICALIZE,
@@ -468,36 +597,168 @@ DEFAULT_PASSES: tuple[Pass, ...] = (
     VARIANTS,
     CONDITIONALS,
     NORMALIZE_AWARE,
+    LATE_NORMALIZE,
 )
 
 
 class Pipeline:
-    """An ordered collection of passes run to a joint fixpoint.
+    """A collection of passes run to a joint fixpoint, cost-guided.
 
-    The driver is the same terminating bottom-up strategy the old
-    monolithic optimizer used: rewrite children first, then retry every
-    pass's rules at the node until none fires.  ``fired`` records the
-    rule names applied during the last :meth:`run` (diagnostics and the
-    ablation benchmark read it).
+    The driver keeps the old terminating bottom-up strategy (rewrite
+    children first, then retry rules at the node until none fires) but
+    schedules work by cost instead of by fixed pass order:
+
+    * each sweep starts from an :func:`operator_census` of the program
+      and **skips every pass whose trigger classes are absent** — on
+      large programs touching few operator families this is where the
+      optimizer's time goes;
+    * when several passes can fire at one node, the candidates are
+      scored by the cost model
+      (:func:`repro.engine.cost_model.estimate_morphism_cost` by
+      default) and the **cheapest resulting subtree wins** (best-first;
+      ties keep pass order, preserving the old behaviour);
+    * a *budget* caps the total number of rule applications per
+      :meth:`run` — every prefix of a rewrite sequence is semantics-
+      preserving, so an exhausted budget just returns the best morphism
+      reached so far.
+
+    ``fired`` records the rule names applied during the last
+    :meth:`run`; ``schedule`` records ``(rule, cost_before, cost_after)``
+    triples (diagnostics and the benchmarks read both).  The previous
+    fixed-order driver remains as :meth:`run_fixed_order` so the
+    scheduling win stays measurable (``benchmarks/bench_cost_model.py``).
     """
 
-    def __init__(self, passes: Iterable[Pass] = DEFAULT_PASSES) -> None:
+    def __init__(
+        self,
+        passes: Iterable[Pass] = DEFAULT_PASSES,
+        cost_fn: Callable[[Morphism], int] | None = None,
+        budget: int | None = None,
+    ) -> None:
         self.passes: tuple[Pass, ...] = tuple(passes)
+        self.cost_fn = cost_fn
+        self.budget = budget
         self.fired: list[str] = []
+        self.schedule: list[tuple[str, int, int]] = []
+        self._spent = 0
+
+    def _cost(self, m: Morphism) -> int:
+        if self.cost_fn is not None:
+            return self.cost_fn(m)
+        from repro.engine.cost_model import estimate_morphism_cost
+
+        return estimate_morphism_cost(m)
 
     def without(self, *names: str) -> "Pipeline":
         """A copy of this pipeline with the named passes disabled."""
-        return Pipeline(p for p in self.passes if p.name not in names)
+        return Pipeline(
+            (p for p in self.passes if p.name not in names),
+            cost_fn=self.cost_fn,
+            budget=self.budget,
+        )
 
     def with_pass(self, extra: Pass) -> "Pipeline":
         """A copy of this pipeline with *extra* appended."""
-        return Pipeline((*self.passes, extra))
+        return Pipeline(
+            (*self.passes, extra), cost_fn=self.cost_fn, budget=self.budget
+        )
 
     def rewrite_once(self, m: Morphism) -> Morphism:
-        """One bottom-up sweep: children first, then root rules to quiescence."""
+        """One census-filtered, best-first bottom-up sweep."""
+        present = operator_census(m)
+        active = tuple(p for p in self.passes if p.relevant(present))
+        if not active:
+            return m
+        out, _mask = self._rewrite(m, active)
+        return out
+
+    def _rewrite(
+        self, m: Morphism, active: tuple[Pass, ...]
+    ) -> tuple[Morphism, int]:
+        """Bottom-up rewrite returning the subtree's census bitmask too.
+
+        The census flows upward for free (an `|` of the kids' masks), so
+        each node only tries passes whose trigger classes occur in *its
+        own* subtree — operator-sparse regions of a large program are
+        skipped without a single rule attempt.  The mask is an
+        over-approximation after rules fire (bits are only ever added),
+        which can cost a wasted attempt but never a missed one.
+        """
+        kids = m.children()
+        mask = _class_bit(type(m))
+        if kids:
+            new_kids = []
+            for k in kids:
+                out, kid_mask = self._rewrite(k, active)
+                new_kids.append(out)
+                mask |= kid_mask
+            new_kids = tuple(new_kids)
+            if new_kids != kids:
+                m = rebuild(m, new_kids)
+        local = [p for p in active if p._relevant_mask(mask)]
+        while local:
+            if self.budget is not None and self._spent >= self.budget:
+                break
+            hits = [
+                hit for p in local if (hit := p.apply_at_root(m)) is not None
+            ]
+            if not hits:
+                break
+            if len(hits) == 1:
+                out, rule_name = hits[0]
+            else:
+                # Best-first: the candidate whose subtree the cost model
+                # scores cheapest wins (stable min — ties keep pass order).
+                out, rule_name = min(hits, key=lambda hit: self._cost(hit[0]))
+            self.fired.append(rule_name)
+            self._spent += 1
+            m = out
+            # Every default rule rebuilds from operators already counted,
+            # plus possibly Id/Compose — extend the mask, don't recompute.
+            grown = mask | _class_bit(type(m)) | _ID_COMPOSE_MASK
+            if grown != mask:
+                mask = grown
+                local = [p for p in active if p._relevant_mask(mask)]
+        return m, mask
+
+    def run(self, m: Morphism, max_passes: int = 50) -> Morphism:
+        """Rewrite *m* to a fixpoint of all passes (or until the budget)."""
+        self.fired = []
+        self.schedule = []
+        self._spent = 0
+        cost_before: int | None = None
+        for _ in range(max_passes):
+            out = self.rewrite_once(m)
+            if out == m:
+                return out
+            # One cost walk per changed sweep: the previous sweep's
+            # "after" is this sweep's "before".
+            if cost_before is None:
+                cost_before = self._cost(m)
+            cost_after = self._cost(out)
+            self.schedule.append(("sweep", cost_before, cost_after))
+            cost_before = cost_after
+            m = out
+            if self.budget is not None and self._spent >= self.budget:
+                return m
+        return m
+
+    def run_fixed_order(self, m: Morphism, max_passes: int = 50) -> Morphism:
+        """The pre-cost-model driver: fixed pass order, no census, no
+        best-first scoring.  Kept as the baseline the scheduling
+        benchmark compares against."""
+        self.fired = []
+        for _ in range(max_passes):
+            out = self._rewrite_fixed(m)
+            if out == m:
+                return out
+            m = out
+        return m
+
+    def _rewrite_fixed(self, m: Morphism) -> Morphism:
         kids = m.children()
         if kids:
-            new_kids = tuple(self.rewrite_once(k) for k in kids)
+            new_kids = tuple(self._rewrite_fixed(k) for k in kids)
             if new_kids != kids:
                 m = rebuild(m, new_kids)
         changed = True
@@ -510,16 +771,6 @@ class Pipeline:
                     self.fired.append(rule_name)
                     changed = True
                     break
-        return m
-
-    def run(self, m: Morphism, max_passes: int = 50) -> Morphism:
-        """Rewrite *m* to a fixpoint of all passes."""
-        self.fired = []
-        for _ in range(max_passes):
-            out = self.rewrite_once(m)
-            if out == m:
-                return out
-            m = out
         return m
 
 

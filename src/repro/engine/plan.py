@@ -84,6 +84,8 @@ class PlanNode:
     kind: str | None = None
     dom: Type | None = None
     cod: Type | None = None
+    est_worlds: int | None = None
+    est_size: int | None = None
 
     def pretty(self) -> str:
         parts = [f"n{self.idx:<3} {self.op}"]
@@ -95,6 +97,8 @@ class PlanNode:
             parts.append(self.source.describe())
         if self.dom is not None and self.cod is not None:
             parts.append(f": {format_type(self.dom)} -> {format_type(self.cod)}")
+        if self.est_worlds is not None:
+            parts.append(f"~worlds<={self.est_worlds} size<={self.est_size}")
         return " ".join(parts)
 
 
@@ -260,6 +264,17 @@ class Plan:
             return cod
 
         return visit(self.root, input_type)
+
+    def annotate_estimates(self, value: Value):
+        """Predict per-node world counts/sizes for *value* (Section 6 bounds).
+
+        Delegates to :func:`repro.engine.cost_model.annotate_plan`; the
+        annotations appear in :meth:`describe`.  Returns the root's
+        :class:`~repro.engine.cost_model.ShapeEstimate`.
+        """
+        from repro.engine.cost_model import annotate_plan
+
+        return annotate_plan(self, value)
 
     # -- diagnostics -------------------------------------------------------
 

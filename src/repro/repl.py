@@ -66,8 +66,9 @@ _HELP = """commands:
   type NAME | typeof NAME     type of a value / morphism binding
   size NAME                   Section 6 size measure
   plan MORPHISM               show the optimized, compiled engine plan
-  backend [eager|streaming|parallel]
+  backend [auto|eager|streaming|parallel]
                               show or select the execution backend
+                              (auto picks per call from the cost model)
   show NAME (or just NAME)    print a binding
   del NAME                    remove a binding
   env | help | quit"""
@@ -82,7 +83,7 @@ class Repl:
         # All evaluation routes through one compile-and-run engine, so
         # repeated queries share compiled plans and memoized normal forms.
         self.engine = Engine()
-        self.backend = "eager"
+        self.backend = "auto"
 
     # ----- helpers ---------------------------------------------------------
 
@@ -140,8 +141,8 @@ class Repl:
         if head == "backend":
             if not rest:
                 return f"backend = {self.backend}"
-            if rest not in self.engine.backends:
-                options = ", ".join(sorted(self.engine.backends))
+            if rest != "auto" and rest not in self.engine.backends:
+                options = ", ".join(["auto", *sorted(self.engine.backends)])
                 return f"error: unknown backend {rest!r} (have: {options})"
             self.backend = rest
             return f"backend = {rest}"
