@@ -19,15 +19,18 @@ The single entry point is :func:`run` (or :meth:`Engine.run`)::
 
     engine.run(ormap(p1()), vorset(vpair(1, 2)))     # <1>
     engine.run(q, db, backend="streaming")           # lazy spine
-    engine.run(q, db, backend="parallel")            # sharded spine
+    engine.run(q, db, backend="parallel")            # thread-sharded spine
+    engine.run(q, db, backend="process")             # process-sharded spine
     engine.run(q, db, optimize=False, intern=False)  # plain compiled
     engine.run_many(q, dbs)                          # compile once, fan out
 
 The default ``backend="auto"`` picks the backend *per call* from the
 cost model (:mod:`repro.engine.cost_model`): the input's estimated world
-count and the plan's spine profile decide between eager execution,
-lazy streaming and estimate-proportional sharding — without building a
-single world (Section 6's bounds are computed statically).
+count and the plan's spine profile decide between eager execution, lazy
+streaming, estimate-proportional thread sharding and — when the estimate
+says the call is CPU-bound enough to amortize plan/value transport —
+true multiprocess sharding (:mod:`repro.engine.process`) — without
+building a single world (Section 6's bounds are computed statically).
 
 ``engine.run(p, v)`` is structurally equal to the direct interpretation
 ``p(v)`` for every program; the engine is the canonical execution path
@@ -63,7 +66,8 @@ from repro.engine.cost_model import (
     select_backend,
 )
 from repro.engine.interning import Interner
-from repro.engine.parallel import ParallelBackend, default_worker_count
+from repro.engine.parallel import ParallelBackend, ShardedBackend, default_worker_count
+from repro.engine.process import ProcessBackend, default_process_count
 from repro.engine.passes import (
     COND_PUSHDOWN,
     DEFAULT_PASSES,
@@ -97,8 +101,11 @@ __all__ = [
     "EagerBackend",
     "StreamingBackend",
     "ParallelBackend",
+    "ProcessBackend",
+    "ShardedBackend",
     "BACKENDS",
     "default_worker_count",
+    "default_process_count",
     "ShapeEstimate",
     "estimate_value",
     "estimate_morphism_cost",
@@ -181,7 +188,7 @@ class Engine:
             return plan.describe()
         concrete = ensure_value(value)
         plan.annotate_estimates(concrete)
-        choice = select_backend(plan, concrete)
+        choice = select_backend(plan, concrete, available=self.backends)
         return plan.describe() + f"\nbackend: {choice.backend} ({choice.reason})"
 
     # -- execution ---------------------------------------------------------
@@ -225,9 +232,11 @@ class Engine:
         """Resolve *backend* (adaptively for ``"auto"``) and execute."""
         if backend != "auto":
             return self._backend(backend).execute(plan, concrete, interner)
-        choice = select_backend(plan, concrete, existential=existential)
+        choice = select_backend(
+            plan, concrete, existential=existential, available=self.backends
+        )
         chosen = self.backends[choice.backend]
-        if choice.shards is not None and isinstance(chosen, ParallelBackend):
+        if choice.shards is not None and isinstance(chosen, ShardedBackend):
             return chosen.execute(plan, concrete, interner, shard_hint=choice.shards)
         return chosen.execute(plan, concrete, interner)
 
@@ -284,8 +293,33 @@ class Engine:
                 result = arena.intern(result)
             return result
 
+        chosen = self.backends.get(backend) if backend != "auto" else None
         workers = default_worker_count() if max_workers is None else max_workers
-        if workers > 1 and len(unique) > 1:
+        if backend == "auto" and workers > 1 and len(unique) > 1:
+            # A batch whose every input auto-selects the process backend
+            # should use the batch hook too, not stack the thread pool
+            # on top of the process pool (one chunk per worker beats
+            # many threads hammering pool.map concurrently).
+            proc = self.backends.get("process")
+            if isinstance(proc, ProcessBackend) and all(
+                select_backend(plan, v, available=self.backends).backend == "process"
+                for v in unique
+            ):
+                chosen = proc
+        if (
+            isinstance(chosen, ProcessBackend)
+            and workers > 1
+            and len(unique) > 1
+            and chosen.can_transport(plan)
+        ):
+            # The process backend's batch hook: whole inputs fan out
+            # across worker processes, one chunk per task — no thread
+            # pool stacked on top of the process pool.  The caller's
+            # max_workers bound caps the process fan-out too.  A plan
+            # that cannot pickle never reaches this branch: the thread
+            # fan-out below beats run_values' sequential eager fallback.
+            results = chosen.run_values(plan, unique, arena, max_workers=workers)
+        elif workers > 1 and len(unique) > 1:
             with ThreadPoolExecutor(
                 max_workers=min(workers, len(unique)),
                 thread_name_prefix="repro-run-many",
@@ -317,7 +351,9 @@ class Engine:
         if interner is not None:
             concrete = interner.intern(concrete)
         if backend == "auto":
-            choice = select_backend(plan, concrete, existential=True)
+            choice = select_backend(
+                plan, concrete, existential=True, available=self.backends
+            )
             chosen = self.backends[choice.backend]
         else:
             chosen = self._backend(backend)
@@ -337,7 +373,9 @@ class Engine:
         REPL and tests.
         """
         plan = self.compile(program, optimize)
-        return select_backend(plan, ensure_value(value), existential=existential)
+        return select_backend(
+            plan, ensure_value(value), existential=existential, available=self.backends
+        )
 
     def _backend(self, name: str) -> Backend:
         try:

@@ -24,15 +24,20 @@ queries short-circuit without producing a whole normal form; the
 streaming backend overrides it so the first conceptual value is yielded
 straight off the lazy spine, before any materialization.
 
-A third strategy, the sharded :class:`~repro.engine.parallel.ParallelBackend`,
-lives in :mod:`repro.engine.parallel` and registers itself under
-``BACKENDS["parallel"]`` when that module is imported (which
-:mod:`repro.engine` always does).
+Two more strategies share the sharded spine walk of
+:class:`~repro.engine.parallel.ShardedBackend`: the thread-pool
+:class:`~repro.engine.parallel.ParallelBackend` (``BACKENDS["parallel"]``)
+and the multiprocess :class:`~repro.engine.process.ProcessBackend`
+(``BACKENDS["process"]``); each registers itself when its module is
+imported (which :mod:`repro.engine` always does).
 
 Callers rarely pick from :data:`BACKENDS` by hand: ``backend="auto"``
-(the :meth:`repro.engine.Engine.run` default) chooses among the three
+(the :meth:`repro.engine.Engine.run` default) chooses among the four
 per call, from the cost model's static world-count estimate and the
 plan's spine profile (:func:`repro.engine.cost_model.select_backend`).
+The differential conformance suite
+(``tests/engine/test_backend_conformance.py``) gates every registered
+backend on structural equality with the direct interpreter.
 """
 
 from __future__ import annotations

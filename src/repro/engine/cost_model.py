@@ -40,6 +40,7 @@ Three consumers sit on top of the estimator:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Collection
 
 from repro.core.costs import moon_moser
 from repro.core.normalize import Normalize
@@ -76,6 +77,7 @@ __all__ = [
     "WIDE_SPINE",
     "STREAM_NORM_SIZE",
     "SHARD_TARGET_WORK",
+    "PROCESS_NORM_SIZE",
 ]
 
 # -- backend-selection thresholds (documented in docs/ARCHITECTURE.md) -------
@@ -94,6 +96,12 @@ STREAM_NORM_SIZE = 4096
 #: Target estimated leaf-work per parallel shard; the shard-count hint is
 #: the estimated total size divided by this, clamped to the spine width.
 SHARD_TARGET_WORK = 256
+
+#: Estimated total work past which a wide spine counts as *CPU-bound*:
+#: on GIL builds thread shards serialize, so once the per-call estimate
+#: amortizes plan transport and value pickling, the multiprocess backend
+#: wins.  Only consulted when a ``"process"`` backend is registered.
+PROCESS_NORM_SIZE = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -380,25 +388,43 @@ class BackendChoice:
 
 
 def select_backend(
-    plan: Plan, value: Value, *, existential: bool = False
+    plan: Plan,
+    value: Value,
+    *,
+    existential: bool = False,
+    available: "Collection[str] | None" = None,
 ) -> BackendChoice:
-    """Pick eager / streaming / parallel for this (plan, value) call.
+    """Pick eager / streaming / parallel / process for this (plan, value) call.
 
     * **small** estimated world count → ``eager`` (closure execution and
       maximal memo reuse win outright);
     * **existential** consumers over a huge estimated world count →
       ``streaming`` (the first witness comes off the lazy spine before
       any normal form is materialized);
+    * **wide** top-level collection under a streamable spine whose
+      estimated total work amortizes process transport
+      (:data:`PROCESS_NORM_SIZE`) → ``process`` (true CPU parallelism);
     * **wide** top-level collection under a streamable spine →
       ``parallel``, with a shard-count hint proportional to the
       estimated total work (:data:`SHARD_TARGET_WORK` per shard);
     * a streamable spine whose estimated normal form is large →
       ``streaming`` (skip canonicalizing big intermediates);
     * anything else → ``eager``.
+
+    *available* restricts the choice to the caller's registered backend
+    names (``Engine`` passes its registry).  ``None`` — the bare-function
+    default — means the in-thread backends only, so direct callers never
+    receive a ``"process"`` decision they did not sign up for.
     """
     est = estimate_value(value)
     profile = plan_profile(plan)
-    if existential and est.worlds > SMALL_WORLDS and profile.spine_stages >= 1:
+    names = ("eager", "streaming", "parallel") if available is None else available
+    if (
+        existential
+        and est.worlds > SMALL_WORLDS
+        and profile.spine_stages >= 1
+        and "streaming" in names
+    ):
         return BackendChoice(
             "streaming",
             f"existential over ~{est.worlds} estimated worlds short-circuits",
@@ -407,12 +433,24 @@ def select_backend(
         return BackendChoice("eager", f"small (~{est.worlds} estimated worlds)")
     if profile.spine_maps >= 1 and est.width is not None and est.width >= WIDE_SPINE:
         shards = max(2, min(est.width, est.norm_size // SHARD_TARGET_WORK or 2))
-        return BackendChoice(
-            "parallel",
-            f"wide spine ({est.width} elements, ~{est.norm_size} estimated work)",
-            shards=shards,
-        )
-    if profile.spine_stages >= 2 and est.norm_size > STREAM_NORM_SIZE:
+        if "process" in names and est.norm_size >= PROCESS_NORM_SIZE:
+            return BackendChoice(
+                "process",
+                f"CPU-bound wide spine ({est.width} elements, "
+                f"~{est.norm_size} estimated work amortizes process transport)",
+                shards=min(shards, 32),
+            )
+        if "parallel" in names:
+            return BackendChoice(
+                "parallel",
+                f"wide spine ({est.width} elements, ~{est.norm_size} estimated work)",
+                shards=shards,
+            )
+    if (
+        profile.spine_stages >= 2
+        and est.norm_size > STREAM_NORM_SIZE
+        and "streaming" in names
+    ):
         return BackendChoice(
             "streaming",
             f"streamable spine with ~{est.norm_size} estimated normal-form size",

@@ -1,10 +1,12 @@
-"""The parallel backend: sharded execution over the plan's collection spine.
+"""Sharded execution over the plan's collection spine (threads + shared core).
 
 The PODS'93 semantics makes possible-worlds evaluation embarrassingly
 parallel — every or-set branch is an independent world, and the
 structural operators (``map``, ``mu``, the coercions) act elementwise on
-the top-level collection.  :class:`ParallelBackend` exploits exactly
-that independence at the plan level:
+the top-level collection.  :class:`ShardedBackend` exploits exactly that
+independence at the plan level, and is the shared core behind both the
+thread-pool :class:`ParallelBackend` here and the multiprocess
+:class:`~repro.engine.process.ProcessBackend`:
 
 * the input collection of a ``map`` stage is split into *shards*
   (contiguous element chunks), and the compiled body closure runs on
@@ -20,18 +22,27 @@ that independence at the plan level:
   constructors canonicalize (sort, deduplicate) exactly as the eager
   backend's do, so results are structurally identical to
   :class:`~repro.engine.backends.EagerBackend`'s on every program
-  (property-tested in ``tests/engine/test_parallel.py``).
+  (property-tested in ``tests/engine/test_parallel.py`` and gated for
+  every registered backend by
+  ``tests/engine/test_backend_conformance.py``).
 
 Like the streaming backend, intermediate shards may carry transient
 duplicates (canonicalization is deferred to materialization); the
 set/or-set → bag coercions therefore deduplicate across shards so no
 transient duplicate becomes an observable multiplicity.
 
-The pool is a lazily created :class:`~concurrent.futures.ThreadPoolExecutor`
-shared by all executions on one backend instance.  Worker closures touch
-only the (locked) interner and immutable values, so concurrent shards
-are safe; on free-threaded builds the shards genuinely overlap, on
-GIL builds the backend degrades to eager-equivalent throughput.
+The chunk-level helpers (:func:`apply_body_to_chunk`,
+:func:`flatten_chunk`) are module-level functions, not closures: thread
+workers only need callables, but the process backend pickles its shard
+tasks, and a lambda-capturing closure would not survive the trip.
+
+:class:`ParallelBackend`'s pool is a lazily created
+:class:`~concurrent.futures.ThreadPoolExecutor` shared by all executions
+on one backend instance.  Worker closures touch only the (locked)
+interner and immutable values, so concurrent shards are safe; on
+free-threaded builds the shards genuinely overlap, on GIL builds the
+backend degrades to eager-equivalent throughput (which is what makes the
+multiprocess backend worth its serialization cost on CPU-bound plans).
 """
 
 from __future__ import annotations
@@ -39,6 +50,7 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from functools import partial
 from typing import Callable, Iterable
 
 from repro.errors import OrNRATypeError
@@ -47,9 +59,17 @@ from repro.values.values import Value
 
 from repro.engine.backends import _MU, _RETAG, _WRAPPER_OF, BACKENDS, Backend
 from repro.engine.interning import Interner
-from repro.engine.plan import MAP_KINDS, Plan, PlanNode
+from repro.engine.plan import MAP_KINDS, Plan
 
-__all__ = ["ParallelBackend", "default_worker_count"]
+__all__ = [
+    "ShardedBackend",
+    "ParallelBackend",
+    "default_worker_count",
+    "apply_body_to_chunk",
+    "flatten_chunk",
+    "dedup_chunks",
+    "even_chunks",
+]
 
 
 def default_worker_count() -> int:
@@ -74,7 +94,37 @@ def _materialize(x: "Value | _Shards") -> Value:
     return x
 
 
-def _dedup_chunks(chunks: list[list[Value]]) -> list[list[Value]]:
+# -- module-level chunk helpers (shared by the thread and process pools) -----
+
+
+def apply_body_to_chunk(body: Callable[[Value], Value], chunk: list[Value]) -> list[Value]:
+    """Apply a compiled map body to every element of one shard."""
+    return [body(e) for e in chunk]
+
+
+def flatten_chunk(chunk: list[Value], wrapper: type, noun: str) -> list[Value]:
+    """One ``mu`` shard: concatenate the inner collections' elements."""
+    out: list[Value] = []
+    for inner in chunk:
+        if not isinstance(inner, wrapper):
+            raise OrNRATypeError(f"{noun}, got element {inner!r}")
+        out.extend(inner.elems)
+    return out
+
+
+def even_chunks(items: list, n: int) -> list[list]:
+    """Split *items* into *n* contiguous chunks of near-equal length."""
+    n = max(1, min(n, len(items)))
+    step, extra = divmod(len(items), n)
+    chunks, start = [], 0
+    for i in range(n):
+        end = start + step + (1 if i < extra else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def dedup_chunks(chunks: list[list[Value]]) -> list[list[Value]]:
     """Drop duplicates across shards, keeping first occurrences in order."""
     seen: set[Value] = set()
     out: list[list[Value]] = []
@@ -88,53 +138,33 @@ def _dedup_chunks(chunks: list[list[Value]]) -> list[list[Value]]:
     return out
 
 
-class ParallelBackend(Backend):
-    """Sharded execution of the top-level collection spine on a pool.
+class ShardedBackend(Backend):
+    """The sharded spine walk, with the chunk executor left to subclasses.
 
-    *max_workers* sizes the thread pool (default:
-    :func:`default_worker_count`); *min_shard* is the smallest collection
-    worth splitting — anything shorter runs as a single inline shard.
+    Subclasses override :meth:`_map_chunks` (how a list of shards is
+    mapped through a chunk function — inline here, a thread pool in
+    :class:`ParallelBackend`) and optionally :meth:`_run_map_stage` (how
+    a ``map`` stage's compiled body reaches the workers — the process
+    backend ships the plan instead of a closure).  *min_shard* is the
+    smallest collection worth splitting — anything shorter runs as a
+    single inline shard.
     """
 
-    name = "parallel"
+    name = "sharded"
 
     def __init__(self, max_workers: int | None = None, min_shard: int = 4) -> None:
         self.max_workers = max_workers if max_workers is not None else default_worker_count()
         self.min_shard = max(1, min_shard)
-        self._pool: ThreadPoolExecutor | None = None
-        self._pool_lock = threading.Lock()
 
-    # -- pool --------------------------------------------------------------
-
-    def _executor(self) -> ThreadPoolExecutor | None:
-        if self.max_workers <= 1:
-            return None
-        pool = self._pool
-        if pool is None:
-            with self._pool_lock:
-                pool = self._pool
-                if pool is None:
-                    pool = ThreadPoolExecutor(
-                        max_workers=self.max_workers,
-                        thread_name_prefix="repro-parallel",
-                    )
-                    self._pool = pool
-        return pool
-
-    def close(self) -> None:
-        """Shut the worker pool down (a later execute reopens it)."""
-        with self._pool_lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
+    # -- chunk executor (overridden by the pools) --------------------------
 
     def _map_chunks(
         self, fn: Callable[[list[Value]], list[Value]], chunks: list[list[Value]]
     ) -> list[list[Value]]:
-        pool = self._executor() if len(chunks) > 1 else None
-        if pool is None:
-            return [fn(chunk) for chunk in chunks]
-        return list(pool.map(fn, chunks))
+        return [fn(chunk) for chunk in chunks]
+
+    def close(self) -> None:
+        """Release pooled workers (a later execute reopens them)."""
 
     # -- sharding ----------------------------------------------------------
 
@@ -147,15 +177,7 @@ class ParallelBackend(Backend):
         # A shard-count *hint* (the cost model's estimate-proportional
         # choice) overrides the fixed workers*2 default.
         n_chunks = min(len(items), hint if hint else self.max_workers * 2)
-        n_chunks = max(1, n_chunks)
-        step, extra = divmod(len(items), n_chunks)
-        chunks: list[list[Value]] = []
-        start = 0
-        for i in range(n_chunks):
-            end = start + step + (1 if i < extra else 0)
-            chunks.append(items[start:end])
-            start = end
-        return chunks
+        return even_chunks(items, n_chunks)
 
     def _as_shards(
         self,
@@ -208,28 +230,14 @@ class ParallelBackend(Backend):
         if op == "map":
             kind, _wrapper, _tw, noun = MAP_KINDS[type(node.source)]
             shards = self._as_shards(value, kind, noun, hint)
-            # The body is bound once, in the coordinating thread, so the
-            # worker closures only *apply* pure compiled functions.
-            body = self._bind_eager(plan, node.kids[0], leaf, bound)
-
-            def run_shard(chunk: list[Value], _body=body) -> list[Value]:
-                return [_body(e) for e in chunk]
-
-            return _Shards(kind, self._map_chunks(run_shard, shards.chunks))
+            chunks = self._run_map_stage(plan, node.kids[0], shards.chunks, leaf, bound)
+            return _Shards(kind, chunks)
         source_cls = type(node.source)
         if op == "leaf" and source_cls in _MU:
             kind, noun = _MU[source_cls]
             shards = self._as_shards(value, kind, noun, hint)
             wrapper = _WRAPPER_OF[kind]
-
-            def flatten(chunk: list[Value], _wrapper=wrapper, _noun=noun) -> list[Value]:
-                out: list[Value] = []
-                for inner in chunk:
-                    if not isinstance(inner, _wrapper):
-                        raise OrNRATypeError(f"{_noun}, got element {inner!r}")
-                    out.extend(inner.elems)
-                return out
-
+            flatten = partial(flatten_chunk, wrapper=wrapper, noun=noun)
             return _Shards(kind, self._map_chunks(flatten, shards.chunks))
         if op == "leaf" and source_cls in _RETAG:
             kind_in, kind_out, noun = _RETAG[source_cls]
@@ -238,14 +246,32 @@ class ParallelBackend(Backend):
             if kind_out == "bag" and kind_in != "bag":
                 # Transient duplicates across shards must not become
                 # observable bag multiplicities (cf. the streaming spine).
-                chunks = _dedup_chunks(chunks)
+                chunks = dedup_chunks(chunks)
             return _Shards(kind_out, chunks)
         if op == "leaf" and source_cls is BagUnique:
             shards = self._as_shards(value, "bag", "unique expects a bag", hint)
-            return _Shards("bag", _dedup_chunks(shards.chunks))
+            return _Shards("bag", dedup_chunks(shards.chunks))
         # Anything else: merge-materialize and run the eager closure.
         concrete = _materialize(value)
         return self._bind_eager(plan, idx, leaf, bound)(concrete)
+
+    def _run_map_stage(
+        self,
+        plan: Plan,
+        body_idx: int,
+        chunks: list[list[Value]],
+        leaf: Callable | None,
+        bound: dict[int, Callable[[Value], Value]],
+    ) -> list[list[Value]]:
+        """Run a map stage's body over every shard.
+
+        The body is bound once, in the coordinating thread, so the worker
+        callables only *apply* pure compiled functions.  The process
+        backend overrides this: a bound closure cannot cross a process
+        boundary, so it ships ``(plan, body_idx)`` and rebinds remotely.
+        """
+        body = self._bind_eager(plan, body_idx, leaf, bound)
+        return self._map_chunks(partial(apply_body_to_chunk, body), chunks)
 
     def _bind_eager(
         self,
@@ -264,6 +290,54 @@ class ParallelBackend(Backend):
             return fn
 
         return build(idx)
+
+
+class ParallelBackend(ShardedBackend):
+    """Sharded execution of the top-level collection spine on a thread pool.
+
+    *max_workers* sizes the thread pool (default:
+    :func:`default_worker_count`); *min_shard* is the smallest collection
+    worth splitting — anything shorter runs as a single inline shard.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: int | None = None, min_shard: int = 4) -> None:
+        super().__init__(max_workers=max_workers, min_shard=min_shard)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # -- pool --------------------------------------------------------------
+
+    def _executor(self) -> ThreadPoolExecutor | None:
+        if self.max_workers <= 1:
+            return None
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="repro-parallel",
+                    )
+                    self._pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later execute reopens it)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def _map_chunks(
+        self, fn: Callable[[list[Value]], list[Value]], chunks: list[list[Value]]
+    ) -> list[list[Value]]:
+        pool = self._executor() if len(chunks) > 1 else None
+        if pool is None:
+            return [fn(chunk) for chunk in chunks]
+        return list(pool.map(fn, chunks))
 
 
 BACKENDS["parallel"] = ParallelBackend()

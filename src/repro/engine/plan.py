@@ -216,6 +216,26 @@ class Plan:
         """Run the plan with the default (direct ``apply``) leaf executor."""
         return self.bind()(value)
 
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle only the IR, not the derived runtime state.
+
+        Bound closures (``_bound``) are unpicklable and rebuilt on demand;
+        cached profiles and payloads (set by the cost model and the
+        process backend via ``setattr``) are derived and cheap to
+        recompute.  This is what lets the process backend ship compiled
+        plans to worker processes even after the coordinating process has
+        bound them.
+        """
+        return {"nodes": self.nodes, "root": self.root, "source": self.source}
+
+    def __setstate__(self, state: dict) -> None:
+        self.nodes = state["nodes"]
+        self.root = state["root"]
+        self.source = state["source"]
+        self._bound = {}
+
     # -- typing ------------------------------------------------------------
 
     def infer_types(self, input_type: Type) -> Type | None:

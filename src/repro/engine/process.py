@@ -1,0 +1,364 @@
+"""The multiprocess backend: true CPU parallelism for compiled plans.
+
+:class:`~repro.engine.parallel.ParallelBackend` shards the collection
+spine across *threads* — safe and cheap, but on GIL builds CPU-bound
+plans (normalization, arithmetic-heavy map bodies) serialize anyway.
+:class:`ProcessBackend` runs the same sharded spine walk (it subclasses
+:class:`~repro.engine.parallel.ShardedBackend`) with the shards executed
+in a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* **pickle-safe transport** — the compiled :class:`~repro.engine.plan.Plan`
+  is pickled *once* per plan (``Plan.__getstate__`` drops bound closures)
+  and shipped to workers as a byte payload; each worker caches the
+  unpickled plan and its bound closures keyed on the payload digest, so
+  repeated shards of the same plan only pay the transport, not the
+  rebind.  Values cross the boundary as ordinary pickles.
+* **per-worker interner** — every worker process owns a private
+  :class:`~repro.engine.interning.Interner` (keyed on ``os.getpid()`` so
+  a forked arena is never reused), giving shard-local hash-consing and
+  memoized ``normalize``; the coordinator merges shard results in order
+  on materialization and the caller's arena re-interns the final value —
+  merge-on-materialize, exactly like the thread backend.
+* **graceful degradation** — a plan that does not pickle (a user
+  primitive wrapping a lambda, say) falls back to eager execution in the
+  coordinating process (counted in ``stats()["pickle_fallbacks"]``), and
+  a broken pool is torn down and the shards re-run locally, so
+  ``backend="process"`` is *always* semantically safe.
+
+The backend registers itself as ``BACKENDS["process"]``;
+``backend="auto"`` reaches it through
+:func:`repro.engine.cost_model.select_backend` when the static estimate
+says the plan is CPU-bound enough to amortize process transport
+(``PROCESS_NORM_SIZE``).  :meth:`ProcessBackend.run_values` is the batch
+hook ``Engine.run_many`` uses to fan *whole inputs* across workers —
+one task per input chunk, each evaluated start-to-finish in a worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from itertools import repeat
+from typing import Callable, Sequence
+
+from repro.values.values import Value
+
+from repro.engine.backends import BACKENDS
+from repro.engine.interning import Interner
+from repro.engine.parallel import ShardedBackend, even_chunks
+from repro.engine.plan import Plan
+
+__all__ = ["ProcessBackend", "default_process_count"]
+
+#: Cap on coordinator-side cached plan payloads (cleared wholesale past it).
+_MAX_PAYLOADS = 128
+
+#: Cap on worker-side cached plans / bound closures (cleared wholesale past
+#: it).  Long-lived workers serving many distinct query texts must not
+#: accumulate every plan they have ever seen.
+_MAX_WORKER_PLANS = 128
+
+
+def default_process_count() -> int:
+    """Default worker-process count: the machine's cores, bounded."""
+    return max(1, min(16, os.cpu_count() or 1))
+
+
+# -- worker side -------------------------------------------------------------
+#
+# Everything below the pool boundary is module-level (picklable by
+# reference under every multiprocessing start method).  Worker state is
+# keyed on the worker's pid so a forked parent arena is never mistaken
+# for the worker's own.
+
+_WORKER_STATE: dict = {"pid": None}
+
+
+def _worker_state() -> dict:
+    state = _WORKER_STATE
+    if state.get("pid") != os.getpid():
+        state.clear()
+        state["pid"] = os.getpid()
+        state["interner"] = Interner()
+        state["plans"] = {}
+        state["bound"] = {}
+    return state
+
+
+def _worker_plan(payload: bytes) -> tuple[dict, bytes, Plan]:
+    state = _worker_state()
+    key = hashlib.sha1(payload).digest()
+    plan = state["plans"].get(key)
+    if plan is None:
+        if len(state["plans"]) >= _MAX_WORKER_PLANS:
+            state["plans"].clear()
+            state["bound"].clear()
+        plan = pickle.loads(payload)
+        state["plans"][key] = plan
+    return state, key, plan
+
+
+def _bind_subtree(
+    plan: Plan, idx: int, leaf: Callable | None
+) -> Callable[[Value], Value]:
+    """Eager closures for the subtree at *idx* (worker-side rebind)."""
+    bound: dict[int, Callable[[Value], Value]] = {}
+
+    def build(i: int) -> Callable[[Value], Value]:
+        fn = bound.get(i)
+        if fn is None:
+            fn = Plan._build_node(plan.nodes[i], build, leaf)
+            bound[i] = fn
+        return fn
+
+    return build(idx)
+
+
+def _run_chunk_remote(
+    payload: bytes, body_idx: int | None, chunk: list[Value]
+) -> list[Value]:
+    """Worker entry point: run one plan subtree over one shard.
+
+    *body_idx* selects the subtree (``None`` means the whole plan — the
+    :meth:`ProcessBackend.run_values` batch path).  Inputs are interned
+    into the worker's private arena so repeated elements share one
+    memoized normalization within the worker.
+    """
+    state, key, plan = _worker_plan(payload)
+    idx = plan.root if body_idx is None else body_idx
+    interner: Interner = state["interner"]
+    fn = state["bound"].get((key, idx))
+    if fn is None:
+        fn = _bind_subtree(plan, idx, interner.leaf_apply)
+        state["bound"][(key, idx)] = fn
+    return [fn(interner.intern(e)) for e in chunk]
+
+
+def _worker_ping(_i: int) -> int:
+    """No-op worker task used by :meth:`ProcessBackend.warm`."""
+    return os.getpid()
+
+
+# -- coordinator side --------------------------------------------------------
+
+
+class ProcessBackend(ShardedBackend):
+    """Sharded spine execution across a process pool.
+
+    *max_workers* sizes the pool (default :func:`default_process_count`);
+    *min_shard* is the smallest collection worth shipping to workers —
+    process transport costs more than a thread handoff, so the default is
+    higher than the thread backend's; *mp_context* overrides the
+    :mod:`multiprocessing` start-method context.
+
+    ``mp_context=None`` keeps the platform default (``fork`` on Linux):
+    the ``spawn``/``forkserver`` methods re-import the *parent's* main
+    module in each worker, which breaks plain-script and stdin callers
+    (they degrade to the local fallback and never parallelize — measured,
+    not hypothetical).  The cost of ``fork`` is that lazily creating
+    workers from a non-main thread of a multi-threaded coordinator is
+    deadlock-prone; long-lived servers avoid that by calling
+    :meth:`warm` once from the main thread before concurrency starts
+    (the serving entry points do).
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        min_shard: int = 32,
+        mp_context=None,
+    ) -> None:
+        super().__init__(
+            max_workers=max_workers if max_workers is not None else default_process_count(),
+            min_shard=min_shard,
+        )
+        self.mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._payloads: dict[int, tuple[Plan, bytes | None]] = {}
+        self.remote_chunks = 0
+        self.pickle_fallbacks = 0
+        self.pool_fallbacks = 0
+
+    # -- pool --------------------------------------------------------------
+
+    def _executor(self) -> ProcessPoolExecutor | None:
+        if self.max_workers <= 1:
+            return None
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=self.max_workers, mp_context=self.mp_context
+                    )
+                    self._pool = pool
+        return pool
+
+    def warm(self) -> None:
+        """Start every worker process now, from the calling thread.
+
+        Worker processes are otherwise forked lazily by whichever thread
+        first submits a shard — under a fork start method that thread is
+        often a pool thread of a multi-threaded coordinator, which is
+        deadlock-prone.  Serving entry points call this once from the
+        main thread before concurrency begins; with all workers already
+        alive, later submits never fork.
+        """
+        pool = self._executor()
+        if pool is None:
+            return
+        try:
+            # One task per worker forces the pool to spawn its full
+            # complement (workers are created one per pending submit).
+            list(pool.map(_worker_ping, range(self.max_workers)))
+        except BrokenExecutor:
+            self._discard_pool()
+            self._count("pool_fallbacks")
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later execute reopens it)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def _discard_pool(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+    def _count(self, counter: str, n: int = 1) -> None:
+        # The singleton backend is shared across engines and threads;
+        # unguarded += would lose increments under concurrency.
+        with self._pool_lock:
+            setattr(self, counter, getattr(self, counter) + n)
+
+    # -- plan transport ----------------------------------------------------
+
+    def can_transport(self, plan: Plan) -> bool:
+        """Can *plan* reach the workers at all (is its pickle payload ok)?
+
+        ``Engine.run_many`` consults this before committing a batch to
+        :meth:`run_values`: an untransportable plan is better served by
+        the *thread* fan-out than by this backend's sequential eager
+        fallback.
+        """
+        return self._payload(plan) is not None
+
+    def _payload(self, plan: Plan) -> bytes | None:
+        """The plan's pickled transport form (``None`` if unpicklable)."""
+        key = id(plan)
+        with self._pool_lock:
+            entry = self._payloads.get(key)
+            if entry is not None and entry[0] is plan:
+                return entry[1]
+        try:
+            blob: bytes | None = pickle.dumps(plan)
+        except Exception:
+            blob = None
+        with self._pool_lock:
+            if len(self._payloads) >= _MAX_PAYLOADS:
+                self._payloads.clear()
+            # The stored plan reference keeps id(plan) from being recycled.
+            self._payloads[key] = (plan, blob)
+        return blob
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self,
+        plan: Plan,
+        value: Value,
+        interner: Interner | None = None,
+        shard_hint: int | None = None,
+    ) -> Value:
+        if self._payload(plan) is None:
+            # An unpicklable plan cannot reach the workers; correctness
+            # beats parallelism, so run it eagerly in-process.
+            self._count("pickle_fallbacks")
+            return BACKENDS["eager"].execute(plan, value, interner)
+        return super().execute(plan, value, interner, shard_hint)
+
+    def _run_map_stage(
+        self,
+        plan: Plan,
+        body_idx: int,
+        chunks: list[list[Value]],
+        leaf: Callable | None,
+        bound: dict[int, Callable[[Value], Value]],
+    ) -> list[list[Value]]:
+        pool = self._executor() if len(chunks) > 1 else None
+        payload = self._payload(plan) if pool is not None else None
+        if pool is None or payload is None:
+            return super()._run_map_stage(plan, body_idx, chunks, leaf, bound)
+        try:
+            results = list(
+                pool.map(_run_chunk_remote, repeat(payload), repeat(body_idx), chunks)
+            )
+        except BrokenExecutor:
+            # A crashed worker (OOM kill, interpreter teardown) must not
+            # take the query down: rebuild nothing, just run locally.
+            self._discard_pool()
+            self._count("pool_fallbacks")
+            return super()._run_map_stage(plan, body_idx, chunks, leaf, bound)
+        self._count("remote_chunks", len(chunks))
+        return results
+
+    def run_values(
+        self,
+        plan: Plan,
+        values: Sequence[Value],
+        interner: Interner | None = None,
+        max_workers: int | None = None,
+    ) -> list[Value]:
+        """Fan *whole inputs* across the worker pool, one chunk per task.
+
+        The batch hook behind ``Engine.run_many(..., backend="process")``:
+        each input is evaluated start-to-finish inside one worker (no
+        per-stage materialization crossing the boundary), and results
+        come back in input order.  *max_workers* is the caller's
+        fan-out bound (``run_many``'s parameter): fewer chunks are cut
+        when it is tighter than the pool.
+        """
+        fanout = self.max_workers if max_workers is None else min(max_workers, self.max_workers)
+        pool = self._executor() if fanout > 1 else None
+        payload = self._payload(plan) if pool is not None else None
+        if pool is None or payload is None or len(values) <= 1:
+            return [self.execute(plan, v, interner) for v in values]
+        chunks = even_chunks(list(values), fanout)
+        try:
+            shards = list(
+                pool.map(_run_chunk_remote, repeat(payload), repeat(None), chunks)
+            )
+        except BrokenExecutor:
+            self._discard_pool()
+            self._count("pool_fallbacks")
+            return [self.execute(plan, v, interner) for v in values]
+        self._count("remote_chunks", len(chunks))
+        results = [r for shard in shards for r in shard]
+        if interner is not None:
+            results = [interner.intern(r) for r in results]
+        return results
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Transport and fallback counters (diagnostics and tests)."""
+        with self._pool_lock:
+            return {
+                "remote_chunks": self.remote_chunks,
+                "pickle_fallbacks": self.pickle_fallbacks,
+                "pool_fallbacks": self.pool_fallbacks,
+                "max_workers": self.max_workers,
+            }
+
+
+BACKENDS["process"] = ProcessBackend()

@@ -15,6 +15,7 @@ bags ``{"bag": [...]}``; unit ``{"unit": true}``; variant injections
 from __future__ import annotations
 
 import json
+from functools import lru_cache
 
 from repro.errors import OrNRAValueError
 from repro.types.kinds import Type
@@ -41,6 +42,7 @@ __all__ = [
     "loads_type",
     "value_to_text",
     "value_from_text",
+    "parsed_morphism",
     "run_text",
     "run_json",
     "run_text_many",
@@ -155,6 +157,30 @@ def value_from_text(text: str) -> Value:
     return parse_value(text)
 
 
+@lru_cache(maxsize=512)
+def _parse_morphism_cached(text: str):
+    from repro.lang.parser import parse_morphism
+
+    return parse_morphism(text)
+
+
+def parsed_morphism(program):
+    """Resolve *program* — surface-syntax text or a Morphism — to a Morphism.
+
+    Parses are memoized (an LRU over the program text), which is what
+    lets a serving loop re-submit the same query string thousands of
+    times without re-parsing: the text maps to the *same* morphism
+    object, so the engine's plan cache hits too.  Morphism instances
+    pass through untouched — the hook the async front-end and the REPL
+    use to serve pre-resolved (named) programs.
+    """
+    from repro.lang.morphisms import Morphism
+
+    if isinstance(program, Morphism):
+        return program
+    return _parse_morphism_cached(program)
+
+
 def run_text(morphism_text: str, value_text: str, backend: str = "eager") -> str:
     """Parse, compile and run a query; both sides in the paper notation.
 
@@ -168,10 +194,10 @@ def run_text(morphism_text: str, value_text: str, backend: str = "eager") -> str
     '<{1}, {3}>'
     """
     from repro.engine import run
-    from repro.lang.parser import parse_morphism, parse_value
+    from repro.lang.parser import parse_value
 
     result = run(
-        parse_morphism(morphism_text),
+        parsed_morphism(morphism_text),
         parse_value(value_text),
         backend=backend,
         intern=False,
@@ -186,10 +212,9 @@ def run_json(morphism_text: str, value_json: object, backend: str = "eager") -> 
     the :func:`value_to_json` structure.
     """
     from repro.engine import run
-    from repro.lang.parser import parse_morphism
 
     result = run(
-        parse_morphism(morphism_text),
+        parsed_morphism(morphism_text),
         value_from_json(value_json),
         backend=backend,
         intern=False,
@@ -198,46 +223,61 @@ def run_json(morphism_text: str, value_json: object, backend: str = "eager") -> 
 
 
 def run_text_many(
-    morphism_text: str, value_texts: list[str], backend: str = "eager"
+    morphism_text,
+    value_texts: list[str],
+    backend: str = "eager",
+    max_workers: int | None = None,
 ) -> list[str]:
     """Batched :func:`run_text`: parse and compile once, fan out.
 
     Unlike a loop of ``run_text`` calls, the batch shares one
     *batch-scoped* interner — structurally equal inputs (and their
     memoized normal forms) are computed once — and nothing stays pinned
-    in the default engine's arena after the call returns.
+    in the default engine's arena after the call returns.  *morphism_text*
+    may also be a pre-resolved Morphism; *max_workers* bounds the batch's
+    fan-out (``0``/``1`` for strictly sequential).
     """
     from repro.engine import DEFAULT_ENGINE, Interner
-    from repro.lang.parser import parse_morphism, parse_value
+    from repro.lang.parser import parse_value
 
     results = DEFAULT_ENGINE.run_many(
-        parse_morphism(morphism_text),
+        parsed_morphism(morphism_text),
         [parse_value(text) for text in value_texts],
         backend=backend,
         interner=Interner(),
+        max_workers=max_workers,
     )
     return [format_value(r) for r in results]
 
 
 def run_json_many(
-    morphism_text: str, values_json: list, backend: str = "eager"
+    morphism_text,
+    values_json: list,
+    backend: str = "eager",
+    max_workers: int | None = None,
 ) -> list[object]:
     """Batched :func:`run_json`: parse and compile once, fan out.
 
-    The batch endpoint for serving many worlds of one query: the program
-    is parsed and compiled once, structurally equal inputs are computed
-    once (one batch-scoped interner shares memoized normal forms across
-    the whole batch), and distinct inputs fan out across worker threads.
-    Results come back in input order; nothing is pinned in the default
-    engine's arena afterwards.
+    The batch endpoint for serving many worlds of one query — and the
+    function the async front-end (:mod:`repro.serve`) fans each
+    micro-batch into: the program is parsed and compiled once (parses
+    are LRU-memoized across calls via :func:`parsed_morphism`, so a
+    serving loop pays the parse once per query text, not per batch),
+    structurally equal inputs are computed once (one batch-scoped
+    interner shares memoized normal forms across the whole batch), and
+    distinct inputs fan out across worker threads — or whole worker
+    processes when ``backend="process"``.  Results come back in input
+    order; nothing is pinned in the default engine's arena afterwards.
+    *morphism_text* may also be a pre-resolved Morphism; *max_workers*
+    bounds the batch's fan-out (``0``/``1`` for strictly sequential).
     """
     from repro.engine import DEFAULT_ENGINE, Interner
-    from repro.lang.parser import parse_morphism
 
     results = DEFAULT_ENGINE.run_many(
-        parse_morphism(morphism_text),
+        parsed_morphism(morphism_text),
         [value_from_json(v) for v in values_json],
         backend=backend,
         interner=Interner(),
+        max_workers=max_workers,
     )
     return [value_to_json(r) for r in results]

@@ -8,10 +8,17 @@ the built-in base types plus factories for user primitives (the intro's
 Primitives whose declared type mentions or-sets are legal in or-NRA but are
 excluded from the losslessness theorem's syntactic class; the factories
 here record the declared type so :mod:`repro.core.preserve` can check it.
+
+The evaluator functions built by the factories are module-level callable
+classes (not nested closures), so every standard primitive — and any user
+primitive whose underlying Python function is itself picklable — survives
+``pickle``.  That is what lets compiled plans containing arithmetic travel
+to the process backend's workers (``repro/engine/process.py``).
 """
 
 from __future__ import annotations
 
+import operator
 from typing import Callable
 
 from repro.errors import OrNRATypeError
@@ -53,95 +60,156 @@ def _binop_value(v: Value, op: str) -> tuple[Value, Value]:
     return v.fst, v.snd
 
 
+class _IntBinOp:
+    """Pickle-safe evaluator for an integer operator ``int * int -> int``."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[int, int], int]) -> None:
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, v: Value) -> Value:
+        a, b = _binop_value(v, self.name)
+        return Atom("int", self.fn(_unwrap_int(a, self.name), _unwrap_int(b, self.name)))
+
+    def __getstate__(self):
+        return (self.name, self.fn)
+
+    def __setstate__(self, state):
+        self.name, self.fn = state
+
+
+class _IntCompare:
+    """Pickle-safe evaluator for an integer test ``int * int -> bool``."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[int, int], bool]) -> None:
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, v: Value) -> Value:
+        a, b = _binop_value(v, self.name)
+        return boolean(self.fn(_unwrap_int(a, self.name), _unwrap_int(b, self.name)))
+
+    def __getstate__(self):
+        return (self.name, self.fn)
+
+    def __setstate__(self, state):
+        self.name, self.fn = state
+
+
+def _bool_and_value(v: Value) -> Value:
+    # Python's `and` short-circuits: a false left operand returns
+    # without unwrapping (or type-checking) the right one — observable
+    # behavior the original closure had, preserved here.
+    a, b = _binop_value(v, "and")
+    return boolean(_unwrap_bool(a, "and") and _unwrap_bool(b, "and"))
+
+
+def _bool_or_value(v: Value) -> Value:
+    a, b = _binop_value(v, "or")
+    return boolean(_unwrap_bool(a, "or") or _unwrap_bool(b, "or"))
+
+
+def _bool_not_value(v: Value) -> Value:
+    return boolean(not _unwrap_bool(v, "not"))
+
+
+class _PredicateFn:
+    """Pickle-safe wrapper coercing a user predicate's result to a boolean."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[Value], bool]) -> None:
+        self.fn = fn
+
+    def __call__(self, v: Value) -> Value:
+        return boolean(bool(self.fn(v)))
+
+    def __getstate__(self):
+        return self.fn
+
+    def __setstate__(self, state):
+        self.fn = state
+
+
+class _UnaryFn:
+    """Pickle-safe wrapper coercing a user primitive's result to a value."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[Value], object]) -> None:
+        self.fn = fn
+
+    def __call__(self, v: Value) -> Value:
+        return ensure_value(self.fn(v))
+
+    def __getstate__(self):
+        return self.fn
+
+    def __setstate__(self, state):
+        self.fn = state
+
+
 def int_binop(name: str, fn: Callable[[int, int], int]) -> Primitive:
     """An integer operator ``int * int -> int``."""
-
-    def run(v: Value) -> Value:
-        a, b = _binop_value(v, name)
-        return Atom("int", fn(_unwrap_int(a, name), _unwrap_int(b, name)))
-
-    return Primitive(name, run, ProdType(INT, INT), INT)
+    return Primitive(name, _IntBinOp(name, fn), ProdType(INT, INT), INT)
 
 
 def plus() -> Primitive:
     """Integer addition."""
-    return int_binop("plus", lambda a, b: a + b)
+    return int_binop("plus", operator.add)
 
 
 def minus() -> Primitive:
     """Integer subtraction."""
-    return int_binop("minus", lambda a, b: a - b)
+    return int_binop("minus", operator.sub)
 
 
 def times() -> Primitive:
     """Integer multiplication."""
-    return int_binop("times", lambda a, b: a * b)
+    return int_binop("times", operator.mul)
 
 
 def int_le() -> Primitive:
     """Integer ``<=`` test: ``int * int -> bool``."""
-
-    def run(v: Value) -> Value:
-        a, b = _binop_value(v, "leq")
-        return boolean(_unwrap_int(a, "leq") <= _unwrap_int(b, "leq"))
-
-    return Primitive("leq", run, ProdType(INT, INT), BOOL)
+    return Primitive("leq", _IntCompare("leq", operator.le), ProdType(INT, INT), BOOL)
 
 
 def int_lt() -> Primitive:
     """Integer ``<`` test: ``int * int -> bool``."""
-
-    def run(v: Value) -> Value:
-        a, b = _binop_value(v, "lt")
-        return boolean(_unwrap_int(a, "lt") < _unwrap_int(b, "lt"))
-
-    return Primitive("lt", run, ProdType(INT, INT), BOOL)
+    return Primitive("lt", _IntCompare("lt", operator.lt), ProdType(INT, INT), BOOL)
 
 
 def bool_and() -> Primitive:
-    """Boolean conjunction ``bool * bool -> bool``."""
-
-    def run(v: Value) -> Value:
-        a, b = _binop_value(v, "and")
-        return boolean(_unwrap_bool(a, "and") and _unwrap_bool(b, "and"))
-
-    return Primitive("and", run, ProdType(BOOL, BOOL), BOOL)
+    """Boolean conjunction ``bool * bool -> bool`` (left short-circuits)."""
+    return Primitive("and", _bool_and_value, ProdType(BOOL, BOOL), BOOL)
 
 
 def bool_or() -> Primitive:
-    """Boolean disjunction ``bool * bool -> bool``."""
-
-    def run(v: Value) -> Value:
-        a, b = _binop_value(v, "or")
-        return boolean(_unwrap_bool(a, "or") or _unwrap_bool(b, "or"))
-
-    return Primitive("or", run, ProdType(BOOL, BOOL), BOOL)
+    """Boolean disjunction ``bool * bool -> bool`` (left short-circuits)."""
+    return Primitive("or", _bool_or_value, ProdType(BOOL, BOOL), BOOL)
 
 
 def bool_not() -> Primitive:
     """Boolean negation ``bool -> bool``."""
-
-    def run(v: Value) -> Value:
-        return boolean(not _unwrap_bool(v, "not"))
-
-    return Primitive("not", run, BOOL, BOOL)
+    return Primitive("not", _bool_not_value, BOOL, BOOL)
 
 
 def predicate(name: str, fn: Callable[[Value], bool], dom: Type) -> Primitive:
-    """A user predicate ``dom -> bool`` from a plain Python function."""
+    """A user predicate ``dom -> bool`` from a plain Python function.
 
-    def run(v: Value) -> Value:
-        return boolean(bool(fn(v)))
-
-    return Primitive(name, run, dom, BOOL)
+    The wrapper pickles whenever *fn* does (module-level functions do;
+    lambdas do not) — relevant when a plan containing the predicate is
+    shipped to the process backend's workers.
+    """
+    return Primitive(name, _PredicateFn(fn), dom, BOOL)
 
 
 def unary_primitive(
     name: str, fn: Callable[[Value], object], dom: Type, cod: Type
 ) -> Primitive:
     """A user primitive ``dom -> cod``; the result is coerced to a value."""
-
-    def run(v: Value) -> Value:
-        return ensure_value(fn(v))
-
-    return Primitive(name, run, dom, cod)
+    return Primitive(name, _UnaryFn(fn), dom, cod)

@@ -13,6 +13,8 @@ Commands::
     def f = ormap(pi_1) o alpha       bind a morphism
     apply f x                         evaluate a named/inline morphism
     applymany f x y z                 batched evaluation (run_many)
+    serve f x x y z                   micro-batched evaluation through the
+                                      async serving front-end (dedupes)
     normalize x                       the conceptual value (or-NRA+)
     worlds x                          possible-worlds denotation
     type x                            inferred type
@@ -61,12 +63,15 @@ _HELP = """commands:
   apply MORPHISM NAME         run a morphism on a binding
   applymany MORPHISM NAMES..  run a morphism on several bindings at once
                               (compiled once, fanned out via run_many)
+  serve MORPHISM NAMES..      run bindings as concurrent requests through
+                              the async serving front-end (micro-batched,
+                              structurally equal inputs deduplicated)
   normalize NAME              conceptual value (the or-NRA+ primitive)
   worlds NAME                 possible-worlds denotation
   type NAME | typeof NAME     type of a value / morphism binding
   size NAME                   Section 6 size measure
   plan MORPHISM               show the optimized, compiled engine plan
-  backend [auto|eager|streaming|parallel]
+  backend [auto|eager|streaming|parallel|process]
                               show or select the execution backend
                               (auto picks per call from the cost model)
   show NAME (or just NAME)    print a binding
@@ -132,6 +137,8 @@ class Repl:
             return self._cmd_apply(rest)
         if head == "applymany":
             return self._cmd_applymany(rest)
+        if head == "serve":
+            return self._cmd_serve(rest)
         if head == "normalize":
             value, t = self._lookup_value(rest)
             result = self.engine.interner.normalize(value, t)
@@ -222,18 +229,18 @@ class Repl:
         result = self.engine.run(m, value, backend=self.backend)
         return self._render(result)
 
-    def _cmd_applymany(self, rest: str) -> str:
-        # `applymany MORPHISM NAME...` — the arguments are the trailing
-        # run of bound value names; everything before them is the
-        # morphism text.  A bound name may shadow a morphism word (e.g.
-        # a value called `alpha`), so of the candidate splits we take
-        # the longest name suffix whose prefix actually parses.
+    def _split_trailing_names(self, rest: str, usage: str) -> tuple[Morphism, list[str]]:
+        # `CMD MORPHISM NAME...` — the arguments are the trailing run of
+        # bound value names; everything before them is the morphism
+        # text.  A bound name may shadow a morphism word (e.g. a value
+        # called `alpha`), so of the candidate splits we take the
+        # longest name suffix whose prefix actually parses.
         tokens = rest.split()
         longest = len(tokens)
         while longest > 1 and tokens[longest - 1] in self.values:
             longest -= 1
         if longest == len(tokens) or longest == 0:
-            return "error: expected  applymany MORPHISM NAME..."
+            raise OrNRAError(usage)
         last_error: OrNRAError | None = None
         for split in range(longest, len(tokens)):
             try:
@@ -241,19 +248,51 @@ class Repl:
             except OrNRAError as exc:
                 last_error = exc
                 continue
-            names = tokens[split:]
-            results = self.engine.run_many(
-                m,
-                [self.values[name][0] for name in names],
-                backend=self.backend,
-            )
-            return "\n".join(
-                f"{name}: {self._render(result)}"
-                for name, result in zip(names, results)
-            )
-        raise last_error if last_error is not None else OrNRAError(
-            "expected  applymany MORPHISM NAME..."
+            return m, tokens[split:]
+        raise last_error if last_error is not None else OrNRAError(usage)
+
+    def _cmd_applymany(self, rest: str) -> str:
+        m, names = self._split_trailing_names(
+            rest, "expected  applymany MORPHISM NAME..."
         )
+        results = self.engine.run_many(
+            m,
+            [self.values[name][0] for name in names],
+            backend=self.backend,
+        )
+        return "\n".join(
+            f"{name}: {self._render(result)}"
+            for name, result in zip(names, results)
+        )
+
+    def _cmd_serve(self, rest: str) -> str:
+        # The serving-layer smoke command: each named binding becomes one
+        # concurrent client request against an AsyncEngine, so the
+        # output's trailing line shows micro-batching and dedupe at work.
+        import asyncio
+
+        from repro.io import value_from_json, value_to_json
+        from repro.serve import AsyncEngine
+
+        m, names = self._split_trailing_names(rest, "expected  serve MORPHISM NAME...")
+        payloads = [value_to_json(self.values[name][0]) for name in names]
+
+        async def drive():
+            async with AsyncEngine(backend=self.backend) as server:
+                results = await server.run_many(m, payloads)
+                return results, server.stats()
+
+        results, stats = asyncio.run(drive())
+        lines = [
+            f"{name}: {self._render(value_from_json(result))}"
+            for name, result in zip(names, results)
+        ]
+        lines.append(
+            f"served {stats['requests']} request(s) in {stats['batches']} "
+            f"batch(es): {stats['unique_inputs']} unique, "
+            f"{stats['deduped_inputs']} deduplicated"
+        )
+        return "\n".join(lines)
 
 
 def main(stdin: TextIO | None = None, stdout: TextIO | None = None) -> None:

@@ -1,0 +1,22 @@
+"""The serving layer: an asyncio front-end over the batched engine.
+
+``repro.engine`` turned the paper's evaluator into a library;
+``repro.serve`` turns the library into a *service*.  The package has two
+faces:
+
+* :class:`AsyncEngine` (:mod:`repro.serve.server`) — the embeddable
+  front-end: admit JSON queries concurrently from many clients,
+  micro-batch them over a configurable window, deduplicate structurally
+  equal inputs, and fan each batch into
+  :func:`repro.io.run_json_many` off the event loop;
+* ``python -m repro.serve`` (:mod:`repro.serve.__main__`) — a JSON-lines
+  stdio server speaking the same protocol, for driving the service from
+  another process or a shell pipe.
+
+See ``docs/ARCHITECTURE.md`` ("The serving layer") for how admission,
+batching, the cost model and the process backend compose.
+"""
+
+from repro.serve.server import AsyncEngine, ServerClosed
+
+__all__ = ["AsyncEngine", "ServerClosed"]

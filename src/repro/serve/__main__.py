@@ -1,0 +1,101 @@
+"""``python -m repro.serve`` — a JSON-lines stdio server over AsyncEngine.
+
+Protocol: one JSON object per input line, one JSON object per output
+line (order may interleave; match on ``id``).
+
+Request::
+
+    {"id": 1, "program": "normalize", "value": {"orset": [...]}}
+    {"id": 2, "program": "normalize", "values": [{...}, {...}]}
+
+Response::
+
+    {"id": 1, "result": {...}}
+    {"id": 2, "results": [{...}, {...}]}
+    {"id": 1, "error": "..."}
+
+Requests on different lines are admitted concurrently, so consecutive
+lines land in the same micro-batch and duplicate inputs are evaluated
+once — the whole point of the front-end.  EOF closes the server cleanly
+(in-flight requests are served first) and prints the batching stats to
+stderr.
+
+Flags: ``--backend`` (default ``auto``), ``--window`` (batching window,
+seconds), ``--max-batch``, ``--quiet`` (suppress the stats line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.serve.server import AsyncEngine
+
+__all__ = ["main", "amain"]
+
+
+async def _handle(engine: AsyncEngine, line: str, stdout) -> None:
+    request_id = None
+    try:
+        request = json.loads(line)
+        request_id = request.get("id")
+        program = request["program"]
+        if "values" in request:
+            payload = {"results": await engine.run_many(program, request["values"])}
+        else:
+            payload = {"result": await engine.run_json(program, request["value"])}
+    except Exception as exc:  # noqa: BLE001 — every request error goes to the client
+        payload = {"error": str(exc)}
+    if request_id is not None:
+        payload["id"] = request_id
+    print(json.dumps(payload, sort_keys=True), file=stdout, flush=True)
+
+
+async def amain(
+    argv: list[str] | None = None, stdin=None, stdout=None, stderr=None
+) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--backend", default="auto")
+    parser.add_argument("--window", type=float, default=0.002)
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    stderr = stderr if stderr is not None else sys.stderr
+
+    engine = AsyncEngine(
+        backend=args.backend, batch_window=args.window, max_batch=args.max_batch
+    )
+    loop = asyncio.get_running_loop()
+    pending: set[asyncio.Task] = set()
+    async with engine:
+        while True:
+            line = await loop.run_in_executor(None, stdin.readline)
+            if not line:
+                break
+            if not line.strip():
+                continue
+            task = asyncio.ensure_future(_handle(engine, line, stdout))
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+            # Yield once so same-burst lines land in one batching window.
+            await asyncio.sleep(0)
+        if pending:
+            await asyncio.gather(*pending)
+    if not args.quiet:
+        print(f"serve stats: {json.dumps(engine.stats(), sort_keys=True)}", file=stderr)
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Synchronous entry point (console and ``-m`` execution)."""
+    asyncio.run(amain(argv))
+
+
+if __name__ == "__main__":
+    main()

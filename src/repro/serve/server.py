@@ -1,0 +1,319 @@
+"""The asyncio serving front-end: admit concurrently, micro-batch, dedupe.
+
+:func:`repro.io.run_json_many` amortizes parsing, compilation and
+normalization over a *batch* — but something has to build the batches.
+In a long-lived service the requests arrive one by one from many
+concurrent clients; :class:`AsyncEngine` is the admission layer that
+turns that stream back into batches:
+
+* ``await engine.run_json(program, value)`` admits a single request and
+  resolves when its result is ready;
+* requests are collected into **micro-batches**: the first request opens
+  a batching window (``batch_window`` seconds, ``max_batch`` requests)
+  and everything admitted inside it ships as one batch;
+* within a batch, requests are grouped by program and **deduplicated**
+  on the canonical JSON encoding of their inputs — one thousand clients
+  asking ``normalize`` of the same world trigger *one* evaluation, and
+  every duplicate admits for free (``stats()["deduped_inputs"]``);
+* each group fans into :func:`repro.io.run_json_many` on a worker
+  thread, so the event loop never blocks on evaluation; distinct inputs
+  inside the batch still fan out across ``run_many``'s own pool (and
+  whole worker processes under ``backend="process"``).
+
+Failure isolation: if a batch evaluation fails (one malformed input,
+say), the group is retried input-by-input so only the offending
+requests see the error — no cross-request bleed, which the concurrency
+tests (``tests/serve/test_async_server.py``) assert along with clean
+shutdown: :meth:`AsyncEngine.close` stops admissions immediately but
+drains and serves every in-flight request before returning.
+
+All AsyncEngine methods must be called from the event loop that first
+used it (the standard asyncio single-loop discipline); evaluation — the
+expensive part — happens off-loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Sequence
+
+from repro.io import run_json_many
+
+__all__ = ["AsyncEngine", "ServerClosed"]
+
+
+class ServerClosed(RuntimeError):
+    """Raised when a request is admitted after :meth:`AsyncEngine.close`."""
+
+
+_SHUTDOWN = object()
+
+
+class _Request:
+    """One admitted request: program, JSON input, dedupe key, its future."""
+
+    __slots__ = ("program", "value", "key", "future")
+
+    def __init__(self, program, value, key, future) -> None:
+        self.program = program
+        self.value = value
+        self.key = key
+        self.future = future
+
+
+class AsyncEngine:
+    """Concurrent admission and micro-batched evaluation of JSON queries.
+
+    *backend* is the engine backend each batch runs under (``"auto"``
+    lets the cost model pick per distinct input); *batch_window* is how
+    long the batcher waits for more requests after the first one arrives
+    (seconds; ``0`` batches only what is already queued); *max_batch*
+    caps requests per batch; *max_workers* bounds the per-batch fan-out
+    inside :func:`repro.io.run_json_many`.
+
+    Use as an async context manager, or call :meth:`close` explicitly::
+
+        async with AsyncEngine() as engine:
+            out = await engine.run_json("normalize", {"orset": [...]})
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str = "auto",
+        batch_window: float = 0.002,
+        max_batch: int = 64,
+        max_workers: int | None = None,
+    ) -> None:
+        self.backend = backend
+        self.batch_window = batch_window
+        self.max_batch = max(1, max_batch)
+        self.max_workers = max_workers
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._batcher: asyncio.Task | None = None
+        self._closed = False
+        self._stats = {
+            "requests": 0,
+            "batches": 0,
+            "groups": 0,
+            "batched_inputs": 0,
+            "unique_inputs": 0,
+            "deduped_inputs": 0,
+            "errors": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "AsyncEngine":
+        """Start the batcher task (idempotent; admission auto-starts too)."""
+        if self._batcher is None:
+            if self.backend in ("process", "auto"):
+                # Fork the worker processes now, from this (usually
+                # main) thread — never lazily from an executor thread
+                # mid-request (fork-from-thread is deadlock-prone).
+                # "auto" warms too: the cost model may route any
+                # CPU-bound request to the process backend.
+                from repro.engine import BACKENDS, ProcessBackend
+
+                backend = BACKENDS.get("process")
+                if isinstance(backend, ProcessBackend):
+                    backend.warm()
+            self._batcher = asyncio.ensure_future(self._run_batcher())
+        return self
+
+    async def close(self) -> None:
+        """Refuse new admissions, drain in-flight requests, stop the batcher.
+
+        Requests admitted before ``close`` was called are still served —
+        the batcher consumes the whole queue before exiting — so every
+        outstanding ``run_json`` future resolves.
+        """
+        if self._closed:
+            if self._batcher is not None:
+                await asyncio.shield(self._batcher)
+            return
+        self._closed = True
+        if self._batcher is None:
+            return
+        self._queue.put_nowait(_SHUTDOWN)
+        await asyncio.shield(self._batcher)
+
+    async def __aenter__(self) -> "AsyncEngine":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- admission ---------------------------------------------------------
+
+    async def run_json(self, program, value_json) -> object:
+        """Admit one request and await its result.
+
+        *program* is surface-syntax text (or a pre-resolved Morphism);
+        *value_json* is the :func:`repro.io.value_to_json` encoding.
+        Structurally equal concurrent requests share one evaluation.
+        """
+        if self._closed:
+            raise ServerClosed("AsyncEngine is closed")
+        await self.start()
+        key = (program, _canonical(value_json))
+        # Hash the key now: an unhashable program (a list, say, from a
+        # malformed stdio request) must fail *this* caller at admission,
+        # not explode later inside the shared batcher task.
+        hash(key)
+        future = asyncio.get_running_loop().create_future()
+        self._stats["requests"] += 1
+        self._queue.put_nowait(_Request(program, value_json, key, future))
+        return await future
+
+    async def run_many(self, program, values_json: Sequence) -> list:
+        """Admit a whole client-side batch concurrently; results in order."""
+        return list(
+            await asyncio.gather(*(self.run_json(program, v) for v in values_json))
+        )
+
+    # -- batching ----------------------------------------------------------
+
+    async def _run_batcher(self) -> None:
+        loop = asyncio.get_running_loop()
+        shutting_down = False
+        while not shutting_down:
+            first = await self._queue.get()
+            if first is _SHUTDOWN:
+                break
+            batch = [first]
+            shutting_down = self._collect_nowait(batch)
+            deadline = loop.time() + self.batch_window
+            while not shutting_down and len(batch) < self.max_batch:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+                if item is _SHUTDOWN:
+                    shutting_down = True
+                    break
+                batch.append(item)
+            await self._dispatch_guarded(batch)
+        # Drain everything admitted before the shutdown sentinel.
+        leftovers: list[_Request] = []
+        self._collect_nowait(leftovers, limit=None)
+        while leftovers:
+            head, leftovers = leftovers[: self.max_batch], leftovers[self.max_batch :]
+            await self._dispatch_guarded(head)
+
+    async def _dispatch_guarded(self, batch: list) -> None:
+        """Dispatch a batch; an unexpected error fails *these* futures only.
+
+        The batcher task must survive anything a batch throws at it — a
+        dead batcher would hang every later request — so dispatch-level
+        failures are delivered to the batch's futures instead of
+        propagating.
+        """
+        try:
+            await self._dispatch(batch)
+        except Exception as exc:  # noqa: BLE001 — the batcher must not die
+            self._stats["errors"] += len(batch)
+            for req in batch:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+
+    def _collect_nowait(self, batch: list, limit: int | None = 0) -> bool:
+        """Move already-queued requests into *batch*; True on sentinel.
+
+        ``limit=0`` means "up to ``max_batch``"; ``None`` means no cap
+        (the shutdown drain).
+        """
+        cap = self.max_batch if limit == 0 else limit
+        while cap is None or len(batch) < cap:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return False
+            if item is _SHUTDOWN:
+                return True
+            batch.append(item)
+        return False
+
+    async def _dispatch(self, batch: list) -> None:
+        if not batch:
+            return
+        self._stats["batches"] += 1
+        self._stats["batched_inputs"] += len(batch)
+        groups: dict = {}
+        for req in batch:
+            groups.setdefault(req.program, []).append(req)
+        await asyncio.gather(
+            *(self._run_group(program, reqs) for program, reqs in groups.items())
+        )
+
+    async def _run_group(self, program, reqs: list) -> None:
+        """Evaluate one same-program group: dedupe, fan out, deliver."""
+        self._stats["groups"] += 1
+        index: dict = {}
+        unique: list = []
+        for req in reqs:
+            if req.key not in index:
+                index[req.key] = len(unique)
+                unique.append(req.value)
+        self._stats["unique_inputs"] += len(unique)
+        self._stats["deduped_inputs"] += len(reqs) - len(unique)
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                None,
+                lambda: run_json_many(
+                    program, unique, self.backend, max_workers=self.max_workers
+                ),
+            )
+        except Exception:
+            # One bad input must not poison the batch: retry one by one
+            # so only the offending requests see their own error.
+            await self._run_individually(program, reqs)
+            return
+        for req in reqs:
+            if not req.future.done():
+                req.future.set_result(results[index[req.key]])
+
+    async def _run_individually(self, program, reqs: list) -> None:
+        loop = asyncio.get_running_loop()
+        resolved: dict = {}
+        for req in reqs:
+            outcome = resolved.get(req.key)
+            if outcome is None:
+                try:
+                    result = await loop.run_in_executor(
+                        None, lambda v=req.value: run_json_many(
+                            program, [v], self.backend, max_workers=self.max_workers
+                        )[0]
+                    )
+                    outcome = (True, result)
+                except Exception as exc:
+                    self._stats["errors"] += 1
+                    outcome = (False, exc)
+                resolved[req.key] = outcome
+            ok, payload = outcome
+            if req.future.done():
+                continue
+            if ok:
+                req.future.set_result(payload)
+            else:
+                req.future.set_exception(payload)
+
+    # -- diagnostics -------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Admission/batching counters (tests and the REPL read these)."""
+        return dict(self._stats)
+
+
+def _canonical(value_json) -> str:
+    """A structural dedupe key: canonical JSON text of the input."""
+    return json.dumps(value_json, sort_keys=True, separators=(",", ":"))
