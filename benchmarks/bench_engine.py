@@ -31,7 +31,7 @@ from repro.engine import Engine
 from repro.lang.morphisms import Compose, Id, PairOf
 from repro.lang.orset_ops import Alpha, OrMap
 from repro.lang.primitives import plus
-from repro.lang.set_ops import SetMap, SetMu
+from repro.lang.set_ops import SetMap
 from repro.values.values import vorset, vpair, vset
 
 OUT_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_engine.json"

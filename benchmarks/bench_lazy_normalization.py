@@ -14,7 +14,6 @@ import pytest
 
 from repro.core.costs import tight_family
 from repro.core.existential import exists_query
-from repro.values.values import Atom
 
 
 def _has_small_max(world) -> bool:

@@ -29,7 +29,7 @@ from repro.core.preserve import (
     verify_losslessness,
 )
 from repro.gen import random_value
-from repro.lang.morphisms import Compose, PairOf, Proj1, Proj2
+from repro.lang.morphisms import Compose, Proj1
 from repro.lang.orset_ops import Alpha, OrMap, OrMu, OrRho2, OrUnion
 from repro.lang.primitives import plus
 from repro.types.kinds import INT, OrSetType, ProdType, SetType

@@ -15,7 +15,6 @@ from repro.core.powerset import Powerset, alpha_via_powerset, powerset_from_alph
 from repro.gen import random_value
 from repro.lang.orset_ops import Alpha
 from repro.types.kinds import INT, OrSetType, SetType
-from repro.values.values import SetValue
 
 
 @pytest.fixture(scope="module")

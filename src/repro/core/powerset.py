@@ -34,13 +34,7 @@ from repro.types.unify import FreshVars
 from repro.values.values import OrSetValue, Pair, SetValue, Value
 
 from repro.lang.morphisms import Bang, Compose, Morphism, PairOf
-from repro.lang.orset_ops import (
-    KEmptyOrSet,
-    OrEta,
-    OrToSet,
-    OrUnion,
-    Alpha,
-)
+from repro.lang.orset_ops import OrEta, OrToSet, OrUnion, Alpha
 from repro.lang.set_ops import KEmptySet, SetEta, SetMap, SetMu
 
 __all__ = ["Powerset", "powerset", "powerset_from_alpha", "alpha_via_powerset"]

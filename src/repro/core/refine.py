@@ -33,16 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.errors import OrNRAValueError
-from repro.values.values import (
-    Atom,
-    BagValue,
-    OrSetValue,
-    Pair,
-    SetValue,
-    UnitValue,
-    Value,
-    Variant,
-)
+from repro.values.values import BagValue, OrSetValue, Pair, SetValue, Value, Variant
 
 __all__ = [
     "Path",

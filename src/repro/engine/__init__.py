@@ -21,6 +21,7 @@ The single entry point is :func:`run` (or :meth:`Engine.run`)::
     engine.run(q, db, backend="streaming")           # lazy spine
     engine.run(q, db, backend="parallel")            # thread-sharded spine
     engine.run(q, db, backend="process")             # process-sharded spine
+    engine.run(q, db, backend="fused")               # columnar fused kernels
     engine.run(q, db, optimize=False, intern=False)  # plain compiled
     engine.run_many(q, dbs)                          # compile once, fan out
 
@@ -55,6 +56,7 @@ from repro.types.kinds import Type
 from repro.values.values import Value, ensure_value
 
 from repro.engine.backends import BACKENDS, Backend, EagerBackend, StreamingBackend
+from repro.engine.columnar import Arena, FusedBackend
 from repro.engine.cost_model import (
     BackendChoice,
     PlanProfile,
@@ -75,6 +77,7 @@ from repro.engine.passes import (
     Pass,
     Pipeline,
     default_pipeline,
+    fuse_plan,
     optimize_morphism,
 )
 from repro.engine.plan import Plan, PlanNode, compile_plan
@@ -103,6 +106,9 @@ __all__ = [
     "ParallelBackend",
     "ProcessBackend",
     "ShardedBackend",
+    "FusedBackend",
+    "Arena",
+    "fuse_plan",
     "BACKENDS",
     "default_worker_count",
     "default_process_count",
@@ -177,19 +183,37 @@ class Engine:
         with the cost model's predicted world count and normalized size
         (``~worlds<=... size<=...``) — the Section 6 bounds, computed
         without building a single world — followed by the backend the
-        adaptive selector would pick for this call.
+        adaptive selector would pick for this call.  When the plan's
+        spine has fusible runs, a ``fusion:`` line reports how many
+        stages collapse into how many single-pass columnar kernels
+        (:func:`repro.engine.passes.fuse_plan`).
         """
         with self._lock:
             m = self.pipeline.run(program)
         plan = compile_plan(m)
         if input_type is not None:
             plan.infer_types(input_type)
+        fused = fuse_plan(plan)
+        fusion = ""
+        if fused is not plan:
+            kernels = sum(1 for node in fused.nodes if node.op == "fused")
+            stages = sum(
+                len(node.spec) for node in fused.nodes if node.op == "fused"
+            )
+            fusion = (
+                f"\nfusion: {stages} spine stage(s) collapse into "
+                f"{kernels} fused kernel(s)"
+            )
         if value is None:
-            return plan.describe()
+            return plan.describe() + fusion
         concrete = ensure_value(value)
         plan.annotate_estimates(concrete)
         choice = select_backend(plan, concrete, available=self.backends)
-        return plan.describe() + f"\nbackend: {choice.backend} ({choice.reason})"
+        return (
+            plan.describe()
+            + fusion
+            + f"\nbackend: {choice.backend} ({choice.reason})"
+        )
 
     # -- execution ---------------------------------------------------------
 

@@ -78,6 +78,8 @@ __all__ = [
     "STREAM_NORM_SIZE",
     "SHARD_TARGET_WORK",
     "PROCESS_NORM_SIZE",
+    "PARALLEL_BREAK_EVEN_WORK",
+    "FUSED_MIN_SPINE",
 ]
 
 # -- backend-selection thresholds (documented in docs/ARCHITECTURE.md) -------
@@ -102,6 +104,16 @@ SHARD_TARGET_WORK = 256
 #: amortizes plan transport and value pickling, the multiprocess backend
 #: wins.  Only consulted when a ``"process"`` backend is registered.
 PROCESS_NORM_SIZE = 1 << 16
+
+#: Estimated per-element work below which sharding a wide spine costs
+#: more than it buys (chunk bookkeeping and pool dispatch dominate, the
+#: 0.78x BENCH_parallel regression): below this, a wide flat spine runs
+#: as a fused columnar kernel instead of being split across workers.
+PARALLEL_BREAK_EVEN_WORK = 4
+
+#: Minimum top-level width for the fused columnar path: narrower
+#: collections never amortize the arena encode/decode.
+FUSED_MIN_SPINE = 32
 
 
 @dataclass(frozen=True)
@@ -352,6 +364,7 @@ class PlanProfile:
     spine_stages: int  # all streamable stages (maps, mus, coercions)
     has_normalize: bool  # any Normalize/Alpha leaf anywhere in the plan
     nodes: int
+    fused_stages: int = 0  # longest fusible spine run (columnar kernel length)
 
 
 def plan_profile(plan: Plan) -> PlanProfile:
@@ -373,7 +386,17 @@ def plan_profile(plan: Plan) -> PlanProfile:
         node.op == "leaf" and isinstance(node.source, (Normalize,) + _ALPHA_OPS)
         for node in plan.nodes
     )
-    profile = PlanProfile(spine_maps, spine_stages, has_normalize, len(plan.nodes))
+    fused_stages = 0
+    if spine_stages:
+        from repro.engine.passes import fusible_spans
+
+        fused_stages = max(
+            (len(stages) for _start, _stop, stages in fusible_spans(plan)),
+            default=0,
+        )
+    profile = PlanProfile(
+        spine_maps, spine_stages, has_normalize, len(plan.nodes), fused_stages
+    )
     plan._profile = profile
     return profile
 
@@ -394,13 +417,18 @@ def select_backend(
     existential: bool = False,
     available: "Collection[str] | None" = None,
 ) -> BackendChoice:
-    """Pick eager / streaming / parallel / process for this (plan, value) call.
+    """Pick eager/streaming/parallel/process/fused for this (plan, value) call.
 
     * **small** estimated world count → ``eager`` (closure execution and
       maximal memo reuse win outright);
     * **existential** consumers over a huge estimated world count →
       ``streaming`` (the first witness comes off the lazy spine before
       any normal form is materialized);
+    * **wide** top-level collection whose estimated per-element work is
+      below :data:`PARALLEL_BREAK_EVEN_WORK` → ``fused`` when the spine
+      has a fusible run at least :data:`FUSED_MIN_SPINE` wide (one
+      columnar kernel instead of shards that lose to eager), ``eager``
+      otherwise;
     * **wide** top-level collection under a streamable spine whose
       estimated total work amortizes process transport
       (:data:`PROCESS_NORM_SIZE`) → ``process`` (true CPU parallelism);
@@ -418,7 +446,9 @@ def select_backend(
     """
     est = estimate_value(value)
     profile = plan_profile(plan)
-    names = ("eager", "streaming", "parallel") if available is None else available
+    names = (
+        ("eager", "streaming", "parallel", "fused") if available is None else available
+    )
     if (
         existential
         and est.worlds > SMALL_WORLDS
@@ -433,6 +463,26 @@ def select_backend(
         return BackendChoice("eager", f"small (~{est.worlds} estimated worlds)")
     if profile.spine_maps >= 1 and est.width is not None and est.width >= WIDE_SPINE:
         shards = max(2, min(est.width, est.norm_size // SHARD_TARGET_WORK or 2))
+        elem_work = est.norm_size // max(1, est.width)
+        if elem_work < PARALLEL_BREAK_EVEN_WORK:
+            # Sharding below the break-even loses to eager (pool dispatch
+            # swamps the per-element work); a fused columnar kernel still
+            # wins by skipping per-element boxing and dispatch entirely.
+            if (
+                profile.fused_stages >= 1
+                and est.width >= FUSED_MIN_SPINE
+                and "fused" in names
+            ):
+                return BackendChoice(
+                    "fused",
+                    f"wide flat spine ({est.width} elements, ~{elem_work} "
+                    "estimated work/element) runs as a fused columnar kernel",
+                )
+            return BackendChoice(
+                "eager",
+                f"wide spine below the sharding break-even (~{elem_work} "
+                f"estimated work/element < {PARALLEL_BREAK_EVEN_WORK})",
+            )
         if "process" in names and est.norm_size >= PROCESS_NORM_SIZE:
             return BackendChoice(
                 "process",

@@ -58,8 +58,10 @@ from repro.lang.bag_ops import BagUnique
 from repro.values.values import Value
 
 from repro.engine.backends import _MU, _RETAG, _WRAPPER_OF, BACKENDS, Backend
+from repro.engine.columnar import Arena, compile_stages, encode_input, run_stages
+from repro.engine.cost_model import PARALLEL_BREAK_EVEN_WORK, estimate_value
 from repro.engine.interning import Interner
-from repro.engine.plan import MAP_KINDS, Plan
+from repro.engine.plan import MAP_KINDS, Plan, PlanNode
 
 __all__ = [
     "ShardedBackend",
@@ -69,6 +71,7 @@ __all__ = [
     "flatten_chunk",
     "dedup_chunks",
     "even_chunks",
+    "even_ranges",
 ]
 
 
@@ -124,6 +127,18 @@ def even_chunks(items: list, n: int) -> list[list]:
     return chunks
 
 
+def even_ranges(length: int, n: int) -> list[tuple[int, int]]:
+    """Contiguous ``(start, stop)`` ranges covering ``range(length)``."""
+    n = max(1, min(n, length))
+    step, extra = divmod(length, n)
+    ranges, start = [], 0
+    for i in range(n):
+        end = start + step + (1 if i < extra else 0)
+        ranges.append((start, end))
+        start = end
+    return ranges
+
+
 def dedup_chunks(chunks: list[list[Value]]) -> list[list[Value]]:
     """Drop duplicates across shards, keeping first occurrences in order."""
     seen: set[Value] = set()
@@ -152,9 +167,17 @@ class ShardedBackend(Backend):
 
     name = "sharded"
 
-    def __init__(self, max_workers: int | None = None, min_shard: int = 4) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        min_shard: int = 4,
+        break_even_work: int = 0,
+    ) -> None:
         self.max_workers = max_workers if max_workers is not None else default_worker_count()
         self.min_shard = max(1, min_shard)
+        # Estimated per-element work below which sharding costs more than
+        # it buys; 0 disables the gate (shard whenever wide enough).
+        self.break_even_work = max(0, break_even_work)
 
     # -- chunk executor (overridden by the pools) --------------------------
 
@@ -169,11 +192,23 @@ class ShardedBackend(Backend):
     # -- sharding ----------------------------------------------------------
 
     def _shard(
-        self, elems: Iterable[Value], hint: int | None = None
+        self,
+        elems: Iterable[Value],
+        hint: int | None = None,
+        elem_work: int | None = None,
     ) -> list[list[Value]]:
         items = list(elems)
         if len(items) < max(self.min_shard, 2) or self.max_workers <= 1:
             return [items] if items else [[]]
+        # Below the break-even the per-shard dispatch overhead exceeds
+        # the work being split: keep the collection as one inline shard
+        # so the backend never loses to eager on trivial bodies.
+        if (
+            elem_work is not None
+            and self.break_even_work
+            and elem_work < self.break_even_work
+        ):
+            return [items]
         # A shard-count *hint* (the cost model's estimate-proportional
         # choice) overrides the fixed workers*2 default.
         n_chunks = min(len(items), hint if hint else self.max_workers * 2)
@@ -185,6 +220,7 @@ class ShardedBackend(Backend):
         kind: str,
         error: str,
         hint: int | None = None,
+        elem_work: int | None = None,
     ) -> _Shards:
         if isinstance(x, _Shards):
             if x.kind != kind:
@@ -193,7 +229,7 @@ class ShardedBackend(Backend):
         wrapper = _WRAPPER_OF[kind]
         if not isinstance(x, wrapper):
             raise OrNRATypeError(f"{error}, got {x!r}")
-        return _Shards(kind, self._shard(x.elems, hint))
+        return _Shards(kind, self._shard(x.elems, hint, elem_work))
 
     # -- execution ---------------------------------------------------------
 
@@ -206,8 +242,16 @@ class ShardedBackend(Backend):
     ) -> Value:
         """Run the plan; *shard_hint* (from the cost model's estimate)
         sizes the chunks whenever a concrete collection is sharded."""
+        from repro.engine.passes import fuse_plan
+
+        plan = fuse_plan(plan)
+        elem_work: int | None = None
+        if self.break_even_work:
+            est = estimate_value(value)
+            if est.width:
+                elem_work = est.norm_size // max(1, est.width)
         leaf = interner.leaf_apply if interner is not None else None
-        result = self._eval(plan, plan.root, value, leaf, {}, shard_hint)
+        result = self._eval(plan, plan.root, value, leaf, {}, shard_hint, elem_work)
         return _materialize(result)
 
     def _eval(
@@ -218,6 +262,7 @@ class ShardedBackend(Backend):
         leaf: Callable | None,
         bound: dict[int, Callable[[Value], Value]],
         hint: int | None = None,
+        elem_work: int | None = None,
     ) -> "Value | _Shards":
         node = plan.nodes[idx]
         op = node.op
@@ -225,23 +270,25 @@ class ShardedBackend(Backend):
             return value
         if op == "chain":
             for kid in node.kids:
-                value = self._eval(plan, kid, value, leaf, bound, hint)
+                value = self._eval(plan, kid, value, leaf, bound, hint, elem_work)
             return value
+        if op == "fused":
+            return self._run_fused(plan, node, value, leaf, bound, hint, elem_work)
         if op == "map":
             kind, _wrapper, _tw, noun = MAP_KINDS[type(node.source)]
-            shards = self._as_shards(value, kind, noun, hint)
+            shards = self._as_shards(value, kind, noun, hint, elem_work)
             chunks = self._run_map_stage(plan, node.kids[0], shards.chunks, leaf, bound)
             return _Shards(kind, chunks)
         source_cls = type(node.source)
         if op == "leaf" and source_cls in _MU:
             kind, noun = _MU[source_cls]
-            shards = self._as_shards(value, kind, noun, hint)
+            shards = self._as_shards(value, kind, noun, hint, elem_work)
             wrapper = _WRAPPER_OF[kind]
             flatten = partial(flatten_chunk, wrapper=wrapper, noun=noun)
             return _Shards(kind, self._map_chunks(flatten, shards.chunks))
         if op == "leaf" and source_cls in _RETAG:
             kind_in, kind_out, noun = _RETAG[source_cls]
-            shards = self._as_shards(value, kind_in, noun, hint)
+            shards = self._as_shards(value, kind_in, noun, hint, elem_work)
             chunks = shards.chunks
             if kind_out == "bag" and kind_in != "bag":
                 # Transient duplicates across shards must not become
@@ -254,6 +301,64 @@ class ShardedBackend(Backend):
         # Anything else: merge-materialize and run the eager closure.
         concrete = _materialize(value)
         return self._bind_eager(plan, idx, leaf, bound)(concrete)
+
+    # -- fused (columnar) stages -------------------------------------------
+
+    def _run_fused(
+        self,
+        plan: Plan,
+        node: PlanNode,
+        value: "Value | _Shards",
+        leaf: Callable | None,
+        bound: dict[int, Callable[[Value], Value]],
+        hint: int | None = None,
+        elem_work: int | None = None,
+    ) -> Value:
+        """Run one fused node: arena slices across workers when the spec
+        is map-only and wide enough, the inline kernel otherwise."""
+        concrete = _materialize(value)
+        kernel = self._bind_eager(plan, node.idx, leaf, bound)
+        spec = node.spec or ()
+        if any(stage[0] != "map" for stage in spec):
+            # mu re-segments and retag/unique change cardinality across
+            # slice boundaries; run those single-pass in this thread.
+            return kernel(concrete)
+        wrapper = _WRAPPER_OF.get(spec[0][1]) if spec else None
+        if wrapper is None or not isinstance(concrete, wrapper):
+            return kernel(concrete)  # raises the stage's own type error
+        n = len(concrete.elems)
+        if (
+            n < max(self.min_shard, 2)
+            or self.max_workers <= 1
+            or (
+                elem_work is not None
+                and self.break_even_work
+                and elem_work < self.break_even_work
+            )
+        ):
+            return kernel(concrete)
+        arena = encode_input(spec, concrete)
+        n_slices = min(n, hint if hint else self.max_workers * 2)
+        out = self._run_fused_slices(plan, node, arena, n_slices, leaf, bound)
+        if out is None:
+            return kernel(concrete)
+        return out.to_value()
+
+    def _run_fused_slices(
+        self,
+        plan: Plan,
+        node: PlanNode,
+        arena: Arena,
+        n_slices: int,
+        leaf: Callable | None,
+        bound: dict[int, Callable[[Value], Value]],
+    ) -> Arena | None:
+        """Map a fused kernel over contiguous arena slices in workers.
+
+        Returns ``None`` when no pool is available (the caller falls back
+        to the inline kernel).  The base class has no pool.
+        """
+        return None
 
     def _run_map_stage(
         self,
@@ -302,8 +407,17 @@ class ParallelBackend(ShardedBackend):
 
     name = "parallel"
 
-    def __init__(self, max_workers: int | None = None, min_shard: int = 4) -> None:
-        super().__init__(max_workers=max_workers, min_shard=min_shard)
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        min_shard: int = 4,
+        break_even_work: int = PARALLEL_BREAK_EVEN_WORK,
+    ) -> None:
+        super().__init__(
+            max_workers=max_workers,
+            min_shard=min_shard,
+            break_even_work=break_even_work,
+        )
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
 
@@ -338,6 +452,33 @@ class ParallelBackend(ShardedBackend):
         if pool is None:
             return [fn(chunk) for chunk in chunks]
         return list(pool.map(fn, chunks))
+
+    def _run_fused_slices(
+        self,
+        plan: Plan,
+        node: PlanNode,
+        arena: Arena,
+        n_slices: int,
+        leaf: Callable | None,
+        bound: dict[int, Callable[[Value], Value]],
+    ) -> Arena | None:
+        pool = self._executor()
+        if pool is None or n_slices <= 1:
+            return None
+        stages = compile_stages(
+            node, lambda i: self._bind_eager(plan, i, leaf, bound)
+        )
+        ranges = even_ranges(len(arena), n_slices)
+        if len(ranges) <= 1:
+            return None
+        slices = [arena.slice(a, b) for a, b in ranges]
+        outs = list(pool.map(partial(run_stages, stages), slices))
+        bases: list = []
+        raws: list = []
+        for out in outs:
+            bases.extend(out.bases)
+            raws.extend(out.raws)
+        return Arena(outs[0].kind, bases, raws)
 
 
 BACKENDS["parallel"] = ParallelBackend()

@@ -72,6 +72,8 @@ __all__ = [
     "morphism_cost",
     "operator_census",
     "rebuild",
+    "fuse_plan",
+    "fusible_spans",
 ]
 
 # (map-combinator, eta, mu) triples for the three collection monads.
@@ -791,3 +793,135 @@ def optimize_morphism(
 def morphism_cost(m: Morphism) -> int:
     """Static operator count (nodes in the morphism AST)."""
     return 1 + sum(morphism_cost(k) for k in m.children())
+
+
+# -- plan fusion -------------------------------------------------------------
+#
+# Unlike the equational passes above, fusion rewrites the compiled *plan*
+# (not the morphism): runs of spine stages in the root chain collapse
+# into single ``fused`` nodes executing as one columnar kernel
+# (:mod:`repro.engine.columnar`).  It is execution-time only — the
+# backends fuse on entry and the engine's compile/describe output is
+# unchanged — so diagnostics stay stable and non-fused backends never
+# see a fused node.
+
+
+def fusible_spans(plan) -> list[tuple[int, int, list]]:
+    """Maximal fusible stage runs in *plan*'s root chain.
+
+    Returns ``(start, stop, stages)`` triples over the chain's step
+    positions.  A run qualifies when it has at least two spine stages
+    (one kernel replaces several canonicalizing passes over the spine),
+    or is a single map whose body compiles to a raw scalar kernel (the
+    per-element win alone pays for the encoding).
+    """
+    from repro.engine import columnar
+
+    root = plan.nodes[plan.root]
+    steps = list(root.kids) if root.op == "chain" else [plan.root]
+    spans: list[tuple[int, int, list]] = []
+    i = 0
+    while i < len(steps):
+        stages: list = []
+        j = i
+        while j < len(steps):
+            stage = columnar.stage_of(plan.nodes[steps[j]])
+            if stage is None:
+                break
+            stages.append(stage)
+            j += 1
+        if len(stages) >= 2:
+            spans.append((i, j, stages))
+        elif len(stages) == 1 and stages[0][0] == "map":
+            if columnar.raw_kernels(stages[0][3]):
+                spans.append((i, j, stages))
+        i = max(j, i + 1)
+    return spans
+
+
+def fuse_plan(plan):
+    """The fused execution plan for *plan* (cached; may be *plan* itself).
+
+    Rebuilds the node array with every fusible run of root-chain spine
+    stages replaced by one ``fused`` node whose kids are the map-stage
+    body subtrees, whose source is the run's composed morphism (so type
+    inference, decompilation and pickling keep working), and whose
+    ``spec`` drives :func:`repro.engine.columnar.build_fused_kernel`.
+    The original plan is never mutated; a plan with nothing to fuse is
+    returned unchanged, so callers degrade to plain execution.
+    """
+    from repro.engine.columnar import spec_out_kind
+    from repro.engine.plan import Plan, PlanNode
+
+    cached = getattr(plan, "_fused_plan", None)
+    if cached is not None:
+        return cached
+    spans = fusible_spans(plan)
+    if not spans:
+        plan._fused_plan = plan
+        return plan
+
+    nodes: list[PlanNode] = []
+    memo: dict[int, int] = {}
+
+    def copy_subtree(i: int) -> int:
+        known = memo.get(i)
+        if known is not None:
+            return known
+        old = plan.nodes[i]
+        kids = tuple(copy_subtree(k) for k in old.kids)
+        idx = len(nodes)
+        nodes.append(
+            PlanNode(idx, old.op, kids, old.source, kind=old.kind, spec=old.spec)
+        )
+        memo[i] = idx
+        return idx
+
+    root_node = plan.nodes[plan.root]
+    steps = list(root_node.kids) if root_node.op == "chain" else [plan.root]
+    new_steps: list[int] = []
+    pos = 0
+    for start, stop, stages in spans:
+        for k in range(pos, start):
+            new_steps.append(copy_subtree(steps[k]))
+        kids: list[int] = []
+        spec: list[tuple] = []
+        composed: Morphism | None = None
+        for offset, stage in enumerate(stages):
+            step_node = plan.nodes[steps[start + offset]]
+            composed = (
+                step_node.source
+                if composed is None
+                else Compose(step_node.source, composed)
+            )
+            if stage[0] == "map":
+                kid_pos = len(kids)
+                kids.append(copy_subtree(step_node.kids[0]))
+                spec.append(("map", stage[1], kid_pos, stage[3]))
+            else:
+                spec.append(stage)
+        idx = len(nodes)
+        nodes.append(
+            PlanNode(
+                idx,
+                "fused",
+                tuple(kids),
+                composed,
+                kind=spec_out_kind(tuple(spec)),
+                spec=tuple(spec),
+            )
+        )
+        new_steps.append(idx)
+        pos = stop
+    for k in range(pos, len(steps)):
+        new_steps.append(copy_subtree(steps[k]))
+
+    if len(new_steps) == 1:
+        root = new_steps[0]
+    else:
+        root = len(nodes)
+        nodes.append(PlanNode(root, "chain", tuple(new_steps), plan.source))
+    fused = Plan(nodes=nodes, root=root, source=plan.source)
+    plan._fused_plan = fused
+    fused._fused_plan = fused
+    return fused

@@ -31,6 +31,11 @@ Ops
 ``leaf``    any other combinator; executes via the morphism's own
             ``apply`` (or a backend-supplied override, which is how the
             interning runtime memoizes ``normalize`` nodes)
+``fused``   a run of spine stages collapsed by
+            :func:`repro.engine.passes.fuse_plan`; ``spec`` is the stage
+            list, ``kids`` are the map-stage bodies, ``source`` the
+            composed morphism; executes as one columnar kernel
+            (:func:`repro.engine.columnar.build_fused_kernel`)
 ==========  ===============================================================
 
 Binding (:meth:`Plan.bind`) turns the node array into nested closures
@@ -86,6 +91,7 @@ class PlanNode:
     cod: Type | None = None
     est_worlds: int | None = None
     est_size: int | None = None
+    spec: tuple | None = None
 
     def pretty(self) -> str:
         parts = [f"n{self.idx:<3} {self.op}"]
@@ -95,6 +101,8 @@ class PlanNode:
             parts.append("(" + ", ".join(f"n{k}" for k in self.kids) + ")")
         if self.op == "leaf":
             parts.append(self.source.describe())
+        if self.op == "fused" and self.spec:
+            parts.append("{" + "+".join(stage[0] for stage in self.spec) + "}")
         if self.dom is not None and self.cod is not None:
             parts.append(f": {format_type(self.dom)} -> {format_type(self.cod)}")
         if self.est_worlds is not None:
@@ -207,6 +215,10 @@ class Plan:
                 return _wrap(body(e) for e in v.elems)
 
             return run_map
+        if op == "fused":
+            from repro.engine.columnar import build_fused_kernel
+
+            return build_fused_kernel(node, build)
         # leaf
         if leaf_apply is not None:
             return leaf_apply(node.source)

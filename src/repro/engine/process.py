@@ -47,9 +47,10 @@ from typing import Callable, Sequence
 from repro.values.values import Value
 
 from repro.engine.backends import BACKENDS
+from repro.engine.columnar import Arena, compile_stages, run_stages
 from repro.engine.interning import Interner
-from repro.engine.parallel import ShardedBackend, even_chunks
-from repro.engine.plan import Plan
+from repro.engine.parallel import ShardedBackend, even_chunks, even_ranges
+from repro.engine.plan import Plan, PlanNode
 
 __all__ = ["ProcessBackend", "default_process_count"]
 
@@ -135,6 +136,29 @@ def _run_chunk_remote(
         fn = _bind_subtree(plan, idx, interner.leaf_apply)
         state["bound"][(key, idx)] = fn
     return [fn(interner.intern(e)) for e in chunk]
+
+
+def _run_fused_slice_remote(
+    payload: bytes, node_idx: int, kind: str, bases: list, raws: list
+) -> tuple[str, list, list]:
+    """Worker entry point: one fused node's stages over one arena slice.
+
+    The slice crosses the boundary as raw columns — atom payloads and the
+    occasional boxed ``Value`` — so no per-element ``Value`` pickling
+    happens for the common all-atoms spine.  The compiled stage list is
+    cached per (plan, node) like the bound closures.
+    """
+    state, key, plan = _worker_plan(payload)
+    interner: Interner = state["interner"]
+    stages = state["bound"].get((key, node_idx, "fused"))
+    if stages is None:
+        stages = compile_stages(
+            plan.nodes[node_idx],
+            lambda i: _bind_subtree(plan, i, interner.leaf_apply),
+        )
+        state["bound"][(key, node_idx, "fused")] = stages
+    out = run_stages(stages, Arena(kind, bases, raws))
+    return out.kind, out.bases, out.raws
 
 
 def _worker_ping(_i: int) -> int:
@@ -280,6 +304,11 @@ class ProcessBackend(ShardedBackend):
         interner: Interner | None = None,
         shard_hint: int | None = None,
     ) -> Value:
+        from repro.engine.passes import fuse_plan
+
+        # Fuse before the transport check so the payload workers receive
+        # is the plan the spine walk executes (fuse_plan is idempotent).
+        plan = fuse_plan(plan)
         if self._payload(plan) is None:
             # An unpicklable plan cannot reach the workers; correctness
             # beats parallelism, so run it eagerly in-process.
@@ -311,6 +340,45 @@ class ProcessBackend(ShardedBackend):
             return super()._run_map_stage(plan, body_idx, chunks, leaf, bound)
         self._count("remote_chunks", len(chunks))
         return results
+
+    def _run_fused_slices(
+        self,
+        plan: Plan,
+        node: PlanNode,
+        arena: Arena,
+        n_slices: int,
+        leaf: Callable | None,
+        bound: dict[int, Callable[[Value], Value]],
+    ) -> Arena | None:
+        pool = self._executor()
+        payload = self._payload(plan) if pool is not None else None
+        if pool is None or payload is None:
+            return None
+        ranges = even_ranges(len(arena), n_slices)
+        if len(ranges) <= 1:
+            return None
+        try:
+            results = list(
+                pool.map(
+                    _run_fused_slice_remote,
+                    repeat(payload),
+                    repeat(node.idx),
+                    repeat(arena.kind),
+                    [arena.bases[a:b] for a, b in ranges],
+                    [arena.raws[a:b] for a, b in ranges],
+                )
+            )
+        except BrokenExecutor:
+            self._discard_pool()
+            self._count("pool_fallbacks")
+            return None
+        self._count("remote_chunks", len(ranges))
+        bases: list = []
+        raws: list = []
+        for _kind, slice_bases, slice_raws in results:
+            bases.extend(slice_bases)
+            raws.extend(slice_raws)
+        return Arena(results[0][0], bases, raws)
 
     def run_values(
         self,

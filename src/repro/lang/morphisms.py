@@ -33,14 +33,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import OrNRATypeError
-from repro.types.kinds import (
-    BOOL,
-    FuncType,
-    ProdType,
-    Type,
-    TypeVar,
-    UnitType,
-)
+from repro.types.kinds import BOOL, FuncType, ProdType, Type, UnitType
 from repro.types.unify import FreshVars, apply_subst, rename_apart, unify
 from repro.values.values import (
     UNIT_VALUE,

@@ -39,7 +39,7 @@ or-set component), verified by ``tests/orders/test_approx.py`` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import chain, combinations
+from itertools import combinations
 from typing import Iterable
 
 from repro.errors import OrNRAValueError

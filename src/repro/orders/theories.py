@@ -42,15 +42,7 @@ from repro.types.kinds import (
     UnitType,
     VariantType,
 )
-from repro.values.values import (
-    Atom,
-    OrSetValue,
-    Pair,
-    SetValue,
-    UnitValue,
-    Value,
-    Variant,
-)
+from repro.values.values import Atom, OrSetValue, Pair, SetValue, Value, Variant
 
 __all__ = [
     "Formula",

@@ -41,7 +41,7 @@ Example session::
 from __future__ import annotations
 
 import sys
-from typing import Callable, TextIO
+from typing import TextIO
 
 from repro.core.worlds import worlds
 from repro.engine import Engine
@@ -71,7 +71,7 @@ _HELP = """commands:
   type NAME | typeof NAME     type of a value / morphism binding
   size NAME                   Section 6 size measure
   plan MORPHISM               show the optimized, compiled engine plan
-  backend [auto|eager|streaming|parallel|process]
+  backend [auto|eager|streaming|parallel|process|fused]
                               show or select the execution backend
                               (auto picks per call from the cost model)
   show NAME (or just NAME)    print a binding

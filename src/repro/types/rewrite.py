@@ -30,7 +30,7 @@ confluence exhaustively on small types.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Sequence
 
 from repro.errors import NormalizationError, OrNRATypeError
 from repro.types.kinds import (

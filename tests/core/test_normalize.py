@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.errors import OrNRATypeError
-from repro.types.kinds import OrSetType, contains_orset
+from repro.types.kinds import contains_orset
 from repro.types.parse import parse_type
 from repro.types.rewrite import (
     innermost_strategy,
@@ -15,7 +15,7 @@ from repro.types.rewrite import (
     outermost_strategy,
     random_strategy,
 )
-from repro.values.values import check_type, infer_type, vorset, vpair, vset
+from repro.values.values import check_type, vorset, vpair, vset
 
 from repro.core.normalize import (
     Normalize,

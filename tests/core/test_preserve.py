@@ -23,17 +23,7 @@ from repro.core.preserve import (
     verify_analog_inclusion,
     verify_losslessness,
 )
-from repro.lang.morphisms import (
-    Bang,
-    Compose,
-    Cond,
-    Eq,
-    Id,
-    PairOf,
-    Proj1,
-    Proj2,
-    always,
-)
+from repro.lang.morphisms import Bang, Compose, Cond, Eq, Id, PairOf, Proj1, Proj2
 from repro.lang.orset_ops import (
     Alpha,
     KEmptyOrSet,
@@ -44,7 +34,7 @@ from repro.lang.orset_ops import (
     OrUnion,
 )
 from repro.lang.primitives import plus, predicate
-from repro.lang.set_ops import KEmptySet, SetEta, SetMap, SetMu, SetRho2, SetUnion
+from repro.lang.set_ops import SetEta, SetMap, SetMu, SetRho2, SetUnion
 from repro.values.values import OrSetValue
 
 from tests.strategies import value_of

@@ -1,0 +1,200 @@
+"""Tests for the columnar arena and the fused kernel pipeline.
+
+The headline properties: the arena encoding is lossless
+(``Arena.from_value(v, ...).to_value() == v`` structurally, for every
+collection shape the strategies generate, nested or-sets included), and
+the ``fused`` backend is structurally equal to eager on random programs
+— with the same error behavior on ill-kinded spines.  Unit tests pin
+the fusion pass's plan rewrite, the raw scalar-kernel compiler, the
+transient-duplicate conventions and pickling of fused plans.
+"""
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import BACKENDS, Engine
+from repro.engine.columnar import Arena, compile_scalar, raw_kernels
+from repro.engine.passes import fuse_plan, fusible_spans
+from repro.engine.plan import compile_plan
+from repro.errors import OrNRATypeError
+from repro.lang.bag_ops import bag_unique, settobag
+from repro.lang.morphisms import Bang, Compose, Cond, Id, PairOf, const
+from repro.lang.orset_ops import OrMap
+from repro.lang.primitives import int_le, int_lt, plus, times
+from repro.lang.set_ops import SetMap, SetMu
+from repro.morphgen import random_lossless_morphism
+from repro.values.values import vbag, vorset, vpair, vset
+
+from tests.strategies import typed_orset_values, typed_values
+
+DOUBLE = Compose(plus(), PairOf(Id(), Id()))
+FUSED_CHAIN = Compose(SetMap(DOUBLE), Compose(SetMap(DOUBLE), SetMap(DOUBLE)))
+
+
+class TestArenaRoundTrip:
+    @given(pair=typed_values(max_depth=3, max_width=3))
+    @settings(max_examples=60, deadline=None)
+    def test_flat_round_trip_on_random_collections(self, pair):
+        value, _t = pair
+        for kind, ctor in (("set", vset), ("orset", vorset), ("bag", vbag)):
+            wrapped = ctor(value, value)
+            arena = Arena.from_value(wrapped, kind, "noun")
+            assert arena.to_value() == wrapped
+
+    @given(pair=typed_orset_values(max_depth=3, max_width=3))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_with_nested_orsets(self, pair):
+        value, _t = pair
+        wrapped = vorset(value)
+        assert Arena.from_value(wrapped, "orset", "noun").to_value() == wrapped
+
+    def test_segmented_round_trip(self):
+        nested = vset(vset(1, 2), vset(3), vset())
+        arena = Arena.segmented(nested, "set", "mu expects a set of sets")
+        assert len(arena) == 3
+        assert arena.to_value() == nested
+
+    def test_from_value_kind_mismatch_raises(self):
+        with pytest.raises(OrNRATypeError, match="map expects a set"):
+            Arena.from_value(vorset(1), "set", "map expects a set")
+
+    def test_segmented_rejects_non_nested_elements(self):
+        with pytest.raises(OrNRATypeError, match="got element"):
+            Arena.segmented(vset(1, 2), "set", "mu expects a set of sets")
+
+    def test_slice_covers_ranges(self):
+        arena = Arena.from_value(vset(*range(10)), "set", "noun")
+        left, right = arena.slice(0, 4), arena.slice(4, 10)
+        assert len(left) + len(right) == len(arena)
+        merged = Arena("set", left.bases + right.bases, left.raws + right.raws)
+        assert merged.to_value() == vset(*range(10))
+
+
+class TestScalarCompiler:
+    def test_arithmetic_chain_compiles_raw(self):
+        compiled = compile_scalar(Compose(DOUBLE, DOUBLE), "int")
+        assert compiled is not None
+        fn, out = compiled
+        assert out == "int" and fn(3) == 12
+
+    def test_comparison_produces_bool(self):
+        compiled = compile_scalar(
+            Compose(int_lt(), PairOf(const(2, "int"), Id())), "int"
+        )
+        assert compiled is not None
+        fn, out = compiled
+        assert out == "bool" and fn(3) is True and fn(1) is False
+
+    def test_cond_compiles_when_branches_agree(self):
+        m = Cond(
+            Compose(int_le(), PairOf(Id(), const(0, "int"))),
+            const(1, "int"),
+            Compose(times(), PairOf(Id(), Id())),
+        )
+        compiled = compile_scalar(m, "int")
+        assert compiled is not None
+        fn, out = compiled
+        assert out == "int" and fn(0) == 1 and fn(3) == 9
+
+    def test_const_after_bang_is_raw(self):
+        compiled = compile_scalar(Compose(const(7, "int"), Bang()), "bool")
+        assert compiled is not None
+        fn, out = compiled
+        assert out == "int" and fn(True) == 7
+
+    def test_unfusible_body_returns_none(self):
+        assert compile_scalar(OrMap(Id()), "int") is None
+        assert raw_kernels(OrMap(Id())) == {}
+
+
+class TestFusePlan:
+    def test_map_chain_collapses_to_one_fused_node(self):
+        plan = compile_plan(FUSED_CHAIN)
+        fused = fuse_plan(plan)
+        assert fused is not plan
+        assert fused.nodes[fused.root].op == "fused"
+        assert [s[0] for s in fused.nodes[fused.root].spec] == ["map"] * 3
+        assert "fused[set]" in fused.describe()
+
+    def test_mixed_spine_fuses_map_mu_and_coercions(self):
+        q = Compose(bag_unique(), Compose(settobag(), Compose(SetMu(), SetMap(Id()))))
+        fused = fuse_plan(compile_plan(q))
+        spec = fused.nodes[fused.root].spec
+        assert [s[0] for s in spec] == ["map", "mu", "retag", "unique"]
+
+    def test_unfusible_plan_returned_unchanged(self):
+        plan = compile_plan(SetMap(OrMap(Id())))  # body has no raw kernel
+        assert fuse_plan(plan) is plan
+        assert fusible_spans(plan) == []
+
+    def test_fuse_is_cached_and_idempotent(self):
+        plan = compile_plan(FUSED_CHAIN)
+        fused = fuse_plan(plan)
+        assert fuse_plan(plan) is fused
+        assert fuse_plan(fused) is fused
+
+    def test_fused_plan_pickles_and_executes(self):
+        fused = fuse_plan(compile_plan(FUSED_CHAIN))
+        clone = pickle.loads(pickle.dumps(fused))
+        assert clone.bind()(vset(1, 2)) == vset(8, 16)
+
+
+class TestFusedBackend:
+    def test_registered(self):
+        assert "fused" in BACKENDS
+        eng = Engine()
+        assert eng.run(FUSED_CHAIN, vset(1, 2, 3), backend="fused") == vset(8, 16, 24)
+
+    @given(pair=typed_orset_values(max_depth=3, max_width=3), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_random_programs_match_eager(self, pair, seed):
+        value, t = pair
+        program, _out = random_lossless_morphism(t, random.Random(seed), depth=4)
+        eng = Engine()
+        assert eng.run(program, value, backend="fused") == eng.run(
+            program, value, backend="eager"
+        )
+
+    def test_error_propagation_matches_eager(self):
+        eng = Engine()
+        for program, bad in (
+            (FUSED_CHAIN, vorset(1, 2)),
+            (Compose(SetMu(), SetMap(Id())), vset(1, 2)),
+            (Compose(bag_unique(), settobag()), vorset(1)),
+        ):
+            with pytest.raises(OrNRATypeError) as eager_err:
+                eng.run(program, bad, backend="eager")
+            with pytest.raises(OrNRATypeError) as fused_err:
+                eng.run(program, bad, backend="fused")
+            assert str(fused_err.value) == str(eager_err.value)
+
+    def test_transient_duplicates_do_not_become_multiplicities(self):
+        # map collapses everything to one atom; the set->bag coercion
+        # must not observe the transient duplicates as multiplicity 3.
+        q = Compose(settobag(), SetMap(Compose(const(0, "int"), Bang())))
+        eng = Engine()
+        assert eng.run(q, vset(1, 2, 3), backend="fused") == vbag(0)
+
+    def test_mixed_atom_and_boxed_elements_fall_back_per_element(self):
+        q = SetMap(Compose(plus(), PairOf(Id(), Id())))
+        eng = Engine()
+        mixed = vset(1, 2)  # raw path
+        assert eng.run(q, mixed, backend="fused") == vset(2, 4)
+        with pytest.raises(OrNRATypeError):  # boxed fallback raises like eager
+            eng.run(SetMap(DOUBLE), vset(vpair(1, 2)), backend="fused")
+
+    def test_auto_routes_wide_flat_spine_to_fused(self):
+        eng = Engine()
+        choice = eng.choose_backend(FUSED_CHAIN, vset(*range(500)))
+        assert choice.backend == "fused"
+        assert "fused" in choice.reason
+
+    def test_explain_reports_fusion(self):
+        eng = Engine()
+        out = eng.explain(FUSED_CHAIN, value=vset(*range(500)))
+        assert "fusion: 1 spine stage(s) collapse into 1 fused kernel(s)" in out
+        assert "backend: fused" in out

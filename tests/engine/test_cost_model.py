@@ -3,7 +3,6 @@ cost-guided pass scheduling and adaptive backend selection."""
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -9,7 +9,7 @@ from repro import engine
 from repro.core.normalize import Normalize, possibilities
 from repro.engine import Engine
 from repro.errors import OrNRATypeError
-from repro.gen import random_orset_value, random_value
+from repro.gen import random_orset_value
 from repro.lang.bag_ops import bag_unique, settobag
 from repro.lang.morphisms import Compose, Id, PairOf, Proj1
 from repro.lang.orset_ops import Alpha, OrMap, OrToSet, SetToOr

@@ -30,7 +30,7 @@ from repro.lang.morphisms import (
 from repro.lang.orset_ops import Alpha, OrMap, OrMu, OrRho2, OrToSet, SetToOr
 from repro.lang.primitives import plus
 from repro.lang.set_ops import SetMap
-from repro.values.values import vorset, vpair, vset
+from repro.values.values import vorset, vpair
 
 DOUBLE = Compose(plus(), PairOf(Id(), Id()))
 

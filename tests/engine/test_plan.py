@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.engine.plan import Plan, compile_plan
+from repro.engine.plan import compile_plan
 from repro.errors import OrNRATypeError
 from repro.gen import random_orset_value
 from repro.lang.morphisms import (

@@ -22,12 +22,11 @@ from repro.lang.morphisms import (
     pair_of,
 )
 from repro.lang.optimize import cost, equations_applied, optimize
-from repro.lang.orset_ops import Alpha, OrEta, OrMap, OrMu, OrRho2, or_eta, ormap
+from repro.lang.orset_ops import Alpha, OrEta, OrMap, OrMu, OrRho2, or_eta
 from repro.lang.primitives import plus
-from repro.lang.set_ops import SetEta, SetMap, SetMu, set_eta, set_map, set_mu
+from repro.lang.set_ops import SetEta, SetMap, SetMu, set_eta
 from repro.lang.variant_ops import case, inl, inr
 from repro.types.parse import parse_type
-from repro.values.values import atom, vbag, vorset, vpair, vset
 
 
 DOUBLE = Compose(plus(), PairOf(Id(), Id()))

@@ -4,7 +4,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.types.kinds import INT, OrSetType, ProdType, SetType
-from repro.values.values import FALSE, TRUE, atom, vorset, vpair, vset
+from repro.values.values import FALSE, TRUE, atom, vpair, vset
 
 from repro.lang.order_lift import (
     lifted_le_primitive,

@@ -20,7 +20,7 @@ from repro.lang.recursion import (
     sr_set,
 )
 from repro.lang.set_ops import SetUnion, set_eta
-from repro.types.kinds import INT, SetType
+from repro.types.kinds import INT
 from repro.values.values import atom, vbag, vorset, vset
 
 

@@ -1,6 +1,5 @@
 """Tests for the relational derived layer (nest/unnest/join/semijoin)."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -6,8 +6,8 @@ their semantics against plain Python set operations on random inputs.
 
 from hypothesis import given
 
-from repro.types.kinds import INT, OrSetType, ProdType, SetType
-from repro.values.values import FALSE, TRUE, atom, vorset, vpair, vset
+from repro.types.kinds import INT, SetType
+from repro.values.values import FALSE, TRUE, vorset, vpair, vset
 
 from repro.lang.morphisms import Id, PairOf, always
 from repro.lang.primitives import int_le

@@ -3,14 +3,7 @@
 import pytest
 
 from repro.errors import OrNRATypeError
-from repro.types.kinds import (
-    BOOL,
-    INT,
-    OrSetType,
-    ProdType,
-    SetType,
-    UnitType,
-)
+from repro.types.kinds import INT, OrSetType, ProdType, SetType
 from repro.types.parse import parse_type
 
 from repro.lang.bag_ops import AlphaD, DMap

@@ -10,10 +10,6 @@ from repro.lang.primitives import plus
 from repro.lang.typecheck import result_type
 from repro.lang.variant_ops import (
     Case,
-    InjectLeft,
-    InjectRight,
-    OrKappa1,
-    OrKappa2,
     case,
     inl,
     inr,

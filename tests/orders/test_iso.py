@@ -7,11 +7,7 @@ import pytest
 from repro.orders.iso import alpha_antichain, beta_antichain
 from repro.orders.poset import chain, diamond, discrete, random_poset
 from repro.orders.powerdomains import hoare_le, smyth_le
-from repro.orders.semantics import (
-    max_antichain_values,
-    min_antichain_values,
-    value_le,
-)
+from repro.orders.semantics import min_antichain_values, value_le
 from repro.values.values import Atom, OrSetValue, SetValue, vorset, vset
 
 

@@ -17,7 +17,7 @@ import pytest
 from repro.core.normalize import Normalize, normalize, possibilities
 from repro.core.worlds import worlds
 from repro.gen import random_orset_value
-from repro.lang.morphisms import Bang, Compose, Cond, Morphism, Primitive, always
+from repro.lang.morphisms import Bang, Compose, Cond, Morphism, Primitive
 from repro.lang.optimize import optimize
 from repro.lang.orset_ops import KEmptyOrSet, OrEta, OrMap, OrMu
 from repro.lang.parser import parse_morphism, parse_value
@@ -25,8 +25,7 @@ from repro.lang.typecheck import result_type
 from repro.types.kinds import BOOL
 from repro.types.parse import format_type, parse_type
 from repro.types.rewrite import nf_type
-from repro.values.measure import has_empty_orset
-from repro.values.values import SetValue, Value, boolean, format_value
+from repro.values.values import SetValue, Value, boolean
 
 
 TEMPLATE = parse_value("{(1, <10, 20>), (2, <5, 30>)}")

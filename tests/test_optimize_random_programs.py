@@ -17,7 +17,6 @@ from repro.engine.passes import DEFAULT_PASSES, default_pipeline
 from repro.gen import random_orset_value, random_value
 from repro.lang.optimize import cost, optimize
 from repro.morphgen import random_lossless_morphism
-from repro.values.measure import has_empty_orset
 
 
 @settings(max_examples=80, deadline=None)

@@ -104,6 +104,16 @@ class TestBackendsAndBatch:
         out = repl.eval_line("backend warp")
         assert out.startswith("error:") and "parallel" in out
 
+    def test_backend_fused_selectable(self, repl):
+        assert repl.eval_line("backend fused") == "backend = fused"
+        repl.eval_line("let db = {(1, 2), (3, 4)}")
+        out = repl.eval_line("apply map(pi_1) db")
+        assert out == "{1, 3} : {int}"
+
+    def test_plan_shows_fusion(self, repl):
+        out = repl.eval_line("plan map(pi_1) o mu")
+        assert "fusion:" in out and "fused kernel" in out
+
     def test_applymany(self, repl):
         repl.eval_line("let a = {<1, 2>}")
         repl.eval_line("let b = {<3>}")

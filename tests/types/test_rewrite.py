@@ -12,15 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import NormalizationError
-from repro.types.kinds import (
-    BOOL,
-    INT,
-    BagType,
-    OrSetType,
-    ProdType,
-    SetType,
-    contains_orset,
-)
+from repro.types.kinds import BOOL, INT, BagType, OrSetType, SetType, contains_orset
 from repro.types.parse import parse_type
 from repro.types.rewrite import (
     OR_FLATTEN,

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -11,7 +10,6 @@ from repro.types.kinds import (
     BOOL,
     INT,
     OrSetType,
-    ProdType,
     SetType,
     VariantType,
     contains_orset,

@@ -18,10 +18,7 @@ from repro.values.values import (
     TRUE,
     UNIT_VALUE,
     Atom,
-    BagValue,
     Or,
-    OrSetValue,
-    Pair,
     SetValue,
     atom,
     boolean,

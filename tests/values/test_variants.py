@@ -10,7 +10,6 @@ from repro.values.measure import count_orsets, depth, size, value_tree
 from repro.values.values import (
     Inl,
     Inr,
-    Variant,
     atom,
     check_type,
     format_value,
