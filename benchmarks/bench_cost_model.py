@@ -96,6 +96,9 @@ def _workloads(quick: bool = False) -> list[dict]:
     assert engine.choose_backend(
         EXISTENTIAL_QUERY, x, existential=True
     ).backend == "streaming"
+    assert engine.choose_backend(
+        EXISTENTIAL_QUERY, x, existential=True, world_query=True
+    ).backend == "symbolic"
     witness_auto = _first_world(engine, "auto", x)
     witness_eager = _first_world(engine, "eager", x)
     assert witness_auto == witness_eager

@@ -1,0 +1,209 @@
+"""Experiment SYMBOLIC — world queries without enumerating worlds.
+
+Three workloads measure the symbolic backend
+(`repro/engine/symbolic.py`) on whole-world-set queries, where every
+enumerating backend hits the Section 6 wall (3^k worlds on the tight
+family):
+
+* **tight-family-count** — the acceptance workload: the exact world
+  count of ``normalize`` over the Theorem 6.5 tight family.  The eager
+  baseline materializes and deduplicates every world; the symbolic
+  backend compiles the or-set choices to CNF, traces DPLL into a
+  d-DNNF and counts in circuit-linear time.  Target: >= 100x at the
+  largest in-reach size.
+* **beyond-enumeration** — the same query at ``k = 19`` (3^19 ~ 1.16e9
+  worlds, past the 10^9 acceptance bar, unreachable for enumeration):
+  records that the exact count comes back in milliseconds and equals
+  3^19, and that ``exists``/``certain`` answer at the same scale.
+* **exactness** — not a timing: random or-set values cross-checked
+  against the brute-force worlds oracle — the count is *exact* on both
+  the certificate path and the enumeration fallback; a mismatch fails
+  the run (and CI, via the pytest entry points).
+
+Run ``python benchmarks/bench_symbolic.py`` (add ``--quick`` for CI
+smoke sizes) to print the table and write ``BENCH_symbolic.json`` next
+to this file; under pytest the same workloads assert the >= 100x win,
+the auto routing, and exactness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import time
+
+from repro.core.costs import tight_family
+from repro.core.normalize import Normalize
+from repro.core.worlds import worlds
+from repro.engine import Engine
+from repro.engine.symbolic import ChoiceSpace
+from repro.gen import random_orset_value
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_symbolic.json"
+
+#: Whole-value normalization: the output's or-set of worlds *is* the
+#: world set, so any enumerating count pays for all 3^k of them.
+COUNT_QUERY = Normalize()
+
+
+def _best_of(fn, repeat: int = 3):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _eager_count(engine: Engine, x) -> int:
+    return len(set(engine.possibilities(COUNT_QUERY, x, backend="eager", intern=False)))
+
+
+def _workloads(quick: bool = False) -> list[dict]:
+    engine = Engine()
+    results: list[dict] = []
+
+    # 1. tight-family-count: symbolic vs eager at the largest in-reach k.
+    k = 9 if quick else 11
+    x, _t = tight_family(k)
+    choice = engine.choose_backend(COUNT_QUERY, x, world_query=True)
+    assert choice.backend == "symbolic", choice
+    t_eager, n_eager = _best_of(lambda: _eager_count(engine, x), repeat=1)
+    t_symbolic, n_symbolic = _best_of(
+        lambda: engine.count_worlds(COUNT_QUERY, x, backend="auto", intern=False)
+    )
+    assert n_symbolic == n_eager == 3**k, (n_symbolic, n_eager)
+    speedup = t_eager / t_symbolic
+    assert speedup >= 100, f"only {speedup:.0f}x at k={k}"
+    results.append(
+        {
+            "workload": "tight-family-count",
+            "k": k,
+            "worlds": 3**k,
+            "eager_s": t_eager,
+            "symbolic_s": t_symbolic,
+            "speedup": speedup,
+        }
+    )
+
+    # 2. beyond-enumeration: k = 19 puts 3^k past 10^9 worlds.
+    k_big = 19
+    x, _t = tight_family(k_big)
+    t_count, n = _best_of(
+        lambda: engine.count_worlds(COUNT_QUERY, x, backend="auto", intern=False)
+    )
+    assert n == 3**k_big, n
+    t_exists, witness = _best_of(
+        lambda: engine.exists(COUNT_QUERY, x, backend="auto", intern=False)
+    )
+    assert witness is True
+    t_certain, _c = _best_of(
+        lambda: engine.certain(COUNT_QUERY, x, backend="auto", intern=False)
+    )
+    results.append(
+        {
+            "workload": "beyond-enumeration",
+            "k": k_big,
+            "worlds": 3**k_big,
+            "count_s": t_count,
+            "exists_s": t_exists,
+            "certain_s": t_certain,
+        }
+    )
+
+    # 3. exactness: the regression gate (not a timing).
+    samples = 150 if quick else 400
+    rng = random.Random(0)
+    exact_hits = 0
+    for _ in range(samples):
+        v, _t = random_orset_value(rng, max_depth=3, max_width=3, min_width=0)
+        space = ChoiceSpace(v)
+        truth = len(worlds(v))
+        assert space.count_worlds() == truth, str(v)
+        exact_hits += space.exact
+    results.append(
+        {
+            "workload": "exactness",
+            "samples": samples,
+            "mismatches": 0,
+            "certificate_rate": exact_hits / samples,
+        }
+    )
+    return results
+
+
+def _parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="symbolic backend world-query benchmarks"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke sizes (seconds, not minutes)"
+    )
+    return parser.parse_args()
+
+
+# -- pytest entry points (the acceptance claims) -----------------------------
+
+
+def test_symbolic_count_beats_eager_100x_on_tight_family():
+    """The acceptance bar: >= 100x on tight-family counting at an
+    in-reach size, answers equal."""
+    engine = Engine()
+    x, _t = tight_family(9)
+    t_eager, n_eager = _best_of(lambda: _eager_count(engine, x), repeat=1)
+    t_symbolic, n_symbolic = _best_of(
+        lambda: engine.count_worlds(COUNT_QUERY, x, backend="auto", intern=False)
+    )
+    assert n_symbolic == n_eager == 3**9
+    assert t_symbolic * 100 <= t_eager, (t_symbolic, t_eager)
+
+
+def test_auto_routes_beyond_enumeration_queries_symbolic():
+    """>= 10^9 estimated worlds on a supported spine goes symbolic and
+    the exact count comes back."""
+    engine = Engine()
+    x, _t = tight_family(19)
+    assert 3**19 >= 10**9
+    assert engine.choose_backend(COUNT_QUERY, x, world_query=True).backend == "symbolic"
+    assert engine.count_worlds(COUNT_QUERY, x, intern=False) == 3**19
+
+
+def test_counts_are_exact_against_brute_force():
+    """CI gate: symbolic counts equal the worlds oracle on random values."""
+    rng = random.Random(1)
+    for _ in range(100):
+        v, _t = random_orset_value(rng, max_depth=3, max_width=3, min_width=0)
+        assert ChoiceSpace(v).count_worlds() == len(worlds(v)), str(v)
+
+
+def main() -> None:
+    args = _parse_args()
+    results = _workloads(quick=args.quick)
+    print(f"{'workload':<22} {'eager (ms)':>12} {'symbolic (ms)':>14} {'speedup':>9}")
+    for row in results:
+        if row["workload"] == "tight-family-count":
+            print(
+                f"{row['workload']:<22} {row['eager_s'] * 1000:>12.1f}"
+                f" {row['symbolic_s'] * 1000:>14.2f} {row['speedup']:>8.0f}x"
+            )
+        elif row["workload"] == "beyond-enumeration":
+            print(
+                f"{row['workload']:<22} {'(3^19 worlds)':>12}"
+                f" {row['count_s'] * 1000:>14.2f}"
+                f"   exists {row['exists_s'] * 1000:.2f} ms,"
+                f" certain {row['certain_s'] * 1000:.2f} ms"
+            )
+        else:
+            print(
+                f"{row['workload']:<22} exact on {row['samples']} samples"
+                f" (certificate rate {row['certificate_rate']:.0%})"
+            )
+    OUT_PATH.write_text(json.dumps({"results": results}, indent=2) + "\n")
+    print(f"\nwrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

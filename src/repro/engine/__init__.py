@@ -53,7 +53,7 @@ from typing import Iterator, Sequence
 
 from repro.lang.morphisms import Morphism
 from repro.types.kinds import Type
-from repro.values.values import Value, ensure_value
+from repro.values.values import SetValue, Value, ensure_value
 
 from repro.engine.backends import BACKENDS, Backend, EagerBackend, StreamingBackend
 from repro.engine.columnar import Arena, FusedBackend
@@ -81,6 +81,18 @@ from repro.engine.passes import (
     optimize_morphism,
 )
 from repro.engine.plan import Plan, PlanNode, compile_plan
+from repro.engine.symbolic import (
+    ChoiceSpace,
+    SymbolicBackend,
+    plan_supports_symbolic,
+    trace_worlds,
+)
+from repro.engine.symbolic import (
+    _certain_of_worlds as _certain_of,
+)
+from repro.engine.symbolic import (
+    _possible_of_worlds as _possible_of,
+)
 
 __all__ = [
     "Engine",
@@ -89,6 +101,10 @@ __all__ = [
     "run_many",
     "compile_program",
     "explain",
+    "count_worlds",
+    "certain",
+    "possible",
+    "exists",
     "Plan",
     "PlanNode",
     "compile_plan",
@@ -107,6 +123,10 @@ __all__ = [
     "ProcessBackend",
     "ShardedBackend",
     "FusedBackend",
+    "SymbolicBackend",
+    "ChoiceSpace",
+    "trace_worlds",
+    "plan_supports_symbolic",
     "Arena",
     "fuse_plan",
     "BACKENDS",
@@ -172,6 +192,8 @@ class Engine:
         program: Morphism,
         input_type: Type | None = None,
         value: object = None,
+        *,
+        existential: bool = False,
     ) -> str:
         """The optimized, compiled (and, given a type, annotated) plan.
 
@@ -186,7 +208,10 @@ class Engine:
         adaptive selector would pick for this call.  When the plan's
         spine has fusible runs, a ``fusion:`` line reports how many
         stages collapse into how many single-pass columnar kernels
-        (:func:`repro.engine.passes.fuse_plan`).
+        (:func:`repro.engine.passes.fuse_plan`).  ``existential=True``
+        asks for the world-query route instead of the run route — the
+        selector may then report the symbolic backend
+        (:mod:`repro.engine.symbolic`).
         """
         with self._lock:
             m = self.pipeline.run(program)
@@ -208,7 +233,13 @@ class Engine:
             return plan.describe() + fusion
         concrete = ensure_value(value)
         plan.annotate_estimates(concrete)
-        choice = select_backend(plan, concrete, available=self.backends)
+        choice = select_backend(
+            plan,
+            concrete,
+            existential=existential,
+            world_query=existential,
+            available=self.backends,
+        )
         return (
             plan.describe()
             + fusion
@@ -383,6 +414,142 @@ class Engine:
             chosen = self._backend(backend)
         return chosen.possibilities(plan, concrete, interner)
 
+    # -- world queries -----------------------------------------------------
+
+    def _world_query_backend(
+        self, plan: Plan, concrete: Value, backend: str
+    ) -> Backend:
+        """Resolve the backend for a world query (whole-world-set consumer)."""
+        if backend == "auto":
+            choice = select_backend(
+                plan,
+                concrete,
+                existential=True,
+                world_query=True,
+                available=self.backends,
+            )
+            return self.backends[choice.backend]
+        return self._backend(backend)
+
+    def _world_query_setup(
+        self, program: Morphism, value: object, optimize: bool, intern: bool
+    ) -> tuple[Plan, Value, Interner | None]:
+        plan = self.compile(program, optimize)
+        interner = self.interner if intern else None
+        concrete = ensure_value(value)
+        if interner is not None:
+            concrete = interner.intern(concrete)
+        return plan, concrete, interner
+
+    def count_worlds(
+        self,
+        program: Morphism,
+        value: object,
+        *,
+        backend: str = "auto",
+        optimize: bool = True,
+        intern: bool = True,
+    ) -> int:
+        """``|worlds(run(program, value))|`` — the paper's ``m``.
+
+        With ``backend="auto"`` (or ``"symbolic"``), supported plans are
+        answered on the compiled choice space: exact counts in time
+        linear in the *input*, even when the count itself is
+        astronomical.  Other backends count by deduplicated enumeration.
+        """
+        plan, concrete, interner = self._world_query_setup(
+            program, value, optimize, intern
+        )
+        chosen = self._world_query_backend(plan, concrete, backend)
+        if isinstance(chosen, SymbolicBackend):
+            return chosen.count_worlds(plan, concrete, interner)
+        return len(set(chosen.possibilities(plan, concrete, interner)))
+
+    def exists(
+        self,
+        program: Morphism,
+        value: object,
+        predicate=None,
+        *,
+        backend: str = "auto",
+        optimize: bool = True,
+        intern: bool = True,
+    ) -> bool:
+        """Does some world of the output satisfy *predicate*?
+
+        With no predicate: is the output consistent (has any world at
+        all)?  The symbolic route answers that without producing one.
+        With a predicate (any ``Value -> bool`` callable), worlds are
+        streamed lazily and the first witness short-circuits.
+        """
+        plan, concrete, interner = self._world_query_setup(
+            program, value, optimize, intern
+        )
+        chosen = self._world_query_backend(plan, concrete, backend)
+        if predicate is None and isinstance(chosen, SymbolicBackend):
+            return chosen.exists(plan, concrete, interner)
+        stream = chosen.possibilities(plan, concrete, interner)
+        if predicate is None:
+            return next(iter(stream), None) is not None
+        return any(predicate(world) for world in stream)
+
+    def certain(
+        self,
+        program: Morphism,
+        value: object,
+        *,
+        backend: str = "auto",
+        optimize: bool = True,
+        intern: bool = True,
+    ) -> Value:
+        """The set of elements present in *every* world of the output.
+
+        The certain-answer operator of consistent query answering: the
+        output's worlds must be collections (sets/bags — e.g. the worlds
+        of a normalized or-set database), and the result is the
+        intersection of their element sets, as a canonical ``SetValue``.
+        Raises :class:`~repro.errors.OrNRAValueError` when the output
+        has no worlds at all (inconsistency).  The symbolic route
+        answers each membership with one SAT call instead of
+        intersecting exponentially many worlds.
+        """
+        plan, concrete, interner = self._world_query_setup(
+            program, value, optimize, intern
+        )
+        chosen = self._world_query_backend(plan, concrete, backend)
+        if isinstance(chosen, SymbolicBackend):
+            elements = chosen.certain(plan, concrete, interner)
+        else:
+            elements = _certain_of(chosen.possibilities(plan, concrete, interner))
+        result: Value = SetValue(elements)
+        if interner is not None:
+            result = interner.intern(result)
+        return result
+
+    def possible(
+        self,
+        program: Morphism,
+        value: object,
+        *,
+        backend: str = "auto",
+        optimize: bool = True,
+        intern: bool = True,
+    ) -> Value:
+        """The set of elements present in *some* world of the output —
+        the dual of :meth:`certain` (possible answers)."""
+        plan, concrete, interner = self._world_query_setup(
+            program, value, optimize, intern
+        )
+        chosen = self._world_query_backend(plan, concrete, backend)
+        if isinstance(chosen, SymbolicBackend):
+            elements = chosen.possible(plan, concrete, interner)
+        else:
+            elements = _possible_of(chosen.possibilities(plan, concrete, interner))
+        result: Value = SetValue(elements)
+        if interner is not None:
+            result = interner.intern(result)
+        return result
+
     def choose_backend(
         self,
         program: Morphism,
@@ -390,15 +557,23 @@ class Engine:
         *,
         optimize: bool = True,
         existential: bool = False,
+        world_query: bool = False,
     ) -> BackendChoice:
         """The adaptive selector's decision for this call, with reasoning.
 
         What ``backend="auto"`` would do — exposed for diagnostics, the
-        REPL and tests.
+        REPL and tests.  ``existential`` marks a first-witness consumer
+        (:meth:`possibilities`); ``world_query`` marks a whole-world-set
+        consumer (:meth:`count_worlds` / :meth:`certain` /
+        :meth:`possible` / :meth:`exists`).
         """
         plan = self.compile(program, optimize)
         return select_backend(
-            plan, ensure_value(value), existential=existential, available=self.backends
+            plan,
+            ensure_value(value),
+            existential=existential,
+            world_query=world_query,
+            available=self.backends,
         )
 
     def _backend(self, name: str) -> Backend:
@@ -437,11 +612,37 @@ def compile_program(program: Morphism, optimize: bool = True) -> Plan:
 
 
 def explain(
-    program: Morphism, input_type: Type | None = None, value: object = None
+    program: Morphism,
+    input_type: Type | None = None,
+    value: object = None,
+    *,
+    existential: bool = False,
 ) -> str:
     """Describe the default engine's plan for *program*.
 
     Given a *value*, nodes carry the cost model's predicted world counts
-    and the adaptive backend decision for that input.
+    and the adaptive backend decision for that input; ``existential=True``
+    explains the routing for world queries (:func:`exists`,
+    :func:`certain`, :func:`count_worlds`) instead of :func:`run`.
     """
-    return DEFAULT_ENGINE.explain(program, input_type, value)
+    return DEFAULT_ENGINE.explain(program, input_type, value, existential=existential)
+
+
+def count_worlds(program: Morphism, value: object, **options) -> int:
+    """Exact world count of the output through the default engine."""
+    return DEFAULT_ENGINE.count_worlds(program, value, **options)
+
+
+def exists(program: Morphism, value: object, predicate=None, **options) -> bool:
+    """Existential world query through the default engine."""
+    return DEFAULT_ENGINE.exists(program, value, predicate, **options)
+
+
+def certain(program: Morphism, value: object, **options) -> Value:
+    """Certain answers (elements in every world) through the default engine."""
+    return DEFAULT_ENGINE.certain(program, value, **options)
+
+
+def possible(program: Morphism, value: object, **options) -> Value:
+    """Possible answers (elements in some world) through the default engine."""
+    return DEFAULT_ENGINE.possible(program, value, **options)

@@ -73,6 +73,7 @@ __all__ = [
     "plan_profile",
     "BackendChoice",
     "select_backend",
+    "SYMBOLIC_WORLDS",
     "SMALL_WORLDS",
     "WIDE_SPINE",
     "STREAM_NORM_SIZE",
@@ -87,6 +88,16 @@ __all__ = [
 #: At or below this many estimated worlds, eager execution (with its
 #: maximal memo reuse) beats the laziness bookkeeping.
 SMALL_WORLDS = 64
+
+#: Past this many estimated worlds a whole-world-set consumer
+#: (count/certain/possible/exists) is routed to the symbolic backend
+#: (when the plan's spine has a world-preserving trace): enumerating
+#: backends pay per world, while the knowledge-compilation path is
+#: linear in the *value* — measured crossover is well under a hundred
+#: worlds on the tight family, so only the eager-trivial range is kept
+#: out.  First-witness consumers are *not* routed here (streaming's
+#: lazy spine wins those); see ``select_backend``'s ``world_query``.
+SYMBOLIC_WORLDS = 1 << 8
 
 #: Top-level collections at least this wide are worth sharding.
 WIDE_SPINE = 32
@@ -415,12 +426,21 @@ def select_backend(
     value: Value,
     *,
     existential: bool = False,
+    world_query: bool = False,
     available: "Collection[str] | None" = None,
 ) -> BackendChoice:
-    """Pick eager/streaming/parallel/process/fused for this (plan, value) call.
+    """Pick the backend — eager/streaming/parallel/process/fused/symbolic —
+    for this (plan, value) call.
 
     * **small** estimated world count → ``eager`` (closure execution and
       maximal memo reuse win outright);
+    * **world queries** (count/certain/possible/exists — consumers that
+      quantify over the *whole* world set, flagged ``world_query=True``)
+      past :data:`SYMBOLIC_WORLDS` estimated worlds, over a plan whose
+      spine the symbolic trace supports → ``symbolic`` (the
+      knowledge-compilation backend answers without enumerating a single
+      world; a first-witness consumer is better served by streaming, so
+      ``existential`` alone does not trigger this);
     * **existential** consumers over a huge estimated world count →
       ``streaming`` (the first witness comes off the lazy spine before
       any normal form is materialized);
@@ -447,8 +467,21 @@ def select_backend(
     est = estimate_value(value)
     profile = plan_profile(plan)
     names = (
-        ("eager", "streaming", "parallel", "fused") if available is None else available
+        ("eager", "streaming", "parallel", "fused", "symbolic")
+        if available is None
+        else available
     )
+    if world_query and est.worlds > SYMBOLIC_WORLDS and "symbolic" in names:
+        # Imported lazily: the symbolic module imports the backends
+        # registry, which this module must not import at load time.
+        from repro.engine.symbolic import plan_supports_symbolic
+
+        if plan_supports_symbolic(plan):
+            return BackendChoice(
+                "symbolic",
+                f"~{est.worlds} estimated worlds is beyond enumeration; "
+                "the compiled choice space answers without building any",
+            )
     if (
         existential
         and est.worlds > SMALL_WORLDS

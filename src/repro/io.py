@@ -47,6 +47,10 @@ __all__ = [
     "run_json",
     "run_text_many",
     "run_json_many",
+    "count_worlds_text",
+    "count_worlds_json",
+    "certain_text",
+    "certain_json",
 ]
 
 
@@ -214,6 +218,79 @@ def run_json(morphism_text: str, value_json: object, backend: str = "eager") -> 
     from repro.engine import run
 
     result = run(
+        parsed_morphism(morphism_text),
+        value_from_json(value_json),
+        backend=backend,
+        intern=False,
+    )
+    return value_to_json(result)
+
+
+def count_worlds_text(
+    morphism_text: str, value_text: str, backend: str = "auto"
+) -> int:
+    """Exact world count of a query's output; input in the paper notation.
+
+    The batch-mode counterpart of the REPL's ``count``.  With the
+    default ``backend="auto"`` the engine routes supported plans to the
+    symbolic backend (:mod:`repro.engine.symbolic`), which counts
+    without enumerating — astronomically many worlds come back in
+    milliseconds.
+
+    >>> count_worlds_text("normalize", "{<1, 2>, <2, 3>}")
+    4
+    """
+    from repro.engine import count_worlds
+    from repro.lang.parser import parse_value
+
+    return count_worlds(
+        parsed_morphism(morphism_text),
+        parse_value(value_text),
+        backend=backend,
+        intern=False,
+    )
+
+
+def count_worlds_json(
+    morphism_text: str, value_json: object, backend: str = "auto"
+) -> int:
+    """:func:`count_worlds_text` over the JSON value encoding."""
+    from repro.engine import count_worlds
+
+    return count_worlds(
+        parsed_morphism(morphism_text),
+        value_from_json(value_json),
+        backend=backend,
+        intern=False,
+    )
+
+
+def certain_text(morphism_text: str, value_text: str, backend: str = "auto") -> str:
+    """The certain answers of a query — elements in *every* world of the
+    output — in the paper notation (the REPL's ``certain``).
+
+    >>> certain_text("normalize", "{<1>, <2, 3>}")
+    '{1}'
+    """
+    from repro.engine import certain
+    from repro.lang.parser import parse_value
+
+    result = certain(
+        parsed_morphism(morphism_text),
+        parse_value(value_text),
+        backend=backend,
+        intern=False,
+    )
+    return format_value(result)
+
+
+def certain_json(
+    morphism_text: str, value_json: object, backend: str = "auto"
+) -> object:
+    """:func:`certain_text` over the JSON value encoding."""
+    from repro.engine import certain
+
+    result = certain(
         parsed_morphism(morphism_text),
         value_from_json(value_json),
         backend=backend,

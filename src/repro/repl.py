@@ -17,6 +17,10 @@ Commands::
                                       async serving front-end (dedupes)
     normalize x                       the conceptual value (or-NRA+)
     worlds x                          possible-worlds denotation
+    count f x                         exact world count of f(x) (symbolic —
+                                      no enumeration on supported plans)
+    certain f x                       elements in every world of f(x)
+    possible f x                      elements in some world of f(x)
     type x                            inferred type
     typeof f                          most general morphism type
     size x                            Section 6 size measure
@@ -68,10 +72,14 @@ _HELP = """commands:
                               structurally equal inputs deduplicated)
   normalize NAME              conceptual value (the or-NRA+ primitive)
   worlds NAME                 possible-worlds denotation
+  count MORPHISM NAME         exact world count of the output — symbolic
+                              (no enumeration) on supported plans
+  certain MORPHISM NAME       elements present in every world of the output
+  possible MORPHISM NAME      elements present in some world of the output
   type NAME | typeof NAME     type of a value / morphism binding
   size NAME                   Section 6 size measure
   plan MORPHISM               show the optimized, compiled engine plan
-  backend [auto|eager|streaming|parallel|process|fused]
+  backend [auto|eager|streaming|parallel|process|fused|symbolic]
                               show or select the execution backend
                               (auto picks per call from the cost model)
   show NAME (or just NAME)    print a binding
@@ -157,6 +165,15 @@ class Repl:
             value, _t = self._lookup_value(rest)
             rendered = sorted(format_value(w) for w in worlds(value))
             return "{" + ", ".join(rendered) + "}"
+        if head == "count":
+            m, value = self._morphism_and_value(rest, "count")
+            return str(self.engine.count_worlds(m, value, backend=self.backend))
+        if head == "certain":
+            m, value = self._morphism_and_value(rest, "certain")
+            return self._render(self.engine.certain(m, value, backend=self.backend))
+        if head == "possible":
+            m, value = self._morphism_and_value(rest, "possible")
+            return self._render(self.engine.possible(m, value, backend=self.backend))
         if head == "type":
             value, t = self._lookup_value(rest)
             return format_type(t)
@@ -215,6 +232,15 @@ class Repl:
         m = parse_morphism(definition.strip(), env=self.morphisms)
         self.morphisms[name] = m
         return f"{name} = {m.describe()}"
+
+    def _morphism_and_value(self, rest: str, cmd: str) -> tuple[Morphism, Value]:
+        # `CMD MORPHISM NAME` — same shape as `apply`.
+        morph_text, _, arg = rest.strip().rpartition(" ")
+        if not morph_text:
+            raise OrNRAError(f"expected  {cmd} MORPHISM NAME")
+        if arg not in self.values:
+            raise OrNRAError(f"unbound value {arg!r}")
+        return self._morphism(morph_text), self.values[arg][0]
 
     def _cmd_apply(self, rest: str) -> str:
         # `apply MORPHISM NAME` — the argument is the trailing identifier.

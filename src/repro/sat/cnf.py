@@ -38,6 +38,7 @@ __all__ = [
     "satisfies_fd",
     "fd_predicate",
     "assignment_satisfies",
+    "all_assignments",
 ]
 
 VAR_BASE = "var"
@@ -78,10 +79,24 @@ class CNF:
 
 
 def random_cnf(
-    n_vars: int, n_clauses: int, k: int, rng: random.Random
+    n_vars: int,
+    n_clauses: int,
+    k: int,
+    rng: random.Random | None = None,
+    *,
+    seed: int | None = None,
 ) -> CNF:
     """A random *k*-CNF: each clause draws *k* distinct variables with
-    random polarities (tautological clauses excluded by construction)."""
+    random polarities (tautological clauses excluded by construction).
+
+    Pass either an *rng* or a *seed*; a seed builds a private
+    ``random.Random(seed)`` so benchmark instances are reproducible
+    without threading generator state through the call site.
+    """
+    if rng is not None and seed is not None:
+        raise OrNRAValueError("pass either rng or seed, not both")
+    if rng is None:
+        rng = random.Random(seed)
     if k > n_vars:
         raise OrNRAValueError(f"clause width {k} exceeds {n_vars} variables")
     clauses = []
@@ -171,7 +186,12 @@ def assignment_satisfies(cnf: CNF, assignment: dict[int, bool]) -> bool:
     )
 
 
-def all_assignments(n_vars: int) -> Iterable[dict[int, bool]]:
-    """Every total assignment (for brute-force cross-checks on tiny n)."""
+def all_assignments(n_vars: int) -> Iterator[dict[int, bool]]:
+    """Every total assignment, generated lazily one dict at a time.
+
+    A generator, so brute-force cross-checks can consume assignments
+    incrementally (and short-circuit) without ``2^n_vars`` dicts ever
+    existing at once — ``next(all_assignments(1000))`` is instant.
+    """
     for mask in range(1 << n_vars):
         yield {v: bool((mask >> (v - 1)) & 1) for v in range(1, n_vars + 1)}

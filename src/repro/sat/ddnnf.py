@@ -1,0 +1,377 @@
+"""Knowledge compilation: tracing exhaustive DPLL into a d-DNNF circuit.
+
+Running the DPLL search to exhaustion — unit propagation, connected
+component decomposition, caching on residual formulas — and *recording*
+the search as a circuit instead of discarding it yields a d-DNNF
+(Darwiche's deterministic decomposable negation normal form):
+
+* **decomposable** — the children of every AND node mention disjoint
+  variables (forced literals vs. residual components, component vs.
+  component);
+* **deterministic** — the two children of every OR node disagree on the
+  node's decision variable, so no model is represented twice.
+
+On that form the queries the symbolic backend needs are linear in the
+circuit, not exponential in the variables: :meth:`DDNNF.model_count` is
+one bottom-up pass (smoothing is applied arithmetically — a branch that
+drops ``g`` variables contributes ``2^g`` models per represented model,
+exactly what materializing smoothing gates would count),
+:meth:`DDNNF.satisfiable` is constant (compilation already reduced
+unsatisfiable formulas to the FALSE node), and :meth:`DDNNF.iter_models`
+enumerates models lazily so existential consumers stop at the first.
+
+Component caching makes the tight-family encodings (many independent
+or-sites) compile in linear time: each site's sub-formula is compiled
+once and shared.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.sat.cnf import CNF, Clause
+from repro.sat.dpll import _bcp, _components, _reduce
+
+__all__ = [
+    "DDNNF",
+    "DNode",
+    "DTrue",
+    "DFalse",
+    "DLit",
+    "DAnd",
+    "DOr",
+    "compile_ddnnf",
+]
+
+
+class DNode:
+    """Base of the circuit node hierarchy; ``vars`` is the mentioned set."""
+
+    __slots__ = ()
+    vars: frozenset[int] = frozenset()
+
+
+class DTrue(DNode):
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class DFalse(DNode):
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+
+TRUE = DTrue()
+FALSE = DFalse()
+
+
+class DLit(DNode):
+    __slots__ = ("lit", "vars")
+
+    def __init__(self, lit: int) -> None:
+        self.lit = lit
+        self.vars = frozenset((abs(lit),))
+
+    def __repr__(self) -> str:
+        return f"L({self.lit})"
+
+
+class DAnd(DNode):
+    """Decomposable conjunction: children mention disjoint variables."""
+
+    __slots__ = ("kids", "vars")
+
+    def __init__(self, kids: tuple[DNode, ...]) -> None:
+        self.kids = kids
+        out: frozenset[int] = frozenset()
+        for kid in kids:
+            out |= kid.vars
+        self.vars = out
+
+    def __repr__(self) -> str:
+        return "AND(" + ", ".join(map(repr, self.kids)) + ")"
+
+
+class DOr(DNode):
+    """Deterministic disjunction: branches disagree on ``var``."""
+
+    __slots__ = ("var", "hi", "lo", "vars")
+
+    def __init__(self, var: int, hi: DNode, lo: DNode) -> None:
+        self.var = var
+        self.hi = hi
+        self.lo = lo
+        self.vars = hi.vars | lo.vars | frozenset((var,))
+
+    def __repr__(self) -> str:
+        return f"OR({self.var}, {self.hi!r}, {self.lo!r})"
+
+
+def _conj(kids: Iterable[DNode]) -> DNode:
+    flat: list[DNode] = []
+    for kid in kids:
+        if isinstance(kid, DFalse):
+            return FALSE
+        if isinstance(kid, DTrue):
+            continue
+        if isinstance(kid, DAnd):
+            flat.extend(kid.kids)
+        else:
+            flat.append(kid)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return DAnd(tuple(flat))
+
+
+def _decision(var: int, hi: DNode, lo: DNode) -> DNode:
+    if isinstance(hi, DFalse) and isinstance(lo, DFalse):
+        return FALSE
+    if isinstance(hi, DFalse):
+        return _conj((DLit(-var), lo))
+    if isinstance(lo, DFalse):
+        return _conj((DLit(var), hi))
+    return DOr(var, _conj((DLit(var), hi)), _conj((DLit(-var), lo)))
+
+
+def _pick_var(clauses: frozenset[Clause]) -> int:
+    occurrences: dict[int, int] = defaultdict(int)
+    for clause in clauses:
+        for lit in clause:
+            occurrences[abs(lit)] += 1
+    return max(sorted(occurrences), key=occurrences.__getitem__)
+
+
+def compile_ddnnf(cnf: CNF) -> "DDNNF":
+    """Compile *cnf* by tracing exhaustive DPLL with component caching.
+
+    The memo table maps residual formulas to their compiled sub-circuits,
+    so structurally repeated components (the tight family's independent
+    or-sites) share one node.
+    """
+    memo: dict[frozenset[Clause], DNode] = {}
+
+    def build(clauses: frozenset[Clause]) -> DNode:
+        if not clauses:
+            return TRUE
+        if frozenset() in clauses:
+            return FALSE
+        cached = memo.get(clauses)
+        if cached is not None:
+            return cached
+        residual, forced = _bcp(clauses)
+        if residual is None:
+            memo[clauses] = FALSE
+            return FALSE
+        kids: list[DNode] = [DLit(lit) for lit in forced]
+        if residual:
+            parts = _components(residual)
+            if not forced and len(parts) == 1:
+                var = _pick_var(residual)
+                hi = build(_frozen(_reduce(residual, var)))
+                lo = build(_frozen(_reduce(residual, -var)))
+                node = _decision(var, hi, lo)
+                memo[clauses] = node
+                return node
+            kids.extend(build(part) for part in parts)
+        node = _conj(kids)
+        memo[clauses] = node
+        return node
+
+    def _frozen(reduced: frozenset[Clause] | None) -> frozenset[Clause]:
+        if reduced is None:
+            return frozenset((frozenset(),))
+        return reduced
+
+    return DDNNF(build(frozenset(cnf.clauses)), cnf.n_vars)
+
+
+class DDNNF:
+    """A compiled circuit with its variable budget (``1..n_vars``)."""
+
+    __slots__ = ("root", "n_vars", "fixed")
+
+    def __init__(
+        self, root: DNode, n_vars: int, fixed: frozenset[int] = frozenset()
+    ) -> None:
+        self.root = root
+        self.n_vars = n_vars
+        self.fixed = fixed  # variables pinned by condition(); not free
+
+    # -- queries (linear in the circuit) ------------------------------------
+
+    def satisfiable(self) -> bool:
+        """Constant time: compilation already decided it."""
+        return not isinstance(self.root, DFalse)
+
+    def model_count(self) -> int:
+        """Exact #SAT over ``1..n_vars`` in one smoothed bottom-up pass."""
+        counts: dict[int, int] = {}
+
+        def count(node: DNode) -> int:
+            key = id(node)
+            cached = counts.get(key)
+            if cached is not None:
+                return cached
+            if isinstance(node, DTrue):
+                result = 1
+            elif isinstance(node, DFalse):
+                result = 0
+            elif isinstance(node, DLit):
+                result = 1
+            elif isinstance(node, DAnd):
+                result = 1
+                for kid in node.kids:
+                    result *= count(kid)
+            else:
+                assert isinstance(node, DOr)
+                gap_hi = len(node.vars) - len(node.hi.vars)
+                gap_lo = len(node.vars) - len(node.lo.vars)
+                result = (count(node.hi) << gap_hi) + (count(node.lo) << gap_lo)
+            counts[key] = result
+            return result
+
+        free = self.n_vars - len(self.root.vars) - len(self.fixed - self.root.vars)
+        return count(self.root) << free
+
+    def iter_models(self, partial: bool = False) -> Iterator[dict[int, bool]]:
+        """Lazily enumerate models as ``{var: bool}`` dicts.
+
+        With ``partial=True``, each yielded dict covers only the
+        variables on its circuit path (unmentioned variables are free) —
+        the form the symbolic decoder consumes, and the one that keeps
+        the first model O(circuit depth).  With ``partial=False`` every
+        free variable (conditioned ones excepted) is expanded both ways,
+        so the dicts are total over ``1..n_vars`` and exactly
+        :meth:`model_count` of them are yielded.
+        """
+
+        def gen(node: DNode) -> Iterator[dict[int, bool]]:
+            if isinstance(node, DTrue):
+                yield {}
+            elif isinstance(node, DFalse):
+                return
+            elif isinstance(node, DLit):
+                yield {abs(node.lit): node.lit > 0}
+            elif isinstance(node, DAnd):
+                yield from gen_conj(node.kids, 0)
+            else:
+                assert isinstance(node, DOr)
+                yield from gen(node.hi)
+                yield from gen(node.lo)
+
+        def gen_conj(
+            kids: tuple[DNode, ...], i: int
+        ) -> Iterator[dict[int, bool]]:
+            if i == len(kids):
+                yield {}
+                return
+            for head in gen(kids[i]):
+                for tail in gen_conj(kids, i + 1):
+                    yield {**head, **tail}
+
+        if partial:
+            return gen(self.root)
+
+        def total() -> Iterator[dict[int, bool]]:
+            expandable = [
+                v for v in range(1, self.n_vars + 1) if v not in self.fixed
+            ]
+            for model in gen(self.root):
+                gaps = [v for v in expandable if v not in model]
+                for mask in range(1 << len(gaps)):
+                    filled = dict(model)
+                    for j, v in enumerate(gaps):
+                        filled[v] = bool((mask >> j) & 1)
+                    yield filled
+
+        return total()
+
+    def condition(self, lits: Iterable[int]) -> "DDNNF":
+        """The circuit with each literal in *lits* assumed true.
+
+        One memoized pass; the result is again a d-DNNF whose counts and
+        models range over the remaining variables.
+        """
+        assignment = {abs(lit): lit > 0 for lit in lits}
+        memo: dict[int, DNode] = {}
+
+        def walk(node: DNode) -> DNode:
+            key = id(node)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            if isinstance(node, DLit):
+                pinned = assignment.get(abs(node.lit))
+                if pinned is None:
+                    result: DNode = node
+                else:
+                    result = TRUE if pinned == (node.lit > 0) else FALSE
+            elif isinstance(node, DAnd):
+                result = _conj(walk(kid) for kid in node.kids)
+            elif isinstance(node, DOr):
+                hi, lo = walk(node.hi), walk(node.lo)
+                if isinstance(hi, DFalse):
+                    result = lo
+                elif isinstance(lo, DFalse):
+                    result = hi
+                else:
+                    result = DOr(node.var, hi, lo)
+            else:
+                result = node
+            memo[key] = result
+            return result
+
+        return DDNNF(
+            walk(self.root), self.n_vars, self.fixed | frozenset(assignment)
+        )
+
+    # -- structural checks (used by the property tests) ---------------------
+
+    def is_decomposable(self) -> bool:
+        """Do all AND children mention pairwise-disjoint variables?"""
+        ok = True
+        seen: set[int] = set()
+
+        def walk(node: DNode) -> None:
+            nonlocal ok
+            if not ok or id(node) in seen:
+                return
+            seen.add(id(node))
+            if isinstance(node, DAnd):
+                claimed: set[int] = set()
+                for kid in node.kids:
+                    if claimed & kid.vars:
+                        ok = False
+                        return
+                    claimed |= kid.vars
+                    walk(kid)
+            elif isinstance(node, DOr):
+                walk(node.hi)
+                walk(node.lo)
+
+        walk(self.root)
+        return ok
+
+    def node_count(self) -> int:
+        seen: set[int] = set()
+
+        def walk(node: DNode) -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            if isinstance(node, DAnd):
+                for kid in node.kids:
+                    walk(kid)
+            elif isinstance(node, DOr):
+                walk(node.hi)
+                walk(node.lo)
+
+        walk(self.root)
+        return len(seen)

@@ -53,8 +53,10 @@ DOUBLE = Compose(plus(), PairOf(Id(), Id()))
 
 
 def test_registry_is_complete():
-    # The suite's premise: all four fixed engine backends are registered.
-    for expected in ("eager", "streaming", "parallel", "process", "fused"):
+    # The suite's premise: all the fixed engine backends are registered.
+    for expected in (
+        "eager", "streaming", "parallel", "process", "fused", "symbolic",
+    ):
         assert expected in BACKENDS, f"backend {expected!r} lost from the registry"
         assert isinstance(BACKENDS[expected], Backend)
 

@@ -57,6 +57,17 @@ class TestCNFModel:
         with pytest.raises(OrNRAValueError):
             random_cnf(2, 1, 3, random.Random(0))
 
+    def test_random_cnf_seed_reproducibility(self):
+        a = random_cnf(6, 10, 3, seed=42)
+        b = random_cnf(6, 10, 3, seed=42)
+        c = random_cnf(6, 10, 3, seed=43)
+        assert a.clauses == b.clauses
+        assert a.clauses != c.clauses
+
+    def test_random_cnf_rejects_rng_and_seed_together(self):
+        with pytest.raises(OrNRAValueError):
+            random_cnf(3, 2, 2, random.Random(0), seed=1)
+
 
 class TestEncoding:
     def test_encoded_type(self):
@@ -100,6 +111,13 @@ class TestFDPredicate:
 class TestAssignments:
     def test_all_assignments_count(self):
         assert len(list(all_assignments(3))) == 8
+
+    def test_all_assignments_is_lazy(self):
+        # A generator, not a list: taking one assignment of 2^200 must
+        # return immediately (materializing would never finish).
+        stream = all_assignments(200)
+        first = next(iter(stream))
+        assert len(first) == 200 and not any(first.values())
 
     def test_assignment_satisfies_free_vars_default_false(self):
         cnf = CNF(2, (frozenset({-2}),))

@@ -1,0 +1,155 @@
+"""Tests for d-DNNF knowledge compilation (:mod:`repro.sat.ddnnf`)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF, all_assignments, random_cnf
+from repro.sat.ddnnf import DAnd, DFalse, DLit, DOr, DTrue, compile_ddnnf
+from repro.sat.dpll import count_models, dpll_sat
+
+
+def brute_models(cnf: CNF) -> list[dict[int, bool]]:
+    return [a for a in all_assignments(cnf.n_vars) if cnf.is_satisfied_by(a)]
+
+
+@st.composite
+def small_cnfs(draw):
+    n = draw(st.integers(1, 5))
+    m = draw(st.integers(0, 10))
+    clauses = tuple(
+        frozenset(
+            draw(
+                st.sets(
+                    st.integers(1, n).flatmap(
+                        lambda v: st.sampled_from([v, -v])
+                    ),
+                    min_size=1,
+                    max_size=3,
+                )
+            )
+        )
+        for _ in range(m)
+    )
+    return CNF(n, clauses)
+
+
+class TestCompilation:
+    def test_empty_formula_is_true(self):
+        d = compile_ddnnf(CNF(3, ()))
+        assert isinstance(d.root, DTrue)
+        assert d.model_count() == 8
+
+    def test_contradiction_is_false(self):
+        d = compile_ddnnf(CNF(2, (frozenset({1}), frozenset({-1}))))
+        assert isinstance(d.root, DFalse)
+        assert not d.satisfiable()
+        assert d.model_count() == 0
+
+    def test_unit_is_literal(self):
+        d = compile_ddnnf(CNF(1, (frozenset({1}),)))
+        assert isinstance(d.root, DLit)
+        assert d.model_count() == 1
+
+    def test_node_kinds_expose_vars(self):
+        d = compile_ddnnf(
+            CNF(3, (frozenset({1, 2}), frozenset({-1, 3})))
+        )
+        assert d.root.vars <= frozenset({1, 2, 3})
+
+    @settings(max_examples=120, deadline=None)
+    @given(small_cnfs())
+    def test_decomposability_invariant(self, cnf):
+        assert compile_ddnnf(cnf).is_decomposable()
+
+    def test_component_sharing_keeps_circuits_small(self):
+        # k independent 3-way one-hot sites: the circuit grows linearly
+        # in k, never like the 3^k model count.
+        def site(base):
+            v = [base, base + 1, base + 2]
+            return (
+                frozenset(v),
+                frozenset({-v[0], -v[1]}),
+                frozenset({-v[0], -v[2]}),
+                frozenset({-v[1], -v[2]}),
+            )
+
+        clauses = tuple(c for i in range(30) for c in site(3 * i + 1))
+        d = compile_ddnnf(CNF(90, clauses))
+        assert d.model_count() == 3**30
+        assert d.node_count() < 90 * 12
+
+
+class TestQueries:
+    @settings(max_examples=120, deadline=None)
+    @given(small_cnfs())
+    def test_model_count_matches_brute_force(self, cnf):
+        assert compile_ddnnf(cnf).model_count() == len(brute_models(cnf))
+
+    @settings(max_examples=120, deadline=None)
+    @given(small_cnfs())
+    def test_satisfiable_matches_cdcl(self, cnf):
+        assert compile_ddnnf(cnf).satisfiable() == dpll_sat(cnf)
+
+    @settings(max_examples=80, deadline=None)
+    @given(small_cnfs())
+    def test_iter_models_is_exactly_the_model_set(self, cnf):
+        d = compile_ddnnf(cnf)
+        models = list(d.iter_models())
+        # every yielded model satisfies, they are pairwise distinct, and
+        # there are exactly model_count() of them
+        keys = {tuple(sorted(m.items())) for m in models}
+        assert len(keys) == len(models) == d.model_count()
+        for m in models:
+            assert cnf.is_satisfied_by(m)
+
+    def test_iter_models_is_lazy(self):
+        # 40 unconstrained variables: 2^40 models, first one instant.
+        d = compile_ddnnf(CNF(40, ()))
+        first = next(iter(d.iter_models()))
+        assert len(first) == 40
+
+    def test_partial_models_cover_paths_only(self):
+        d = compile_ddnnf(CNF(3, (frozenset({1}),)))
+        (partial,) = d.iter_models(partial=True)
+        assert partial == {1: True}  # vars 2, 3 left free
+
+    def test_counter_agrees_with_dpll_counter(self):
+        rng = random.Random(5)
+        for _ in range(40):
+            cnf = random_cnf(5, rng.randint(1, 10), 2, rng)
+            assert compile_ddnnf(cnf).model_count() == count_models(cnf)
+
+
+class TestConditioning:
+    @settings(max_examples=80, deadline=None)
+    @given(small_cnfs(), st.data())
+    def test_conditioning_counts_match_brute_force(self, cnf, data):
+        var = data.draw(st.integers(1, cnf.n_vars))
+        positive = data.draw(st.booleans())
+        lit = var if positive else -var
+        conditioned = compile_ddnnf(cnf).condition([lit])
+        expected = sum(
+            1
+            for a in all_assignments(cnf.n_vars)
+            if a[var] == positive and cnf.is_satisfied_by(a)
+        )
+        assert conditioned.model_count() == expected
+
+    def test_condition_to_false(self):
+        d = compile_ddnnf(CNF(1, (frozenset({1}),)))
+        assert not d.condition([-1]).satisfiable()
+
+    def test_condition_is_still_decomposable(self):
+        cnf = CNF(4, (frozenset({1, 2}), frozenset({-2, 3}), frozenset({3, 4})))
+        assert compile_ddnnf(cnf).condition([2]).is_decomposable()
+
+
+class TestNodeStructure:
+    def test_and_or_nodes_constructed(self):
+        # (1|2) & (3|4): two independent components under one AND.
+        d = compile_ddnnf(CNF(4, (frozenset({1, 2}), frozenset({3, 4}))))
+        assert isinstance(d.root, DAnd)
+        assert all(isinstance(k, DOr) for k in d.root.kids)
+        assert d.model_count() == 9

@@ -1,13 +1,42 @@
-"""Tests for the baseline DPLL solver."""
+"""Tests for the CDCL solver and the exact model counter."""
 
 import random
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sat.cnf import CNF, all_assignments, random_cnf
-from repro.sat.dpll import dpll_sat, dpll_solve
+from repro.sat.dpll import count_models, dpll_sat, dpll_solve
 
 
 def brute_force_sat(cnf: CNF) -> bool:
     return any(cnf.is_satisfied_by(a) for a in all_assignments(cnf.n_vars))
+
+
+def brute_force_count(cnf: CNF) -> int:
+    return sum(1 for a in all_assignments(cnf.n_vars) if cnf.is_satisfied_by(a))
+
+
+@st.composite
+def small_cnfs(draw):
+    n = draw(st.integers(1, 5))
+    m = draw(st.integers(0, 12))
+    clauses = tuple(
+        frozenset(
+            draw(
+                st.sets(
+                    st.integers(1, n).flatmap(
+                        lambda v: st.sampled_from([v, -v])
+                    ),
+                    min_size=1,
+                    max_size=3,
+                )
+            )
+        )
+        for _ in range(m)
+    )
+    return CNF(n, clauses)
 
 
 class TestBasics:
@@ -50,3 +79,99 @@ class TestAgainstBruteForce:
             if model is not None:
                 total = {v: model.get(v, False) for v in range(1, 5)}
                 assert cnf.is_satisfied_by(total)
+
+    @settings(max_examples=150, deadline=None)
+    @given(small_cnfs())
+    def test_sat_matches_brute_force(self, cnf):
+        assert dpll_sat(cnf) == brute_force_sat(cnf)
+
+    @settings(max_examples=150, deadline=None)
+    @given(small_cnfs())
+    def test_count_models_matches_brute_force(self, cnf):
+        assert count_models(cnf) == brute_force_count(cnf)
+
+    @settings(max_examples=100, deadline=None)
+    @given(small_cnfs())
+    def test_solutions_are_models(self, cnf):
+        model = dpll_solve(cnf)
+        if model is None:
+            assert not brute_force_sat(cnf)
+        else:
+            total = {v: model.get(v, False) for v in range(1, cnf.n_vars + 1)}
+            assert cnf.is_satisfied_by(total)
+
+
+class TestIterativeSolver:
+    def test_deep_implication_chain_needs_no_recursion(self):
+        # The CDCL loop is an explicit trail, not Python recursion: a
+        # 3000-variable unit-propagation chain must solve far below the
+        # default recursion limit.  (The old recursive DPLL overflowed.)
+        n = 3000
+        clauses = [frozenset({1})]
+        clauses += [frozenset({-i, i + 1}) for i in range(1, n)]
+        cnf = CNF(n, tuple(clauses))
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(150)
+            model = dpll_solve(cnf)
+        finally:
+            sys.setrecursionlimit(limit)
+        assert model is not None
+        assert all(model[i] for i in range(1, n + 1))
+
+    def test_deep_chain_unsat(self):
+        n = 2000
+        clauses = [frozenset({1})]
+        clauses += [frozenset({-i, i + 1}) for i in range(1, n)]
+        clauses.append(frozenset({-n}))
+        cnf = CNF(n, tuple(clauses))
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(150)
+            assert not dpll_sat(cnf)
+        finally:
+            sys.setrecursionlimit(limit)
+
+    def test_partial_model_contract(self):
+        # Solutions are partial: variables not needed to satisfy every
+        # clause stay unassigned (callers treat them as free).
+        assert dpll_solve(CNF(5, (frozenset({1}),))) == {1: True}
+
+    def test_conflict_learning_on_crossed_implications(self):
+        # A formula where plain DPLL backtracks chronologically many
+        # times; any solver must still answer UNSAT.
+        clauses = (
+            frozenset({1, 2}),
+            frozenset({1, -2}),
+            frozenset({-1, 3}),
+            frozenset({-1, -3, 4}),
+            frozenset({-4, 5}),
+            frozenset({-4, -5}),
+        )
+        assert not dpll_sat(CNF(5, clauses))
+
+
+class TestModelCounter:
+    def test_empty_formula_counts_all_assignments(self):
+        assert count_models(CNF(4, ())) == 16
+
+    def test_unit_halves_the_space(self):
+        assert count_models(CNF(4, (frozenset({2}),))) == 8
+
+    def test_contradiction_counts_zero(self):
+        assert count_models(CNF(3, (frozenset({1}), frozenset({-1})))) == 0
+
+    def test_monotone_chain(self):
+        # x1 -> x2 -> ... -> xn has n+1 models (the monotone prefixes).
+        n = 12
+        clauses = tuple(frozenset({-i, i + 1}) for i in range(1, n))
+        assert count_models(CNF(n, clauses)) == n + 1
+
+    def test_independent_components_multiply(self):
+        # (x1 | x2) and (x3 | x4) are var-disjoint: 3 * 3 models.
+        cnf = CNF(4, (frozenset({1, 2}), frozenset({3, 4})))
+        assert count_models(cnf) == 9
+
+    def test_free_variables_double_the_count(self):
+        cnf = CNF(6, (frozenset({1, 2}),))  # vars 3..6 unconstrained
+        assert count_models(cnf) == 3 * 16
