@@ -60,6 +60,6 @@ def test_object_order_embedding(benchmark, workload):
 
     results = benchmark(run)
     # Shape claim: the embedding is order-faithful.
-    for (orders, objs, sws), matrix in zip(rendered, results):
+    for (_orders, _objs, sws), matrix in zip(rendered, results, strict=True):
         expected = [sandwich_le(a, b) for a in sws for b in sws]
         assert matrix == expected

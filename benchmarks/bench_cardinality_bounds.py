@@ -43,7 +43,7 @@ def objects():
 
 def test_m_on_random_objects(benchmark, objects):
     values = benchmark(lambda: [m_value(v, t) for v, t in objects])
-    for (v, t), m in zip(objects, values):
+    for (v, _t), m in zip(objects, values, strict=True):
         n = size(v)
         if has_orset(v):
             assert m <= prop61_bound(v)          # Proposition 6.1

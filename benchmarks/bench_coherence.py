@@ -65,7 +65,7 @@ def test_worlds_oracle(benchmark, objects):
     """The independent denotation — and the end-to-end agreement claim."""
     oracle = benchmark(lambda: [worlds(v) for v, _ in objects])
     normals = _normalize_all(objects, innermost_strategy)
-    for (value, t), norm, denot in zip(objects, normals, oracle):
+    for (_value, _t), norm, denot in zip(objects, normals, oracle, strict=True):
         if isinstance(norm, OrSetValue):
             assert frozenset(norm.elems) == denot
         else:

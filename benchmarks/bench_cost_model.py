@@ -146,8 +146,8 @@ def _workloads(quick: bool = False) -> list[dict]:
         guided = default_pipeline()
         fixed = default_pipeline()
         assert guided.run(program) == fixed.run_fixed_order(program)
-        t_fixed = _best_of(lambda: fixed.run_fixed_order(program))
-        t_guided = _best_of(lambda: guided.run(program))
+        t_fixed = _best_of(lambda p=program: fixed.run_fixed_order(p))
+        t_guided = _best_of(lambda p=program: guided.run(p))
         results.append(
             {
                 "workload": label,

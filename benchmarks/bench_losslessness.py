@@ -88,7 +88,7 @@ def test_preserve_route(benchmark, workload):
 
     def run():
         out = []
-        for name, f, t, inputs in workload:
+        for _name, f, t, inputs in workload:
             pf = preserve(f, t)
             for x in inputs:
                 nx = OrSetValue(possibilities(x, t))
@@ -103,7 +103,7 @@ def test_renormalize_route(benchmark, workload):
 
     def run():
         out = []
-        for name, f, t, inputs in workload:
+        for _name, f, _t, inputs in workload:
             for x in inputs:
                 out.append(OrSetValue(possibilities(f.apply(x), None)))
         return out

@@ -40,7 +40,7 @@ def families():
 def test_powerset_primitive(benchmark, base_sets):
     ps = Powerset()
     out = benchmark(lambda: [ps.apply(x) for x in base_sets])
-    assert all(len(o) == 2 ** len(x) for o, x in zip(out, base_sets))
+    assert all(len(o) == 2 ** len(x) for o, x in zip(out, base_sets, strict=True))
 
 
 def test_powerset_from_alpha(benchmark, base_sets):

@@ -42,7 +42,7 @@ def objects():
 
 def test_size_on_random_objects(benchmark, objects):
     sizes = benchmark(lambda: [normalized_size(v, t) for v, t in objects])
-    for (v, t), out in zip(objects, sizes):
+    for (v, _t), out in zip(objects, sizes, strict=True):
         n = size(v)
         if n > 1:
             assert out <= thm63_bound(n) + 1e-9      # Theorem 6.3

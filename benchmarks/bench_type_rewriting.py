@@ -45,7 +45,7 @@ def test_closed_form(benchmark, types):
     # normal form; types with or-sets normalize to <strip(t)>.  (A type may
     # equal its normal form *and* contain or-sets — e.g. <int> — so the
     # claim is per-case, not an iff on f == t.)
-    for f, t in zip(forms, types):
+    for f, t in zip(forms, types, strict=True):
         if contains_orset(t):
             assert isinstance(f, OrSetType) and not contains_orset(f.elem)
             assert f == OrSetType(strip_orsets(t))
@@ -73,5 +73,5 @@ def test_exhaustive_confluence(benchmark):
         return [all_normal_forms(t, max_nodes=3000) for t in small]
 
     results = benchmark(run)
-    for t, forms in zip(small, results):
+    for t, forms in zip(small, results, strict=True):
         assert forms == {nf_type(t)}

@@ -33,7 +33,7 @@ def objects():
 
 def test_variant_normalization(benchmark, objects):
     results = benchmark(lambda: [normalize(v, t) for v, t in objects])
-    for (v, t), nf in zip(objects, results):
+    for (v, t), _nf in zip(objects, results, strict=True):
         assert frozenset(possibilities(v, t)) == worlds(v)
 
 
@@ -52,5 +52,5 @@ def test_variant_type_confluence(benchmark, objects):
         return [all_normal_forms(t, 5000) for t in types]
 
     results = benchmark(run)
-    for t, forms in zip(types, results):
+    for t, forms in zip(types, results, strict=True):
         assert forms == {nf_type(t)}

@@ -123,7 +123,7 @@ def report_p34() -> None:
     hr("P3.4  x <= y  iff  Th(x) superset of Th(y)")
     rng = random.Random(4)
     checked = agree = 0
-    for name, t, orders in CASES:
+    for _name, t, orders in CASES:
         values = _values(t, orders, rng, count=6)
         for x in values:
             for y in values:
@@ -184,7 +184,7 @@ def report_t51_p52() -> None:
     hr("T5.1/P5.2  losslessness + conceptual analogs")
     rng = random.Random(7)
     checked = ok = 0
-    for name, f, t, width in SUITE:
+    for _name, f, t, width in SUITE:
         for x in _inputs(t, width, rng, count=8):
             checked += 1
             ok += verify_losslessness(f, x, t)

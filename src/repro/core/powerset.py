@@ -120,7 +120,7 @@ def alpha_via_powerset(value: Value) -> Value:
     images: list[Value] = []
     for relation in relations:
         assert isinstance(relation, SetValue)
-        pairs = [p for p in relation.elems]
+        pairs = list(relation.elems)
         # Total: every member or-set appears exactly once (functional+total).
         firsts = [p.fst for p in pairs if isinstance(p, Pair)]
         if len(firsts) != len(members):

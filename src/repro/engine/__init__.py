@@ -55,6 +55,13 @@ from repro.lang.morphisms import Morphism
 from repro.types.kinds import Type
 from repro.values.values import SetValue, Value, ensure_value
 
+from repro.engine.analysis import (
+    NodeFacts,
+    PlanFacts,
+    compute_plan_facts,
+    format_facts,
+    plan_facts,
+)
 from repro.engine.backends import BACKENDS, Backend, EagerBackend, StreamingBackend
 from repro.engine.columnar import Arena, FusedBackend
 from repro.engine.cost_model import (
@@ -92,6 +99,13 @@ from repro.engine.symbolic import (
 )
 from repro.engine.symbolic import (
     _possible_of_worlds as _possible_of,
+)
+from repro.engine.verify import (
+    PassVerificationError,
+    PlanVerificationError,
+    verification_enabled,
+    verify_plan,
+    verify_rewrite,
 )
 
 __all__ = [
@@ -140,6 +154,16 @@ __all__ = [
     "plan_profile",
     "BackendChoice",
     "select_backend",
+    "NodeFacts",
+    "PlanFacts",
+    "plan_facts",
+    "compute_plan_facts",
+    "format_facts",
+    "verify_plan",
+    "verify_rewrite",
+    "PlanVerificationError",
+    "PassVerificationError",
+    "verification_enabled",
 ]
 
 
@@ -182,6 +206,8 @@ class Engine:
                 return plan
             m = self.pipeline.run(program) if optimize else program
             plan = compile_plan(m)
+            if verification_enabled():
+                verify_plan(plan, context="compile")
             self._plans[key] = plan
             while len(self._plans) > self.max_plans:
                 self._plans.popitem(last=False)
@@ -196,6 +222,12 @@ class Engine:
         existential: bool = False,
     ) -> str:
         """The optimized, compiled (and, given a type, annotated) plan.
+
+        The node listing is followed by a ``facts:`` line — the
+        :class:`~repro.engine.analysis.PlanFacts` record the routing
+        layers read (symbolic supportability, transportability, purity,
+        spine shape, fusible spans, output shape, short-circuit
+        potential), printed exactly as the selector sees it.
 
         Describes a *fresh* compilation rather than the cached plan:
         ``infer_types`` writes dom/cod annotations into the plan's nodes,
@@ -218,6 +250,7 @@ class Engine:
         plan = compile_plan(m)
         if input_type is not None:
             plan.infer_types(input_type)
+        facts_line = "\n" + format_facts(plan_facts(plan))
         fused = fuse_plan(plan)
         fusion = ""
         if fused is not plan:
@@ -230,7 +263,7 @@ class Engine:
                 f"{kernels} fused kernel(s)"
             )
         if value is None:
-            return plan.describe() + fusion
+            return plan.describe() + facts_line + fusion
         concrete = ensure_value(value)
         plan.annotate_estimates(concrete)
         choice = select_backend(
@@ -242,6 +275,7 @@ class Engine:
         )
         return (
             plan.describe()
+            + facts_line
             + fusion
             + f"\nbackend: {choice.backend} ({choice.reason})"
         )

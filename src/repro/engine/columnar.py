@@ -252,9 +252,10 @@ def _pair_prim(op, lf, rf):
 def _compose_fns(fns):
     if len(fns) == 1:
         return fns[0]
+    fns = tuple(fns)
 
-    def run(x, _fns=tuple(fns)):
-        for fn in _fns:
+    def run(x):
+        for fn in fns:
             x = fn(x)
         return x
 
@@ -454,7 +455,7 @@ def _run_map(stage: tuple, arena: Arena) -> Arena:
         int_fn, int_out = int_k
     if bool_k is not None:
         bool_fn, bool_out = bool_k
-    for b, r in zip(arena.bases, arena.raws):
+    for b, r in zip(arena.bases, arena.raws, strict=True):
         if b == "int" and int_k is not None and isinstance(r, int):
             push_base(int_out)
             push_raw(int_fn(r))
@@ -484,7 +485,7 @@ def _run_mu(stage: tuple, arena: Arena) -> Arena:
     wrapper = _WRAPPER_OF[kind]
     out_bases: list = []
     out_raws: list = []
-    for b, r in zip(arena.bases, arena.raws):
+    for b, r in zip(arena.bases, arena.raws, strict=True):
         inner = r if b is None else _atom_and_key(b, r)[0]
         if not isinstance(inner, wrapper):
             raise OrNRATypeError(f"{noun}, got element {inner!r}")
@@ -508,7 +509,7 @@ def _dedup_columns(bases: list, raws: list) -> tuple[list, list]:
     seen: set = set()
     out_bases: list = []
     out_raws: list = []
-    for b, r in zip(bases, raws):
+    for b, r in zip(bases, raws, strict=True):
         key = (b, r) if b is not None else r
         if key not in seen:
             seen.add(key)

@@ -43,11 +43,7 @@ from dataclasses import dataclass
 from typing import Collection
 
 from repro.core.costs import moon_moser
-from repro.core.normalize import Normalize
-from repro.lang.bag_ops import AlphaD, BagEta, BagMu, BagToSet, BagUnique, SetToBag
 from repro.lang.morphisms import Morphism
-from repro.lang.orset_ops import Alpha, OrEta, OrMu, OrToSet, SetToOr
-from repro.lang.set_ops import SetEta, SetMu
 from repro.values.measure import innermost_orset_arities
 from repro.values.values import (
     Atom,
@@ -60,6 +56,16 @@ from repro.values.values import (
     Variant,
 )
 
+from repro.engine.analysis import (
+    ALPHA_OPS as _ALPHA_OPS,
+)
+from repro.engine.analysis import (
+    EXPANSION_OPS as _EXPANSION_OPS,
+)
+from repro.engine.analysis import (
+    TRAVERSAL_OPS as _TRAVERSAL_OPS,
+)
+from repro.engine.analysis import annotate_plan, plan_facts
 from repro.engine.plan import Plan
 
 __all__ = [
@@ -228,21 +234,11 @@ def estimate_normalized_size(v: Value) -> int:
 
 # -- morphism cost -----------------------------------------------------------
 
-#: Weight classes for the optimizer's cost objective.  Normalization-class
-#: operators expand worlds (Theorem 6.2's 3^(n/3) risk); alpha is the
-#: per-redex expansion step; collection traversals touch every element.
-_EXPANSION_OPS = (Normalize,)
-_ALPHA_OPS = (Alpha, AlphaD)
-_TRAVERSAL_OPS = (
-    SetMu,
-    OrMu,
-    BagMu,
-    OrToSet,
-    SetToOr,
-    BagToSet,
-    SetToBag,
-    BagUnique,
-)
+# Weight classes for the optimizer's cost objective live in
+# repro.engine.analysis (the canonical operator-class tables), imported
+# above: normalization-class operators expand worlds (Theorem 6.2's
+# 3^(n/3) risk); alpha is the per-redex expansion step; collection
+# traversals touch every element.
 
 NORMALIZE_WEIGHT = 64
 ALPHA_WEIGHT = 16
@@ -278,93 +274,13 @@ def estimate_morphism_cost(m: Morphism, shape: ShapeEstimate | None = None) -> i
 
 
 # -- plan annotation ---------------------------------------------------------
-
-
-def annotate_plan(plan: Plan, value: Value) -> ShapeEstimate:
-    """Write per-node world/size estimates onto *plan* for input *value*.
-
-    Walks the plan in execution order, threading a :class:`ShapeEstimate`
-    through each node's transfer function: ``normalize``/``alpha`` turn
-    the estimate into an or-set of ``worlds`` elements of total size
-    ``norm_size``; ``eta`` wraps (width 1); ``settoor`` turns each of up
-    to ``width`` members into a disjunct.  These annotations are
-    *predictions* for diagnostics, not certified bounds: projections,
-    maps and unknown leaves pass the carried estimate through unchanged,
-    which is exact for world-preserving bodies but an approximation when
-    a body itself multiplies worlds (only :func:`estimate_value` on a
-    concrete value carries the tested soundness guarantee).  Returns the
-    estimate at the root; ``PlanNode.est_worlds`` / ``est_size`` hold the
-    per-node output predictions, which :meth:`PlanNode.pretty` renders.
-    """
-    est_in = estimate_value(value)
-
-    def transfer(node, est: ShapeEstimate) -> ShapeEstimate:
-        src = node.source
-        if node.op == "leaf":
-            if isinstance(src, (Normalize,) + _ALPHA_OPS):
-                return ShapeEstimate(
-                    est.worlds, est.norm_size, est.norm_size, est.worlds, 1
-                )
-            if isinstance(src, (SetEta, OrEta, BagEta)):
-                return ShapeEstimate(
-                    est.worlds,
-                    est.norm_size,
-                    est.size,
-                    1,
-                    est.orsets + (1 if isinstance(src, OrEta) else 0),
-                )
-            if isinstance(src, SetToOr) and est.width:
-                # A set of k members becomes a k-way disjunction: up to
-                # width * (worlds + 1) worlds (each member contributes
-                # its own worlds independently of the others' choices).
-                return ShapeEstimate(
-                    est.width * (est.worlds + 1),
-                    est.norm_size,
-                    est.size,
-                    est.width,
-                    est.orsets + 1,
-                )
-        return est
-
-    def visit(idx: int, est: ShapeEstimate) -> ShapeEstimate:
-        node = plan.nodes[idx]
-        if node.op == "chain":
-            out = est
-            for kid in node.kids:
-                out = visit(kid, out)
-        elif node.op == "pair":
-            left = visit(node.kids[0], est)
-            right = visit(node.kids[1], est)
-            out = ShapeEstimate(
-                left.worlds * right.worlds,
-                right.worlds * left.norm_size + left.worlds * right.norm_size,
-                left.size + right.size,
-                None,
-                left.orsets + right.orsets,
-            )
-        elif node.op in ("cond", "case"):
-            branches = node.kids[1:] if node.op == "cond" else node.kids
-            outs = [visit(k, est) for k in branches]
-            if node.op == "cond":
-                visit(node.kids[0], est)
-            out = max(outs, key=lambda e: (e.worlds, e.norm_size))
-        elif node.op == "map":
-            # The body transforms elements we have no shape for; keep the
-            # collection-level bound and leave body nodes unannotated.
-            out = est
-        else:
-            out = transfer(node, est)
-        node.est_worlds = out.worlds
-        node.est_size = out.norm_size
-        return out
-
-    return visit(plan.root, est_in)
+#
+# The ShapeEstimate plan-walk lives in repro.engine.analysis (one home
+# for all plan-IR static analysis); ``annotate_plan`` is re-exported
+# above so cost-model callers keep their import path.
 
 
 # -- plan profile and backend selection --------------------------------------
-
-# The streamable spine stages are exactly the traversal-class operators.
-_SPINE_LEAVES = _TRAVERSAL_OPS
 
 
 @dataclass(frozen=True)
@@ -379,37 +295,20 @@ class PlanProfile:
 
 
 def plan_profile(plan: Plan) -> PlanProfile:
-    """Classify the plan's top-level spine (cached on the plan object)."""
-    cached = getattr(plan, "_profile", None)
-    if cached is not None:
-        return cached
-    spine_maps = spine_stages = 0
-    top = plan.nodes[plan.root]
-    steps = top.kids if top.op == "chain" else (plan.root,)
-    for idx in steps:
-        node = plan.nodes[idx]
-        if node.op == "map":
-            spine_maps += 1
-            spine_stages += 1
-        elif node.op == "leaf" and isinstance(node.source, _SPINE_LEAVES):
-            spine_stages += 1
-    has_normalize = any(
-        node.op == "leaf" and isinstance(node.source, (Normalize,) + _ALPHA_OPS)
-        for node in plan.nodes
-    )
-    fused_stages = 0
-    if spine_stages:
-        from repro.engine.passes import fusible_spans
+    """Classify the plan's top-level spine.
 
-        fused_stages = max(
-            (len(stages) for _start, _stop, stages in fusible_spans(plan)),
-            default=0,
-        )
-    profile = PlanProfile(
-        spine_maps, spine_stages, has_normalize, len(plan.nodes), fused_stages
+    An adapter over :func:`repro.engine.analysis.plan_facts`: the spine
+    counts come straight off the memoized fact record, so repeated
+    ``select_backend`` calls on one plan never re-walk it.
+    """
+    facts = plan_facts(plan)
+    return PlanProfile(
+        facts.spine_maps,
+        facts.spine_stages,
+        facts.has_normalize,
+        facts.nodes,
+        facts.fused_stages,
     )
-    plan._profile = profile
-    return profile
 
 
 @dataclass(frozen=True)

@@ -34,7 +34,10 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:
+    from repro.engine.plan import Plan
 
 from repro.core.normalize import Normalize
 from repro.lang.bag_ops import AlphaD, BagEta, BagMu, DMap
@@ -643,6 +646,21 @@ class Pipeline:
         self.fired: list[str] = []
         self.schedule: list[tuple[str, int, int]] = []
         self._spent = 0
+        self._verify = False
+
+    def _refresh_verify(self) -> None:
+        # Sampled per run (not per rule application) so tests toggling
+        # the environment variable see the change on their next run.
+        from repro.engine.verify import verification_enabled
+
+        self._verify = verification_enabled()
+
+    def _check_rewrite(
+        self, before: Morphism, after: Morphism, pass_name: str, rule_name: str
+    ) -> None:
+        from repro.engine.verify import verify_rewrite
+
+        verify_rewrite(before, after, pass_name, rule_name)
 
     def _cost(self, m: Morphism) -> int:
         if self.cost_fn is not None:
@@ -667,6 +685,7 @@ class Pipeline:
 
     def rewrite_once(self, m: Morphism) -> Morphism:
         """One census-filtered, best-first bottom-up sweep."""
+        self._refresh_verify()
         present = operator_census(m)
         active = tuple(p for p in self.passes if p.relevant(present))
         if not active:
@@ -702,16 +721,22 @@ class Pipeline:
             if self.budget is not None and self._spent >= self.budget:
                 break
             hits = [
-                hit for p in local if (hit := p.apply_at_root(m)) is not None
+                (p.name, *hit)
+                for p in local
+                if (hit := p.apply_at_root(m)) is not None
             ]
             if not hits:
                 break
             if len(hits) == 1:
-                out, rule_name = hits[0]
+                pass_name, out, rule_name = hits[0]
             else:
                 # Best-first: the candidate whose subtree the cost model
                 # scores cheapest wins (stable min — ties keep pass order).
-                out, rule_name = min(hits, key=lambda hit: self._cost(hit[0]))
+                pass_name, out, rule_name = min(
+                    hits, key=lambda hit: self._cost(hit[1])
+                )
+            if self._verify:
+                self._check_rewrite(m, out, pass_name, rule_name)
             self.fired.append(rule_name)
             self._spent += 1
             m = out
@@ -750,6 +775,7 @@ class Pipeline:
         best-first scoring.  Kept as the baseline the scheduling
         benchmark compares against."""
         self.fired = []
+        self._refresh_verify()
         for _ in range(max_passes):
             out = self._rewrite_fixed(m)
             if out == m:
@@ -769,7 +795,10 @@ class Pipeline:
             for pipeline_pass in self.passes:
                 hit = pipeline_pass.apply_at_root(m)
                 if hit is not None:
-                    m, rule_name = hit
+                    out, rule_name = hit
+                    if self._verify:
+                        self._check_rewrite(m, out, pipeline_pass.name, rule_name)
+                    m = out
                     self.fired.append(rule_name)
                     changed = True
                     break
@@ -806,7 +835,7 @@ def morphism_cost(m: Morphism) -> int:
 # see a fused node.
 
 
-def fusible_spans(plan) -> list[tuple[int, int, list]]:
+def fusible_spans(plan: Plan) -> list[tuple[int, int, list]]:
     """Maximal fusible stage runs in *plan*'s root chain.
 
     Returns ``(start, stop, stages)`` triples over the chain's step
@@ -814,32 +843,22 @@ def fusible_spans(plan) -> list[tuple[int, int, list]]:
     (one kernel replaces several canonicalizing passes over the spine),
     or is a single map whose body compiles to a raw scalar kernel (the
     per-element win alone pays for the encoding).
+
+    An adapter over :func:`repro.engine.analysis.plan_facts`: the span
+    structure is part of the memoized fact record, so repeated
+    ``fuse_plan``/``plan_profile`` calls stop re-walking the chain.
     """
-    from repro.engine import columnar
+    # Imported lazily, like columnar was before it: this module sits
+    # below the analysis layer in the import order.
+    from repro.engine.analysis import plan_facts
 
-    root = plan.nodes[plan.root]
-    steps = list(root.kids) if root.op == "chain" else [plan.root]
-    spans: list[tuple[int, int, list]] = []
-    i = 0
-    while i < len(steps):
-        stages: list = []
-        j = i
-        while j < len(steps):
-            stage = columnar.stage_of(plan.nodes[steps[j]])
-            if stage is None:
-                break
-            stages.append(stage)
-            j += 1
-        if len(stages) >= 2:
-            spans.append((i, j, stages))
-        elif len(stages) == 1 and stages[0][0] == "map":
-            if columnar.raw_kernels(stages[0][3]):
-                spans.append((i, j, stages))
-        i = max(j, i + 1)
-    return spans
+    return [
+        (start, stop, list(stages))
+        for start, stop, stages in plan_facts(plan).fusible
+    ]
 
 
-def fuse_plan(plan):
+def fuse_plan(plan: Plan) -> Plan:
     """The fused execution plan for *plan* (cached; may be *plan* itself).
 
     Rebuilds the node array with every fusible run of root-chain spine
@@ -858,7 +877,7 @@ def fuse_plan(plan):
         return cached
     spans = fusible_spans(plan)
     if not spans:
-        plan._fused_plan = plan
+        setattr(plan, "_fused_plan", plan)  # noqa: B010 — derived cache
         return plan
 
     nodes: list[PlanNode] = []
@@ -922,6 +941,10 @@ def fuse_plan(plan):
         root = len(nodes)
         nodes.append(PlanNode(root, "chain", tuple(new_steps), plan.source))
     fused = Plan(nodes=nodes, root=root, source=plan.source)
-    plan._fused_plan = fused
-    fused._fused_plan = fused
+    from repro.engine.verify import verification_enabled, verify_plan
+
+    if verification_enabled():
+        verify_plan(fused, context="fuse_plan")
+    setattr(plan, "_fused_plan", fused)  # noqa: B010 — derived cache
+    setattr(fused, "_fused_plan", fused)  # noqa: B010
     return fused

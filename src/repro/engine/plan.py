@@ -46,7 +46,10 @@ path is a tuple loop over pre-built step functions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.engine.cost_model import ShapeEstimate
 
 from repro.errors import OrNRATypeError
 from repro.lang.bag_ops import DMap
@@ -297,7 +300,7 @@ class Plan:
 
         return visit(self.root, input_type)
 
-    def annotate_estimates(self, value: Value):
+    def annotate_estimates(self, value: Value) -> "ShapeEstimate":
         """Predict per-node world counts/sizes for *value* (Section 6 bounds).
 
         Delegates to :func:`repro.engine.cost_model.annotate_plan`; the

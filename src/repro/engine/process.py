@@ -36,6 +36,7 @@ one task per input chunk, each evaluated start-to-finish in a worker.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import os
 import pickle
@@ -46,6 +47,7 @@ from typing import Callable, Sequence
 
 from repro.values.values import Value
 
+from repro.engine.analysis import plan_facts
 from repro.engine.backends import BACKENDS
 from repro.engine.columnar import Arena, compile_stages, run_stages
 from repro.engine.interning import Interner
@@ -118,6 +120,11 @@ def _bind_subtree(
     return build(idx)
 
 
+def _bind_body(plan: Plan, interner: Interner, idx: int) -> Callable[[Value], Value]:
+    """Stage-body binder for :func:`repro.engine.columnar.compile_stages`."""
+    return _bind_subtree(plan, idx, interner.leaf_apply)
+
+
 def _run_chunk_remote(
     payload: bytes, body_idx: int | None, chunk: list[Value]
 ) -> list[Value]:
@@ -154,7 +161,7 @@ def _run_fused_slice_remote(
     if stages is None:
         stages = compile_stages(
             plan.nodes[node_idx],
-            lambda i: _bind_subtree(plan, i, interner.leaf_apply),
+            functools.partial(_bind_body, plan, interner),
         )
         state["bound"][(key, node_idx, "fused")] = stages
     out = run_stages(stages, Arena(kind, bases, raws))
@@ -274,7 +281,16 @@ class ProcessBackend(ShardedBackend):
         :meth:`run_values`: an untransportable plan is better served by
         the *thread* fan-out than by this backend's sequential eager
         fallback.
+
+        The memoized static fact
+        (:func:`repro.engine.analysis.plan_facts`) answers the common
+        case without touching the payload cache lock; the actual pickle
+        payload stays the final word, so the decision is exactly the
+        pre-analysis one (a leaf that pickles in isolation but whose
+        *assembly* does not is still rejected).
         """
+        if not plan_facts(plan).transportable:
+            return False
         return self._payload(plan) is not None
 
     def _payload(self, plan: Plan) -> bytes | None:
@@ -309,7 +325,7 @@ class ProcessBackend(ShardedBackend):
         # Fuse before the transport check so the payload workers receive
         # is the plan the spine walk executes (fuse_plan is idempotent).
         plan = fuse_plan(plan)
-        if self._payload(plan) is None:
+        if not self.can_transport(plan):
             # An unpicklable plan cannot reach the workers; correctness
             # beats parallelism, so run it eagerly in-process.
             self._count("pickle_fallbacks")

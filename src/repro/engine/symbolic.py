@@ -46,9 +46,7 @@ from typing import Iterator
 
 from repro.core.normalize import Normalize
 from repro.errors import OrNRATypeError, OrNRAValueError
-from repro.lang.bag_ops import BagMu, BagToSet, BagUnique, SetToBag
-from repro.lang.orset_ops import Alpha, OrEta, OrMap, OrMu, OrToSet, SetToOr
-from repro.lang.set_ops import SetEta, SetMu
+from repro.lang.orset_ops import Alpha, OrMap
 from repro.sat.cnf import CNF, Clause
 from repro.sat.ddnnf import DDNNF, compile_ddnnf
 from repro.sat.dpll import dpll_sat, dpll_solve
@@ -63,6 +61,7 @@ from repro.values.values import (
     Variant,
 )
 
+from repro.engine.analysis import CHEAP_REAL_OPS, plan_facts
 from repro.engine.backends import BACKENDS, Backend, EagerBackend
 from repro.engine.interning import Interner
 from repro.engine.plan import Plan
@@ -85,31 +84,15 @@ class SymbolicUnsupported(Exception):
 #: Structural steps cheap enough to run for real during the trace: each
 #: is linear in its input and, because the carried value *is* the true
 #: intermediate up to that point, running it preserves the invariant
-#: (and raises exactly the errors eager execution would raise).
-_CHEAP_REAL = (
-    SetToOr,
-    OrToSet,
-    OrMu,
-    SetMu,
-    BagMu,
-    BagToSet,
-    SetToBag,
-    BagUnique,
-    OrEta,
-    SetEta,
-)
+#: (and raises exactly the errors eager execution would raise).  The
+#: table lives in :mod:`repro.engine.analysis` (the canonical home of
+#: the operator class tables); the trace keeps its historical name.
+_CHEAP_REAL = CHEAP_REAL_OPS
 
 
 def _body_is_world_preserving(plan: Plan, idx: int) -> bool:
     """Is the map body a chain of ``normalize``/``id`` steps only?"""
-    node = plan.nodes[idx]
-    if node.op == "id":
-        return True
-    if node.op == "leaf" and isinstance(node.source, Normalize):
-        return True
-    if node.op == "chain":
-        return all(_body_is_world_preserving(plan, kid) for kid in node.kids)
-    return False
+    return plan_facts(plan).node_facts[idx].world_preserving
 
 
 def _spine_steps(plan: Plan) -> list[int]:
@@ -120,29 +103,9 @@ def _spine_steps(plan: Plan) -> list[int]:
 def plan_supports_symbolic(plan: Plan) -> bool:
     """Can :func:`trace_worlds` possibly handle *plan*?  (Kind mismatches
     are only discovered against a concrete value, and fall back then.)
-    Cached on the plan object — the backend selector asks per call."""
-    cached = getattr(plan, "_symbolic_ok", None)
-    if cached is not None:
-        return cached
-    ok = True
-    for idx in _spine_steps(plan):
-        node = plan.nodes[idx]
-        if node.op == "id":
-            continue
-        if node.op == "leaf" and isinstance(
-            node.source, _CHEAP_REAL + (Normalize, Alpha)
-        ):
-            continue
-        if (
-            node.op == "map"
-            and isinstance(node.source, OrMap)
-            and _body_is_world_preserving(plan, node.kids[0])
-        ):
-            continue
-        ok = False
-        break
-    plan._symbolic_ok = ok
-    return ok
+    An adapter over :func:`repro.engine.analysis.plan_facts` — the
+    backend selector asks per call, and reads the memoized record."""
+    return plan_facts(plan).symbolic_ok
 
 
 def trace_worlds(plan: Plan, value: Value) -> Value:
@@ -433,7 +396,7 @@ class ChoiceSpace:
         certain = set(fixed)
         candidates: dict[Value, list[tuple[int, ...]]] = {}
         for patterns, values in sites:
-            for pattern, branch_value in zip(patterns, values):
+            for pattern, branch_value in zip(patterns, values, strict=True):
                 candidates.setdefault(branch_value, []).append(pattern)
         base = self._clauses
         for candidate, patterns in candidates.items():
@@ -456,7 +419,7 @@ class ChoiceSpace:
         possible = set(fixed)
         base = self._clauses
         for patterns, values in sites:
-            for pattern, branch_value in zip(patterns, values):
+            for pattern, branch_value in zip(patterns, values, strict=True):
                 if branch_value in possible:
                     continue
                 chosen = tuple(base) + tuple(

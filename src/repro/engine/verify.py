@@ -1,0 +1,351 @@
+"""Plan-IR and rewrite verification: miscompiles fail loudly, named.
+
+Optimizer rules are semantics-preserving *by proof obligation*, not by
+construction — a buggy rule (or a buggy interaction of sound rules)
+silently changes program meaning, and before this module the only
+safety net was whichever differential test happened to cover the shape.
+This module turns that into an always-on check:
+
+* :func:`verify_plan` — structural well-formedness of a compiled
+  :class:`~repro.engine.plan.Plan`: index integrity, topological kid
+  order (the invariant the one-pass analysis and the bottom-up binder
+  both rely on), per-op arity and source-class agreement, fused-spec
+  consistency, and full reachability from the root.
+* :func:`verify_rewrite` — fact preservation for one rule application.
+  Two independent checks:
+
+  1. **principal types** (the facts of Section 2): the rewritten
+     morphism's most general type must *match* the original's — it may
+     only generalize (substituting the rewrite's own type variables),
+     never shift or specialize.  A rule that turns ``or_to_set`` into
+     ``set_to_or`` dies here without running anything.
+  2. **differential probes**: a handful of small random inputs of the
+     original's principal domain type (type variables instantiated at
+     ``int``), evaluated under both morphisms.  Divergence — a changed
+     output, or a new error — is a miscompile.  A rule that drops a
+     conditional branch survives the type check but dies here.
+
+  Violations raise :exc:`PassVerificationError` carrying the *pass and
+  rule names*, so a seeded miscompile reads ``pass 'broken-cond' rule
+  'drop_branch': ...`` instead of a distant conformance diff.
+
+Verification is gated by the ``REPRO_VERIFY_PASSES`` environment
+variable (``1``/``true`` on, ``0``/``false`` off).  When unset it
+defaults to **on under pytest and CI** (``PYTEST_CURRENT_TEST`` or
+``CI`` in the environment) and off in production — the probe evaluation
+is cheap but not free, and the optimizer sits on the compile path.
+Checked (before, after) pairs are memoized, so re-deriving the same
+rewrite costs one dict hit.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import zlib
+from typing import Callable
+
+from repro.errors import OrNRAError, OrNRATypeError
+from repro.gen import random_value
+from repro.lang.morphisms import Compose, Cond, Id, Morphism, PairOf
+from repro.lang.variant_ops import Case
+from repro.types.kinds import INT, FuncType, Type
+from repro.types.unify import FreshVars, apply_subst, free_type_vars, unify
+from repro.values.values import Value
+
+from repro.engine.columnar import spec_out_kind
+from repro.engine.plan import MAP_KINDS, Plan
+
+__all__ = [
+    "PlanVerificationError",
+    "PassVerificationError",
+    "verification_enabled",
+    "verify_plan",
+    "verify_rewrite",
+    "clear_verify_cache",
+]
+
+#: Differential probes per rewrite: enough to catch branch swaps and
+#: drops on the seeded fixtures, few enough to stay off the profile.
+_PROBES = 3
+
+#: Probe value shape: tiny on purpose — the check is per *rule
+#: application*, and small inputs already separate unequal morphisms.
+_PROBE_WIDTH = 2
+_PROBE_DOMAIN = 4
+
+#: Memo of verified (before, after, pass) triples, bounded.
+_VERIFIED: dict[tuple[Morphism, Morphism, str], bool] = {}
+_VERIFIED_LOCK = threading.Lock()
+_MAX_VERIFIED = 4096
+
+_STAGE_TAGS = frozenset({"map", "mu", "retag", "unique"})
+
+
+class PlanVerificationError(Exception):
+    """A compiled plan violates the IR's structural invariants."""
+
+
+class PassVerificationError(Exception):
+    """An optimizer rule application changed the program's facts.
+
+    ``pass_name`` / ``rule_name`` identify the offending rewrite; the
+    message carries the divergence evidence.
+    """
+
+    def __init__(self, pass_name: str, rule_name: str, detail: str) -> None:
+        self.pass_name = pass_name
+        self.rule_name = rule_name
+        super().__init__(
+            f"pass {pass_name!r} rule {rule_name!r} broke the program: {detail}"
+        )
+
+
+def verification_enabled() -> bool:
+    """Should optimizer rewrites be verified in this process?
+
+    ``REPRO_VERIFY_PASSES=1`` (or ``true``/``yes``/``on``) forces on,
+    ``0``/``false``/``no``/``off`` forces off; unset defaults to on
+    under pytest or CI and off otherwise.
+    """
+    raw = os.environ.get("REPRO_VERIFY_PASSES")
+    if raw is not None:
+        return raw.strip().lower() not in ("", "0", "false", "no", "off")
+    return "PYTEST_CURRENT_TEST" in os.environ or bool(os.environ.get("CI"))
+
+
+def clear_verify_cache() -> None:
+    """Drop the rewrite memo (benchmarks measure cold verification)."""
+    with _VERIFIED_LOCK:
+        _VERIFIED.clear()
+
+
+# -- structural plan verification ---------------------------------------------
+
+#: Required kid count per op (``None`` means checked specially).
+_ARITY: dict[str, int | None] = {
+    "id": 0,
+    "leaf": 0,
+    "pair": 2,
+    "cond": 3,
+    "case": 2,
+    "map": 1,
+    "chain": None,
+    "fused": None,
+}
+
+
+def verify_plan(plan: Plan, context: str = "") -> Plan:
+    """Check *plan* against the IR's structural invariants; return it.
+
+    Raises :exc:`PlanVerificationError` naming the offending node on
+    any violation.  The invariants are exactly what the rest of the
+    engine assumes without checking: in-range indices, kids emitted
+    before parents (``compile_plan`` and ``fuse_plan`` both guarantee
+    it, and the one-pass analysis and binder rely on it), per-op arity,
+    op/source-class agreement, fused-spec consistency, and every node
+    reachable from the root.
+    """
+    where = f" ({context})" if context else ""
+    n = len(plan.nodes)
+    if not 0 <= plan.root < n:
+        raise PlanVerificationError(f"root n{plan.root} out of range 0..{n - 1}{where}")
+    for pos, node in enumerate(plan.nodes):
+        label = f"n{pos} {node.op}{where}"
+        if node.idx != pos:
+            raise PlanVerificationError(f"{label}: idx field says {node.idx}")
+        if node.op not in _ARITY:
+            raise PlanVerificationError(f"{label}: unknown op")
+        for k in node.kids:
+            if not 0 <= k < n:
+                raise PlanVerificationError(f"{label}: kid n{k} out of range")
+            if k >= pos:
+                raise PlanVerificationError(
+                    f"{label}: kid n{k} not emitted before its parent"
+                )
+        arity = _ARITY[node.op]
+        if arity is not None and len(node.kids) != arity:
+            raise PlanVerificationError(
+                f"{label}: expected {arity} kid(s), found {len(node.kids)}"
+            )
+        if node.op == "chain" and len(node.kids) < 2:
+            raise PlanVerificationError(f"{label}: chain with <2 steps")
+        if node.op == "pair" and not isinstance(node.source, PairOf):
+            raise PlanVerificationError(f"{label}: source is not PairOf")
+        if node.op == "cond" and not isinstance(node.source, Cond):
+            raise PlanVerificationError(f"{label}: source is not Cond")
+        if node.op == "case" and not isinstance(node.source, Case):
+            raise PlanVerificationError(f"{label}: source is not Case")
+        if node.op == "id" and not isinstance(node.source, Id):
+            raise PlanVerificationError(f"{label}: source is not Id")
+        if node.op == "map":
+            family = MAP_KINDS.get(type(node.source))
+            if family is None:
+                raise PlanVerificationError(f"{label}: source is not a map class")
+            if node.kind != family[0]:
+                raise PlanVerificationError(
+                    f"{label}: kind {node.kind!r} != source family {family[0]!r}"
+                )
+        if node.op == "leaf" and (
+            isinstance(node.source, (Compose, Id, PairOf, Cond, Case))
+            or type(node.source) in MAP_KINDS
+        ):
+            raise PlanVerificationError(
+                f"{label}: composite morphism compiled as a leaf"
+            )
+        if node.op == "fused":
+            if not node.spec:
+                raise PlanVerificationError(f"{label}: fused node without a spec")
+            map_stages = [s for s in node.spec if s[0] == "map"]
+            if len(map_stages) != len(node.kids):
+                raise PlanVerificationError(
+                    f"{label}: {len(map_stages)} map stage(s) but "
+                    f"{len(node.kids)} kid(s)"
+                )
+            for stage in node.spec:
+                if stage[0] not in _STAGE_TAGS:
+                    raise PlanVerificationError(
+                        f"{label}: unknown stage tag {stage[0]!r}"
+                    )
+            if node.kind != spec_out_kind(node.spec):
+                raise PlanVerificationError(
+                    f"{label}: kind {node.kind!r} != spec output "
+                    f"{spec_out_kind(node.spec)!r}"
+                )
+    reached: set[int] = set()
+    stack = [plan.root]
+    while stack:
+        i = stack.pop()
+        if i in reached:
+            continue
+        reached.add(i)
+        stack.extend(plan.nodes[i].kids)
+    if len(reached) != n:
+        orphans = sorted(set(range(n)) - reached)
+        raise PlanVerificationError(
+            f"unreachable node(s) {', '.join(f'n{i}' for i in orphans)}{where}"
+        )
+    return plan
+
+
+# -- rewrite verification ------------------------------------------------------
+
+
+def _principal_type(m: Morphism, fresh: FreshVars) -> FuncType | None:
+    try:
+        return m.signature(fresh)
+    except Exception:
+        return None
+
+
+def _instantiate_ground(t: Type) -> Type:
+    """*t* with every type variable pinned at ``int`` (probe generation)."""
+    mapping = {var: INT for var in free_type_vars(t)}
+    return apply_subst(mapping, t) if mapping else t
+
+
+def _probe_inputs(dom: Type, seed: int) -> list[Value]:
+    rng = random.Random(seed)
+    try:
+        return [
+            random_value(
+                dom, rng, max_width=_PROBE_WIDTH, min_width=0, domain=_PROBE_DOMAIN
+            )
+            for _ in range(_PROBES)
+        ]
+    except OrNRAError:
+        # A domain the generator cannot inhabit: the type check above
+        # already ran; there is simply nothing to probe.
+        return []
+
+
+def verify_rewrite(
+    before: Morphism,
+    after: Morphism,
+    pass_name: str,
+    rule_name: str,
+    apply_fn: Callable[[Morphism, Value], Value] | None = None,
+) -> None:
+    """Check that rewriting *before* into *after* preserved the program.
+
+    Raises :exc:`PassVerificationError` (naming *pass_name* /
+    *rule_name*) when the principal types diverge or a differential
+    probe separates the two morphisms.  *apply_fn* overrides the probe
+    evaluator (tests inject counters); the default is direct ``apply``.
+
+    Verified triples are memoized — fixpoint drivers re-derive the same
+    local rewrites constantly, and the memo makes each repeat one dict
+    lookup.
+    """
+    memo_key = (before, after, pass_name)
+    with _VERIFIED_LOCK:
+        if _VERIFIED.get(memo_key):
+            return
+
+    fresh = FreshVars(prefix="v")
+    ft_before = _principal_type(before, fresh)
+    ft_after = _principal_type(after, fresh) if ft_before is not None else None
+    if ft_before is not None:
+        if ft_after is None:
+            raise PassVerificationError(
+                pass_name,
+                rule_name,
+                f"rewrite of {before.describe()} no longer typechecks: "
+                f"{after.describe()}",
+            )
+        # One-way match: the rewrite's type may only *generalize* —
+        # unification must succeed binding only the rewrite's own
+        # variables (the two signatures share one fresh supply, so the
+        # variable sets are disjoint).
+        try:
+            subst = unify(ft_after.dom, ft_before.dom)
+            subst = unify(ft_after.cod, ft_before.cod, subst)
+        except OrNRATypeError as exc:
+            raise PassVerificationError(
+                pass_name,
+                rule_name,
+                f"principal type changed: {before.describe()} : {ft_before} "
+                f"rewritten to {after.describe()} : {ft_after} ({exc})",
+            ) from None
+        stuck = free_type_vars(ft_before) & set(subst)
+        if stuck:
+            raise PassVerificationError(
+                pass_name,
+                rule_name,
+                f"rewrite specializes the principal type: "
+                f"{before.describe()} : {ft_before} became "
+                f"{after.describe()} : {ft_after}",
+            )
+        # Differential probes over the original's (ground) domain.
+        dom = _instantiate_ground(ft_before.dom)
+        seed = zlib.crc32(f"{pass_name}:{rule_name}".encode())
+        run = apply_fn if apply_fn is not None else (lambda m, v: m.apply(v))
+        for value in _probe_inputs(dom, seed):
+            try:
+                expected = run(before, value)
+            except OrNRAError:
+                # The probe missed the morphism's real precondition
+                # (kind mismatches hide behind type variables); nothing
+                # to compare on this input.
+                continue
+            try:
+                got = run(after, value)
+            except OrNRAError as exc:
+                raise PassVerificationError(
+                    pass_name,
+                    rule_name,
+                    f"rewrite raises on {value!r} where the original "
+                    f"returned {expected!r}: {exc}",
+                ) from None
+            if got != expected:
+                raise PassVerificationError(
+                    pass_name,
+                    rule_name,
+                    f"output diverged on {value!r}: {expected!r} became {got!r}",
+                )
+
+    with _VERIFIED_LOCK:
+        if len(_VERIFIED) >= _MAX_VERIFIED:
+            _VERIFIED.clear()
+        _VERIFIED[memo_key] = True

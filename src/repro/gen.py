@@ -21,6 +21,7 @@ from repro.errors import OrNRAValueError
 from repro.types.kinds import (
     BOOL,
     INT,
+    BagType,
     BaseType,
     OrSetType,
     ProdType,
@@ -31,6 +32,7 @@ from repro.types.kinds import (
 )
 from repro.values.values import (
     Atom,
+    BagValue,
     OrSetValue,
     Pair,
     SetValue,
@@ -137,6 +139,12 @@ def random_value(
     if isinstance(t, OrSetType):
         width = rng.randint(min_width, max_width)
         return OrSetValue(
+            random_value(t.elem, rng, max_width, min_width, domain)
+            for _ in range(width)
+        )
+    if isinstance(t, BagType):
+        width = rng.randint(min_width, max_width)
+        return BagValue(
             random_value(t.elem, rng, max_width, min_width, domain)
             for _ in range(width)
         )

@@ -74,7 +74,7 @@ def linear_cmp(x: Value, y: Value, base_cmp: BaseCmp = _default_base_cmp) -> int
     if type(x) is type(y) and isinstance(x, (SetValue, OrSetValue, BagValue)):
         xs = sort_values(list(x.elems), base_cmp)
         ys = sort_values(list(y.elems), base_cmp)  # type: ignore[union-attr]
-        for a, b in zip(xs, ys):
+        for a, b in zip(xs, ys, strict=False):
             c = linear_cmp(a, b, base_cmp)
             if c != 0:
                 return c

@@ -290,7 +290,7 @@ def theory_superset(
     Proposition 3.4 says this holds iff ``x <= y``; tests compare the two
     sides on random small objects.
     """
-    for phi in formulas_for(t, base_orders, disj_width):
-        if satisfies(phi, y, base_orders) and not satisfies(phi, x, base_orders):
-            return False
-    return True
+    return not any(
+        satisfies(phi, y, base_orders) and not satisfies(phi, x, base_orders)
+        for phi in formulas_for(t, base_orders, disj_width)
+    )

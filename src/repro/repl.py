@@ -288,7 +288,7 @@ class Repl:
         )
         return "\n".join(
             f"{name}: {self._render(result)}"
-            for name, result in zip(names, results)
+            for name, result in zip(names, results, strict=True)
         )
 
     def _cmd_serve(self, rest: str) -> str:
@@ -311,7 +311,7 @@ class Repl:
         results, stats = asyncio.run(drive())
         lines = [
             f"{name}: {self._render(value_from_json(result))}"
-            for name, result in zip(names, results)
+            for name, result in zip(names, results, strict=True)
         ]
         lines.append(
             f"served {stats['requests']} request(s) in {stats['batches']} "

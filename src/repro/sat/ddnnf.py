@@ -198,11 +198,12 @@ class DDNNF:
     __slots__ = ("root", "n_vars", "fixed")
 
     def __init__(
-        self, root: DNode, n_vars: int, fixed: frozenset[int] = frozenset()
+        self, root: DNode, n_vars: int, fixed: frozenset[int] | None = None
     ) -> None:
         self.root = root
         self.n_vars = n_vars
-        self.fixed = fixed  # variables pinned by condition(); not free
+        # Variables pinned by condition(); not free.
+        self.fixed = frozenset() if fixed is None else fixed
 
     # -- queries (linear in the circuit) ------------------------------------
 

@@ -1,0 +1,260 @@
+"""The unified plan analysis: adapter equivalence and fact semantics.
+
+The four historical whole-plan predicates — ``cost_model.plan_profile``,
+``symbolic.plan_supports_symbolic``, ``passes.fusible_spans`` and
+``ProcessBackend.can_transport`` — are now thin adapters over the single
+:func:`repro.engine.analysis.plan_facts` record.  Each pre-refactor
+implementation is preserved *verbatim* in this file (modulo caching) and
+compared against its adapter on randomly generated optimized programs:
+the refactor must change zero routing decisions.
+"""
+
+import pickle
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.normalize import Normalize
+from repro.engine import Engine, columnar
+from repro.engine.analysis import (
+    ALPHA_OPS,
+    CHEAP_REAL_OPS,
+    TRAVERSAL_OPS,
+    compute_plan_facts,
+    format_facts,
+    plan_facts,
+)
+from repro.engine.cost_model import PlanProfile, plan_profile
+from repro.engine.passes import default_pipeline, fusible_spans
+from repro.engine.plan import Plan, compile_plan
+from repro.engine.process import ProcessBackend
+from repro.engine.symbolic import plan_supports_symbolic
+from repro.gen import random_orset_value
+from repro.lang.morphisms import Compose, Id, Primitive
+from repro.lang.orset_ops import Alpha, OrEta, OrMap, OrMu, OrToSet, SetToOr
+from repro.lang.primitives import plus, unary_primitive
+from repro.lang.set_ops import SetMap, SetMu
+from repro.morphgen import random_lossless_morphism
+from repro.types.kinds import INT
+from repro.values.values import vorset, vset
+
+
+# -- the pre-refactor predicates, verbatim (caching stripped) -----------------
+
+
+def legacy_plan_profile(plan: Plan) -> PlanProfile:
+    spine_maps = spine_stages = 0
+    top = plan.nodes[plan.root]
+    steps = top.kids if top.op == "chain" else (plan.root,)
+    for idx in steps:
+        node = plan.nodes[idx]
+        if node.op == "map":
+            spine_maps += 1
+            spine_stages += 1
+        elif node.op == "leaf" and isinstance(node.source, TRAVERSAL_OPS):
+            spine_stages += 1
+    has_normalize = any(
+        node.op == "leaf" and isinstance(node.source, (Normalize,) + ALPHA_OPS)
+        for node in plan.nodes
+    )
+    fused_stages = 0
+    if spine_stages:
+        fused_stages = max(
+            (len(stages) for _start, _stop, stages in legacy_fusible_spans(plan)),
+            default=0,
+        )
+    return PlanProfile(
+        spine_maps, spine_stages, has_normalize, len(plan.nodes), fused_stages
+    )
+
+
+def _legacy_body_is_world_preserving(plan: Plan, idx: int) -> bool:
+    node = plan.nodes[idx]
+    if node.op == "id":
+        return True
+    if node.op == "leaf" and isinstance(node.source, Normalize):
+        return True
+    if node.op == "chain":
+        return all(_legacy_body_is_world_preserving(plan, kid) for kid in node.kids)
+    return False
+
+
+def legacy_plan_supports_symbolic(plan: Plan) -> bool:
+    top = plan.nodes[plan.root]
+    steps = list(top.kids) if top.op == "chain" else [plan.root]
+    for idx in steps:
+        node = plan.nodes[idx]
+        if node.op == "id":
+            continue
+        if node.op == "leaf" and isinstance(
+            node.source, CHEAP_REAL_OPS + (Normalize, Alpha)
+        ):
+            continue
+        if (
+            node.op == "map"
+            and isinstance(node.source, OrMap)
+            and _legacy_body_is_world_preserving(plan, node.kids[0])
+        ):
+            continue
+        return False
+    return True
+
+
+def legacy_fusible_spans(plan: Plan) -> list:
+    root = plan.nodes[plan.root]
+    steps = list(root.kids) if root.op == "chain" else [plan.root]
+    spans: list = []
+    i = 0
+    while i < len(steps):
+        stages: list = []
+        j = i
+        while j < len(steps):
+            stage = columnar.stage_of(plan.nodes[steps[j]])
+            if stage is None:
+                break
+            stages.append(stage)
+            j += 1
+        if len(stages) >= 2:
+            spans.append((i, j, stages))
+        elif len(stages) == 1 and stages[0][0] == "map":
+            if columnar.raw_kernels(stages[0][3]):
+                spans.append((i, j, stages))
+        i = max(j, i + 1)
+    return spans
+
+
+def legacy_can_transport(plan: Plan) -> bool:
+    try:
+        pickle.dumps(plan)
+    except Exception:
+        return False
+    return True
+
+
+def _random_plans(seed: int) -> list[Plan]:
+    """Compiled plans for one random program: raw and engine-optimized."""
+    rng = random.Random(seed)
+    _v, t = random_orset_value(rng, max_depth=3, max_width=2, min_width=1)
+    f, _ = random_lossless_morphism(t, rng, depth=4)
+    return [compile_plan(f), compile_plan(default_pipeline().run(f))]
+
+
+class TestAdapterEquivalence:
+    """Every routing decision matches the pre-refactor predicate exactly."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_plan_profile_matches_legacy(self, seed):
+        for plan in _random_plans(seed):
+            assert plan_profile(plan) == legacy_plan_profile(plan), (
+                plan.source.describe()
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_symbolic_support_matches_legacy(self, seed):
+        for plan in _random_plans(seed):
+            assert plan_supports_symbolic(plan) == legacy_plan_supports_symbolic(
+                plan
+            ), plan.source.describe()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_fusible_spans_match_legacy(self, seed):
+        for plan in _random_plans(seed):
+            assert fusible_spans(plan) == legacy_fusible_spans(plan), (
+                plan.source.describe()
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_can_transport_matches_legacy(self, seed):
+        backend = ProcessBackend(max_workers=1)
+        for plan in _random_plans(seed):
+            assert backend.can_transport(plan) == legacy_can_transport(plan), (
+                plan.source.describe()
+            )
+
+    def test_can_transport_rejects_lambda_primitives(self):
+        f = SetMap(Primitive("shady", lambda v: v, INT, INT))
+        plan = compile_plan(f)
+        assert legacy_can_transport(plan) is False
+        assert ProcessBackend(max_workers=1).can_transport(plan) is False
+        assert plan_facts(plan).transportable is False
+
+    def test_fused_plans_keep_equivalence(self):
+        """The predicates agree on fused node arrays too (fuse_plan emits
+        kids before parents, same as compile_plan)."""
+        from repro.engine.passes import fuse_plan
+
+        f = Compose(OrMu(), Compose(OrMap(plus()), SetToOr()))
+        fused = fuse_plan(compile_plan(f))
+        assert plan_profile(fused) == legacy_plan_profile(fused)
+        assert plan_supports_symbolic(fused) == legacy_plan_supports_symbolic(fused)
+        assert fusible_spans(fused) == legacy_fusible_spans(fused)
+
+
+class TestFactSemantics:
+    """The facts themselves mean what the docstrings say."""
+
+    def test_symbolic_spine_is_supported(self):
+        plan = compile_plan(Compose(OrMu(), Compose(OrMap(Normalize()), SetToOr())))
+        facts = plan_facts(plan)
+        assert facts.symbolic_ok
+        assert facts.out_kind == "orset"
+        assert facts.short_circuit
+
+    def test_plain_map_breaks_symbolic_but_not_transport(self):
+        doubler = unary_primitive("double", _double, INT, INT)
+        plan = compile_plan(Compose(OrMap(doubler), SetToOr()))
+        facts = plan_facts(plan)
+        assert not facts.symbolic_ok
+        assert facts.transportable
+        assert facts.pure
+
+    def test_lambda_body_is_impure(self):
+        plan = compile_plan(OrMap(Primitive("shady", lambda v: v, INT, INT)))
+        assert not plan_facts(plan).pure
+
+    def test_set_output_has_no_short_circuit(self):
+        plan = compile_plan(Compose(OrToSet(), OrMap(Id())))
+        facts = plan_facts(plan)
+        assert facts.out_kind == "set"
+        assert not facts.short_circuit
+
+    def test_leaf_out_kinds(self):
+        for m, kind in [(OrEta(), "orset"), (SetMu(), "set"), (OrToSet(), "set")]:
+            assert plan_facts(compile_plan(m)).out_kind == kind
+
+    def test_facts_are_cached_on_the_plan(self):
+        plan = compile_plan(Compose(OrMu(), OrMap(Normalize())))
+        assert plan_facts(plan) is plan_facts(plan)
+        assert plan_facts(plan) == compute_plan_facts(plan)
+
+    def test_facts_never_pickle_with_the_plan(self):
+        plan = compile_plan(Compose(OrMu(), OrMap(Normalize())))
+        plan_facts(plan)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert getattr(clone, "_facts", None) is None
+        assert plan_facts(clone) == plan_facts(plan)
+
+    def test_format_facts_line(self):
+        plan = compile_plan(Compose(OrMu(), Compose(OrMap(Normalize()), SetToOr())))
+        line = format_facts(plan_facts(plan))
+        assert line.startswith("facts: symbolic=yes")
+        assert "shape=orset" in line
+        assert "short-circuit=yes" in line
+
+    def test_engine_execution_unaffected_by_analysis(self):
+        """Reading the facts does not perturb results (routing smoke test)."""
+        eng = Engine()
+        f = Compose(OrMu(), Compose(OrMap(Normalize()), SetToOr()))
+        v = vset(vorset(1, 2), vorset(3))
+        plan = eng.compile(f)
+        plan_facts(plan)
+        assert eng.run(f, v) == f(v)
+
+
+def _double(v):
+    return v.value * 2

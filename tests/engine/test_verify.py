@@ -1,0 +1,293 @@
+"""The rewrite verifier: seeded miscompiles must fail loudly, named.
+
+Three deliberately broken optimizer passes are run through the standard
+:class:`~repro.engine.passes.Pipeline` driver with verification on:
+
+* a **type-changing** rule (``or_to_set -> set_to_or``) dies on the
+  principal-type check without running anything;
+* a **branch-dropping** rule (``cond(p, t, e) -> t``) survives the type
+  check and dies on a differential probe;
+* a **guard-reordering** rule (``cond(p, t, e) -> cond(p, e, t)``)
+  likewise dies on a probe.
+
+Every failure must carry the offending *pass and rule names* — the whole
+point is that a miscompile reads ``pass 'broken-cond' rule
+'drop_branch'`` instead of a distant conformance diff.  The structural
+:func:`verify_plan` invariants and the environment gate are covered
+here too.
+"""
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.passes import CANONICALIZE, Pass, Pipeline, default_pipeline
+from repro.engine.plan import Plan, PlanNode, compile_plan
+from repro.engine.verify import (
+    PassVerificationError,
+    PlanVerificationError,
+    clear_verify_cache,
+    verification_enabled,
+    verify_plan,
+    verify_rewrite,
+)
+from repro.gen import random_orset_value
+from repro.lang.morphisms import Compose, Cond, Id, Proj1
+from repro.lang.orset_ops import OrMap, OrToSet, SetToOr
+from repro.lang.primitives import predicate, unary_primitive
+from repro.morphgen import random_lossless_morphism
+from repro.types.kinds import INT
+def _is_small(v):
+    return v.value <= 1
+
+
+def _double(v):
+    return v.value * 2
+
+
+def _cond_program():
+    """``cond(x <= 1, x, 2 * x)`` over ``int`` — probes separate the
+    branches (and any reordering of them)."""
+    return Cond(
+        predicate("le1", _is_small, INT),
+        Id(),
+        unary_primitive("double", _double, INT, INT),
+    )
+
+
+# -- the seeded miscompiles ----------------------------------------------------
+
+
+def _rule_swap_coercion(m):
+    # MISCOMPILE: or_to_set : {|a|} -> {a} becomes set_to_or : {a} -> {|a|}.
+    if isinstance(m, OrToSet):
+        return SetToOr()
+    return None
+
+
+def _rule_drop_branch(m):
+    # MISCOMPILE: cond(p, t, e) -> t.
+    if isinstance(m, Cond):
+        return m.then
+    return None
+
+
+def _rule_swap_branches(m):
+    # MISCOMPILE: cond(p, t, e) -> cond(p, e, t).
+    if isinstance(m, Cond):
+        return Cond(m.pred, m.orelse, m.then)
+    return None
+
+
+def _rule_pin_identity(m):
+    # MISCOMPILE (of the quiet kind): id : a -> a is "rewritten" to the
+    # or-set round trip {|a|} -> {|a|} — semantically id where it types,
+    # but it narrows the program's domain.
+    if isinstance(m, Id):
+        return Compose(SetToOr(), OrToSet())
+    return None
+
+
+BROKEN_RETAG = Pass("broken-retag", (_rule_swap_coercion,), triggers=(OrToSet,))
+BROKEN_COND_DROP = Pass("broken-cond", (_rule_drop_branch,), triggers=(Cond,))
+BROKEN_COND_SWAP = Pass("broken-cond", (_rule_swap_branches,), triggers=(Cond,))
+BROKEN_PIN = Pass("broken-pin", (_rule_pin_identity,), triggers=(Id,))
+
+
+@pytest.fixture
+def verify_on(monkeypatch):
+    monkeypatch.setenv("REPRO_VERIFY_PASSES", "1")
+    clear_verify_cache()
+    yield
+    clear_verify_cache()
+
+
+class TestSeededMiscompiles:
+    def test_type_changing_rule_is_rejected(self, verify_on):
+        with pytest.raises(PassVerificationError) as excinfo:
+            Pipeline((BROKEN_RETAG,)).run(Compose(OrToSet(), OrMap(Id())))
+        err = excinfo.value
+        assert err.pass_name == "broken-retag"
+        assert err.rule_name == "swap_coercion"
+        assert "broke the program" in str(err)
+        assert "principal type" in str(err)
+
+    def test_branch_dropping_rule_is_rejected(self, verify_on):
+        with pytest.raises(PassVerificationError) as excinfo:
+            Pipeline((BROKEN_COND_DROP,)).run(_cond_program())
+        err = excinfo.value
+        assert err.pass_name == "broken-cond"
+        assert err.rule_name == "drop_branch"
+        assert "diverged" in str(err)
+
+    def test_guard_reordering_rule_is_rejected(self, verify_on):
+        with pytest.raises(PassVerificationError) as excinfo:
+            Pipeline((BROKEN_COND_SWAP,)).run(_cond_program())
+        err = excinfo.value
+        assert err.pass_name == "broken-cond"
+        assert err.rule_name == "swap_branches"
+        assert "diverged" in str(err)
+
+    def test_domain_narrowing_rule_is_rejected(self, verify_on):
+        with pytest.raises(PassVerificationError) as excinfo:
+            Pipeline((BROKEN_PIN,)).run(Compose(Id(), Proj1()))
+        assert "specializes the principal type" in str(excinfo.value)
+
+    def test_fixed_order_driver_verifies_too(self, verify_on):
+        with pytest.raises(PassVerificationError) as excinfo:
+            Pipeline((BROKEN_COND_DROP,)).run_fixed_order(_cond_program())
+        assert excinfo.value.pass_name == "broken-cond"
+
+    def test_miscompile_sails_through_with_verification_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_PASSES", "0")
+        clear_verify_cache()
+        out = Pipeline((BROKEN_COND_DROP,)).run(_cond_program())
+        assert out == Id()  # the miscompile went live, silently
+
+
+class TestEnvironmentGate:
+    def test_enabled_by_default_under_pytest(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY_PASSES", raising=False)
+        assert verification_enabled()  # PYTEST_CURRENT_TEST is set
+
+    def test_explicit_off_values(self, monkeypatch):
+        for raw in ("0", "false", "no", "off", ""):
+            monkeypatch.setenv("REPRO_VERIFY_PASSES", raw)
+            assert not verification_enabled()
+
+    def test_explicit_on_values(self, monkeypatch):
+        for raw in ("1", "true", "yes", "on"):
+            monkeypatch.setenv("REPRO_VERIFY_PASSES", raw)
+            assert verification_enabled()
+
+    def test_off_outside_pytest_and_ci(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY_PASSES", raising=False)
+        monkeypatch.delenv("PYTEST_CURRENT_TEST", raising=False)
+        monkeypatch.delenv("CI", raising=False)
+        assert not verification_enabled()
+
+
+class TestRewriteMemo:
+    def test_verified_rewrites_are_memoized(self):
+        clear_verify_cache()
+        # An honestly sound rewrite: cond with equal branches folds to id.
+        before = Cond(predicate("le1", _is_small, INT), Id(), Id())
+        after = Id()
+        calls = []
+
+        def counting_apply(m, v):
+            calls.append(m)
+            return m.apply(v)
+
+        verify_rewrite(before, after, "memo-pass", "memo_rule", counting_apply)
+        first = len(calls)
+        assert first > 0  # probes actually ran
+        verify_rewrite(before, after, "memo-pass", "memo_rule", counting_apply)
+        assert len(calls) == first  # second time: one dict hit, no probes
+        clear_verify_cache()
+        verify_rewrite(before, after, "memo-pass", "memo_rule", counting_apply)
+        assert len(calls) == 2 * first
+
+
+class TestStructuralVerification:
+    def test_compiled_plans_are_well_formed(self):
+        plan = compile_plan(Compose(OrToSet(), OrMap(Id())))
+        assert verify_plan(plan) is plan
+
+    def test_fused_plans_are_well_formed(self):
+        from repro.engine.passes import fuse_plan
+        from repro.lang.orset_ops import OrMu, SetToOr
+
+        plan = compile_plan(Compose(OrMu(), Compose(OrMap(Id()), SetToOr())))
+        verify_plan(fuse_plan(plan), context="test")
+
+    def test_root_out_of_range(self):
+        plan = compile_plan(OrToSet())
+        broken = Plan(nodes=plan.nodes, root=99, source=plan.source)
+        with pytest.raises(PlanVerificationError, match="root"):
+            verify_plan(broken)
+
+    def test_kid_after_parent(self):
+        src = OrMap(Id())
+        nodes = [
+            PlanNode(0, "map", (1,), src, kind="orset"),
+            PlanNode(1, "id", (), Id()),
+        ]
+        with pytest.raises(PlanVerificationError, match="not emitted before"):
+            verify_plan(Plan(nodes=nodes, root=0, source=src))
+
+    def test_wrong_arity(self):
+        src = OrMap(Id())
+        nodes = [
+            PlanNode(0, "id", (), Id()),
+            PlanNode(1, "id", (), Id()),
+            PlanNode(2, "map", (0, 1), src, kind="orset"),
+        ]
+        with pytest.raises(PlanVerificationError, match="expected 1 kid"):
+            verify_plan(Plan(nodes=nodes, root=2, source=src))
+
+    def test_composite_compiled_as_leaf(self):
+        src = OrMap(Id())
+        nodes = [PlanNode(0, "leaf", (), src)]
+        with pytest.raises(PlanVerificationError, match="composite"):
+            verify_plan(Plan(nodes=nodes, root=0, source=src))
+
+    def test_unreachable_node(self):
+        nodes = [
+            PlanNode(0, "leaf", (), OrToSet()),
+            PlanNode(1, "leaf", (), SetToOr()),
+        ]
+        with pytest.raises(PlanVerificationError, match="unreachable"):
+            verify_plan(Plan(nodes=nodes, root=1, source=SetToOr()))
+
+    def test_map_kind_mismatch(self):
+        src = OrMap(Id())
+        nodes = [
+            PlanNode(0, "id", (), Id()),
+            PlanNode(1, "map", (0,), src, kind="set"),
+        ]
+        with pytest.raises(PlanVerificationError, match="kind"):
+            verify_plan(Plan(nodes=nodes, root=1, source=src))
+
+    def test_context_appears_in_message(self):
+        plan = compile_plan(OrToSet())
+        broken = Plan(nodes=plan.nodes, root=99, source=plan.source)
+        with pytest.raises(PlanVerificationError, match="compile-test"):
+            verify_plan(broken, context="compile-test")
+
+
+class TestVerifiedPipelinesStayConformant:
+    """With verification on (the pytest default), the full default
+    pipeline still agrees with the direct interpreter on random
+    Theorem 5.1-eligible programs — the verifier neither rejects sound
+    rewrites nor perturbs their results."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_default_pipeline_verified_and_conformant(self, seed):
+        assert verification_enabled()
+        rng = random.Random(seed)
+        v, t = random_orset_value(rng, max_depth=3, max_width=2, min_width=1)
+        f, _ = random_lossless_morphism(t, rng, depth=4)
+        opt = default_pipeline().run(f)
+        assert opt(v) == f(v), (f.describe(), opt.describe())
+
+    def test_verified_plan_survives_pickling(self):
+        plan = verify_plan(compile_plan(Compose(OrToSet(), OrMap(Id()))))
+        clone = pickle.loads(pickle.dumps(plan))
+        verify_plan(clone)
+
+    def test_probe_evaluator_sees_real_values(self):
+        clear_verify_cache()
+        seen = []
+
+        def spy(m, v):
+            seen.append(v)
+            return m.apply(v)
+
+        p = _cond_program()
+        verify_rewrite(p, Cond(p.pred, Id(), p.orelse), "spy-pass", "spy", spy)
+        assert seen and all(v.base == "int" for v in seen)

@@ -103,7 +103,7 @@ class TestVariantLifting:
         values = [random_value(t, rng, max_width=3) for _ in range(12)]
         ordered = sort_values(values)
         # Totality + transitivity: the sorted sequence is monotone.
-        for a, b in zip(ordered, ordered[1:]):
+        for a, b in zip(ordered, ordered[1:], strict=False):
             assert linear_cmp(a, b) <= 0
         # Antisymmetry: cmp == 0 iff equal.
         for a in values:

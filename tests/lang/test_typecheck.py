@@ -82,7 +82,7 @@ class TestFigureOne:
                 return True
             if type(a) is not type(b):
                 return False
-            return all(matches(x, y) for x, y in zip(a.children(), b.children())) and (
+            return all(matches(x, y) for x, y in zip(a.children(), b.children(), strict=True)) and (
                 a == b if not a.children() else True
             )
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import OrNRAParseError, OrNRATypeError
+from repro.errors import OrNRAParseError, OrNRATypeError, OrNRAValueError
 from repro.lang.morphisms import always, identity, infer_signature, pair_of
 from repro.lang.orset_ops import ormap
 from repro.lang.parser import parse_morphism, parse_value
@@ -57,7 +57,7 @@ class TestInjections:
         assert sig.cod.right == sig.dom
 
     def test_bad_side_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(OrNRAValueError):
             Variant(2, atom(1))
 
 

@@ -65,7 +65,7 @@ class TestBatchingAndDedupe:
         # No cross-request bleed: each response equals the sequential
         # evaluation of exactly that request's payload.
         expected = {json.dumps(p, sort_keys=True): run_json("normalize", p) for p in payloads[:4]}
-        for payload, result in zip(payloads, results):
+        for payload, result in zip(payloads, results, strict=True):
             assert result == expected[json.dumps(payload, sort_keys=True)]
         assert stats["requests"] == 40
         assert stats["deduped_inputs"] > 0

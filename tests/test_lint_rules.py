@@ -1,0 +1,129 @@
+"""The project-specific AST lint rules (tools/lint_rules.py).
+
+Each rule is exercised on synthetic snippets — positive (violation
+found, correct code/line) and negative (idiomatic code passes, the
+rule only applies to its designated modules, suppressions work) — and
+the real tree must lint clean, which is what CI enforces.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "lint_rules", REPO / "tools" / "lint_rules.py"
+)
+lint_rules = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint_rules)
+
+check_source = lint_rules.check_source
+
+PRIMITIVES = "src/repro/lang/primitives.py"
+PROCESS = "src/repro/engine/process.py"
+COST_MODEL = "src/repro/engine/cost_model.py"
+ANALYSIS = "src/repro/engine/analysis.py"
+
+
+def codes(source, path):
+    return [v.code for v in check_source(source, path)]
+
+
+class TestLR001Lambdas:
+    def test_lambda_in_primitives_flagged(self):
+        src = "def plus():\n    return Primitive('p', lambda v: v, INT, INT)\n"
+        vs = check_source(src, PRIMITIVES)
+        assert [v.code for v in vs] == ["LR001"]
+        assert vs[0].line == 2
+        assert "pickle" in vs[0].message
+
+    def test_lambda_in_process_flagged(self):
+        assert codes("f = lambda i: i\n", PROCESS) == ["LR001"]
+
+    def test_named_functions_pass(self):
+        src = "def _double(v):\n    return v.value * 2\n"
+        assert codes(src, PRIMITIVES) == []
+
+    def test_lambda_elsewhere_is_fine(self):
+        assert codes("f = lambda i: i\n", "src/repro/engine/passes.py") == []
+
+    def test_allow_comment_suppresses(self):
+        src = "f = lambda i: i  # lint: allow-lr001\n"
+        assert codes(src, PROCESS) == []
+
+
+class TestLR002DefaultEngineMutation:
+    def test_rebinding_flagged(self):
+        assert codes("DEFAULT_ENGINE = Engine()\n", "src/repro/io.py") == ["LR002"]
+
+    def test_attribute_assignment_flagged(self):
+        src = "from repro.engine import DEFAULT_ENGINE\nDEFAULT_ENGINE.interner = None\n"
+        assert codes(src, "examples/demo.py") == ["LR002"]
+
+    def test_nested_attribute_assignment_flagged(self):
+        src = "DEFAULT_ENGINE._plans[key] = plan\n"
+        assert codes(src, "tests/test_anything.py") == ["LR002"]
+
+    def test_augmented_assignment_flagged(self):
+        assert codes("DEFAULT_ENGINE.hits += 1\n", "src/repro/io.py") == ["LR002"]
+
+    def test_reads_pass(self):
+        src = "out = DEFAULT_ENGINE.run(program, value)\n"
+        assert codes(src, "src/repro/io.py") == []
+
+    def test_defining_module_is_exempt(self):
+        assert codes("DEFAULT_ENGINE = Engine()\n", "src/repro/engine/__init__.py") == []
+
+
+class TestLR003NormalizeInEstimators:
+    def test_normalize_call_flagged(self):
+        src = "def estimate(v):\n    return len(normalize(v).elems)\n"
+        vs = check_source(src, COST_MODEL)
+        assert [v.code for v in vs] == ["LR003"]
+        assert vs[0].line == 2
+
+    def test_method_and_variants_flagged(self):
+        src = "worlds = core.possibilities(v)\ntrace = normalize_with_trace(v)\n"
+        assert codes(src, ANALYSIS) == ["LR003", "LR003"]
+
+    def test_isinstance_against_normalize_class_passes(self):
+        src = "ok = isinstance(m, Normalize)\nn = Normalize(t)\n"
+        assert codes(src, ANALYSIS) == []
+
+    def test_normalize_outside_estimators_is_fine(self):
+        assert codes("w = normalize(v)\n", "src/repro/engine/backends.py") == []
+
+
+class TestHarness:
+    def test_syntax_error_reported_not_raised(self):
+        vs = check_source("def broken(:\n", "src/repro/engine/analysis.py")
+        assert [v.code for v in vs] == ["LR000"]
+
+    def test_violation_format(self):
+        (v,) = check_source("f = lambda i: i\n", PROCESS)
+        assert str(v).startswith(f"{PROCESS}:1:")
+        assert "LR001" in str(v)
+
+    def test_repo_lints_clean(self):
+        """The invariant CI enforces: the real tree has no violations."""
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "lint_rules.py"),
+             "src", "tests", "benchmarks", "examples"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_cli_exit_code_on_violation(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "engine" / "process.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("f = lambda i: i\n")
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "lint_rules.py"), str(tmp_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "LR001" in proc.stdout

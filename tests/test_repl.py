@@ -114,6 +114,14 @@ class TestBackendsAndBatch:
         out = repl.eval_line("plan map(pi_1) o mu")
         assert "fusion:" in out and "fused kernel" in out
 
+    def test_plan_shows_routing_facts(self, repl):
+        out = repl.eval_line("plan map(pi_1) o mu")
+        assert "facts: symbolic=" in out
+        assert "fused-spans=[0:2)x2" in out
+        assert "shape=set" in out
+        out = repl.eval_line("plan ormap(normalize) o settoor")
+        assert "symbolic=yes" in out and "short-circuit=yes" in out
+
     def test_applymany(self, repl):
         repl.eval_line("let a = {<1, 2>}")
         repl.eval_line("let b = {<3>}")

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Project-specific AST lint rules the generic linters cannot express.
+
+Three invariants of this engine are architectural, not stylistic, and a
+violation is a latent bug that no unit test reliably catches:
+
+* **LR001 — no lambdas in transport-path modules.**  The callables
+  defined in :mod:`repro.lang.primitives` and :mod:`repro.engine.process`
+  are pickled into plans shipped to process-pool workers.  A lambda
+  never pickles, so one stray lambda silently demotes the process
+  backend to its sequential fallback (and the purity analysis refuses
+  to certify it) — the failure is a performance cliff, not an error.
+
+* **LR002 — no unlocked ``DEFAULT_ENGINE`` mutation.**  The module-level
+  engine is documented safe for concurrent use; rebinding it or
+  assigning its attributes from outside :mod:`repro.engine` (where its
+  locking discipline lives) races every concurrent caller.
+
+* **LR003 — estimators must never normalize.**  The entire point of the
+  Section 6 cost model (:mod:`repro.engine.cost_model`,
+  :mod:`repro.engine.analysis`) is to bound ``size(normalize(x))``
+  *without* building the ``3^(n/3)`` worlds.  A ``normalize``/
+  ``possibilities`` call inside estimation code turns a static bound
+  into the exponential work it was supposed to avoid.
+
+Usage::
+
+    python tools/lint_rules.py src tests benchmarks
+
+Violations print as ``path:line:col: LR00x message`` and exit status 1.
+A deliberate exception is suppressed with an end-of-line comment
+``# lint: allow-LR001`` (rule-specific) or ``# lint: allow`` (any rule).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Modules whose callables ride inside pickled plans (LR001).
+TRANSPORT_PATH_MODULES = (
+    "src/repro/lang/primitives.py",
+    "src/repro/engine/process.py",
+)
+
+#: Modules that must bound normalization without performing it (LR003).
+ESTIMATOR_MODULES = (
+    "src/repro/engine/cost_model.py",
+    "src/repro/engine/analysis.py",
+)
+
+#: The one module allowed to create/own DEFAULT_ENGINE (LR002).
+ENGINE_HOME = "src/repro/engine/__init__.py"
+
+#: Call targets forbidden in estimator modules: each materializes worlds.
+NORMALIZING_CALLS = frozenset(
+    {"normalize", "normalize_with_strategy", "normalize_with_trace", "possibilities"}
+)
+
+
+class Violation:
+    __slots__ = ("path", "line", "col", "code", "message")
+
+    def __init__(self, path: str, line: int, col: int, code: str, message: str):
+        self.path = path
+        self.line = line
+        self.col = col
+        self.code = code
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _posix(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _suppressed(source_lines: list[str], line: int, code: str) -> bool:
+    if not 1 <= line <= len(source_lines):
+        return False
+    text = source_lines[line - 1]
+    marker = text.rpartition("# lint:")[2].strip().lower()
+    if not marker:
+        return False
+    return marker == "allow" or marker == f"allow-{code.lower()}"
+
+
+def check_source(source: str, path: str) -> list[Violation]:
+    """All rule violations in one module's *source* (path selects rules)."""
+    posix = _posix(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 1, 0, "LR000", f"syntax error: {exc.msg}")]
+    lines = source.splitlines()
+    out: list[Violation] = []
+
+    def report(node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if not _suppressed(lines, line, code):
+            out.append(Violation(path, line, getattr(node, "col_offset", 0), code, message))
+
+    transport = posix.endswith(TRANSPORT_PATH_MODULES)
+    estimator = posix.endswith(ESTIMATOR_MODULES)
+    engine_home = posix.endswith(ENGINE_HOME)
+
+    for node in ast.walk(tree):
+        if transport and isinstance(node, ast.Lambda):
+            report(
+                node,
+                "LR001",
+                "lambda in a transport-path module: lambdas never pickle, so "
+                "plans carrying one silently lose the process backend",
+            )
+        if not engine_home and _mutates_default_engine(node):
+            report(
+                node,
+                "LR002",
+                "mutation of DEFAULT_ENGINE outside repro.engine: the shared "
+                "engine's locking discipline lives there; build a local "
+                "Engine() instead",
+            )
+        if estimator and isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in NORMALIZING_CALLS:
+                report(
+                    node,
+                    "LR003",
+                    f"{name}() inside cost-estimation code: estimators must "
+                    "bound normalization without materializing worlds",
+                )
+    return out
+
+
+def _call_name(node: ast.Call) -> str | None:
+    fn = node.func
+    if isinstance(fn, ast.Name):
+        return fn.id
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    return None
+
+
+def _roots_in_default_engine(node: ast.AST) -> bool:
+    """Is *node* ``DEFAULT_ENGINE`` or an attribute/index path into it?"""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "DEFAULT_ENGINE"
+
+
+def _mutates_default_engine(node: ast.AST) -> bool:
+    targets: list[ast.AST] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    else:
+        return False
+    flat: list[ast.AST] = []
+    for t in targets:
+        if isinstance(t, (ast.Tuple, ast.List)):
+            flat.extend(t.elts)
+        else:
+            flat.append(t)
+    return any(
+        _roots_in_default_engine(t)
+        or (isinstance(t, ast.Name) and t.id == "DEFAULT_ENGINE")
+        for t in flat
+    )
+
+
+def check_path(path: Path) -> list[Violation]:
+    return check_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def iter_python_files(args: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for arg in args:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or ["src"]
+    violations: list[Violation] = []
+    for path in iter_python_files(targets):
+        violations.extend(check_path(path))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint_rules: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
