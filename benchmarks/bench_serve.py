@@ -19,6 +19,14 @@ engine:
   (speedup ≤ 1, recorded honestly); on multicore CI the processes
   genuinely overlap.  Each timing repetition uses freshly salted inputs
   so no backend benefits from memoized normal forms across repeats.
+* **robust-serving-under-faults** — the fault-tolerance scenario: an
+  overload burst (more concurrent clients than ``max_pending``) with a
+  seeded :class:`~repro.engine.faults.FaultPlan` injecting evaluation
+  errors and slowdowns.  The row records how the storm resolved — served
+  / shed / timed-out counts, retries, p99 latency — plus the
+  steady-state cost of the robustness layer itself: the throughput ratio
+  of a fully-armed engine (deadline, cost budget, admission control) to
+  a plain one on the duplicate-heavy mix, which must stay near 1.
 
 Run ``python benchmarks/bench_serve.py`` (add ``--quick`` for CI smoke
 sizes) to print the table and write ``BENCH_serve.json`` next to this
@@ -36,7 +44,9 @@ import pathlib
 import random
 import time
 
-from repro.engine import Engine, ProcessBackend, default_process_count
+from repro.engine import Engine, ProcessBackend, default_process_count, faults
+from repro.engine.faults import FaultPlan, FaultRule
+from repro.errors import DeadlineExceeded, Overloaded
 from repro.io import run_json, value_to_json
 from repro.lang.parser import parse_morphism
 from repro.serve import AsyncEngine
@@ -78,6 +88,76 @@ def _best_of(fn, repeat: int = 3) -> float:
 
 async def _serve_concurrently(query: str, batch: list) -> tuple[list, dict]:
     async with AsyncEngine(batch_window=0.02, max_batch=1024) as engine:
+        results = await engine.run_many(query, batch)
+        return results, engine.stats()
+
+
+#: The benchmark's seeded fault storm: a couple of failed batch
+#: evaluations (forcing the individual-retry pass) and a couple of slow
+#: ones (driving the deadline machinery).
+STORM = FaultPlan(
+    seed=7,
+    rules=(
+        FaultRule("serve.eval", "error", times=2),
+        FaultRule("serve.eval", "slow", times=2, delay=0.02),
+    ),
+)
+
+
+async def _serve_under_storm(
+    query: str, batch: list, *, max_pending: int, timeout: float
+) -> tuple[dict, dict, float]:
+    """The overload burst: every client fires at once into a small queue.
+
+    Returns (outcome counts, engine stats, p99 latency in seconds).  The
+    invariant the pytest gate asserts: every admitted *or* shed request
+    resolves — the counts add up to the burst size.
+    """
+    outcomes = {"served": 0, "shed": 0, "deadline": 0, "failed": 0}
+    latencies: list[float] = []
+
+    async with AsyncEngine(
+        batch_window=0.005,
+        max_batch=1024,
+        max_pending=max_pending,
+        default_timeout=timeout,
+    ) as engine:
+
+        async def one_client(value) -> None:
+            start = time.perf_counter()
+            try:
+                await engine.run_json(query, value)
+                outcomes["served"] += 1
+            except Overloaded:
+                outcomes["shed"] += 1
+            except DeadlineExceeded:
+                outcomes["deadline"] += 1
+            except Exception:  # noqa: BLE001 — injected faults land here
+                outcomes["failed"] += 1
+            latencies.append(time.perf_counter() - start)
+
+        await asyncio.gather(*(one_client(v) for v in batch))
+        stats = engine.stats()
+
+    latencies.sort()
+    p99 = latencies[min(len(latencies) - 1, int(0.99 * len(latencies)))]
+    return outcomes, stats, p99
+
+
+async def _serve_armed(query: str, batch: list) -> tuple[list, dict]:
+    """The duplicate-heavy mix with every robustness guard switched on.
+
+    The limits are generous (nothing sheds, nothing expires), so the
+    timing isolates the per-request cost of admission control, the
+    static cost estimate and the deadline plumbing.
+    """
+    async with AsyncEngine(
+        batch_window=0.02,
+        max_batch=1024,
+        max_pending=4096,
+        default_timeout=60.0,
+        cost_budget=1_000_000,
+    ) as engine:
         results = await engine.run_many(query, batch)
         return results, engine.stats()
 
@@ -142,6 +222,41 @@ def _workloads(quick: bool = False) -> list[dict]:
         }
     )
     eng.backends["process"].close()
+
+    # 3. robust-serving-under-faults: overload burst + injected faults,
+    # then the steady-state price of the robustness layer itself.
+    burst, distinct, width = (48, 6, 5) if quick else (160, 10, 6)
+    storm_batch = _multi_world_batch(burst, distinct, width)
+    with faults.active_plan(STORM):
+        outcomes, stats, p99 = asyncio.run(
+            _serve_under_storm("normalize", storm_batch, max_pending=8, timeout=5.0)
+        )
+    assert sum(outcomes.values()) == burst, "every request must resolve"
+
+    plain_batch = _multi_world_batch(total, distinct, width)
+    t_plain = _best_of(
+        lambda: asyncio.run(_serve_concurrently("normalize", plain_batch))
+    )
+    t_robust = _best_of(
+        lambda: asyncio.run(_serve_armed("normalize", plain_batch))
+    )
+    results.append(
+        {
+            "workload": "robust-serving-under-faults",
+            "burst": burst,
+            "max_pending": 8,
+            "served": outcomes["served"],
+            "shed": outcomes["shed"],
+            "deadline": outcomes["deadline"],
+            "failed": outcomes["failed"],
+            "retries": stats["retries"],
+            "timeouts": stats["timeouts"],
+            "p99_latency_s": p99,
+            "plain_s": t_plain,
+            "robust_s": t_robust,
+            "steady_state_overhead": t_robust / t_plain,
+        }
+    )
     return results
 
 
@@ -150,6 +265,15 @@ def main() -> None:
     results = _workloads(quick=args.quick)
     print(f"{'workload':<28} {'baseline (ms)':>14} {'served (ms)':>12} {'speedup':>8}")
     for row in results:
+        if row["workload"] == "robust-serving-under-faults":
+            print(
+                f"{row['workload']:<28} burst={row['burst']}"
+                f" served={row['served']} shed={row['shed']}"
+                f" deadline={row['deadline']} failed={row['failed']}"
+                f" retries={row['retries']} p99={row['p99_latency_s'] * 1000:.2f}ms"
+                f" overhead={row['steady_state_overhead']:.2f}x"
+            )
+            continue
         base = row.get("sequential_s", row.get("thread_s"))
         new = row.get("async_s", row.get("process_s"))
         print(
@@ -185,6 +309,35 @@ def test_async_serving_beats_sequential_loop_on_duplicates():
     # Deduplication evaluates each distinct world once; 0.8 keeps timing
     # noise out of CI.
     assert t_async <= t_seq * 0.8, (t_async, t_seq)
+
+
+def test_storm_resolves_every_request():
+    # The fault-tolerance claim on the bench workload: under an overload
+    # burst with injected evaluation faults, every request resolves —
+    # served, shed with a retry hint, or failed with a typed error.
+    batch = _multi_world_batch(total=48, distinct=6, width=5)
+    with faults.active_plan(STORM):
+        outcomes, stats, p99 = asyncio.run(
+            _serve_under_storm("normalize", batch, max_pending=8, timeout=5.0)
+        )
+    assert sum(outcomes.values()) == len(batch)
+    assert outcomes["served"] > 0
+    assert stats["pending"] == 0
+    assert p99 > 0.0
+
+
+def test_robustness_layer_steady_state_overhead_is_small():
+    # Acceptance: <10% steady-state regression.  The pytest gate is
+    # looser (50%) to keep shared-runner timing noise out of CI; the
+    # honest ratio lands in BENCH_serve.json.
+    batch = _multi_world_batch(total=80, distinct=8, width=6)
+    plain, _ = asyncio.run(_serve_concurrently("normalize", batch))
+    armed, stats = asyncio.run(_serve_armed("normalize", batch))
+    assert armed == plain, "the robustness guards must not change results"
+    assert stats["shed"] == 0 and stats["timeouts"] == 0
+    t_plain = _best_of(lambda: asyncio.run(_serve_concurrently("normalize", batch)))
+    t_armed = _best_of(lambda: asyncio.run(_serve_armed("normalize", batch)))
+    assert t_armed <= t_plain * 1.5, (t_armed, t_plain)
 
 
 def test_process_backend_matches_eager_on_bench_workload():

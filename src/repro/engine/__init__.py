@@ -62,6 +62,7 @@ from repro.engine.analysis import (
     format_facts,
     plan_facts,
 )
+from repro.engine import faults
 from repro.engine.backends import BACKENDS, Backend, EagerBackend, StreamingBackend
 from repro.engine.columnar import Arena, FusedBackend
 from repro.engine.cost_model import (
@@ -69,10 +70,17 @@ from repro.engine.cost_model import (
     PlanProfile,
     ShapeEstimate,
     annotate_plan,
+    estimate_json,
     estimate_morphism_cost,
     estimate_value,
     plan_profile,
     select_backend,
+)
+from repro.engine.deadline import (
+    Deadline,
+    checkpoint,
+    current_deadline,
+    deadline_scope,
 )
 from repro.engine.interning import Interner
 from repro.engine.parallel import ParallelBackend, ShardedBackend, default_worker_count
@@ -88,6 +96,7 @@ from repro.engine.passes import (
     optimize_morphism,
 )
 from repro.engine.plan import Plan, PlanNode, compile_plan
+from repro.engine.supervisor import CircuitBreaker, Supervisor
 from repro.engine.symbolic import (
     ChoiceSpace,
     SymbolicBackend,
@@ -148,6 +157,7 @@ __all__ = [
     "default_process_count",
     "ShapeEstimate",
     "estimate_value",
+    "estimate_json",
     "estimate_morphism_cost",
     "annotate_plan",
     "PlanProfile",
@@ -164,6 +174,13 @@ __all__ = [
     "PlanVerificationError",
     "PassVerificationError",
     "verification_enabled",
+    "Deadline",
+    "deadline_scope",
+    "current_deadline",
+    "checkpoint",
+    "CircuitBreaker",
+    "Supervisor",
+    "faults",
 ]
 
 
@@ -189,6 +206,19 @@ class Engine:
         self.max_plans = max_plans
         self._plans: OrderedDict[tuple[Morphism, bool], Plan] = OrderedDict()
         self._lock = threading.Lock()
+
+    def _available(self) -> dict[str, Backend]:
+        """The backends the adaptive selector may route to right now.
+
+        A supervised backend whose circuit breaker is open reports
+        ``healthy() == False`` and is dropped from the candidate set, so
+        ``backend="auto"`` degrades around it (process → parallel) until
+        the breaker half-opens and a probe heals it.  Explicit
+        ``backend="name"`` requests bypass this filter — their supervised
+        fallbacks keep them safe.
+        """
+        healthy = {name: b for name, b in self.backends.items() if b.healthy()}
+        return healthy if healthy else self.backends
 
     # -- compilation -------------------------------------------------------
 
@@ -271,7 +301,7 @@ class Engine:
             concrete,
             existential=existential,
             world_query=existential,
-            available=self.backends,
+            available=self._available(),
         )
         return (
             plan.describe()
@@ -319,10 +349,11 @@ class Engine:
         existential: bool = False,
     ) -> Value:
         """Resolve *backend* (adaptively for ``"auto"``) and execute."""
+        checkpoint("engine dispatch")
         if backend != "auto":
             return self._backend(backend).execute(plan, concrete, interner)
         choice = select_backend(
-            plan, concrete, existential=existential, available=self.backends
+            plan, concrete, existential=existential, available=self._available()
         )
         chosen = self.backends[choice.backend]
         if choice.shards is not None and isinstance(chosen, ShardedBackend):
@@ -391,7 +422,7 @@ class Engine:
             # many threads hammering pool.map concurrently).
             proc = self.backends.get("process")
             if isinstance(proc, ProcessBackend) and all(
-                select_backend(plan, v, available=self.backends).backend == "process"
+                select_backend(plan, v, available=self._available()).backend == "process"
                 for v in unique
             ):
                 chosen = proc
@@ -441,7 +472,7 @@ class Engine:
             concrete = interner.intern(concrete)
         if backend == "auto":
             choice = select_backend(
-                plan, concrete, existential=True, available=self.backends
+                plan, concrete, existential=True, available=self._available()
             )
             chosen = self.backends[choice.backend]
         else:
@@ -460,7 +491,7 @@ class Engine:
                 concrete,
                 existential=True,
                 world_query=True,
-                available=self.backends,
+                available=self._available(),
             )
             return self.backends[choice.backend]
         return self._backend(backend)
@@ -607,7 +638,7 @@ class Engine:
             ensure_value(value),
             existential=existential,
             world_query=world_query,
-            available=self.backends,
+            available=self._available(),
         )
 
     def _backend(self, name: str) -> Backend:

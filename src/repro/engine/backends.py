@@ -55,6 +55,7 @@ from repro.values.values import (
     Value,
 )
 
+from repro.engine.deadline import checkpoint
 from repro.engine.interning import Interner
 from repro.engine.plan import MAP_KINDS, Plan
 
@@ -68,6 +69,18 @@ class Backend:
 
     def execute(self, plan: Plan, value: Value, interner: Interner | None = None) -> Value:
         raise NotImplementedError
+
+    def healthy(self) -> bool:
+        """May the adaptive selector route new work here?
+
+        The default backend is always available; supervised backends
+        (the process pool) override this with their circuit-breaker
+        state, and :class:`~repro.engine.Engine` drops unhealthy names
+        from ``select_backend(available=)`` until they heal.  Explicit
+        ``backend="name"`` requests bypass the health check — the
+        supervised fallbacks keep them safe.
+        """
+        return True
 
     def possibilities(
         self, plan: Plan, value: Value, interner: Interner | None = None
@@ -84,6 +97,7 @@ class EagerBackend(Backend):
     name = "eager"
 
     def execute(self, plan: Plan, value: Value, interner: Interner | None = None) -> Value:
+        checkpoint("eager execution")
         if interner is None:
             return plan.bind()(value)
         # The interner owns the bound-closure memo (not the plan): a
@@ -201,6 +215,7 @@ class StreamingBackend(Backend):
     ) -> "Value | _Stream":
         node = plan.nodes[idx]
         op = node.op
+        checkpoint("streaming stage")
         if op == "id":
             return value
         if op == "chain":
@@ -214,6 +229,7 @@ class StreamingBackend(Backend):
 
             def mapped(elems=stream.elems, body=body):
                 for e in elems:
+                    checkpoint("streaming map")
                     yield _materialize(self._eval(plan, body, e, leaf, bound))
 
             return _Stream(kind, mapped())

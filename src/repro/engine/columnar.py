@@ -61,6 +61,7 @@ from repro.lang.primitives import (
 from repro.values.values import Atom, Value, sort_key, use_sort_key_cache
 
 from repro.engine.backends import _MU, _RETAG, _WRAPPER_OF, BACKENDS, Backend
+from repro.engine.deadline import checkpoint
 from repro.engine.interning import Interner
 from repro.engine.plan import Plan, PlanNode, _linearize
 
@@ -538,8 +539,14 @@ def _run_unique(arena: Arena) -> Arena:
 
 
 def run_stages(stages: list, arena: Arena) -> Arena:
-    """Run prepared fused stages over *arena*, column to column."""
+    """Run prepared fused stages over *arena*, column to column.
+
+    The per-stage checkpoint keeps fused kernels cooperatively
+    cancellable at stage granularity without a per-element branch in
+    the tight column loops.
+    """
     for stage in stages:
+        checkpoint("fused stage")
         tag = stage[0]
         if tag == "map":
             arena = _run_map(stage, arena)

@@ -73,6 +73,7 @@ __all__ = [
     "estimate_value",
     "estimate_m_value",
     "estimate_normalized_size",
+    "estimate_json",
     "estimate_morphism_cost",
     "annotate_plan",
     "PlanProfile",
@@ -230,6 +231,70 @@ def estimate_m_value(v: Value) -> int:
 def estimate_normalized_size(v: Value) -> int:
     """Static upper bound on ``size(normalize(<v>))`` (never normalizes)."""
     return estimate_value(v).norm_size
+
+
+def estimate_json(data: object) -> ShapeEstimate:
+    """:func:`estimate_value` straight off the JSON value encoding.
+
+    The admission layer's cost guard (:class:`repro.serve.AsyncEngine`)
+    must price a request *before* committing any evaluation resources to
+    it, so this walks the :func:`repro.io.value_to_json` structure
+    directly — same recursion as :func:`_estimate`, no
+    :class:`~repro.values.values.Value` construction.  Deliberately
+    lenient: an unrecognizable fragment is priced as an atom instead of
+    raising, so a malformed request still reaches the decoder and fails
+    with its canonical error rather than a guard artifact.  The
+    Proposition 6.1 innermost-arity cap is skipped (it needs the typed
+    value), so the bound here can be looser than ``estimate_value``'s —
+    still sound, which is all a guard needs.
+    """
+    worlds, norm, size, orsets, width = _estimate_json(data, top=True)
+    return ShapeEstimate(worlds, norm, size, width, orsets)
+
+
+def _estimate_json(
+    data: object, top: bool = False
+) -> tuple[int, int, int, int, int | None]:
+    """(worlds, norm_size, size, orsets, top_width) for a JSON fragment."""
+    width: int | None = None
+    if not isinstance(data, dict):
+        return 1, 1, 1, 0, width
+    if "pair" in data and isinstance(data["pair"], list) and len(data["pair"]) == 2:
+        wa, na, sa, oa, _ = _estimate_json(data["pair"][0])
+        wb, nb, sb, ob, _ = _estimate_json(data["pair"][1])
+        return wa * wb, wb * na + wa * nb, sa + sb, oa + ob, width
+    for key in ("inl", "inr"):
+        if key in data:
+            w, n, s, o, _ = _estimate_json(data[key])
+            return w, n, s, o, width
+    if "orset" in data and isinstance(data["orset"], list):
+        worlds = norm = size = orsets = 0
+        for e in data["orset"]:
+            w, n, s, o, _ = _estimate_json(e)
+            worlds += w
+            norm += n
+            size += s
+            orsets += o
+        if top:
+            width = len(data["orset"])
+        return worlds, norm, size, 1 + orsets, width
+    for key in ("set", "bag"):
+        if key in data and isinstance(data[key], list):
+            worlds, size, orsets = 1, 0, 0
+            parts: list[tuple[int, int]] = []
+            for e in data[key]:
+                w, n, s, o, _ = _estimate_json(e)
+                parts.append((w, n))
+                worlds *= w
+                size += s
+                orsets += o
+            if top:
+                width = len(data[key])
+            if worlds == 0:
+                return 0, 0, size, orsets, width
+            norm = sum(n * (worlds // w) for w, n in parts)
+            return worlds, norm, size, orsets, width
+    return 1, 1, 1, 0, width
 
 
 # -- morphism cost -----------------------------------------------------------

@@ -60,6 +60,7 @@ from repro.values.values import Value
 from repro.engine.backends import _MU, _RETAG, _WRAPPER_OF, BACKENDS, Backend
 from repro.engine.columnar import Arena, compile_stages, encode_input, run_stages
 from repro.engine.cost_model import PARALLEL_BREAK_EVEN_WORK, estimate_value
+from repro.engine.deadline import checkpoint
 from repro.engine.interning import Interner
 from repro.engine.plan import MAP_KINDS, Plan, PlanNode
 
@@ -101,8 +102,19 @@ def _materialize(x: "Value | _Shards") -> Value:
 
 
 def apply_body_to_chunk(body: Callable[[Value], Value], chunk: list[Value]) -> list[Value]:
-    """Apply a compiled map body to every element of one shard."""
-    return [body(e) for e in chunk]
+    """Apply a compiled map body to every element of one shard.
+
+    The per-element :func:`~repro.engine.deadline.checkpoint` is the
+    sharded walk's cooperative cancellation point — free when no
+    deadline is installed, and a no-op inside process-pool workers
+    (the deadline context never crosses the pickle boundary; the
+    coordinator enforces it pool-side instead).
+    """
+    out: list[Value] = []
+    for e in chunk:
+        checkpoint("sharded map body")
+        out.append(body(e))
+    return out
 
 
 def flatten_chunk(chunk: list[Value], wrapper: type, noun: str) -> list[Value]:
@@ -266,6 +278,7 @@ class ShardedBackend(Backend):
     ) -> "Value | _Shards":
         node = plan.nodes[idx]
         op = node.op
+        checkpoint("sharded stage")
         if op == "id":
             return value
         if op == "chain":

@@ -22,8 +22,27 @@ in a :class:`~concurrent.futures.ProcessPoolExecutor`:
 * **graceful degradation** — a plan that does not pickle (a user
   primitive wrapping a lambda, say) falls back to eager execution in the
   coordinating process (counted in ``stats()["pickle_fallbacks"]``), and
-  a broken pool is torn down and the shards re-run locally, so
-  ``backend="process"`` is *always* semantically safe.
+  a broken pool is handled by *supervised recovery*
+  (:meth:`ProcessBackend._supervised`): the pool is torn down and
+  rebuilt up to ``restarts`` times with seeded, jittered backoff
+  (:class:`~repro.engine.supervisor.Supervisor`) before the shards
+  re-run locally, so ``backend="process"`` is *always* semantically
+  safe.  Repeated incidents trip a
+  :class:`~repro.engine.supervisor.CircuitBreaker`; while it is open,
+  :meth:`ProcessBackend.healthy` answers ``False`` and the adaptive
+  selector routes around the backend until the breaker half-opens and a
+  probe succeeds.
+
+Requests carrying a deadline (:mod:`repro.engine.deadline`) are
+enforced coordinator-side: shard futures are awaited with
+``result(timeout=remaining)`` and an expired wait cancels the
+outstanding futures and raises
+:class:`~repro.errors.DeadlineExceeded` — workers cannot observe the
+coordinator's context variable across the pickle boundary, so the
+coordinator polices the clock for them.  The deterministic
+fault-injection harness (:mod:`repro.engine.faults`) hooks the
+coordinator submission site (``process.pool``) and the three worker
+entry points.
 
 The backend registers itself as ``BACKENDS["process"]``;
 ``backend="auto"`` reaches it through
@@ -41,18 +60,24 @@ import hashlib
 import os
 import pickle
 import threading
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from itertools import repeat
-from typing import Callable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
+from repro.errors import DeadlineExceeded
 from repro.values.values import Value
 
+from repro.engine import faults
 from repro.engine.analysis import plan_facts
 from repro.engine.backends import BACKENDS
 from repro.engine.columnar import Arena, compile_stages, run_stages
+from repro.engine.deadline import current_deadline
+from repro.engine.faults import InjectedFault
 from repro.engine.interning import Interner
 from repro.engine.parallel import ShardedBackend, even_chunks, even_ranges
 from repro.engine.plan import Plan, PlanNode
+from repro.engine.supervisor import CircuitBreaker, Supervisor
 
 __all__ = ["ProcessBackend", "default_process_count"]
 
@@ -135,6 +160,7 @@ def _run_chunk_remote(
     into the worker's private arena so repeated elements share one
     memoized normalization within the worker.
     """
+    faults.fire("process.worker_chunk")
     state, key, plan = _worker_plan(payload)
     idx = plan.root if body_idx is None else body_idx
     interner: Interner = state["interner"]
@@ -155,6 +181,7 @@ def _run_fused_slice_remote(
     happens for the common all-atoms spine.  The compiled stage list is
     cached per (plan, node) like the bound closures.
     """
+    faults.fire("process.worker_fused")
     state, key, plan = _worker_plan(payload)
     interner: Interner = state["interner"]
     stages = state["bound"].get((key, node_idx, "fused"))
@@ -170,6 +197,7 @@ def _run_fused_slice_remote(
 
 def _worker_ping(_i: int) -> int:
     """No-op worker task used by :meth:`ProcessBackend.warm`."""
+    faults.fire("process.worker_ping")
     return os.getpid()
 
 
@@ -203,6 +231,8 @@ class ProcessBackend(ShardedBackend):
         max_workers: int | None = None,
         min_shard: int = 32,
         mp_context=None,
+        supervisor: Supervisor | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         super().__init__(
             max_workers=max_workers if max_workers is not None else default_process_count(),
@@ -212,9 +242,12 @@ class ProcessBackend(ShardedBackend):
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._payloads: dict[int, tuple[Plan, bytes | None]] = {}
+        self.supervisor = supervisor if supervisor is not None else Supervisor()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.remote_chunks = 0
         self.pickle_fallbacks = 0
         self.pool_fallbacks = 0
+        self.pool_restarts = 0
 
     # -- pool --------------------------------------------------------------
 
@@ -242,16 +275,14 @@ class ProcessBackend(ShardedBackend):
         main thread before concurrency begins; with all workers already
         alive, later submits never fork.
         """
-        pool = self._executor()
-        if pool is None:
+        if self._executor() is None:
             return
-        try:
-            # One task per worker forces the pool to spawn its full
-            # complement (workers are created one per pending submit).
-            list(pool.map(_worker_ping, range(self.max_workers)))
-        except BrokenExecutor:
-            self._discard_pool()
-            self._count("pool_fallbacks")
+        # One task per worker forces the pool to spawn its full
+        # complement (workers are created one per pending submit).
+        def attempt() -> list:
+            return self._pool_map(self._executor(), _worker_ping, range(self.max_workers))
+
+        self._supervised(attempt)
 
     def close(self) -> None:
         """Shut the worker pool down (a later execute reopens it)."""
@@ -271,6 +302,89 @@ class ProcessBackend(ShardedBackend):
         # unguarded += would lose increments under concurrency.
         with self._pool_lock:
             setattr(self, counter, getattr(self, counter) + n)
+
+    # -- supervision -------------------------------------------------------
+
+    def healthy(self) -> bool:
+        """False while the circuit breaker is open (selector routes away)."""
+        return self.breaker.allow()
+
+    def _pool_map(
+        self,
+        pool: ProcessPoolExecutor | None,
+        fn: Callable,
+        *columns: Iterable,
+    ) -> list:
+        """``pool.map`` with coordinator-side deadline enforcement.
+
+        Without an ambient deadline this is a plain blocking map.  With
+        one, each shard is submitted as a future and awaited with the
+        deadline's remaining budget — workers never see the coordinator's
+        context variable (it does not survive pickling), so the
+        coordinator polices the clock: an expired wait cancels every
+        outstanding future and raises
+        :class:`~repro.errors.DeadlineExceeded`.  The fault-injection
+        site ``process.pool`` fires per attempt, before submission, so an
+        injected :class:`~repro.engine.faults.InjectedFault` exercises
+        the same supervised-recovery path as a genuinely broken pool.
+        """
+        faults.fire("process.pool")
+        if pool is None:  # pragma: no cover - callers gate on _executor()
+            raise BrokenExecutor("worker pool unavailable")
+        deadline = current_deadline()
+        if deadline is None:
+            return list(pool.map(fn, *columns))
+        # strict=False: the payload columns are itertools.repeat — the
+        # finite chunk column bounds the zip, exactly like pool.map.
+        futures: list[Future] = [
+            pool.submit(fn, *args) for args in zip(*columns, strict=False)
+        ]
+        results: list[Any] = []
+        try:
+            for future in futures:
+                remaining = deadline.remaining()
+                if remaining <= 0.0:
+                    raise FuturesTimeout
+                results.append(future.result(timeout=remaining))
+        except FuturesTimeout:
+            for future in futures:
+                future.cancel()
+            raise DeadlineExceeded(
+                "deadline exceeded waiting on process pool"
+            ) from None
+        return results
+
+    def _supervised(self, attempt: Callable[[], list]) -> list | None:
+        """Run one remote submission under the restart/breaker policy.
+
+        Returns the attempt's result, or ``None`` when the caller should
+        degrade to local execution: the breaker is open, or the pool
+        failed ``restarts + 1`` times in a row (each failure tears the
+        pool down so the next attempt forks fresh workers, and waits a
+        seeded jittered backoff).  :class:`~repro.errors.DeadlineExceeded`
+        is *not* retried — a request out of budget must fail now, not
+        after a backoff sleep.
+        """
+        restarts = self.supervisor.restarts
+        for trial in range(restarts + 1):
+            if not self.breaker.allow():
+                return None
+            try:
+                result = attempt()
+            except (BrokenExecutor, InjectedFault):
+                # A crashed worker (OOM kill, interpreter teardown) or an
+                # injected coordinator fault must not take the query down.
+                self._discard_pool()
+                self.breaker.record_failure()
+                if trial < restarts and self.breaker.allow():
+                    self._count("pool_restarts")
+                    self.supervisor.wait(trial)
+                    continue
+                self._count("pool_fallbacks")
+                return None
+            self.breaker.record_success()
+            return result
+        return None  # pragma: no cover - loop always returns
 
     # -- plan transport ----------------------------------------------------
 
@@ -344,15 +458,17 @@ class ProcessBackend(ShardedBackend):
         payload = self._payload(plan) if pool is not None else None
         if pool is None or payload is None:
             return super()._run_map_stage(plan, body_idx, chunks, leaf, bound)
-        try:
-            results = list(
-                pool.map(_run_chunk_remote, repeat(payload), repeat(body_idx), chunks)
+        def attempt() -> list:
+            return self._pool_map(
+                self._executor(),
+                _run_chunk_remote,
+                repeat(payload),
+                repeat(body_idx),
+                chunks,
             )
-        except BrokenExecutor:
-            # A crashed worker (OOM kill, interpreter teardown) must not
-            # take the query down: rebuild nothing, just run locally.
-            self._discard_pool()
-            self._count("pool_fallbacks")
+
+        results = self._supervised(attempt)
+        if results is None:
             return super()._run_map_stage(plan, body_idx, chunks, leaf, bound)
         self._count("remote_chunks", len(chunks))
         return results
@@ -373,20 +489,19 @@ class ProcessBackend(ShardedBackend):
         ranges = even_ranges(len(arena), n_slices)
         if len(ranges) <= 1:
             return None
-        try:
-            results = list(
-                pool.map(
-                    _run_fused_slice_remote,
-                    repeat(payload),
-                    repeat(node.idx),
-                    repeat(arena.kind),
-                    [arena.bases[a:b] for a, b in ranges],
-                    [arena.raws[a:b] for a, b in ranges],
-                )
+        def attempt() -> list:
+            return self._pool_map(
+                self._executor(),
+                _run_fused_slice_remote,
+                repeat(payload),
+                repeat(node.idx),
+                repeat(arena.kind),
+                [arena.bases[a:b] for a, b in ranges],
+                [arena.raws[a:b] for a, b in ranges],
             )
-        except BrokenExecutor:
-            self._discard_pool()
-            self._count("pool_fallbacks")
+
+        results = self._supervised(attempt)
+        if results is None:
             return None
         self._count("remote_chunks", len(ranges))
         bases: list = []
@@ -418,13 +533,13 @@ class ProcessBackend(ShardedBackend):
         if pool is None or payload is None or len(values) <= 1:
             return [self.execute(plan, v, interner) for v in values]
         chunks = even_chunks(list(values), fanout)
-        try:
-            shards = list(
-                pool.map(_run_chunk_remote, repeat(payload), repeat(None), chunks)
+        def attempt() -> list:
+            return self._pool_map(
+                self._executor(), _run_chunk_remote, repeat(payload), repeat(None), chunks
             )
-        except BrokenExecutor:
-            self._discard_pool()
-            self._count("pool_fallbacks")
+
+        shards = self._supervised(attempt)
+        if shards is None:
             return [self.execute(plan, v, interner) for v in values]
         self._count("remote_chunks", len(chunks))
         results = [r for shard in shards for r in shard]
@@ -434,13 +549,16 @@ class ProcessBackend(ShardedBackend):
 
     # -- bookkeeping -------------------------------------------------------
 
-    def stats(self) -> dict[str, int]:
-        """Transport and fallback counters (diagnostics and tests)."""
+    def stats(self) -> dict[str, int | str]:
+        """Transport, fallback and supervision counters (diagnostics/tests)."""
+        breaker_state = self.breaker.state
         with self._pool_lock:
             return {
                 "remote_chunks": self.remote_chunks,
                 "pickle_fallbacks": self.pickle_fallbacks,
                 "pool_fallbacks": self.pool_fallbacks,
+                "pool_restarts": self.pool_restarts,
+                "breaker": breaker_state,
                 "max_workers": self.max_workers,
             }
 

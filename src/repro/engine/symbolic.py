@@ -63,6 +63,7 @@ from repro.values.values import (
 
 from repro.engine.analysis import CHEAP_REAL_OPS, plan_facts
 from repro.engine.backends import BACKENDS, Backend, EagerBackend
+from repro.engine.deadline import checkpoint
 from repro.engine.interning import Interner
 from repro.engine.plan import Plan
 
@@ -315,6 +316,7 @@ class ChoiceSpace:
     def _iter_circuit(self) -> Iterator[Value]:
         seen: set[Value] = set()
         for model in self.circuit().iter_models():
+            checkpoint("symbolic model enumeration")
             world = self.decode(model)
             if world not in seen:
                 seen.add(world)
@@ -325,6 +327,10 @@ class ChoiceSpace:
         clauses = list(self._clauses)
         n = self._n_vars
         while True:
+            # One checkpoint per solver restart: each blocking-clause
+            # round is a fresh CDCL solve, the natural boundary at which
+            # a deadline can interrupt enumeration.
+            checkpoint("symbolic solver restart")
             model = dpll_solve(CNF(n, tuple(clauses)))
             if model is None:
                 return
@@ -400,6 +406,7 @@ class ChoiceSpace:
                 candidates.setdefault(branch_value, []).append(pattern)
         base = self._clauses
         for candidate, patterns in candidates.items():
+            checkpoint("symbolic certain membership")
             if candidate in certain:
                 continue
             # Certain iff "no world omits it": CNF plus, per occurrence,
@@ -420,6 +427,7 @@ class ChoiceSpace:
         base = self._clauses
         for patterns, values in sites:
             for pattern, branch_value in zip(patterns, values, strict=True):
+                checkpoint("symbolic possible membership")
                 if branch_value in possible:
                     continue
                 chosen = tuple(base) + tuple(

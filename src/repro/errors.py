@@ -13,6 +13,20 @@ which things can go wrong:
   inconsistent state (a rewrite applied at a position that is not a redex).
 * :class:`EligibilityError` — ``preserve(f)`` was requested for a morphism
   outside the syntactic class of Theorem 5.1 / Proposition 5.2.
+
+The robustness layer (deadlines, admission control, degradation —
+``repro.engine.deadline`` and ``repro.serve``) adds three operational
+errors, all still under :class:`OrNRAError` so a catch-all client keeps
+working:
+
+* :class:`DeadlineExceeded` — a request's deadline expired at a
+  cooperative checkpoint inside evaluation (also a ``TimeoutError``).
+* :class:`Overloaded` — admission control shed the request; carries a
+  ``retry_after`` hint in seconds.
+* :class:`CostBudgetExceeded` — the static
+  :class:`~repro.engine.cost_model.ShapeEstimate` of the input exceeds
+  the configured per-request budget, so evaluation was refused before it
+  started.
 """
 
 from __future__ import annotations
@@ -46,3 +60,34 @@ class NormalizationError(OrNRAError, RuntimeError):
 
 class EligibilityError(OrNRAError, ValueError):
     """A morphism is outside the class covered by the losslessness theorem."""
+
+
+class DeadlineExceeded(OrNRAError, TimeoutError):
+    """A request's deadline expired at a cooperative evaluation checkpoint."""
+
+
+class Overloaded(OrNRAError, RuntimeError):
+    """Admission control shed this request (bounded queue is full).
+
+    ``retry_after`` is the server's hint, in seconds, for when capacity
+    is likely to be available again.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.05) -> None:
+        self.retry_after = retry_after
+        super().__init__(f"{message} (retry after {retry_after:.3f}s)")
+
+
+class CostBudgetExceeded(OrNRAError, ValueError):
+    """A request's static cost estimate exceeds the configured budget.
+
+    Raised *before* any evaluation: the admission layer's cost guard
+    compares the input's :class:`~repro.engine.cost_model.ShapeEstimate`
+    against the per-request budget and refuses inputs that would blow
+    past it, so a pathological input never occupies a worker.
+    """
+
+    def __init__(self, message: str, estimated: int, budget: int) -> None:
+        self.estimated = estimated
+        self.budget = budget
+        super().__init__(f"{message} (estimated {estimated} > budget {budget})")

@@ -185,7 +185,29 @@ def parsed_morphism(program):
     return _parse_morphism_cached(program)
 
 
-def run_text(morphism_text: str, value_text: str, backend: str = "eager") -> str:
+def _deadline_scope(timeout: float | None):
+    """A deadline context for the evaluation helpers.
+
+    ``timeout=None`` (the default) inherits whatever deadline is already
+    ambient — notably the serving layer's per-request deadline — so a
+    nested helper call never silently *extends* a request's budget.
+    """
+    from repro.engine import Deadline, deadline_scope
+
+    deadline = Deadline.after(timeout) if timeout is not None else None
+    if deadline is None:
+        from contextlib import nullcontext
+
+        return nullcontext()
+    return deadline_scope(deadline)
+
+
+def run_text(
+    morphism_text: str,
+    value_text: str,
+    backend: str = "eager",
+    timeout: float | None = None,
+) -> str:
     """Parse, compile and run a query; both sides in the paper notation.
 
     The batch-mode counterpart of the REPL's ``apply``: the program goes
@@ -193,6 +215,8 @@ def run_text(morphism_text: str, value_text: str, backend: str = "eager") -> str
     calls share compiled plans.  Values are *not* interned — these
     helpers serve arbitrary one-shot inputs, and the default engine's
     arena pins everything it interns for the process lifetime.
+    *timeout* (seconds) bounds the evaluation: past it, the engine's
+    cooperative checkpoints raise :class:`~repro.errors.DeadlineExceeded`.
 
     >>> run_text("ormap(map(pi_1)) o alpha", "{<(1, 2), (3, 4)>}")
     '<{1}, {3}>'
@@ -200,29 +224,37 @@ def run_text(morphism_text: str, value_text: str, backend: str = "eager") -> str
     from repro.engine import run
     from repro.lang.parser import parse_value
 
-    result = run(
-        parsed_morphism(morphism_text),
-        parse_value(value_text),
-        backend=backend,
-        intern=False,
-    )
+    with _deadline_scope(timeout):
+        result = run(
+            parsed_morphism(morphism_text),
+            parse_value(value_text),
+            backend=backend,
+            intern=False,
+        )
     return format_value(result)
 
 
-def run_json(morphism_text: str, value_json: object, backend: str = "eager") -> object:
+def run_json(
+    morphism_text: str,
+    value_json: object,
+    backend: str = "eager",
+    timeout: float | None = None,
+) -> object:
     """Run a query over the JSON value encoding (interchange endpoint).
 
     The program is given in the surface syntax, the input and output in
-    the :func:`value_to_json` structure.
+    the :func:`value_to_json` structure.  *timeout* bounds the
+    evaluation (see :func:`run_text`).
     """
     from repro.engine import run
 
-    result = run(
-        parsed_morphism(morphism_text),
-        value_from_json(value_json),
-        backend=backend,
-        intern=False,
-    )
+    with _deadline_scope(timeout):
+        result = run(
+            parsed_morphism(morphism_text),
+            value_from_json(value_json),
+            backend=backend,
+            intern=False,
+        )
     return value_to_json(result)
 
 
@@ -304,6 +336,7 @@ def run_text_many(
     value_texts: list[str],
     backend: str = "eager",
     max_workers: int | None = None,
+    timeout: float | None = None,
 ) -> list[str]:
     """Batched :func:`run_text`: parse and compile once, fan out.
 
@@ -312,18 +345,20 @@ def run_text_many(
     memoized normal forms) are computed once — and nothing stays pinned
     in the default engine's arena after the call returns.  *morphism_text*
     may also be a pre-resolved Morphism; *max_workers* bounds the batch's
-    fan-out (``0``/``1`` for strictly sequential).
+    fan-out (``0``/``1`` for strictly sequential); *timeout* bounds the
+    whole batch's evaluation (see :func:`run_text`).
     """
     from repro.engine import DEFAULT_ENGINE, Interner
     from repro.lang.parser import parse_value
 
-    results = DEFAULT_ENGINE.run_many(
-        parsed_morphism(morphism_text),
-        [parse_value(text) for text in value_texts],
-        backend=backend,
-        interner=Interner(),
-        max_workers=max_workers,
-    )
+    with _deadline_scope(timeout):
+        results = DEFAULT_ENGINE.run_many(
+            parsed_morphism(morphism_text),
+            [parse_value(text) for text in value_texts],
+            backend=backend,
+            interner=Interner(),
+            max_workers=max_workers,
+        )
     return [format_value(r) for r in results]
 
 
@@ -332,6 +367,7 @@ def run_json_many(
     values_json: list,
     backend: str = "eager",
     max_workers: int | None = None,
+    timeout: float | None = None,
 ) -> list[object]:
     """Batched :func:`run_json`: parse and compile once, fan out.
 
@@ -346,15 +382,17 @@ def run_json_many(
     processes when ``backend="process"``.  Results come back in input
     order; nothing is pinned in the default engine's arena afterwards.
     *morphism_text* may also be a pre-resolved Morphism; *max_workers*
-    bounds the batch's fan-out (``0``/``1`` for strictly sequential).
+    bounds the batch's fan-out (``0``/``1`` for strictly sequential);
+    *timeout* bounds the whole batch's evaluation (see :func:`run_text`).
     """
     from repro.engine import DEFAULT_ENGINE, Interner
 
-    results = DEFAULT_ENGINE.run_many(
-        parsed_morphism(morphism_text),
-        [value_from_json(v) for v in values_json],
-        backend=backend,
-        interner=Interner(),
-        max_workers=max_workers,
-    )
+    with _deadline_scope(timeout):
+        results = DEFAULT_ENGINE.run_many(
+            parsed_morphism(morphism_text),
+            [value_from_json(v) for v in values_json],
+            backend=backend,
+            interner=Interner(),
+            max_workers=max_workers,
+        )
     return [value_to_json(r) for r in results]

@@ -318,6 +318,11 @@ class Repl:
             f"batch(es): {stats['unique_inputs']} unique, "
             f"{stats['deduped_inputs']} deduplicated"
         )
+        lines.append(
+            f"robustness: shed {stats['shed']}, timeouts {stats['timeouts']}, "
+            f"retries {stats['retries']}, degraded {stats['degraded']}, "
+            f"breaker {'open' if stats['breaker_open'] else 'closed'}"
+        )
         return "\n".join(lines)
 
 

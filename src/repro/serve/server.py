@@ -20,12 +20,46 @@ turns that stream back into batches:
   inside the batch still fan out across ``run_many``'s own pool (and
   whole worker processes under ``backend="process"``).
 
+Robustness — the admission layer is also where overload and slowness
+are turned into *bounded, typed* failures instead of unbounded queues
+and wedged threads:
+
+* **backpressure** — at most ``max_pending`` admitted-but-unresolved
+  requests; past that, admission sheds load with
+  :class:`~repro.errors.Overloaded` carrying a ``retry_after`` hint
+  (``stats()["shed"]``).
+* **cost guard** — with a ``cost_budget``, each input's static
+  :class:`~repro.engine.cost_model.ShapeEstimate` (via
+  :func:`~repro.engine.cost_model.estimate_json`, straight off the JSON
+  encoding) is checked *before* any evaluation; a predicted normalized
+  size over budget is rejected with
+  :class:`~repro.errors.CostBudgetExceeded` — the paper's Section 6
+  bounds as an admission policy.
+* **deadlines** — per-request ``timeout=`` (or the engine-wide
+  ``default_timeout``) becomes a :class:`~repro.engine.deadline.Deadline`
+  carried into the evaluation thread; the engine's cooperative
+  checkpoints raise :class:`~repro.errors.DeadlineExceeded` instead of
+  letting a pathological input wedge a worker thread
+  (``stats()["timeouts"]``).
+* **degradation** — :meth:`count_json` answers a world-count request
+  with the exact engine count, but near-deadline falls back to the
+  static Section 6 *upper bound* marked ``"approximate": true``
+  (``stats()["degraded"]``); deeper in the stack the process pool's
+  circuit breaker demotes ``backend="auto"`` routing process → parallel
+  (``stats()["breaker_open"]``).
+
 Failure isolation: if a batch evaluation fails (one malformed input,
 say), the group is retried input-by-input so only the offending
 requests see the error — no cross-request bleed, which the concurrency
 tests (``tests/serve/test_async_server.py``) assert along with clean
 shutdown: :meth:`AsyncEngine.close` stops admissions immediately but
-drains and serves every in-flight request before returning.
+drains and serves every in-flight request before returning, and a
+straggler that slips into the queue *after* the final drain is failed
+with :class:`ServerClosed` rather than left pending forever.  The
+fault-injection suite (``tests/serve/test_faults.py``) drives seeded
+crashes, slowdowns and malformed frames through
+:mod:`repro.engine.faults` and asserts the core invariant: **no
+admitted future is ever left unresolved**.
 
 All AsyncEngine methods must be called from the event loop that first
 used it (the standard asyncio single-loop discipline); evaluation — the
@@ -38,7 +72,8 @@ import asyncio
 import json
 from typing import Sequence
 
-from repro.io import run_json_many
+from repro.errors import CostBudgetExceeded, DeadlineExceeded, Overloaded
+from repro.io import count_worlds_json, run_json_many
 
 __all__ = ["AsyncEngine", "ServerClosed"]
 
@@ -51,15 +86,16 @@ _SHUTDOWN = object()
 
 
 class _Request:
-    """One admitted request: program, JSON input, dedupe key, its future."""
+    """One admitted request: program, JSON input, dedupe key, deadline, future."""
 
-    __slots__ = ("program", "value", "key", "future")
+    __slots__ = ("program", "value", "key", "future", "deadline")
 
-    def __init__(self, program, value, key, future) -> None:
+    def __init__(self, program, value, key, future, deadline=None) -> None:
         self.program = program
         self.value = value
         self.key = key
         self.future = future
+        self.deadline = deadline
 
 
 class AsyncEngine:
@@ -71,6 +107,16 @@ class AsyncEngine:
     (seconds; ``0`` batches only what is already queued); *max_batch*
     caps requests per batch; *max_workers* bounds the per-batch fan-out
     inside :func:`repro.io.run_json_many`.
+
+    Robustness knobs: *max_pending* bounds admitted-but-unresolved
+    requests (past it admission raises
+    :class:`~repro.errors.Overloaded`); *default_timeout* is the
+    per-request deadline in seconds when the caller passes none
+    (``None`` = unbounded); *cost_budget* rejects inputs whose static
+    normalized-size bound exceeds it
+    (:class:`~repro.errors.CostBudgetExceeded`) before any evaluation;
+    *degrade* lets :meth:`count_json` fall back to the static estimate
+    when the exact count runs out of deadline.
 
     Use as an async context manager, or call :meth:`close` explicitly::
 
@@ -85,14 +131,23 @@ class AsyncEngine:
         batch_window: float = 0.002,
         max_batch: int = 64,
         max_workers: int | None = None,
+        max_pending: int = 1024,
+        default_timeout: float | None = None,
+        cost_budget: int | None = None,
+        degrade: bool = True,
     ) -> None:
         self.backend = backend
         self.batch_window = batch_window
         self.max_batch = max(1, max_batch)
         self.max_workers = max_workers
+        self.max_pending = max(1, max_pending)
+        self.default_timeout = default_timeout
+        self.cost_budget = cost_budget
+        self.degrade = degrade
         self._queue: asyncio.Queue = asyncio.Queue()
         self._batcher: asyncio.Task | None = None
         self._closed = False
+        self._pending = 0
         self._stats = {
             "requests": 0,
             "batches": 0,
@@ -101,6 +156,11 @@ class AsyncEngine:
             "unique_inputs": 0,
             "deduped_inputs": 0,
             "errors": 0,
+            "shed": 0,
+            "cost_rejected": 0,
+            "timeouts": 0,
+            "retries": 0,
+            "degraded": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -127,17 +187,22 @@ class AsyncEngine:
 
         Requests admitted before ``close`` was called are still served —
         the batcher consumes the whole queue before exiting — so every
-        outstanding ``run_json`` future resolves.
+        outstanding ``run_json`` future resolves.  Anything that slips
+        into the queue *after* the batcher's final drain (an admission
+        that raced the shutdown) is failed with :class:`ServerClosed`
+        rather than abandoned.
         """
         if self._closed:
             if self._batcher is not None:
                 await asyncio.shield(self._batcher)
+            self._fail_stragglers()
             return
         self._closed = True
         if self._batcher is None:
             return
         self._queue.put_nowait(_SHUTDOWN)
         await asyncio.shield(self._batcher)
+        self._fail_stragglers()
 
     async def __aenter__(self) -> "AsyncEngine":
         return await self.start()
@@ -149,17 +214,77 @@ class AsyncEngine:
     def closed(self) -> bool:
         return self._closed
 
+    def _fail_stragglers(self) -> None:
+        """Fail every request still sitting in the queue with ServerClosed.
+
+        Only called once the batcher is gone — nothing will ever serve
+        these, and an unresolved future would hang its awaiter forever.
+        """
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if item is _SHUTDOWN:
+                continue
+            if not item.future.done():
+                item.future.set_exception(ServerClosed("AsyncEngine is closed"))
+
     # -- admission ---------------------------------------------------------
 
-    async def run_json(self, program, value_json) -> object:
+    def _admit(self, value_json, timeout: float | None):
+        """Shared admission policy: closed -> overload -> cost guard.
+
+        Returns the request's deadline (or ``None``) and registers the
+        caller in the pending gauge via the returned future's done
+        callback.
+        """
+        if self._closed:
+            raise ServerClosed("AsyncEngine is closed")
+        if self._pending >= self.max_pending:
+            self._stats["shed"] += 1
+            raise Overloaded(
+                "server at capacity",
+                retry_after=max(2 * self.batch_window, 0.05),
+            )
+        if self.cost_budget is not None:
+            from repro.engine import estimate_json
+
+            estimate = estimate_json(value_json)
+            if estimate.norm_size > self.cost_budget:
+                self._stats["cost_rejected"] += 1
+                raise CostBudgetExceeded(
+                    "input over the static cost budget",
+                    estimated=estimate.norm_size,
+                    budget=self.cost_budget,
+                )
+        seconds = timeout if timeout is not None else self.default_timeout
+        if seconds is None:
+            return None
+        from repro.engine import Deadline
+
+        return Deadline.after(seconds)
+
+    def _track(self, future) -> None:
+        self._pending += 1
+
+        def _done(_f) -> None:
+            self._pending -= 1
+
+        future.add_done_callback(_done)
+
+    async def run_json(self, program, value_json, *, timeout: float | None = None) -> object:
         """Admit one request and await its result.
 
         *program* is surface-syntax text (or a pre-resolved Morphism);
         *value_json* is the :func:`repro.io.value_to_json` encoding.
         Structurally equal concurrent requests share one evaluation.
+        *timeout* (seconds) overrides the engine's ``default_timeout``
+        for this request; past it the evaluation fails with
+        :class:`~repro.errors.DeadlineExceeded` at the engine's next
+        cooperative checkpoint.
         """
-        if self._closed:
-            raise ServerClosed("AsyncEngine is closed")
+        deadline = self._admit(value_json, timeout)
         await self.start()
         key = (program, _canonical(value_json))
         # Hash the key now: an unhashable program (a list, say, from a
@@ -168,14 +293,70 @@ class AsyncEngine:
         hash(key)
         future = asyncio.get_running_loop().create_future()
         self._stats["requests"] += 1
-        self._queue.put_nowait(_Request(program, value_json, key, future))
+        self._track(future)
+        self._queue.put_nowait(_Request(program, value_json, key, future, deadline))
+        if self._batcher is not None and self._batcher.done():
+            # The batcher exited (shutdown drain finished) while this
+            # admission was in flight — nothing will ever serve the
+            # queue again, so fail the stragglers (including ours) now.
+            self._fail_stragglers()
         return await future
 
-    async def run_many(self, program, values_json: Sequence) -> list:
+    async def run_many(
+        self, program, values_json: Sequence, *, timeout: float | None = None
+    ) -> list:
         """Admit a whole client-side batch concurrently; results in order."""
         return list(
-            await asyncio.gather(*(self.run_json(program, v) for v in values_json))
+            await asyncio.gather(
+                *(self.run_json(program, v, timeout=timeout) for v in values_json)
+            )
         )
+
+    async def count_json(
+        self, program, value_json, *, timeout: float | None = None
+    ) -> dict:
+        """Count the output's worlds: exact if the deadline allows.
+
+        Returns ``{"count": n, "approximate": False}`` from the engine's
+        exact count (symbolic when supported).  When the count runs out
+        of deadline and *degrade* is on, answers with the *static*
+        Section 6 upper bound instead — ``{"count": bound,
+        "approximate": True}`` (``stats()["degraded"]``): a degraded
+        answer with an honest label beats a wedged client.
+        """
+        from repro.engine import checkpoint, deadline_scope, estimate_json, faults
+
+        deadline = self._admit(value_json, timeout)
+        self._stats["requests"] += 1
+        future = asyncio.get_running_loop().create_future()
+        self._track(future)
+        loop = asyncio.get_running_loop()
+
+        def exact() -> int:
+            with deadline_scope(deadline):
+                # The symbolic count path is one solver call — make sure
+                # an already-spent deadline fails here, not after it.
+                checkpoint("count dispatch")
+                faults.fire("serve.eval")
+                return count_worlds_json(program, value_json)
+
+        try:
+            count = await loop.run_in_executor(None, exact)
+        except DeadlineExceeded:
+            self._stats["timeouts"] += 1
+            if not self.degrade:
+                future.cancel()
+                raise
+            self._stats["degraded"] += 1
+            result = {"count": estimate_json(value_json).worlds, "approximate": True}
+            future.set_result(result)
+            return result
+        except BaseException:
+            future.cancel()
+            raise
+        result = {"count": count, "approximate": False}
+        future.set_result(result)
+        return result
 
     # -- batching ----------------------------------------------------------
 
@@ -202,12 +383,18 @@ class AsyncEngine:
                     break
                 batch.append(item)
             await self._dispatch_guarded(batch)
-        # Drain everything admitted before the shutdown sentinel.
-        leftovers: list[_Request] = []
-        self._collect_nowait(leftovers, limit=None)
-        while leftovers:
-            head, leftovers = leftovers[: self.max_batch], leftovers[self.max_batch :]
-            await self._dispatch_guarded(head)
+        # Drain everything admitted before the shutdown sentinel — and
+        # keep draining: a dispatch suspends the task, and an admission
+        # racing close() may enqueue behind a drain pass already taken.
+        while True:
+            leftovers: list[_Request] = []
+            self._collect_nowait(leftovers, limit=None)
+            if not leftovers:
+                break
+            while leftovers:
+                head = leftovers[: self.max_batch]
+                leftovers = leftovers[self.max_batch :]
+                await self._dispatch_guarded(head)
 
     async def _dispatch_guarded(self, batch: list) -> None:
         """Dispatch a batch; an unexpected error fails *these* futures only.
@@ -242,20 +429,45 @@ class AsyncEngine:
             batch.append(item)
         return False
 
+    def _expire(self, req: _Request) -> bool:
+        """Fail *req* with DeadlineExceeded if its deadline already passed."""
+        if req.deadline is None or not req.deadline.expired():
+            return False
+        if not req.future.done():
+            self._stats["timeouts"] += 1
+            req.future.set_exception(
+                DeadlineExceeded("deadline exceeded before dispatch")
+            )
+        return True
+
     async def _dispatch(self, batch: list) -> None:
-        if not batch:
+        # A request that spent its whole budget queueing fails here,
+        # before any evaluation is wasted on it.
+        live = [req for req in batch if not self._expire(req)]
+        if not live:
             return
         self._stats["batches"] += 1
-        self._stats["batched_inputs"] += len(batch)
+        self._stats["batched_inputs"] += len(live)
         groups: dict = {}
-        for req in batch:
+        for req in live:
             groups.setdefault(req.program, []).append(req)
         await asyncio.gather(
             *(self._run_group(program, reqs) for program, reqs in groups.items())
         )
 
     async def _run_group(self, program, reqs: list) -> None:
-        """Evaluate one same-program group: dedupe, fan out, deliver."""
+        """Evaluate one same-program group: dedupe, fan out, deliver.
+
+        The group evaluates under the *tightest* deadline of its
+        members (context variables do not cross ``run_in_executor``, so
+        the scope is re-entered inside the worker-thread callable).  If
+        that trips — or anything else fails — the group falls back to
+        :meth:`_run_individually`, where each request runs under its
+        *own* deadline: one nearly-expired request must not time out its
+        whole batch.
+        """
+        from repro.engine import deadline_scope, faults
+
         self._stats["groups"] += 1
         index: dict = {}
         unique: list = []
@@ -265,14 +477,19 @@ class AsyncEngine:
                 unique.append(req.value)
         self._stats["unique_inputs"] += len(unique)
         self._stats["deduped_inputs"] += len(reqs) - len(unique)
+        deadlines = [req.deadline for req in reqs if req.deadline is not None]
+        group_deadline = min(deadlines, key=lambda d: d.at) if deadlines else None
         loop = asyncio.get_running_loop()
-        try:
-            results = await loop.run_in_executor(
-                None,
-                lambda: run_json_many(
+
+        def evaluate() -> list:
+            with deadline_scope(group_deadline):
+                faults.fire("serve.eval")
+                return run_json_many(
                     program, unique, self.backend, max_workers=self.max_workers
-                ),
-            )
+                )
+
+        try:
+            results = await loop.run_in_executor(None, evaluate)
         except Exception:
             # One bad input must not poison the batch: retry one by one
             # so only the offending requests see their own error.
@@ -283,18 +500,32 @@ class AsyncEngine:
                 req.future.set_result(results[index[req.key]])
 
     async def _run_individually(self, program, reqs: list) -> None:
+        from repro.engine import deadline_scope, faults
+
         loop = asyncio.get_running_loop()
         resolved: dict = {}
         for req in reqs:
             outcome = resolved.get(req.key)
             if outcome is None:
-                try:
-                    result = await loop.run_in_executor(
-                        None, lambda v=req.value: run_json_many(
-                            program, [v], self.backend, max_workers=self.max_workers
+                if self._expire(req):
+                    continue
+                self._stats["retries"] += 1
+
+                def evaluate(req=req) -> object:
+                    with deadline_scope(req.deadline):
+                        faults.fire("serve.eval")
+                        return run_json_many(
+                            program,
+                            [req.value],
+                            self.backend,
+                            max_workers=self.max_workers,
                         )[0]
-                    )
-                    outcome = (True, result)
+
+                try:
+                    outcome = (True, await loop.run_in_executor(None, evaluate))
+                except DeadlineExceeded as exc:
+                    self._stats["timeouts"] += 1
+                    outcome = (False, exc)
                 except Exception as exc:
                     self._stats["errors"] += 1
                     outcome = (False, exc)
@@ -309,9 +540,21 @@ class AsyncEngine:
 
     # -- diagnostics -------------------------------------------------------
 
-    def stats(self) -> dict[str, int]:
-        """Admission/batching counters (tests and the REPL read these)."""
-        return dict(self._stats)
+    def stats(self) -> dict:
+        """Admission/batching/robustness counters (tests and the REPL).
+
+        Alongside the counter snapshot: ``pending`` (admitted futures
+        not yet resolved — the backpressure gauge) and ``breaker_open``
+        (is the process pool's circuit breaker currently refusing
+        traffic, i.e. has ``backend="auto"`` demoted process → parallel).
+        """
+        from repro.engine import BACKENDS
+
+        snapshot = dict(self._stats)
+        snapshot["pending"] = self._pending
+        process = BACKENDS.get("process")
+        snapshot["breaker_open"] = bool(process is not None and not process.healthy())
+        return snapshot
 
 
 def _canonical(value_json) -> str:

@@ -1,0 +1,205 @@
+"""Deadlines, cooperative checkpoints, and the supervision policies.
+
+The robustness layer's timing contract: a request carrying a
+:class:`~repro.engine.deadline.Deadline` fails with
+:class:`~repro.errors.DeadlineExceeded` at the engine's next cooperative
+checkpoint — in every backend's evaluation loop — instead of wedging a
+worker thread.  Alongside it, the policy objects the process backend's
+supervised recovery is built from: the seeded-backoff
+:class:`~repro.engine.supervisor.Supervisor` and the
+:class:`~repro.engine.supervisor.CircuitBreaker`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import engine as E
+from repro.engine import (
+    BACKENDS,
+    CircuitBreaker,
+    Deadline,
+    Supervisor,
+    checkpoint,
+    current_deadline,
+    deadline_scope,
+)
+from repro.engine.plan import compile_plan
+from repro.errors import DeadlineExceeded
+from repro.io import run_json, run_json_many, run_text, value_to_json
+from repro.lang.morphisms import Compose, Id, PairOf
+from repro.lang.orset_ops import OrToSet
+from repro.lang.primitives import plus
+from repro.lang.set_ops import SetMap, SetMu
+from repro.values.values import vorset, vset
+
+DOUBLE = Compose(plus(), PairOf(Id(), Id()))
+
+
+class TestDeadlineObject:
+    def test_after_and_remaining(self):
+        d = Deadline.after(60.0)
+        assert 0.0 < d.remaining() <= 60.0
+        assert not d.expired()
+
+    def test_expired_deadline(self):
+        d = Deadline.after(0.0)
+        assert d.expired()
+        assert d.remaining() == 0.0
+        with pytest.raises(DeadlineExceeded):
+            d.check("unit test")
+
+    def test_scope_sets_and_restores(self):
+        assert current_deadline() is None
+        outer = Deadline.after(60.0)
+        inner = Deadline.after(30.0)
+        with deadline_scope(outer):
+            assert current_deadline() is outer
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+        assert current_deadline() is None
+
+    def test_scope_none_clears_inherited_deadline(self):
+        with deadline_scope(Deadline.after(0.0)):
+            with deadline_scope(None):
+                assert current_deadline() is None
+                checkpoint("cleared scope")  # must not raise
+
+    def test_checkpoint_is_noop_without_deadline(self):
+        checkpoint("no ambient deadline")
+
+    def test_checkpoint_names_the_site(self):
+        with deadline_scope(Deadline.after(0.0)):
+            with pytest.raises(DeadlineExceeded, match="during symbolic probe"):
+                checkpoint("symbolic probe")
+
+
+class TestBackendCheckpoints:
+    """An already-expired deadline fails in every backend's loop."""
+
+    @pytest.mark.parametrize("name", ["eager", "streaming", "parallel", "fused"])
+    def test_execute_raises_under_expired_deadline(self, name):
+        plan = compile_plan(Compose(SetMu(), SetMap(OrToSet())))
+        value = vset(vorset(1, 2), vorset(3, 4))
+        backend = BACKENDS[name]
+        assert backend.execute(plan, value)  # sanity: runs fine unbounded
+        with deadline_scope(Deadline.after(0.0)):
+            with pytest.raises(DeadlineExceeded):
+                backend.execute(plan, value)
+
+    def test_engine_dispatch_checkpoint(self):
+        with deadline_scope(Deadline.after(0.0)):
+            with pytest.raises(DeadlineExceeded):
+                E.run(SetMap(DOUBLE), vset(1, 2, 3))
+
+    def test_symbolic_world_query_raises(self):
+        from repro.core.costs import tight_family
+
+        x, _t = tight_family(6)
+        eng = E.Engine()
+        assert eng.count_worlds(Id(), x, backend="symbolic") > 1  # sanity
+        with deadline_scope(Deadline.after(0.0)):
+            with pytest.raises(DeadlineExceeded):
+                eng.certain(Id(), x, backend="symbolic")
+
+    def test_result_identical_when_deadline_is_generous(self):
+        plan_input = vset(vorset(1, 2), vorset(3, 4))
+        program = Compose(SetMu(), SetMap(OrToSet()))
+        unbounded = E.run(program, plan_input)
+        with deadline_scope(Deadline.after(60.0)):
+            assert E.run(program, plan_input) == unbounded
+
+
+class TestIoTimeouts:
+    def test_run_text_timeout(self):
+        with pytest.raises(DeadlineExceeded):
+            run_text("map(id)", "{1, 2, 3}", timeout=0.0)
+
+    def test_run_json_timeout(self):
+        payload = value_to_json(vset(1, 2, 3))
+        with pytest.raises(DeadlineExceeded):
+            run_json("map(id)", payload, timeout=0.0)
+
+    def test_run_json_many_timeout(self):
+        payload = value_to_json(vset(1, 2, 3))
+        with pytest.raises(DeadlineExceeded):
+            run_json_many("map(id)", [payload, payload], timeout=0.0)
+
+    def test_no_timeout_still_works(self):
+        payload = value_to_json(vset(1, 2))
+        assert run_json("map(id)", payload) == payload
+
+    def test_generous_timeout_returns_result(self):
+        payload = value_to_json(vset(1, 2))
+        assert run_json("map(id)", payload, timeout=60.0) == payload
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, reset_after=10.0, clock=clock)
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_heals_or_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_after=5.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(5.0)
+        assert breaker.state == "half-open" and breaker.allow()
+        # A failed probe re-opens for a fresh window...
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(5.0)
+        # ...and a successful probe closes the breaker for good.
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+
+class TestSupervisor:
+    def test_backoff_grows_and_caps(self):
+        sup = Supervisor(restarts=5, base_delay=0.1, max_delay=0.4, seed=7)
+        delays = [sup.backoff(i) for i in range(5)]
+        # Jitter is in [0.5, 1.0): each delay is bounded by the raw curve.
+        raw = [0.1, 0.2, 0.4, 0.4, 0.4]
+        for got, bound in zip(delays, raw, strict=True):
+            assert bound * 0.5 <= got < bound
+
+    def test_seeded_schedule_is_deterministic(self):
+        a = Supervisor(seed=42)
+        b = Supervisor(seed=42)
+        assert [a.backoff(i) for i in range(4)] == [b.backoff(i) for i in range(4)]
+
+    def test_wait_uses_injected_sleep(self):
+        slept: list[float] = []
+        sup = Supervisor(restarts=1, base_delay=0.25, sleep=slept.append)
+        sup.wait(0)
+        assert slept and slept[0] == pytest.approx(sup_backoff_bound(sup, 0), abs=0.25)
+
+
+def sup_backoff_bound(sup: Supervisor, attempt: int) -> float:
+    return min(sup.max_delay, sup.base_delay * (2**attempt))
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now

@@ -210,6 +210,61 @@ class TestShutdown:
     def test_close_without_start_is_a_noop(self):
         asyncio.run(AsyncEngine().close())
 
+    def test_straggler_past_the_closed_check_fails_fast(self):
+        # Regression for the close/admission race: a request that passed
+        # the closed check while close() was draining used to enqueue
+        # onto a dead batcher and hang forever.  Stragglers must fail
+        # with ServerClosed promptly.
+        async def main():
+            engine = AsyncEngine(batch_window=0.01)
+            async with engine:
+                await engine.run_json("normalize", orset_json(1))
+            # Simulate the interleaving: the admission check saw the
+            # server open, then close() won the race.
+            engine._closed = False
+            with pytest.raises(ServerClosed):
+                await asyncio.wait_for(
+                    engine.run_json("normalize", orset_json(2)), timeout=2.0
+                )
+
+        asyncio.run(main())
+
+
+class TestRobustnessStats:
+    def test_stats_expose_the_robustness_counters(self):
+        async def main():
+            engine = AsyncEngine()
+            async with engine:
+                await engine.run_json("normalize", orset_json(1))
+            return engine.stats()
+
+        stats = asyncio.run(main())
+        for key in (
+            "shed",
+            "cost_rejected",
+            "timeouts",
+            "retries",
+            "degraded",
+            "pending",
+            "breaker_open",
+        ):
+            assert key in stats
+        assert stats["pending"] == 0
+        assert stats["breaker_open"] is False
+
+    def test_per_request_timeout_counts(self):
+        from repro.errors import DeadlineExceeded
+
+        async def main():
+            engine = AsyncEngine()
+            async with engine:
+                with pytest.raises(DeadlineExceeded):
+                    await engine.run_json("normalize", orset_json(1), timeout=0.0)
+            return engine.stats()
+
+        stats = asyncio.run(main())
+        assert stats["timeouts"] == 1
+
 
 class TestStdioServer:
     def test_json_lines_roundtrip(self):
