@@ -66,15 +66,21 @@ from repro.engine import faults
 from repro.engine.backends import BACKENDS, Backend, EagerBackend, StreamingBackend
 from repro.engine.columnar import Arena, FusedBackend
 from repro.engine.cost_model import (
+    OPERATOR_COSTS,
     BackendChoice,
     PlanProfile,
     ShapeEstimate,
     annotate_plan,
+    calibrate,
+    calibration_scope,
     estimate_json,
     estimate_morphism_cost,
     estimate_value,
+    operator_features,
     plan_profile,
+    rank_error,
     select_backend,
+    set_calibration,
 )
 from repro.engine.deadline import (
     Deadline,
@@ -159,6 +165,12 @@ __all__ = [
     "estimate_value",
     "estimate_json",
     "estimate_morphism_cost",
+    "OPERATOR_COSTS",
+    "operator_features",
+    "calibrate",
+    "calibration_scope",
+    "rank_error",
+    "set_calibration",
     "annotate_plan",
     "PlanProfile",
     "plan_profile",

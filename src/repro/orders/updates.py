@@ -25,6 +25,7 @@ of subsets of the carrier — exponential, but these functions exist to
 
 from __future__ import annotations
 
+from collections import deque
 from itertools import combinations
 from typing import Hashable, Iterable, Iterator
 
@@ -99,18 +100,26 @@ def reachable(
     step: "callable[[State], Iterator[State]]",
     max_states: int | None = None,
 ) -> set[State]:
-    """Reflexive-transitive closure of a step relation from *start* (BFS)."""
+    """Reflexive-transitive closure of a step relation from *start* (BFS).
+
+    The frontier is a FIFO queue, so states are expanded in breadth-first
+    (level) order; *max_states* is a hard cap on the states ever admitted —
+    the budget is checked *before* a new state is recorded, so the closure
+    never holds more than ``max_states`` states, even transiently.
+    """
     origin = frozenset(start)
     seen: set[State] = {origin}
-    frontier = [origin]
+    frontier: deque[State] = deque([origin])
     while frontier:
-        state = frontier.pop()
+        state = frontier.popleft()
         for nxt in step(state):
             if nxt not in seen:
+                if max_states is not None and len(seen) >= max_states:
+                    raise RuntimeError(
+                        f"reachable: state budget exceeded ({max_states})"
+                    )
                 seen.add(nxt)
                 frontier.append(nxt)
-                if max_states is not None and len(seen) > max_states:
-                    raise RuntimeError("reachable: state budget exceeded")
     return seen
 
 

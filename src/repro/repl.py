@@ -323,6 +323,18 @@ class Repl:
             f"retries {stats['retries']}, degraded {stats['degraded']}, "
             f"breaker {'open' if stats['breaker_open'] else 'closed'}"
         )
+        latency = stats.get("latency")
+        if latency is not None:
+            total = latency["total"]
+            lines.append(
+                "latency: p50 {p50:.2f}ms, p90 {p90:.2f}ms, p99 {p99:.2f}ms "
+                "({rps:.0f} req/s)".format(
+                    p50=(total["p50"] or 0.0) * 1000,
+                    p90=(total["p90"] or 0.0) * 1000,
+                    p99=(total["p99"] or 0.0) * 1000,
+                    rps=latency["throughput_rps"],
+                )
+            )
         return "\n".join(lines)
 
 

@@ -11,12 +11,32 @@ faces:
   :func:`repro.io.run_json_many` off the event loop;
 * ``python -m repro.serve`` (:mod:`repro.serve.__main__`) — a JSON-lines
   stdio server speaking the same protocol, for driving the service from
-  another process or a shell pipe.
+  another process or a shell pipe;
+* :class:`NetServer` (:mod:`repro.serve.net`, also
+  ``python -m repro.serve.net``) — the TCP/HTTP front-end: NDJSON frames
+  and a minimal ``POST /run`` / ``GET /stats`` HTTP path on one port,
+  per-client token-bucket rate limits, and a multi-process worker mode
+  routed by program digest;
+* :mod:`repro.serve.metrics` — the latency observability layer:
+  ring-buffer histograms (:class:`RingHistogram`) behind
+  :class:`ServerMetrics`, recording admission/queue/execute/total
+  durations per request, plus the :class:`TokenBucket` rate limiter.
 
-See ``docs/ARCHITECTURE.md`` ("The serving layer") for how admission,
-batching, the cost model and the process backend compose.
+See ``docs/ARCHITECTURE.md`` ("The serving layer" and "Network serving
+& observability") for how admission, batching, the cost model and the
+process backend compose.
 """
 
+from repro.serve.metrics import RingHistogram, ServerMetrics, TokenBucket
+from repro.serve.net import NetServer, RateLimiter
 from repro.serve.server import AsyncEngine, ServerClosed
 
-__all__ = ["AsyncEngine", "ServerClosed"]
+__all__ = [
+    "AsyncEngine",
+    "NetServer",
+    "RateLimiter",
+    "RingHistogram",
+    "ServerClosed",
+    "ServerMetrics",
+    "TokenBucket",
+]

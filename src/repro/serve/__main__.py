@@ -45,35 +45,13 @@ import json
 import sys
 import threading
 
-from repro.errors import CostBudgetExceeded, DeadlineExceeded, Overloaded, OrNRAError
-from repro.serve.server import AsyncEngine, ServerClosed
+from repro.serve.proto import DEFAULT_MAX_LINE, error_frame as _error_frame
+from repro.serve.server import AsyncEngine
 
 __all__ = ["main", "amain"]
 
-#: Default cap on one request line (1 MiB of text).
-DEFAULT_MAX_LINE = 1 << 20
-
 #: Sentinel for "the peer sent a line longer than --max-line".
 _OVERSIZED = object()
-
-
-def _error_frame(exc: BaseException) -> dict:
-    """The structured error payload for one failed request."""
-    if isinstance(exc, Overloaded):
-        return {
-            "error": str(exc),
-            "code": "overloaded",
-            "retry_after": exc.retry_after,
-        }
-    if isinstance(exc, DeadlineExceeded):
-        return {"error": str(exc), "code": "deadline"}
-    if isinstance(exc, CostBudgetExceeded):
-        return {"error": str(exc), "code": "cost"}
-    if isinstance(exc, ServerClosed):
-        return {"error": str(exc), "code": "closed"}
-    if isinstance(exc, (json.JSONDecodeError, KeyError, OrNRAError)):
-        return {"error": str(exc), "code": "malformed"}
-    return {"error": str(exc), "code": "error"}
 
 
 async def _handle(engine: AsyncEngine, line: str, stdout) -> None:

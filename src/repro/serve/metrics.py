@@ -1,0 +1,241 @@
+"""Latency observability primitives: ring histograms and token buckets.
+
+Serving "heavy traffic" is meaningless without latency visibility — a
+throughput counter hides the tail that users actually feel.  This module
+is the observability layer under :class:`repro.serve.AsyncEngine` and
+the network front-end (:mod:`repro.serve.net`):
+
+* :class:`RingHistogram` — a fixed-capacity ring buffer of duration
+  samples over the **monotonic clock**.  Recording is O(1) (append into
+  the ring, overwrite the oldest), so the hot path pays two clock reads
+  and a list store per request; percentiles are computed on demand by
+  sorting a snapshot of the window.  Percentiles use the *nearest-rank*
+  definition — ``p50`` of ``1..100`` is exactly ``50`` — so the numbers
+  are pinnable in tests.
+* :class:`ServerMetrics` — one histogram per request phase
+  (``admission``: the synchronous admission checks; ``queue``: admitted
+  → dispatched; ``execute``: dispatched → resolved; ``total``: the
+  whole request) plus a completion-timestamp ring that yields windowed
+  throughput.  :meth:`ServerMetrics.snapshot` returns plain dicts built
+  fresh on every call — mutating a snapshot can never corrupt the live
+  counters.
+* :class:`TokenBucket` — the standard rate limiter: *rate* tokens per
+  second refill up to a *burst* cap; a denied admission reports how long
+  until the next token, which the serving layer forwards as the
+  ``retry_after`` hint on :class:`~repro.errors.Overloaded`.
+
+Everything takes an injectable ``clock`` (defaulting to
+:func:`time.monotonic`) so the tests drive refill and throughput math
+with a fake clock instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = [
+    "percentile",
+    "RingHistogram",
+    "ServerMetrics",
+    "TokenBucket",
+    "PHASES",
+]
+
+#: The request phases one serving-layer observation decomposes into.
+PHASES = ("admission", "queue", "execute", "total")
+
+
+def percentile(samples: "list[float]", q: float) -> "float | None":
+    """Nearest-rank percentile of *samples* (unsorted ok); None when empty.
+
+    ``q`` is in percent: ``percentile(xs, 50)`` is the median sample.
+    Single-sample windows answer that sample for every ``q``; empty
+    windows answer ``None`` (there is no honest number to report).
+    """
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile q must be in (0, 100], got {q!r}")
+    rank = -(-q * len(ordered) // 100)  # ceil(q/100 * n), integer math
+    return ordered[int(rank) - 1]
+
+
+class RingHistogram:
+    """A bounded window of duration samples with on-demand percentiles.
+
+    The ring keeps the most recent *capacity* samples — a serving process
+    that has been up for a week reports the current tail, not a
+    lifetime-diluted average — while ``count`` still tallies every sample
+    ever recorded.  Thread-safe: the serving layer records from the event
+    loop, but snapshots may be taken from anywhere (the REPL, a stats
+    endpoint on another thread).
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError("RingHistogram capacity must be positive")
+        self.capacity = capacity
+        self._ring: list[float] = []
+        self._next = 0  # overwrite cursor once the ring is full
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Add one duration sample (seconds; monotonic-clock delta)."""
+        with self._lock:
+            if len(self._ring) < self.capacity:
+                self._ring.append(seconds)
+            else:
+                self._ring[self._next] = seconds
+                self._next = (self._next + 1) % self.capacity
+            self._count += 1
+            self._total += seconds
+
+    @property
+    def count(self) -> int:
+        """Samples ever recorded (not just the ones still in the window)."""
+        return self._count
+
+    def window(self) -> "list[float]":
+        """A copy of the samples currently in the ring (arbitrary order)."""
+        with self._lock:
+            return list(self._ring)
+
+    def percentile(self, q: float) -> "float | None":
+        return percentile(self.window(), q)
+
+    def snapshot(self) -> dict:
+        """A freshly-built summary dict: count/window/p50/p90/p99/mean/max.
+
+        The dict (and everything in it) is new on every call; callers may
+        mutate it freely without touching the live histogram.
+        """
+        with self._lock:
+            samples = list(self._ring)
+            count, total = self._count, self._total
+        ordered = sorted(samples)
+        return {
+            "count": count,
+            "window": len(ordered),
+            "p50": percentile(ordered, 50),
+            "p90": percentile(ordered, 90),
+            "p99": percentile(ordered, 99),
+            "mean": (sum(ordered) / len(ordered)) if ordered else None,
+            "max": ordered[-1] if ordered else None,
+            "total": total,
+        }
+
+
+class ServerMetrics:
+    """Per-phase latency histograms plus windowed throughput.
+
+    One :meth:`observe` per completed request records the four phase
+    durations and stamps a completion time; :meth:`snapshot` renders the
+    whole thing as plain nested dicts (fresh objects — snapshot isolation
+    is part of the contract and is pinned by the tests).
+    """
+
+    def __init__(self, capacity: int = 2048, clock=time.monotonic) -> None:
+        self.clock = clock
+        self.histograms = {phase: RingHistogram(capacity) for phase in PHASES}
+        self._completions = RingHistogram(capacity)  # completion *timestamps*
+        self._started = clock()
+
+    def observe(
+        self,
+        *,
+        admission: "float | None" = None,
+        queue: "float | None" = None,
+        execute: "float | None" = None,
+        total: "float | None" = None,
+    ) -> None:
+        """Record one request's phase durations (seconds; None = unknown)."""
+        for phase, seconds in (
+            ("admission", admission),
+            ("queue", queue),
+            ("execute", execute),
+            ("total", total),
+        ):
+            if seconds is not None:
+                self.histograms[phase].record(max(0.0, seconds))
+        self._completions.record(self.clock())
+
+    @property
+    def completed(self) -> int:
+        return self._completions.count
+
+    def throughput(self) -> float:
+        """Completed requests per second over the completion window.
+
+        The window is the span between the oldest and newest completion
+        timestamps still in the ring — i.e. recent, steady-state
+        throughput, not a lifetime average that forgets idle gaps.
+        """
+        stamps = self._completions.window()
+        if len(stamps) < 2:
+            span = self.clock() - self._started
+            return (len(stamps) / span) if span > 0 else 0.0
+        span = max(stamps) - min(stamps)
+        if span <= 0:
+            return 0.0
+        return (len(stamps) - 1) / span
+
+    def snapshot(self) -> dict:
+        """Fresh nested dicts: one per phase, plus throughput and totals."""
+        out = {phase: hist.snapshot() for phase, hist in self.histograms.items()}
+        out["throughput_rps"] = self.throughput()
+        out["completed"] = self.completed
+        return out
+
+
+class TokenBucket:
+    """A token-bucket rate limiter with an injectable monotonic clock.
+
+    *rate* tokens per second refill continuously up to *burst*.  The
+    bucket starts full, so a client's first *burst* requests always
+    admit — rate limiting is about sustained pressure, not greeting
+    every newcomer with a 429.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError("TokenBucket rate must be positive")
+        if burst < 1:
+            raise ValueError("TokenBucket burst must be at least 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def admit(self, tokens: float = 1.0) -> float:
+        """Try to take *tokens*; 0.0 on success, else seconds until retry.
+
+        A non-zero return is the ``retry_after`` hint: how long until the
+        bucket will have refilled enough for this admission to succeed.
+        The denied request consumes nothing.
+        """
+        with self._lock:
+            now = self.clock()
+            self._refill(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return 0.0
+            return (tokens - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (after a refresh; diagnostics only)."""
+        with self._lock:
+            self._refill(self.clock())
+            return self._tokens

@@ -74,6 +74,7 @@ from typing import Sequence
 
 from repro.errors import CostBudgetExceeded, DeadlineExceeded, Overloaded
 from repro.io import count_worlds_json, run_json_many
+from repro.serve.metrics import ServerMetrics
 
 __all__ = ["AsyncEngine", "ServerClosed"]
 
@@ -84,11 +85,21 @@ class ServerClosed(RuntimeError):
 
 _SHUTDOWN = object()
 
+#: Default for :meth:`AsyncEngine._collect_nowait`'s *limit* — "collect up
+#: to ``max_batch``".  A distinct sentinel, not ``0``: a computed ``limit=0``
+#: must mean "collect nothing", never silently drain a full batch.
+_UP_TO_MAX_BATCH = object()
+
 
 class _Request:
-    """One admitted request: program, JSON input, dedupe key, deadline, future."""
+    """One admitted request: program, JSON input, dedupe key, deadline, future.
 
-    __slots__ = ("program", "value", "key", "future", "deadline")
+    ``admitted``/``dispatched`` are monotonic-clock stamps the metrics
+    layer uses to split a request's life into queue and execute phases;
+    they stay ``None`` when metrics are disabled.
+    """
+
+    __slots__ = ("program", "value", "key", "future", "deadline", "admitted", "dispatched")
 
     def __init__(self, program, value, key, future, deadline=None) -> None:
         self.program = program
@@ -96,6 +107,8 @@ class _Request:
         self.key = key
         self.future = future
         self.deadline = deadline
+        self.admitted = None
+        self.dispatched = None
 
 
 class AsyncEngine:
@@ -118,6 +131,14 @@ class AsyncEngine:
     *degrade* lets :meth:`count_json` fall back to the static estimate
     when the exact count runs out of deadline.
 
+    Observability: *metrics* (default on) attaches a
+    :class:`~repro.serve.metrics.ServerMetrics` — monotonic ring-buffer
+    histograms of per-request admission/queue/execute/total latencies
+    plus windowed throughput, surfaced as ``stats()["latency"]`` (p50 /
+    p90 / p99 per phase).  Pass ``metrics=False`` to shave the two clock
+    reads per request, or a ``ServerMetrics`` of your own to share a
+    registry or inject a fake clock.
+
     Use as an async context manager, or call :meth:`close` explicitly::
 
         async with AsyncEngine() as engine:
@@ -135,6 +156,7 @@ class AsyncEngine:
         default_timeout: float | None = None,
         cost_budget: int | None = None,
         degrade: bool = True,
+        metrics: "ServerMetrics | bool | None" = True,
     ) -> None:
         self.backend = backend
         self.batch_window = batch_window
@@ -144,6 +166,16 @@ class AsyncEngine:
         self.default_timeout = default_timeout
         self.cost_budget = cost_budget
         self.degrade = degrade
+        # *metrics* — the latency observability layer: True (default)
+        # builds a ServerMetrics; False/None disables recording; a
+        # ServerMetrics instance is used as-is (shared registries, fake
+        # clocks in tests).
+        if metrics is True:
+            self.metrics: "ServerMetrics | None" = ServerMetrics()
+        elif not metrics:
+            self.metrics = None
+        else:
+            self.metrics = metrics
         self._queue: asyncio.Queue = asyncio.Queue()
         self._batcher: asyncio.Task | None = None
         self._closed = False
@@ -273,6 +305,30 @@ class AsyncEngine:
 
         future.add_done_callback(_done)
 
+    def _observe_on_done(self, future, request: _Request, start: float) -> None:
+        """Record the request's phase latencies when its future resolves.
+
+        Resolution includes failures — a timed-out or errored request's
+        latency is exactly what its client felt, so it belongs in the
+        percentiles.  (Shed/rejected admissions never create a future and
+        are counted separately.)
+        """
+        metrics = self.metrics
+        clock = metrics.clock
+
+        def _record(_f) -> None:
+            done = clock()
+            admitted = request.admitted if request.admitted is not None else start
+            dispatched = request.dispatched
+            metrics.observe(
+                admission=admitted - start,
+                queue=(dispatched if dispatched is not None else done) - admitted,
+                execute=(done - dispatched) if dispatched is not None else None,
+                total=done - start,
+            )
+
+        future.add_done_callback(_record)
+
     async def run_json(self, program, value_json, *, timeout: float | None = None) -> object:
         """Admit one request and await its result.
 
@@ -284,6 +340,7 @@ class AsyncEngine:
         :class:`~repro.errors.DeadlineExceeded` at the engine's next
         cooperative checkpoint.
         """
+        start = self.metrics.clock() if self.metrics is not None else 0.0
         deadline = self._admit(value_json, timeout)
         await self.start()
         key = (program, _canonical(value_json))
@@ -294,7 +351,11 @@ class AsyncEngine:
         future = asyncio.get_running_loop().create_future()
         self._stats["requests"] += 1
         self._track(future)
-        self._queue.put_nowait(_Request(program, value_json, key, future, deadline))
+        request = _Request(program, value_json, key, future, deadline)
+        if self.metrics is not None:
+            request.admitted = self.metrics.clock()
+            self._observe_on_done(future, request, start)
+        self._queue.put_nowait(request)
         if self._batcher is not None and self._batcher.done():
             # The batcher exited (shutdown drain finished) while this
             # admission was in flight — nothing will ever serve the
@@ -326,10 +387,26 @@ class AsyncEngine:
         """
         from repro.engine import checkpoint, deadline_scope, estimate_json, faults
 
+        start = self.metrics.clock() if self.metrics is not None else 0.0
         deadline = self._admit(value_json, timeout)
         self._stats["requests"] += 1
         future = asyncio.get_running_loop().create_future()
         self._track(future)
+        admitted = self.metrics.clock() if self.metrics is not None else 0.0
+
+        def observe() -> None:
+            # Counts skip the batcher (admission and dispatch coincide),
+            # and record synchronously so ``stats()`` right after the
+            # await already shows this request.
+            if self.metrics is not None:
+                done = self.metrics.clock()
+                self.metrics.observe(
+                    admission=admitted - start,
+                    queue=0.0,
+                    execute=done - admitted,
+                    total=done - start,
+                )
+
         loop = asyncio.get_running_loop()
 
         def exact() -> int:
@@ -350,12 +427,14 @@ class AsyncEngine:
             self._stats["degraded"] += 1
             result = {"count": estimate_json(value_json).worlds, "approximate": True}
             future.set_result(result)
+            observe()
             return result
         except BaseException:
             future.cancel()
             raise
         result = {"count": count, "approximate": False}
         future.set_result(result)
+        observe()
         return result
 
     # -- batching ----------------------------------------------------------
@@ -412,13 +491,16 @@ class AsyncEngine:
                 if not req.future.done():
                     req.future.set_exception(exc)
 
-    def _collect_nowait(self, batch: list, limit: int | None = 0) -> bool:
+    def _collect_nowait(
+        self, batch: list, limit: "int | None" = _UP_TO_MAX_BATCH
+    ) -> bool:
         """Move already-queued requests into *batch*; True on sentinel.
 
-        ``limit=0`` means "up to ``max_batch``"; ``None`` means no cap
-        (the shutdown drain).
+        The default collects up to ``max_batch`` requests; ``None`` means
+        no cap (the shutdown drain); an explicit integer — including a
+        computed ``0``, which collects nothing — is honored literally.
         """
-        cap = self.max_batch if limit == 0 else limit
+        cap = self.max_batch if limit is _UP_TO_MAX_BATCH else limit
         while cap is None or len(batch) < cap:
             try:
                 item = self._queue.get_nowait()
@@ -446,6 +528,10 @@ class AsyncEngine:
         live = [req for req in batch if not self._expire(req)]
         if not live:
             return
+        if self.metrics is not None:
+            now = self.metrics.clock()
+            for req in live:
+                req.dispatched = now
         self._stats["batches"] += 1
         self._stats["batched_inputs"] += len(live)
         groups: dict = {}
@@ -554,6 +640,8 @@ class AsyncEngine:
         snapshot["pending"] = self._pending
         process = BACKENDS.get("process")
         snapshot["breaker_open"] = bool(process is not None and not process.healthy())
+        if self.metrics is not None:
+            snapshot["latency"] = self.metrics.snapshot()
         return snapshot
 
 

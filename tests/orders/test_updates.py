@@ -15,6 +15,8 @@ from repro.orders.powerdomains import hoare_le, smyth_le
 from repro.orders.updates import (
     hoare_reachable,
     hoare_reachable_antichain,
+    hoare_steps,
+    reachable,
     smyth_reachable,
     smyth_reachable_antichain,
 )
@@ -113,3 +115,56 @@ class TestStepSemantics:
         reached = smyth_reachable(poset, {0, 1, 2})
         assert frozenset({1}) in reached  # narrowed the alternatives
         assert frozenset() not in reached  # but never to inconsistency
+
+
+class TestReachableTraversal:
+    """The closure driver itself: breadth-first order and a hard state budget."""
+
+    def test_expansion_order_is_breadth_first(self):
+        # A two-level tree: o -> a1,a2,a3 and ai -> bi.  A FIFO frontier
+        # expands the whole first level before any second-level state; the
+        # old LIFO `frontier.pop()` expanded a3's child before a1.
+        children = {
+            frozenset({"o"}): [frozenset({"a1"}), frozenset({"a2"}), frozenset({"a3"})],
+            frozenset({"a1"}): [frozenset({"b1"})],
+            frozenset({"a2"}): [frozenset({"b2"})],
+            frozenset({"a3"}): [frozenset({"b3"})],
+        }
+        expanded = []
+
+        def step(state):
+            expanded.append(state)
+            return iter(children.get(state, []))
+
+        reachable({"o"}, step)
+        level = {"o": 0, "a": 1, "b": 2}
+        depths = [level[next(iter(s))[0]] for s in expanded]
+        assert depths == sorted(depths), expanded
+        assert depths == [0, 1, 1, 1, 2, 2, 2]
+
+    def test_budget_is_a_hard_cap_on_admitted_states(self):
+        # An unbounded chain of fresh states: {0} -> {1} -> {2} -> ...
+        # The budget must bound the states ever admitted (seen), not
+        # merely raise one state too late (the old check ran *after*
+        # insertion, admitting max_states + 1).
+        expanded = []
+
+        def step(state):
+            expanded.append(state)
+            (n,) = state
+            return iter([frozenset({n + 1})])
+
+        with pytest.raises(RuntimeError, match="state budget exceeded"):
+            reachable({0}, step, max_states=5)
+        # Only admitted states are ever expanded; the cap held throughout.
+        assert len(expanded) <= 5
+
+    def test_budget_equal_to_closure_size_completes(self):
+        poset = chain(3)
+        full = hoare_reachable(poset, {0})
+        again = reachable(
+            {0}, lambda s: hoare_steps(poset, s), max_states=len(full)
+        )
+        assert again == full
+        with pytest.raises(RuntimeError, match="state budget exceeded"):
+            reachable({0}, lambda s: hoare_steps(poset, s), max_states=len(full) - 1)

@@ -230,6 +230,38 @@ class TestShutdown:
         asyncio.run(main())
 
 
+class TestCollectNowait:
+    def test_limit_zero_collects_nothing(self):
+        # Regression: limit=0 used to be a magic sentinel for "up to
+        # max_batch", so a computed 0 silently drained a full batch.
+        from repro.serve.server import _Request
+
+        async def main():
+            engine = AsyncEngine()
+            loop = asyncio.get_running_loop()
+            for i in range(3):
+                engine._queue.put_nowait(
+                    _Request("normalize", orset_json(i), ("normalize", str(i)),
+                             loop.create_future())
+                )
+            batch = []
+            assert engine._collect_nowait(batch, limit=0) is False
+            assert batch == []
+            # The default still collects up to max_batch...
+            assert engine._collect_nowait(batch) is False
+            assert len(batch) == 3
+            # ...and an explicit integer cap is honored literally.
+            engine._queue.put_nowait(
+                _Request("normalize", orset_json(9), ("normalize", "9"),
+                         loop.create_future())
+            )
+            small = []
+            assert engine._collect_nowait(small, limit=1) is False
+            assert len(small) == 1
+
+        asyncio.run(main())
+
+
 class TestRobustnessStats:
     def test_stats_expose_the_robustness_counters(self):
         async def main():
